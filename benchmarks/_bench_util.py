@@ -1,0 +1,16 @@
+"""Shared helpers for the benchmark/experiment harnesses.
+
+pytest captures stdout at the file-descriptor level, so experiment tables
+are buffered here and flushed by the ``pytest_terminal_summary`` hook in
+``benchmarks/conftest.py`` — they always appear at the end of the bench
+log, after pytest-benchmark's timing table.
+"""
+
+from __future__ import annotations
+
+REPORTS: list[str] = []
+
+
+def report(text: str) -> None:
+    """Queue experiment rows for the end-of-session summary."""
+    REPORTS.append(text)

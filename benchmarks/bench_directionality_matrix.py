@@ -1,0 +1,129 @@
+"""M1 — the communication-model matrix (draft §"Relationship to Classical
+Communication Models").
+
+Runs every round transport under every compatible adversary and reports
+the strongest directionality level consistent with the observed traces —
+the draft's placement of classical models into the
+bidirectional/unidirectional/zero-directional hierarchy, regenerated:
+
+- lock-step synchrony → bidirectional;
+- shared memory (all four object families) under full asynchrony →
+  unidirectional;
+- timed rounds at ≥ 2Δ → unidirectional, below → can drop to zero;
+- plain asynchronous n-f rounds → zero-directional (violations found).
+"""
+
+from __future__ import annotations
+
+from _bench_util import report
+
+from repro.analysis import format_table
+from repro.core.directionality import check_directionality
+from repro.core.rounds import (
+    LockStepRoundTransport,
+    MessagePassingRoundTransport,
+    RoundProcess,
+    TimedRoundTransport,
+)
+from repro.core.uni_from_sm import ALL_SM_TRANSPORTS, build_objects_for
+from repro.sim import (
+    LockStepSynchronous,
+    ReliableAsynchronous,
+    ScriptedAdversary,
+    Simulation,
+)
+
+
+class Chat(RoundProcess):
+    def on_round_start(self):
+        # lock-step transports assign their own (boundary) labels
+        label = None if isinstance(self.rounds, LockStepRoundTransport) else "L"
+        self.rounds.begin_round(("hi", self.pid), label=label)
+
+
+class StaggeredChat(RoundProcess):
+    def on_round_start(self):
+        self.ctx.set_timer(self.ctx.rng.uniform(0, 4.0), "go")
+
+    def on_timer(self, tag):
+        if tag == "go":
+            self.rounds.begin_round(("hi", self.pid), label="L")
+        else:
+            super().on_timer(tag)
+
+
+def observe(make_transport, adversary_factory, n=4, seeds=range(6),
+            staggered=False, sm_objects=None, horizon=200.0):
+    """Worst (weakest) classification across the seeds."""
+    worst = "bidirectional"
+    order = {"bidirectional": 0, "unidirectional": 1, "zero-directional": 2}
+    cls = StaggeredChat if staggered else Chat
+    for seed in seeds:
+        procs = [cls(make_transport()) for _ in range(n)]
+        sim = Simulation(procs, adversary_factory(), seed=seed)
+        if sm_objects is not None:
+            for obj in build_objects_for(sm_objects, n):
+                sim.memory.register(obj)
+        sim.run(until=horizon)
+        rep = check_directionality(sim.trace, range(n))
+        got = rep.classify()
+        if order[got] > order[worst]:
+            worst = got
+    return worst
+
+
+def test_directionality_matrix(once):
+    def experiment():
+        split = lambda: (
+            ScriptedAdversary(base_delay=0.05)
+            .withhold([0, 1], [2, 3]).withhold([2, 3], [0, 1])
+        )
+        rows = []
+        rows.append([
+            "lock-step rounds", "synchronous (Δ=1, period=2)",
+            observe(lambda: LockStepRoundTransport(period=2.0),
+                    lambda: LockStepSynchronous(delta=1.0)),
+            "bidirectional",
+        ])
+        for name in sorted(ALL_SM_TRANSPORTS):
+            rows.append([
+                f"shared memory ({name})", "asynchronous",
+                observe(lambda name=name: ALL_SM_TRANSPORTS[name](),
+                        lambda: ReliableAsynchronous(0.0, 3.0),
+                        sm_objects=name, seeds=range(3), horizon=400.0),
+                "≥ unidirectional",
+            ])
+        rows.append([
+            "timed rounds, wait=2Δ", "Δ-bounded, staggered starts",
+            observe(lambda: TimedRoundTransport(wait=2.0),
+                    lambda: ReliableAsynchronous(0.0, 1.0), staggered=True),
+            "≥ unidirectional",
+        ])
+        rows.append([
+            "timed rounds, wait=0.5Δ", "Δ-bounded, staggered starts",
+            observe(lambda: TimedRoundTransport(wait=0.5),
+                    lambda: ReliableAsynchronous(0.0, 1.0), staggered=True,
+                    seeds=range(12)),
+            "can reach zero-directional",
+        ])
+        rows.append([
+            "async n-f rounds", "asynchronous + fair split schedule",
+            observe(lambda: MessagePassingRoundTransport(f=2),
+                    split),
+            "zero-directional",
+        ])
+        return rows
+
+    rows = once(experiment)
+    report(format_table(
+        ["round implementation", "network model", "weakest observed", "theory"],
+        rows,
+        title="M1: the communication-model matrix — classical models placed "
+              "in the bi/uni/zero hierarchy by observation",
+    ))
+    by_name = {r[0]: r[2] for r in rows}
+    assert by_name["lock-step rounds"] == "bidirectional"
+    for name in ALL_SM_TRANSPORTS:
+        assert by_name[f"shared memory ({name})"] != "zero-directional"
+    assert by_name["timed rounds, wait=2Δ"] != "zero-directional"
+    assert by_name["async n-f rounds"] == "zero-directional"

@@ -1,0 +1,19 @@
+"""FIG1 — regenerate Figure 1: every arrow executed and verified.
+
+Paper artifact: the classification diagram ("A → B indicates A can
+implement B"). The bench executes each arrow's construction/scenario and
+prints the full evidence table; the run fails if any arrow's verification
+fails, so the figure is *checked*, not asserted.
+"""
+
+from __future__ import annotations
+
+from _bench_util import report
+
+from repro.core.classification import render_figure, run_classification
+
+
+def test_fig1_classification(once):
+    result = once(run_classification, seed=0)
+    report(render_figure(result))
+    result.assert_ok()

@@ -1,0 +1,94 @@
+"""Q3 — hardware microbenchmarks (wall-clock, pytest-benchmark timing).
+
+Throughput of each trusted-hardware primitive's hot operation, as a
+library-quality microbench: TrInc attest/check, A2M append/lookup,
+enclave invoke, signature sign/verify, PEATS out/rdp, canonical
+serialization. These are real timing loops (not single-shot), so the
+pytest-benchmark table is the deliverable here.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto import SignatureScheme, canonical_bytes
+from repro.hardware import (
+    A2MAuthority,
+    EnclaveAuthority,
+    EnclaveProgram,
+    PEATS,
+    TrincAuthority,
+    WILDCARD,
+)
+
+
+@pytest.fixture
+def trinc():
+    auth = TrincAuthority(1, seed=1)
+    return auth, auth.trinket(0)
+
+
+def test_trinc_attest(benchmark, trinc):
+    auth, t = trinc
+    counter = iter(range(1, 10_000_000))
+    benchmark(lambda: t.attest(next(counter), "payload"))
+
+
+def test_trinc_check(benchmark, trinc):
+    auth, t = trinc
+    a = t.attest(1, "payload")
+    result = benchmark(lambda: auth.check(a, 0))
+    assert result
+
+
+def test_a2m_append(benchmark):
+    auth = A2MAuthority(1, seed=2)
+    d = auth.device(0)
+    log = d.create_log()
+    benchmark(lambda: d.append(log, "entry"))
+
+
+def test_a2m_lookup(benchmark):
+    auth = A2MAuthority(1, seed=3)
+    d = auth.device(0)
+    log = d.create_log()
+    for i in range(100):
+        d.append(log, f"entry{i}")
+    stmt = benchmark(lambda: d.lookup(log, 50, nonce=7))
+    assert auth.check(stmt, 0)
+
+
+def test_enclave_invoke(benchmark):
+    auth = EnclaveAuthority(1, seed=4)
+    enclave = auth.launch(0, EnclaveProgram("bench", 0, lambda s, x: (s + 1, s)))
+    benchmark(lambda: enclave.invoke("input"))
+
+
+def test_signature_sign(benchmark):
+    scheme = SignatureScheme(1, seed=5)
+    signer = scheme.signer(0)
+    benchmark(lambda: signer.sign(("domain", 1, "value")))
+
+
+def test_signature_verify(benchmark):
+    scheme = SignatureScheme(1, seed=6)
+    sig = scheme.signer(0).sign(("domain", 1, "value"))
+    result = benchmark(lambda: scheme.verify(("domain", 1, "value"), sig))
+    assert result
+
+
+def test_peats_out_rdp(benchmark):
+    space = PEATS("bench")
+    for i in range(200):
+        space.execute(0, "out", ((i % 10, f"v{i}"),))
+
+    def op():
+        space.execute(0, "out", ((3, "fresh"),))
+        return space.execute(0, "rdp", ((3, WILDCARD),))
+
+    assert benchmark(op) is not None
+
+
+def test_canonical_bytes_nested(benchmark):
+    value = ("SRB-L1", 0, 7, ("payload", tuple(range(20)), {"k": "v"}))
+    benchmark(lambda: canonical_bytes(value))

@@ -1,0 +1,32 @@
+"""Benchmark fixtures and the experiment-table summary hook."""
+
+from __future__ import annotations
+
+import pytest
+
+from _bench_util import REPORTS
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the experiment exactly once under pytest-benchmark timing.
+
+    The experiments are deterministic simulations — repeated timing rounds
+    would multiply runtime without changing the recorded rows.
+    """
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return run
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not REPORTS:
+        return
+    terminalreporter.write_line("")
+    terminalreporter.write_sep("=", "experiment tables (EXPERIMENTS.md rows)")
+    for block in REPORTS:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(block)

@@ -1,0 +1,113 @@
+"""The docs/TUTORIAL.md protocol, complete and runnable.
+
+Run:  python examples/tutorial_protocol.py
+
+An attested last-writer-wins register on TrInc: a Byzantine publisher
+tries to fork readers; the hardware flattens the fork; a trace checker
+verifies fork-freedom across seeds and adversaries.
+"""
+
+from repro.errors import PropertyViolation
+from repro.hardware import TrincAuthority
+from repro.sim import (
+    DuplicatingAsynchronous,
+    Process,
+    ReliableAsynchronous,
+    ScriptedAdversary,
+    Simulation,
+)
+
+
+class LWWRegister(Process):
+    """Replicated last-writer-wins register over attested versions."""
+
+    def __init__(self, authority, trinket=None):
+        super().__init__()
+        self.authority = authority
+        self.trinket = trinket
+        self.latest = {}  # publisher -> (version, value)
+
+    def publish(self, value):
+        version = self.trinket.last_seq() + 1
+        att = self.trinket.attest(version, value)
+        self.ctx.broadcast(("LWW", att), include_self=True)
+
+    def on_message(self, src, msg):
+        if not (isinstance(msg, tuple) and len(msg) == 2 and msg[0] == "LWW"):
+            return
+        att = msg[1]
+        publisher = getattr(att, "trinket_id", None)
+        if publisher is None or not self.authority.check(att, publisher):
+            return
+        if att.prev != att.seq - 1:
+            return
+        current = self.latest.get(publisher, (0, None))
+        if att.seq > current[0]:
+            self.latest[publisher] = (att.seq, att.message)
+            self.ctx.record(
+                "custom", event="adopt", publisher=publisher,
+                version=att.seq, value=att.message,
+            )
+            self.ctx.broadcast(("LWW", att), include_self=False)
+
+
+class ForkingPublisher(LWWRegister):
+    """Attempts the fork the hardware exists to prevent."""
+
+    def attack(self):
+        a1 = self.trinket.attest(1, "A")
+        assert self.trinket.attest(1, "B") is None  # the refusal
+        b = self.trinket.attest(2, "B")
+        for dst in range(self.ctx.n):
+            self.ctx.send(dst, ("LWW", a1 if dst % 2 == 0 else b))
+
+
+def check_fork_freedom(trace, correct):
+    adopted = {}
+    for ev in trace.events("custom"):
+        if ev.field("event") != "adopt" or ev.pid not in set(correct):
+            continue
+        key = (ev.field("publisher"), ev.field("version"))
+        value = ev.field("value")
+        if key in adopted and adopted[key] != value:
+            raise PropertyViolation(
+                "lww-fork", f"{key}: {adopted[key]!r} vs {value!r}"
+            )
+        adopted[key] = value
+    return adopted
+
+
+def adversaries():
+    yield "asynchronous", ReliableAsynchronous(0.0, 2.0)
+    yield "duplicating", DuplicatingAsynchronous(dup_probability=0.5)
+    yield "split 0->2", ScriptedAdversary(base_delay=0.05).withhold([0], [2])
+
+
+def main() -> int:
+    n = 4
+    runs = 0
+    for seed in range(10):
+        for name, adversary in adversaries():
+            authority = TrincAuthority(n, seed=seed)
+            procs = [
+                ForkingPublisher(authority, authority.trinket(0))
+                if pid == 0
+                else LWWRegister(authority)
+                for pid in range(n)
+            ]
+            sim = Simulation(procs, adversary, seed=seed)
+            sim.declare_byzantine(0)
+            sim.at(0.1, procs[0].attack)
+            sim.run(until=200.0)
+            adopted = check_fork_freedom(sim.trace, correct=[1, 2, 3])
+            runs += 1
+    print(f"{runs} adversarial runs, fork-freedom held in every one")
+    print(f"final adopted state (last run): {adopted}")
+    print("the Byzantine publisher's best effort degraded to a legal update:")
+    for pid in (1, 2, 3):
+        print(f"  replica {pid} latest = {procs[pid].latest}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

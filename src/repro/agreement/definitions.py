@@ -1,0 +1,138 @@
+"""The agreement problem zoo (paper draft, "Problems Considered").
+
+Three single-shot agreement variants, ordered by validity strength:
+
+- **very weak agreement** — agreement *up to ⊥* (two correct commits are
+  equal unless one is ⊥), termination, and weak validity;
+- **weak validity agreement** — exact agreement, termination, weak
+  validity (*if all processes are correct and share input v, commit v*);
+- **strong validity agreement** — exact agreement, termination, strong
+  validity (*if all correct processes share input v, commit v* — Byzantine
+  inputs don't matter).
+
+The classification uses these as separators: very weak is solvable with
+unidirectionality at n > f but not with reliable broadcast at n ≤ 2f;
+weak needs n ≥ 2f+1 with unidirectionality (and n ≥ 3f+1 without); strong
+is impossible at n ≤ 3f even with unidirectionality, yet synchrony solves
+it at n ≥ 2f+1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from ..errors import PropertyViolation
+from ..sim.trace import Trace
+from ..types import ProcessId
+from ..broadcast.definitions import BOT
+
+VERY_WEAK = "very-weak-agreement"
+WEAK = "weak-validity-agreement"
+STRONG = "strong-validity-agreement"
+
+
+@dataclass(slots=True)
+class AgreementReport:
+    """Audit of one single-shot agreement execution."""
+
+    variant: str
+    commits: dict[ProcessId, Any] = field(default_factory=dict)
+    agreement_violations: list[str] = field(default_factory=list)
+    validity_violations: list[str] = field(default_factory=list)
+    termination_violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not (
+            self.agreement_violations
+            or self.validity_violations
+            or self.termination_violations
+        )
+
+    def all_violations(self) -> list[str]:
+        return (
+            [f"agreement: {v}" for v in self.agreement_violations]
+            + [f"validity: {v}" for v in self.validity_violations]
+            + [f"termination: {v}" for v in self.termination_violations]
+        )
+
+    def assert_ok(self) -> None:
+        if not self.ok:
+            raise PropertyViolation(self.variant, "; ".join(self.all_violations()[:3]))
+
+
+def _first_commits(trace: Trace, correct: Iterable[ProcessId]) -> dict[ProcessId, Any]:
+    commits: dict[ProcessId, Any] = {}
+    correct_set = set(correct)
+    for d in trace.decisions():
+        if d.pid in correct_set and d.pid not in commits:
+            commits[d.pid] = d.value
+    return commits
+
+
+def check_agreement(
+    trace: Trace,
+    variant: str,
+    inputs: Mapping[ProcessId, Any],
+    correct: Iterable[ProcessId],
+    all_correct: bool,
+    expect_termination: bool = True,
+) -> AgreementReport:
+    """Audit one agreement execution against the named variant's spec.
+
+    ``inputs`` maps every process (correct and Byzantine) to its input;
+    ``all_correct`` states whether *every* process followed the protocol
+    (needed for weak validity, whose premise mentions all processes).
+    """
+    correct = sorted(set(correct))
+    report = AgreementReport(variant=variant)
+    report.commits = _first_commits(trace, correct)
+    committed = sorted(report.commits.items())
+
+    # --- agreement -------------------------------------------------------------
+    up_to_bot = variant == VERY_WEAK
+    for i in range(len(committed)):
+        for j in range(i + 1, len(committed)):
+            p, v = committed[i]
+            q, w = committed[j]
+            if up_to_bot and (v is BOT or w is BOT):
+                continue
+            if v != w:
+                report.agreement_violations.append(
+                    f"process {p} committed {v!r} but process {q} committed {w!r}"
+                )
+
+    # --- termination ------------------------------------------------------------
+    if expect_termination:
+        for p in correct:
+            if p not in report.commits:
+                report.termination_violations.append(
+                    f"process {p} never committed"
+                )
+
+    # --- validity ----------------------------------------------------------------
+    if variant in (VERY_WEAK, WEAK):
+        same = len({repr(v) for v in inputs.values()}) == 1
+        if all_correct and same and inputs:
+            v = next(iter(inputs.values()))
+            for p in correct:
+                if p in report.commits and report.commits[p] != v:
+                    report.validity_violations.append(
+                        f"all processes correct with input {v!r} but process {p} "
+                        f"committed {report.commits[p]!r}"
+                    )
+    elif variant == STRONG:
+        correct_inputs = [inputs[p] for p in correct if p in inputs]
+        same = len({repr(v) for v in correct_inputs}) == 1
+        if same and correct_inputs:
+            v = correct_inputs[0]
+            for p in correct:
+                if p in report.commits and report.commits[p] != v:
+                    report.validity_violations.append(
+                        f"all correct processes have input {v!r} but process {p} "
+                        f"committed {report.commits[p]!r}"
+                    )
+    else:
+        raise PropertyViolation("agreement-checker", f"unknown variant {variant!r}")
+    return report

@@ -1,0 +1,161 @@
+"""Strong validity agreement under synchrony (bidirectional rounds), n ≥ 2f+1.
+
+The top of the lattice: the draft notes that bidirectional communication
+(lock-step synchrony) solves *strong* validity agreement with n ≥ 2f+1 —
+which unidirectionality provably cannot at n ≤ 3f — via the classic
+construction: every process Byzantine-broadcasts its input with
+Dolev–Strong, then everyone decides the majority of the n (consistent)
+outcomes.
+
+- **agreement**: each DS instance delivers the same value at every correct
+  process, so the n-vector of outcomes is identical everywhere;
+- **strong validity**: with a common correct input ``v``, the ≥ n-f ≥ f+1
+  correct instances all deliver ``v``; since n ≥ 2f+1, that is a strict
+  majority — ⊥s and Byzantine values cannot outvote it;
+- **termination**: f+2 lock-step rounds, unconditionally.
+
+All n instances are multiplexed over one lock-step transport: a round
+message is a tuple of per-instance signature-chain batches.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Optional
+
+from ..broadcast.definitions import BOT
+from ..broadcast.dolev_strong import ds_domain, validate_chain
+from ..core.rounds import Label, LockStepRoundTransport, RoundProcess
+from ..crypto.signatures import SignatureScheme, Signer
+from ..errors import ConfigurationError
+from ..types import ProcessId
+
+
+class StrongAgreementProcess(RoundProcess):
+    """n parallel Dolev–Strong instances + majority vote."""
+
+    def __init__(
+        self,
+        transport: LockStepRoundTransport,
+        n: int,
+        f: int,
+        scheme: SignatureScheme,
+        signer: Signer,
+        my_input: Any,
+    ) -> None:
+        super().__init__(transport)
+        if n < 2 * f + 1:
+            raise ConfigurationError(
+                f"strong validity agreement needs n >= 2f+1 (got n={n}, f={f})"
+            )
+        self.n = n
+        self.f = f
+        self.scheme = scheme
+        self.signer = signer
+        self.my_input = my_input
+        # per-instance (keyed by instance sender) extracted values
+        self._extracted: dict[ProcessId, list[Any]] = {s: [] for s in range(n)}
+        self._outbox: dict[ProcessId, list[tuple]] = {s: [] for s in range(n)}
+        self._committed = False
+
+    # -- round driving -----------------------------------------------------------
+
+    def on_round_start(self) -> None:
+        self.ctx.record("custom", event="input", value=self.my_input)
+        sig = self.signer.sign(ds_domain(self.pid, self.my_input, ()))
+        chain = (self.my_input, ((self.pid, sig),))
+        self._note(self.pid, self.my_input)
+        self._outbox[self.pid].append(chain)
+        self._flush_round()
+
+    def _flush_round(self) -> None:
+        payload = tuple(
+            (s, tuple(chains)) for s, chains in sorted(self._outbox.items()) if chains
+        )
+        for s in self._outbox:
+            self._outbox[s] = []
+        self.rounds.begin_round(payload)
+
+    def on_round_complete(self, label: Label) -> None:
+        if not isinstance(label, int):
+            return
+        if label <= self.f:
+            self._flush_round()
+        elif label == self.f + 1 and not self._committed:
+            self._committed = True
+            outcomes = []
+            for s in range(self.n):
+                vals = self._extracted[s]
+                outcomes.append(vals[0] if len(vals) == 1 else BOT)
+            counts = Counter(repr(v) for v in outcomes)
+            best_repr, _ = max(counts.items(), key=lambda kv: (kv[1], kv[0]))
+            value = next(v for v in outcomes if repr(v) == best_repr)
+            self.ctx.decide(value)
+            self.on_commit(value)
+
+    def on_commit(self, value: Any) -> None:
+        """Application hook."""
+
+    # -- chain processing -----------------------------------------------------------
+
+    def on_round_message(self, label: Label, src: ProcessId, payload: Any) -> None:
+        if not isinstance(label, int) or not isinstance(payload, tuple):
+            return
+        for item in payload:
+            if not (isinstance(item, tuple) and len(item) == 2):
+                continue
+            instance, chains = item
+            if not isinstance(instance, int) or not (0 <= instance < self.n):
+                continue
+            if not isinstance(chains, tuple):
+                continue
+            for chain in chains:
+                checked = validate_chain(self.scheme, instance, chain)
+                if checked is None:
+                    continue
+                value, signers = checked
+                if len(signers) < label:
+                    continue
+                if self._is_noted(instance, value) or self.pid in signers:
+                    continue
+                self._note(instance, value)
+                if len(self._extracted[instance]) <= 2:
+                    my_sig = self.signer.sign(
+                        ds_domain(instance, value, signers)
+                    )
+                    self._outbox[instance].append(
+                        (value, (*chain[1], (self.pid, my_sig)))
+                    )
+
+    def _is_noted(self, instance: ProcessId, value: Any) -> bool:
+        return any(v == value for v in self._extracted[instance])
+
+    def _note(self, instance: ProcessId, value: Any) -> None:
+        if not self._is_noted(instance, value):
+            self._extracted[instance].append(value)
+
+
+def build_strong_agreement_system(
+    n: int,
+    f: int,
+    inputs: list[Any],
+    seed: int = 0,
+    period: float = 2.0,
+    delta: float = 1.0,
+):
+    """Lock-step StrongAgreementProcess system. Returns ``(sim, processes)``."""
+    from ..sim.adversary import LockStepSynchronous
+    from ..sim.runner import Simulation
+
+    if len(inputs) != n:
+        raise ConfigurationError(f"need exactly {n} inputs, got {len(inputs)}")
+    scheme = SignatureScheme(n, seed=seed)
+    procs = [
+        StrongAgreementProcess(
+            LockStepRoundTransport(period=period), n, f, scheme,
+            scheme.signer(p), inputs[p],
+        )
+        for p in range(n)
+    ]
+    sim = Simulation(procs, LockStepSynchronous(delta=delta), seed=seed)
+    return sim, procs

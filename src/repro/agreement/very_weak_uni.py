@@ -1,0 +1,59 @@
+"""Very weak agreement from one unidirectional round, n > f.
+
+The draft's protocol and proof, executable::
+
+    process p with input v:
+        send v in the unidirectional round
+        wait until the round ends
+        if any received value v' != v:  commit ⊥
+        else:                           commit v
+
+Agreement up to ⊥ follows from unidirectionality: if correct p commits
+``v ≠ ⊥``, every value p saw equals v; for any correct q, one of p/q
+received the other's round message before its own round ended, so q saw
+``v`` too and cannot commit any third value. Weak validity is immediate.
+
+Note the resilience: **n > f** — there is no quorum anywhere, the round
+itself carries all the strength. This is the cleanest demonstration that
+unidirectionality is a real communication guarantee rather than a
+counting argument.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..broadcast.definitions import BOT
+from ..core.rounds import Label, RoundProcess, RoundTransport
+from ..types import ProcessId
+
+
+class VeryWeakAgreement(RoundProcess):
+    """One process of the one-round very-weak-agreement protocol."""
+
+    ROUND_LABEL = "vwa"
+
+    def __init__(self, transport: RoundTransport, my_input: Any) -> None:
+        super().__init__(transport)
+        self.my_input = my_input
+        self._saw_other = False
+        self._committed = False
+
+    def on_round_start(self) -> None:
+        self.ctx.record("custom", event="input", value=self.my_input)
+        self.rounds.begin_round(self.my_input, self.ROUND_LABEL)
+
+    def on_round_message(self, label: Label, src: ProcessId, payload: Any) -> None:
+        if label == self.ROUND_LABEL and payload != self.my_input:
+            self._saw_other = True
+
+    def on_round_complete(self, label: Label) -> None:
+        if label != self.ROUND_LABEL or self._committed:
+            return
+        self._committed = True
+        value = BOT if self._saw_other else self.my_input
+        self.ctx.decide(value)
+        self.on_commit(value)
+
+    def on_commit(self, value: Any) -> None:
+        """Application hook."""

@@ -1,0 +1,213 @@
+"""World-based impossibility demonstrations for the agreement zoo.
+
+The draft proves *"reliable broadcast cannot solve very weak Byzantine
+agreement with n ≤ 2f"* by a five-world partitioning argument. As with the
+§4.1 separation, we execute the worlds against a concrete candidate and
+audit both the forced commits and the indistinguishabilities.
+
+The candidate (:class:`QuorumVWA`) is the canonical fault-tolerant design:
+exchange inputs over reliable broadcast, wait for values from ``n - f``
+distinct processes (more could block forever on the faulty set), commit
+the value if all match, else ⊥. Over *unidirectional* rounds the same
+decision rule is exactly the draft's correct protocol — here, over RB at
+``n = 2f``, the worlds force it into an agreement violation:
+
+- **World 1**: Q crashed, P has input 0 ⇒ P must terminate on P alone.
+- **World 2**: all correct, all input 0, P⇄Q delayed ⇒ indistinguishable
+  to P from World 1, and weak validity forces P to commit **0**.
+- **Worlds 3, 4**: mirror images with input 1 for Q.
+- **World 5**: P has 0, Q has 1, cross-messages delayed ⇒ P sees World 2,
+  Q sees World 4 ⇒ P commits 0, Q commits 1 — **agreement violated**.
+
+(The candidate cannot dodge by committing ⊥ "when it hears nobody else":
+in Worlds 2 and 4 everyone is correct and shares an input, so weak
+validity forbids ⊥ — the runner asserts that too.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..broadcast.definitions import BOT
+from ..errors import ConfigurationError, PropertyViolation
+from ..sim.partition import split
+from ..sim.process import Process
+from ..sim.runner import Simulation
+from ..types import ProcessId, ProcessSet
+from .definitions import AgreementReport, VERY_WEAK, check_agreement
+from ..core.srb_oracle import SRBOracle, SRBSenderHandle
+
+IMMEDIATE = 0.05
+
+
+class QuorumVWA(Process):
+    """Very-weak-agreement candidate over reliable broadcast (n-f quorum).
+
+    Broadcast own input; upon values from ``n - f`` distinct streams,
+    commit the common value if unanimous, else ⊥.
+    """
+
+    def __init__(self, oracle: SRBOracle, f: int, my_input: Any) -> None:
+        super().__init__()
+        self.oracle = oracle
+        self.f = f
+        self.my_input = my_input
+        self._values: dict[ProcessId, Any] = {}
+        self._handle: Optional[SRBSenderHandle] = None
+        self._committed = False
+
+    def on_start(self) -> None:
+        self.ctx.record("custom", event="input", value=self.my_input)
+        self.oracle.subscribe(self.pid, self._on_deliver)
+        self._handle = self.oracle.sender_handle(self.pid)
+        self._handle.broadcast(("VWA", self.my_input))
+
+    def _on_deliver(self, src: ProcessId, seq: int, value: Any) -> None:
+        if self._committed:
+            return
+        if not (isinstance(value, tuple) and len(value) == 2 and value[0] == "VWA"):
+            return
+        if src not in self._values:
+            self._values[src] = value[1]
+        if len(self._values) >= self.ctx.n - self.f:
+            self._committed = True
+            vals = list(self._values.values())
+            unanimous = all(v == vals[0] for v in vals)
+            self.ctx.decide(vals[0] if unanimous else BOT)
+
+
+@dataclass(slots=True)
+class WorldResult:
+    name: str
+    sim: Simulation
+    report: AgreementReport
+
+    def view(self, pid: ProcessId) -> tuple:
+        return self.sim.trace.local_view(pid)
+
+
+@dataclass(slots=True)
+class VWAImpossibilityOutcome:
+    """All five worlds plus the verdicts the proof requires."""
+
+    f: int
+    sets: dict[str, ProcessSet]
+    worlds: dict[int, WorldResult]
+    p_commits_0_in_w2: bool
+    q_commits_1_in_w4: bool
+    world5_agreement_violated: bool
+    ind_p_w2_w5: bool
+    ind_q_w4_w5: bool
+    ind_p_w1_w2: bool
+    ind_q_w3_w4: bool
+
+    @property
+    def impossibility_demonstrated(self) -> bool:
+        return (
+            self.p_commits_0_in_w2
+            and self.q_commits_1_in_w4
+            and self.world5_agreement_violated
+            and self.ind_p_w2_w5
+            and self.ind_q_w4_w5
+            and self.ind_p_w1_w2
+            and self.ind_q_w3_w4
+        )
+
+    def assert_holds(self) -> None:
+        if not self.impossibility_demonstrated:
+            raise PropertyViolation(
+                "vwa-rb-impossibility",
+                f"p0_w2={self.p_commits_0_in_w2} q1_w4={self.q_commits_1_in_w4} "
+                f"w5_violation={self.world5_agreement_violated} "
+                f"ind={self.ind_p_w2_w5}/{self.ind_q_w4_w5}/"
+                f"{self.ind_p_w1_w2}/{self.ind_q_w3_w4}",
+            )
+
+
+def _run_world(
+    world: int,
+    f: int,
+    sets: dict[str, ProcessSet],
+    seed: int,
+    horizon: float,
+) -> WorldResult:
+    n = 2 * f
+    p_set, q_set = sets["P"], sets["Q"]
+
+    def cross_delayed(s: ProcessId, r: ProcessId) -> bool:
+        return (s in p_set) != (r in p_set)
+
+    def policy(s, r, seq, now):
+        if world in (2, 4, 5) and cross_delayed(s, r):
+            return None  # "arbitrarily delayed" for the whole run
+        return IMMEDIATE
+
+    if world == 1:
+        inputs = {pid: 0 for pid in range(n)}
+    elif world == 2:
+        inputs = {pid: 0 for pid in range(n)}
+    elif world == 3:
+        inputs = {pid: 1 for pid in range(n)}
+    elif world == 4:
+        inputs = {pid: 1 for pid in range(n)}
+    elif world == 5:
+        inputs = {pid: (0 if pid in p_set else 1) for pid in range(n)}
+    else:  # pragma: no cover
+        raise ConfigurationError(f"no world {world}")
+
+    oracle = SRBOracle(policy=policy, seed=seed)
+    procs = [QuorumVWA(oracle, f, inputs[pid]) for pid in range(n)]
+    sim = Simulation(procs, seed=seed)
+    oracle.bind(sim)
+    crashed: set[ProcessId] = set()
+    if world == 1:
+        crashed = set(q_set)
+    elif world == 3:
+        crashed = set(p_set)
+    for pid in crashed:
+        sim.declare_byzantine(pid)
+        sim.crash(pid)
+    sim.run(until=horizon)
+    correct = [pid for pid in range(n) if pid not in crashed]
+    report = check_agreement(
+        sim.trace,
+        VERY_WEAK,
+        inputs,
+        correct,
+        all_correct=not crashed,
+        expect_termination=False,  # audited explicitly below
+    )
+    return WorldResult(name=f"world{world}", sim=sim, report=report)
+
+
+def run_vwa_rb_impossibility(
+    f: int = 2, seed: int = 0, horizon: float = 200.0
+) -> VWAImpossibilityOutcome:
+    """Execute the five worlds at ``n = 2f`` and verify the contradiction."""
+    if f < 1:
+        raise ConfigurationError(f"f must be >= 1, got {f}")
+    n = 2 * f
+    sets = split(n, [f, f], ["P", "Q"])
+    worlds = {w: _run_world(w, f, sets, seed, horizon) for w in (1, 2, 3, 4, 5)}
+    p_set, q_set = sets["P"], sets["Q"]
+
+    w1, w2, w3, w4, w5 = (worlds[i] for i in (1, 2, 3, 4, 5))
+    p_commits_0 = all(w2.report.commits.get(pid) == 0 for pid in p_set)
+    q_commits_1 = all(w4.report.commits.get(pid) == 1 for pid in q_set)
+    w5_p = [w5.report.commits.get(pid) for pid in p_set]
+    w5_q = [w5.report.commits.get(pid) for pid in q_set]
+    violated = any(v == 0 for v in w5_p) and any(v == 1 for v in w5_q)
+
+    return VWAImpossibilityOutcome(
+        f=f,
+        sets=sets,
+        worlds=worlds,
+        p_commits_0_in_w2=p_commits_0,
+        q_commits_1_in_w4=q_commits_1,
+        world5_agreement_violated=violated,
+        ind_p_w2_w5=all(w5.view(pid) == w2.view(pid) for pid in p_set),
+        ind_q_w4_w5=all(w5.view(pid) == w4.view(pid) for pid in q_set),
+        ind_p_w1_w2=all(w1.view(pid) == w2.view(pid) for pid in p_set),
+        ind_q_w3_w4=all(w3.view(pid) == w4.view(pid) for pid in q_set),
+    )

@@ -1,0 +1,14 @@
+"""Measurement aggregation and table rendering for the bench harnesses."""
+
+from .report import format_kv, format_table
+from .stats import RunMetrics, Summary, collect_metrics, percentile, summarize
+
+__all__ = [
+    "RunMetrics",
+    "Summary",
+    "collect_metrics",
+    "format_kv",
+    "format_table",
+    "percentile",
+    "summarize",
+]

@@ -1,0 +1,37 @@
+"""Plain-text table rendering for the benchmark harnesses.
+
+The benches print the same rows EXPERIMENTS.md records; this module keeps
+the formatting in one place so outputs stay diffable run to run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+) -> str:
+    """Fixed-width table with a rule under the header."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(cells[0], widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in cells[1:]:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_kv(title: str, pairs: Sequence[tuple[str, Any]]) -> str:
+    """Aligned key/value block for single-run reports."""
+    width = max((len(k) for k, _ in pairs), default=0)
+    lines = [title]
+    for k, v in pairs:
+        lines.append(f"  {k.ljust(width)} : {v}")
+    return "\n".join(lines)

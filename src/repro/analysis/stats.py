@@ -1,0 +1,95 @@
+"""Latency / throughput / message-count aggregation for benches."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True, slots=True)
+class Summary:
+    """Order statistics over a sample."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    minimum: float
+    maximum: float
+
+    def row(self) -> str:
+        return (
+            f"n={self.count:5d} mean={self.mean:8.3f} p50={self.p50:8.3f} "
+            f"p95={self.p95:8.3f} p99={self.p99:8.3f} "
+            f"min={self.minimum:8.3f} max={self.maximum:8.3f}"
+        )
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile of a pre-sorted sample; q in [0, 1]."""
+    if not sorted_values:
+        raise ConfigurationError("percentile of an empty sample")
+    if not 0.0 <= q <= 1.0:
+        raise ConfigurationError(f"q must be in [0, 1], got {q}")
+    if len(sorted_values) == 1:
+        return float(sorted_values[0])
+    pos = q * (len(sorted_values) - 1)
+    lo = math.floor(pos)
+    hi = math.ceil(pos)
+    frac = pos - lo
+    return float(sorted_values[lo] * (1 - frac) + sorted_values[hi] * frac)
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    """Full order-statistics summary of a sample."""
+    vals = sorted(float(v) for v in values)
+    if not vals:
+        raise ConfigurationError("cannot summarize an empty sample")
+    return Summary(
+        count=len(vals),
+        mean=sum(vals) / len(vals),
+        p50=percentile(vals, 0.50),
+        p95=percentile(vals, 0.95),
+        p99=percentile(vals, 0.99),
+        minimum=vals[0],
+        maximum=vals[-1],
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class RunMetrics:
+    """Protocol-level costs of one simulation run."""
+
+    messages_sent: int
+    messages_delivered: int
+    sm_ops: int
+    virtual_duration: float
+    requests_completed: int
+
+    @property
+    def throughput(self) -> float:
+        """Requests per unit of virtual time."""
+        if self.virtual_duration <= 0:
+            return 0.0
+        return self.requests_completed / self.virtual_duration
+
+    @property
+    def messages_per_request(self) -> float:
+        if self.requests_completed == 0:
+            return float("inf")
+        return self.messages_sent / self.requests_completed
+
+
+def collect_metrics(sim, requests_completed: int) -> RunMetrics:
+    """Extract :class:`RunMetrics` from a finished simulation."""
+    return RunMetrics(
+        messages_sent=sim.network.messages_sent,
+        messages_delivered=sim.network.messages_delivered,
+        sm_ops=sim.memory.ops_linearized,
+        virtual_duration=sim.now,
+        requests_completed=requests_completed,
+    )

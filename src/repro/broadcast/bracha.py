@@ -1,0 +1,110 @@
+"""Bracha's reliable broadcast — the n ≥ 3f+1 asynchronous baseline.
+
+The classification's bottom line (why trusted hardware matters): without
+any hardware assumption, reliable broadcast over asynchronous message
+passing needs ``n >= 3f + 1``. This is the classic three-phase protocol:
+
+- sender: ``SEND(v)`` to all;
+- on ``SEND(v)`` from the sender: broadcast ``ECHO(v)`` (once);
+- on ``ECHO(v)`` from ``⌈(n+f+1)/2⌉`` distinct processes, or ``READY(v)``
+  from ``f+1``: broadcast ``READY(v)`` (once);
+- on ``READY(v)`` from ``2f+1`` distinct processes: commit ``v``.
+
+The benches run it next to :class:`~repro.core.srb_from_trinc.SRBFromTrInc`
+to quantify what the hardware buys: the trusted-log broadcast keeps working
+at ``n = 2f+1`` (and even ``n = f+1``) where Bracha's quorums are
+unreachable, and uses a quorum-free echo (O(n²) messages vs Bracha's
+3 phases of O(n²)).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..errors import ConfigurationError
+from ..sim.process import Process
+from ..types import ProcessId
+
+
+class BrachaRBC(Process):
+    """One process of Bracha's reliable broadcast (single-shot).
+
+    ``strict=True`` (default) refuses configurations below ``n >= 3f+1`` at
+    construction; the resilience benches pass ``strict=False`` to *observe*
+    how the protocol degrades below its bound (it loses liveness — quorums
+    never form — rather than safety).
+    """
+
+    def __init__(self, sender: ProcessId, n: int, f: int, strict: bool = True) -> None:
+        super().__init__()
+        if strict and n < 3 * f + 1:
+            raise ConfigurationError(
+                f"Bracha RBC requires n >= 3f+1 (got n={n}, f={f})"
+            )
+        self.sender = sender
+        self.n = n
+        self.f = f
+        self.echo_quorum = (n + f) // 2 + 1
+        self.ready_amplify = f + 1
+        self.ready_quorum = 2 * f + 1
+        self._echoed = False
+        self._readied = False
+        self._committed = False
+        self._echoes: dict[ProcessId, Any] = {}
+        self._readies: dict[ProcessId, Any] = {}
+
+    # -- sender API --------------------------------------------------------------
+
+    def broadcast(self, value: Any) -> None:
+        if self.pid != self.sender:
+            raise ConfigurationError(
+                f"process {self.pid} is not the sender ({self.sender})"
+            )
+        self.ctx.record("bcast", seq=1, value=value)
+        self.ctx.broadcast(("SEND", value), include_self=True)
+
+    def on_commit(self, value: Any) -> None:
+        """Application hook."""
+
+    # -- protocol ------------------------------------------------------------------
+
+    def on_message(self, src: ProcessId, msg: Any) -> None:
+        if not (isinstance(msg, tuple) and len(msg) == 2 and isinstance(msg[0], str)):
+            return
+        kind, value = msg
+        if kind == "SEND" and src == self.sender and not self._echoed:
+            self._echoed = True
+            self.ctx.broadcast(("ECHO", value), include_self=True)
+        elif kind == "ECHO":
+            if src not in self._echoes:
+                self._echoes[src] = value
+                self._maybe_ready(value)
+        elif kind == "READY":
+            if src not in self._readies:
+                self._readies[src] = value
+                self._maybe_ready(value)
+                self._maybe_commit(value)
+
+    def _count_matching(self, records: dict[ProcessId, Any], value: Any) -> int:
+        return sum(1 for v in records.values() if v == value)
+
+    def _maybe_ready(self, value: Any) -> None:
+        if self._readied:
+            return
+        if (
+            self._count_matching(self._echoes, value) >= self.echo_quorum
+            or self._count_matching(self._readies, value) >= self.ready_amplify
+        ):
+            self._readied = True
+            self.ctx.broadcast(("READY", value), include_self=True)
+
+    def _maybe_commit(self, value: Any) -> None:
+        if self._committed:
+            return
+        if self._count_matching(self._readies, value) >= self.ready_quorum:
+            self._committed = True
+            self.ctx.record(
+                "bcast_deliver", sender=self.sender, seq=1, value=value
+            )
+            self.ctx.decide(value)
+            self.on_commit(value)

@@ -1,0 +1,54 @@
+"""Trusted-hardware BFT replication (MinBFT) and its classic baseline (PBFT).
+
+The quantitative side of the paper's motivation: non-equivocation hardware
+raises fault tolerance from n ≥ 3f+1 to n ≥ 2f+1 and removes a message
+round. Components:
+
+- :class:`~repro.consensus.usig.USIG` — MinBFT's trusted monotonic counter
+  service, a shim over :class:`~repro.hardware.trinc.Trinket`.
+- :class:`~repro.consensus.minbft.MinBFTReplica` — 2f+1 replication with
+  the tamper-evident-log view change.
+- :class:`~repro.consensus.pbft.PBFTReplica` — the 3f+1 baseline.
+- :class:`~repro.consensus.client.BFTClient`, app state machines, safety
+  checkers, and :mod:`~repro.consensus.harness` system builders.
+"""
+
+from .apps import APP_FACTORIES, BankApp, CounterApp, KVStoreApp, StateMachine, make_app
+from .client import BFTClient
+from .enclave_usig import EnclaveUI, EnclaveUSIG, EnclaveUSIGVerifier, usig_program
+from .harness import build_minbft_system, build_pbft_system, default_workload
+from .minbft import MinBFTReplica
+from .pbft import PBFTReplica
+from .safety import Execution, ReplicationReport, check_replication
+from .usig import UI, UIOrderEnforcer, USIG, USIGVerifier
+from .viewchange import LogEntry, SlotCandidate, compute_reproposals, verify_log
+
+__all__ = [
+    "APP_FACTORIES",
+    "BFTClient",
+    "BankApp",
+    "CounterApp",
+    "EnclaveUI",
+    "EnclaveUSIG",
+    "EnclaveUSIGVerifier",
+    "Execution",
+    "KVStoreApp",
+    "LogEntry",
+    "MinBFTReplica",
+    "PBFTReplica",
+    "ReplicationReport",
+    "SlotCandidate",
+    "StateMachine",
+    "UI",
+    "UIOrderEnforcer",
+    "USIG",
+    "USIGVerifier",
+    "build_minbft_system",
+    "build_pbft_system",
+    "check_replication",
+    "compute_reproposals",
+    "default_workload",
+    "make_app",
+    "usig_program",
+    "verify_log",
+]

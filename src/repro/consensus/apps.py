@@ -1,0 +1,178 @@
+"""Deterministic state machines replicated by the consensus protocols.
+
+A :class:`StateMachine` consumes operations (immutable tuples) and returns
+results; determinism is the only requirement (same op sequence ⇒ same
+results and state digest). The digest is what the safety checker compares
+across replicas.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..crypto.serialize import content_hash
+from ..errors import ConfigurationError
+
+
+class StateMachine:
+    """Base class; subclasses implement :meth:`apply` over tuple ops."""
+
+    def apply(self, op: tuple) -> Any:
+        raise NotImplementedError
+
+    def snapshot(self) -> Any:
+        """Canonical-serializable rendering of the full state."""
+        raise NotImplementedError
+
+    def restore(self, snapshot: Any) -> None:
+        """Install a state previously produced by :meth:`snapshot`.
+
+        Used by checkpoint-based state transfer: a replica that fell behind
+        a stable checkpoint fast-forwards by installing the certified
+        snapshot instead of replaying garbage-collected slots.
+        """
+        raise NotImplementedError
+
+    def digest(self) -> bytes:
+        return content_hash(self.snapshot())
+
+
+class CounterApp(StateMachine):
+    """A single integer register: ``("add", k)`` and ``("get",)``."""
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def apply(self, op: tuple) -> Any:
+        match op:
+            case ("add", int(k)):
+                self.value += k
+                return self.value
+            case ("get",):
+                return self.value
+        raise ConfigurationError(f"counter app: unknown op {op!r}")
+
+    def snapshot(self) -> Any:
+        return ("counter", self.value)
+
+    def restore(self, snapshot: Any) -> None:
+        tag, value = snapshot
+        if tag != "counter":
+            raise ConfigurationError(f"not a counter snapshot: {snapshot!r}")
+        self.value = value
+
+
+class KVStoreApp(StateMachine):
+    """String-keyed store: ``put``/``get``/``delete``/``cas``."""
+
+    def __init__(self) -> None:
+        self.data: dict[str, Any] = {}
+
+    def apply(self, op: tuple) -> Any:
+        match op:
+            case ("put", str(k), v):
+                self.data[k] = v
+                return "OK"
+            case ("get", str(k)):
+                return self.data.get(k)
+            case ("delete", str(k)):
+                return self.data.pop(k, None) is not None
+            case ("cas", str(k), expected, v):
+                if self.data.get(k) == expected:
+                    self.data[k] = v
+                    return True
+                return False
+        raise ConfigurationError(f"kv app: unknown op {op!r}")
+
+    def snapshot(self) -> Any:
+        return ("kv", tuple(sorted(self.data.items())))
+
+    def restore(self, snapshot: Any) -> None:
+        tag, items = snapshot
+        if tag != "kv":
+            raise ConfigurationError(f"not a kv snapshot: {snapshot!r}")
+        self.data = dict(items)
+
+
+class BankApp(StateMachine):
+    """Toy ledger with overdraft protection — order-sensitive on purpose.
+
+    Transfers fail on insufficient funds, so replicas that executed ops in
+    different orders diverge in observable results, making this the most
+    sensitive app for safety checking.
+    """
+
+    def __init__(self) -> None:
+        self.accounts: dict[str, int] = {}
+
+    def apply(self, op: tuple) -> Any:
+        match op:
+            case ("open", str(acct)):
+                self.accounts.setdefault(acct, 0)
+                return "OK"
+            case ("deposit", str(acct), int(amount)) if amount >= 0:
+                if acct not in self.accounts:
+                    return "NO-ACCOUNT"
+                self.accounts[acct] += amount
+                return self.accounts[acct]
+            case ("transfer", str(src), str(dst), int(amount)) if amount >= 0:
+                if src not in self.accounts or dst not in self.accounts:
+                    return "NO-ACCOUNT"
+                if self.accounts[src] < amount:
+                    return "INSUFFICIENT"
+                self.accounts[src] -= amount
+                self.accounts[dst] += amount
+                return "OK"
+            case ("balance", str(acct)):
+                return self.accounts.get(acct)
+        raise ConfigurationError(f"bank app: unknown op {op!r}")
+
+    def snapshot(self) -> Any:
+        return ("bank", tuple(sorted(self.accounts.items())))
+
+    def restore(self, snapshot: Any) -> None:
+        tag, items = snapshot
+        if tag != "bank":
+            raise ConfigurationError(f"not a bank snapshot: {snapshot!r}")
+        self.accounts = dict(items)
+
+
+class NoopApp(StateMachine):
+    """Accepts any op and returns it; state is the op log digest chain.
+
+    Used by adapters (e.g. one-shot agreement) where ordering is the whole
+    point and the ops carry their own meaning.
+    """
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def apply(self, op: tuple) -> Any:
+        self.count += 1
+        return op
+
+    def snapshot(self) -> Any:
+        return ("noop", self.count)
+
+    def restore(self, snapshot: Any) -> None:
+        tag, count = snapshot
+        if tag != "noop":
+            raise ConfigurationError(f"not a noop snapshot: {snapshot!r}")
+        self.count = count
+
+
+APP_FACTORIES = {
+    "counter": CounterApp,
+    "kv": KVStoreApp,
+    "bank": BankApp,
+    "noop": NoopApp,
+}
+
+
+def make_app(name: str) -> StateMachine:
+    try:
+        return APP_FACTORIES[name]()
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown app {name!r}; available: {sorted(APP_FACTORIES)}"
+        ) from None

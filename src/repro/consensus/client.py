@@ -1,0 +1,119 @@
+"""Closed-loop BFT clients, shared by MinBFT and PBFT.
+
+A client submits its operations one at a time: sign, broadcast to all
+replicas, wait for ``reply_quorum`` matching replies (f+1 — at least one
+from a correct replica), record the latency, move on. Retransmission on a
+timer covers lost-to-a-faulty-primary requests (the retransmission is what
+eventually triggers a view change at the backups).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from ..crypto.signatures import SignatureScheme, Signer
+from ..errors import ConfigurationError
+from ..sim.process import Process
+from ..types import ProcessId, Time
+from .minbft import REPLY, REQUEST, request_domain
+
+
+class BFTClient(Process):
+    """Drives a list of operations against a replica group.
+
+    ``ops`` is the workload (tuples the app understands). Completion data
+    accumulates in ``latencies`` / ``results`` and in ``custom`` trace
+    events (``request_sent`` / ``request_done``) for the analysis layer.
+    """
+
+    RETRY_TAG = "client-retry"
+
+    def __init__(
+        self,
+        replicas: Sequence[ProcessId],
+        reply_quorum: int,
+        ops: Sequence[tuple],
+        retry_timeout: float = 150.0,
+        think_time: float = 0.0,
+    ) -> None:
+        super().__init__()
+        if reply_quorum < 1:
+            raise ConfigurationError(f"reply quorum must be >= 1, got {reply_quorum}")
+        self.replicas = tuple(replicas)
+        self.reply_quorum = reply_quorum
+        self.ops = list(ops)
+        self.retry_timeout = retry_timeout
+        self.think_time = think_time
+        self.signer: Optional[Signer] = None  # injected by the harness
+        self.scheme: Optional[SignatureScheme] = None
+        self._next_op = 0
+        self._current_req_id: Optional[int] = None
+        self._sent_at: Time = 0.0
+        self._replies: dict[ProcessId, Any] = {}
+        self._retry_timer: Optional[int] = None
+        self.latencies: list[float] = []
+        self.results: list[Any] = []
+        self.retransmissions = 0
+
+    @property
+    def done(self) -> bool:
+        return self._next_op >= len(self.ops) and self._current_req_id is None
+
+    def on_start(self) -> None:
+        self._submit_next()
+
+    def _submit_next(self) -> None:
+        if self._next_op >= len(self.ops):
+            self.ctx.record("custom", event="client_done", ops=len(self.results))
+            return
+        req_id = self._next_op + 1
+        self._current_req_id = req_id
+        self._replies = {}
+        self._sent_at = self.ctx.now
+        self._send_request()
+        self.ctx.record("custom", event="request_sent", req_id=req_id)
+        self._retry_timer = self.ctx.set_timer(self.retry_timeout, self.RETRY_TAG)
+
+    def _send_request(self) -> None:
+        assert self.signer is not None
+        req_id = self._current_req_id
+        op = self.ops[self._next_op]
+        sig = self.signer.sign(request_domain(self.pid, req_id, op))
+        for r in self.replicas:
+            self.ctx.send(r, (REQUEST, self.pid, req_id, op, sig))
+
+    def on_timer(self, tag: Any) -> None:
+        if tag == "think":
+            self._submit_next()
+            return
+        if tag != self.RETRY_TAG or self._current_req_id is None:
+            return
+        self.retransmissions += 1
+        self._send_request()
+        self._retry_timer = self.ctx.set_timer(self.retry_timeout, self.RETRY_TAG)
+
+    def on_message(self, src: ProcessId, msg: Any) -> None:
+        if not (isinstance(msg, tuple) and len(msg) == 5 and msg[0] == REPLY):
+            return
+        _, replica, req_id, result, _view = msg
+        if req_id != self._current_req_id or src not in self.replicas:
+            return
+        self._replies[src] = result
+        matching = sum(1 for v in self._replies.values() if v == result)
+        if matching >= self.reply_quorum:
+            latency = self.ctx.now - self._sent_at
+            self.latencies.append(latency)
+            self.results.append(result)
+            self.ctx.record(
+                "custom", event="request_done", req_id=req_id,
+                result=result, latency=latency,
+            )
+            self._current_req_id = None
+            if self._retry_timer is not None:
+                self.ctx.cancel_timer(self._retry_timer)
+                self._retry_timer = None
+            self._next_op += 1
+            if self.think_time > 0:
+                self.ctx.set_timer(self.think_time, "think")
+            else:
+                self._submit_next()

@@ -1,0 +1,152 @@
+"""System builders wiring replicas, clients, hardware, and the simulator."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence
+
+from ..crypto.signatures import SignatureScheme
+from ..errors import ConfigurationError
+from ..hardware.trinc import TrincAuthority
+from ..sim.adversary import Adversary, ReliableAsynchronous
+from ..sim.process import Process
+from ..sim.runner import Simulation
+from .apps import make_app
+from .client import BFTClient
+from .minbft import MinBFTReplica
+from .pbft import PBFTReplica
+from .usig import USIG, USIGVerifier
+
+
+def default_workload(client_index: int, n_ops: int, app: str) -> list[tuple]:
+    """A deterministic per-client op list for the named app."""
+    if app == "counter":
+        return [("add", 1 + (client_index + i) % 3) for i in range(n_ops)]
+    if app == "kv":
+        return [
+            ("put", f"k{(client_index * 7 + i) % 5}", f"v{client_index}-{i}")
+            for i in range(n_ops)
+        ]
+    if app == "bank":
+        ops: list[tuple] = [("open", f"acct{client_index}")]
+        ops += [("deposit", f"acct{client_index}", 10) for _ in range(n_ops - 1)]
+        return ops[:n_ops]
+    raise ConfigurationError(f"no default workload for app {app!r}")
+
+
+def build_minbft_system(
+    f: int = 1,
+    n_clients: int = 1,
+    ops_per_client: int = 5,
+    app: str = "counter",
+    seed: int = 0,
+    adversary: Adversary | None = None,
+    req_timeout: float = 60.0,
+    retry_timeout: float = 150.0,
+    replica_factory: Optional[Callable[..., Process]] = None,
+    workloads: Optional[Sequence[Sequence[tuple]]] = None,
+) -> tuple[Simulation, list[MinBFTReplica], list[BFTClient]]:
+    """A ready-to-run MinBFT deployment: n = 2f+1 replicas + clients.
+
+    ``replica_factory(pid, **kwargs)`` substitutes custom (e.g. Byzantine)
+    replicas for chosen pids; it receives the same keyword arguments as
+    :class:`~repro.consensus.minbft.MinBFTReplica`.
+    """
+    if f < 1:
+        raise ConfigurationError(f"f must be >= 1, got {f}")
+    n = 2 * f + 1
+    total = n + n_clients
+    scheme = SignatureScheme(total, seed=seed)
+    authority = TrincAuthority(n, seed=seed)
+    verifier = USIGVerifier(authority)
+
+    replicas: list[MinBFTReplica] = []
+    for pid in range(n):
+        kwargs = dict(
+            n=n,
+            usig=USIG(authority.trinket(pid)),
+            verifier=verifier,
+            scheme=scheme,
+            signer=scheme.signer(pid),
+            app=make_app(app),
+            req_timeout=req_timeout,
+        )
+        if replica_factory is not None:
+            replicas.append(replica_factory(pid, **kwargs))
+        else:
+            replicas.append(MinBFTReplica(**kwargs))
+
+    clients: list[BFTClient] = []
+    for c in range(n_clients):
+        ops = (
+            list(workloads[c])
+            if workloads is not None
+            else default_workload(c, ops_per_client, app)
+        )
+        client = BFTClient(
+            replicas=range(n),
+            reply_quorum=f + 1,
+            ops=ops,
+            retry_timeout=retry_timeout,
+        )
+        client.scheme = scheme
+        client.signer = scheme.signer(n + c)
+        clients.append(client)
+
+    adversary = adversary if adversary is not None else ReliableAsynchronous(0.01, 0.5)
+    sim = Simulation([*replicas, *clients], adversary, seed=seed)
+    return sim, replicas, clients
+
+
+def build_pbft_system(
+    f: int = 1,
+    n_clients: int = 1,
+    ops_per_client: int = 5,
+    app: str = "counter",
+    seed: int = 0,
+    adversary: Adversary | None = None,
+    req_timeout: float = 60.0,
+    retry_timeout: float = 150.0,
+    replica_factory: Optional[Callable[..., Process]] = None,
+    workloads: Optional[Sequence[Sequence[tuple]]] = None,
+) -> tuple[Simulation, list[PBFTReplica], list[BFTClient]]:
+    """A ready-to-run PBFT deployment: n = 3f+1 replicas + clients."""
+    if f < 1:
+        raise ConfigurationError(f"f must be >= 1, got {f}")
+    n = 3 * f + 1
+    total = n + n_clients
+    scheme = SignatureScheme(total, seed=seed)
+
+    replicas: list[PBFTReplica] = []
+    for pid in range(n):
+        kwargs = dict(
+            n=n,
+            scheme=scheme,
+            signer=scheme.signer(pid),
+            app=make_app(app),
+            req_timeout=req_timeout,
+        )
+        if replica_factory is not None:
+            replicas.append(replica_factory(pid, **kwargs))
+        else:
+            replicas.append(PBFTReplica(**kwargs))
+
+    clients: list[BFTClient] = []
+    for c in range(n_clients):
+        ops = (
+            list(workloads[c])
+            if workloads is not None
+            else default_workload(c, ops_per_client, app)
+        )
+        client = BFTClient(
+            replicas=range(n),
+            reply_quorum=f + 1,
+            ops=ops,
+            retry_timeout=retry_timeout,
+        )
+        client.scheme = scheme
+        client.signer = scheme.signer(n + c)
+        clients.append(client)
+
+    adversary = adversary if adversary is not None else ReliableAsynchronous(0.01, 0.5)
+    sim = Simulation([*replicas, *clients], adversary, seed=seed)
+    return sim, replicas, clients

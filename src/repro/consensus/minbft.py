@@ -1,0 +1,671 @@
+"""MinBFT (Veronese et al.): trusted-hardware BFT replication at n = 2f+1.
+
+The paper's motivating application class: with a trusted monotonic counter
+(USIG over TrInc) at every replica, Byzantine state-machine replication
+needs only **2f+1** replicas and **two** message rounds — versus PBFT's
+3f+1 replicas and three rounds. This module implements the protocol over
+the simulator's asynchronous network, with the USIG-specific view change
+(tamper-evident sent logs; see :mod:`repro.consensus.viewchange`).
+
+Normal case (view v, primary = v mod n):
+
+1. client → all replicas: signed ``REQUEST``;
+2. primary assigns the next slot: ``PREPARE(v, seq, req)`` with a fresh UI;
+3. every replica, processing the primary's stream in UI order, accepts the
+   *first* PREPARE per slot (the USIG makes a later conflicting PREPARE
+   harmless: correct replicas all see the same first one) and broadcasts
+   ``COMMIT(v, seq, req, prepare_ui)`` with its own UI;
+4. a slot is committed once f+1 distinct replicas vouch for the same
+   ``(v, seq, req, prepare_ui)`` (the primary's PREPARE counts); slots are
+   executed in order and replies sent to the client, who waits for f+1
+   matching replies.
+
+View change: f+1 signed ``REQ-VIEW-CHANGE`` messages move replicas to send
+``VIEW-CHANGE(v', full_sent_log)``; the new primary bundles f+1 verified
+logs into ``NEW-VIEW``; everyone recomputes the re-proposal set
+deterministically and the new primary re-PREPAREs it. Safety across views
+follows from log tamper-evidence (gap-free USIG counters).
+
+Timing assumption: liveness needs partial synchrony (timeouts eventually
+find a correct primary); safety never depends on time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..crypto.serialize import content_hash
+from ..crypto.signatures import Signature, SignatureScheme, Signer
+from ..errors import ConfigurationError
+from ..sim.process import Process
+from ..types import ProcessId, SeqNum
+from .apps import StateMachine
+from .usig import UI, UIOrderEnforcer, USIG, USIGVerifier, ui_like
+from .viewchange import (
+    LogEntry,
+    compute_reproposals,
+    validate_checkpoint_cert,
+    verify_log_from,
+)
+
+USIG_WRAP = "USIG"
+REQUEST = "REQUEST"
+PREPARE = "PREPARE"
+COMMIT = "COMMIT"
+REPLY = "REPLY"
+CHECKPOINT = "CHECKPOINT"
+REQ_VIEW_CHANGE = "REQ-VIEW-CHANGE"
+VIEW_CHANGE = "VIEW-CHANGE"
+NEW_VIEW = "NEW-VIEW"
+
+
+def request_key(request: Any) -> tuple:
+    """Stable identity of a client request: (client, req_id)."""
+    return (request[1], request[2])
+
+
+def proposal_requests(proposal: Any) -> list:
+    """The client requests a slot proposal carries (a batch or a single one)."""
+    if isinstance(proposal, tuple) and proposal and proposal[0] == "BATCH":
+        return list(proposal[1:])
+    return [proposal]
+
+
+def rvc_domain(replica: ProcessId, new_view: int) -> tuple:
+    return ("MINBFT-RVC", replica, new_view)
+
+
+def request_domain(client: ProcessId, req_id: int, op: Any) -> tuple:
+    return ("MINBFT-REQ", client, req_id, op)
+
+
+class MinBFTReplica(Process):
+    """One MinBFT replica.
+
+    Parameters: ``n`` replicas tolerate ``f = (n-1)//2`` Byzantine; the
+    replica ids are ``0..n-1`` and clients live at higher pids. ``usig``
+    is this replica's trusted component, ``verifier``/``scheme`` are the
+    public verification roots shared by everyone.
+    """
+
+    VC_TIMER = "minbft-vc"
+    REQ_TIMEOUT = 60.0
+
+    def __init__(
+        self,
+        n: int,
+        usig: USIG,
+        verifier: USIGVerifier,
+        scheme: SignatureScheme,
+        signer: Signer,
+        app: StateMachine,
+        req_timeout: float | None = None,
+        checkpoint_interval: int = 0,
+        batching: bool = False,
+        batch_delay: float = 0.2,
+    ) -> None:
+        super().__init__()
+        if n < 3 or n % 2 == 0:
+            raise ConfigurationError(
+                f"MinBFT runs with n = 2f+1 >= 3 replicas, got n={n}"
+            )
+        self.n = n
+        self.f = (n - 1) // 2
+        self.usig = usig
+        self.verifier = verifier
+        self.scheme = scheme
+        self.signer = signer
+        self.app = app
+        self.req_timeout = req_timeout if req_timeout is not None else self.REQ_TIMEOUT
+
+        self.view = 0
+        self.in_view_change: Optional[int] = None
+        self.next_seq: SeqNum = 1  # primary's next slot to assign
+        self.exec_next: SeqNum = 1
+        self.sent_log: list[tuple[Any, UI]] = []
+        self._enforcer = UIOrderEnforcer(self._on_usig_released)
+        # slot -> (view, prepare_counter, request) first-accepted prepare
+        self._accepted: dict[SeqNum, tuple[int, SeqNum, Any]] = {}
+        # vote key -> set of replicas
+        self._votes: dict[tuple, set[ProcessId]] = {}
+        self._certified: dict[SeqNum, Any] = {}
+        self._executed_keys: set[tuple] = set()
+        self._proposed_keys: set[tuple] = set()
+        self._client_cache: dict[ProcessId, tuple[int, Any]] = {}
+        self._pending: dict[tuple, Any] = {}  # request_key -> request
+        self._expected_reproposals: dict[SeqNum, Any] = {}
+        # batching: a slot carries all requests that accumulated during the
+        # batch window (batch_delay of virtual time after the first arrival)
+        self.batching = batching
+        self.batch_delay = batch_delay
+        self._batch_timer: Optional[int] = None
+        # checkpointing / garbage collection
+        self.checkpoint_interval = checkpoint_interval
+        self._ckpt_votes: dict[tuple, dict[ProcessId, tuple]] = {}
+        self._ckpt_states: dict[SeqNum, Any] = {}  # my own state blobs by seq
+        self.stable_seq: SeqNum = 0
+        self._stable_cert: tuple = ()
+        self._stable_state: Any = None
+        self._log_base: SeqNum = 0  # my counter at the stable checkpoint
+        # view-change machinery; each record: (entries, stable_seq, state_blob)
+        self._rvc_votes: dict[int, set[ProcessId]] = {}
+        self._rvc_sent: set[int] = set()
+        self._vcs: dict[int, dict[ProcessId, tuple]] = {}
+        self._new_view_sent: set[int] = set()
+        self._vc_timer: Optional[int] = None
+        # stats for benches
+        self.commits_executed = 0
+        self.view_changes_completed = 0
+        self.log_entries_gced = 0
+
+    # -- identity helpers ------------------------------------------------------
+
+    def primary_of(self, view: int) -> ProcessId:
+        return view % self.n
+
+    @property
+    def is_primary(self) -> bool:
+        return self.in_view_change is None and self.primary_of(self.view) == self.pid
+
+    # -- USIG send path ----------------------------------------------------------
+
+    def _usig_broadcast(self, message: tuple) -> None:
+        ui = self.usig.create_ui(message)
+        self.sent_log.append((message, ui))
+        self.ctx.broadcast((USIG_WRAP, message, ui), include_self=True)
+
+    # -- receive dispatch -----------------------------------------------------------
+
+    def on_message(self, src: ProcessId, msg: Any) -> None:
+        if not (isinstance(msg, tuple) and msg and isinstance(msg[0], str)):
+            return
+        kind = msg[0]
+        if kind == USIG_WRAP and len(msg) == 3:
+            _, message, ui = msg
+            if not ui_like(ui):
+                return
+            if not self.verifier.verify_ui(ui, message, ui.replica):
+                return
+            if not (0 <= ui.replica < self.n):
+                return
+            self._enforcer.submit(ui.replica, ui.counter, (message, ui))
+        elif kind == REQUEST and len(msg) == 5:
+            self._on_request(msg)
+        elif kind == REQ_VIEW_CHANGE and len(msg) == 4:
+            self._on_req_view_change(src, msg)
+
+    # -- client requests ---------------------------------------------------------------
+
+    def _on_request(self, request: tuple) -> None:
+        _, client, req_id, op, sig = request
+        if not isinstance(req_id, int) or not isinstance(client, int):
+            return
+        if not (
+            isinstance(sig, Signature)
+            and sig.signer == client
+            and self.scheme.verify(request_domain(client, req_id, op), sig)
+        ):
+            return
+        cached = self._client_cache.get(client)
+        if cached is not None and cached[0] >= req_id:
+            if cached[0] == req_id:  # retransmission of the answered request
+                self.ctx.send(client, (REPLY, self.pid, req_id, cached[1], self.view))
+            return
+        key = request_key(request)
+        if self._is_executed(key):
+            return
+        self._pending.setdefault(key, request)
+        if self.is_primary:
+            self._propose_pending()
+        if self._vc_timer is None and self._pending:
+            self._vc_timer = self.ctx.set_timer(self.req_timeout, self.VC_TIMER)
+
+    def _propose_pending(self) -> None:
+        if not self.is_primary:
+            return
+        fresh = [
+            (key, request)
+            for key, request in sorted(self._pending.items())
+            if key not in self._proposed_keys and not self._is_executed(key)
+        ]
+        if not fresh:
+            return
+        if self.batching:
+            # open (or keep) a batch window; the timer flushes it
+            if self._batch_timer is None:
+                self._batch_timer = self.ctx.set_timer(
+                    self.batch_delay, "minbft-batch"
+                )
+            return
+        else:
+            for key, request in fresh:
+                seq = self.next_seq
+                self.next_seq += 1
+                self._proposed_keys.add(key)
+                self._usig_broadcast((PREPARE, self.view, seq, request))
+
+    # -- USIG-ordered processing -----------------------------------------------------------
+
+    def _on_usig_released(self, replica: ProcessId, counter: SeqNum, item: Any) -> None:
+        message, ui = item
+        if not (isinstance(message, tuple) and message and isinstance(message[0], str)):
+            return
+        kind = message[0]
+        if kind == PREPARE and len(message) == 4:
+            self._on_prepare(replica, ui, message)
+        elif kind == COMMIT and len(message) == 5:
+            self._on_commit(replica, ui, message)
+        elif kind == CHECKPOINT and len(message) == 3:
+            self._on_checkpoint(replica, ui, message)
+        elif kind == VIEW_CHANGE and len(message) == 6:
+            self._on_view_change(replica, ui, message)
+        elif kind == NEW_VIEW and len(message) == 3:
+            self._on_new_view(replica, ui, message)
+
+    def _valid_request(self, request: Any) -> bool:
+        if not (isinstance(request, tuple) and len(request) == 5
+                and request[0] == REQUEST):
+            return False
+        _, client, req_id, op, sig = request
+        return (
+            isinstance(client, int)
+            and isinstance(req_id, int)
+            and isinstance(sig, Signature)
+            and sig.signer == client
+            and self.scheme.verify(request_domain(client, req_id, op), sig)
+        )
+
+    def _valid_proposal(self, proposal: Any) -> bool:
+        """A slot proposal: one valid request, or a non-empty BATCH of them
+        with no duplicate request keys."""
+        requests = proposal_requests(proposal)
+        if not requests:
+            return False
+        if not all(self._valid_request(r) for r in requests):
+            return False
+        keys = [request_key(r) for r in requests]
+        return len(keys) == len(set(keys))
+
+    def _on_prepare(self, replica: ProcessId, ui: UI, message: tuple) -> None:
+        _, view, seq, request = message
+        if not isinstance(view, int) or not isinstance(seq, int) or seq < 1:
+            return
+        if view != self.view or self.in_view_change is not None:
+            return
+        if replica != self.primary_of(view):
+            return
+        if not self._valid_proposal(request):
+            return
+        # after a view change the primary must re-propose exactly S
+        expected = self._expected_reproposals.get(seq)
+        if expected is not None and expected != request:
+            return
+        if seq in self._accepted and self._accepted[seq][0] >= view:
+            return  # first PREPARE per slot wins within a view
+        self._accepted[seq] = (view, ui.counter, request)
+        for req in proposal_requests(request):
+            self._proposed_keys.add(request_key(req))
+        self._vote(replica, view, seq, request, ui)
+        self._usig_broadcast((COMMIT, view, seq, request, ui))
+
+    def _on_commit(self, replica: ProcessId, ui: UI, message: tuple) -> None:
+        _, view, seq, request, prepare_ui = message
+        if not isinstance(view, int) or not isinstance(seq, int):
+            return
+        if view != self.view or self.in_view_change is not None:
+            return
+        if not ui_like(prepare_ui):
+            return
+        if not self.verifier.verify_ui(
+            prepare_ui, (PREPARE, view, seq, request), self.primary_of(view)
+        ):
+            return
+        if not self._valid_proposal(request):
+            return
+        self._vote(replica, view, seq, request, prepare_ui)
+        # the embedded prepare UI is verifiable proof of the primary's vote —
+        # count it. This is load-bearing for liveness: a replica whose view
+        # of the primary's stream is gapped (Byzantine primary) can still
+        # assemble certificates from correct replicas' COMMITs alone.
+        self._vote(self.primary_of(view), view, seq, request, prepare_ui)
+
+    def _vote(self, replica: ProcessId, view: int, seq: SeqNum,
+              request: Any, prepare_ui: UI) -> None:
+        key = (view, seq, prepare_ui.counter, content_hash(request))
+        voters = self._votes.setdefault(key, set())
+        voters.add(replica)
+        if len(voters) >= self.f + 1 and seq not in self._certified:
+            self._certified[seq] = request
+            self._execute_ready()
+
+    # -- execution --------------------------------------------------------------------------
+
+    def _is_executed(self, key: tuple) -> bool:
+        """Whether (client, req_id) was executed — directly or via a
+        checkpoint fast-forward (the client cache survives transfer)."""
+        if key in self._executed_keys:
+            return True
+        cached = self._client_cache.get(key[0])
+        return cached is not None and cached[0] >= key[1]
+
+    def _execute_ready(self) -> None:
+        while self.exec_next in self._certified:
+            seq = self.exec_next
+            proposal = self._certified[seq]
+            for request in proposal_requests(proposal):
+                _, client, req_id, op, _sig = request
+                key = request_key(request)
+                if self._is_executed(key):
+                    continue
+                result = self.app.apply(op)
+                self._executed_keys.add(key)
+                self._client_cache[client] = (req_id, result)
+                self._pending.pop(key, None)
+                self.commits_executed += 1
+                self.ctx.record(
+                    "custom", event="execute", seq=seq, client=client,
+                    req_id=req_id, op=op, result=result,
+                )
+                self.ctx.send(client, (REPLY, self.pid, req_id, result, self.view))
+                self.on_execute(seq, request, result)
+            self.exec_next = seq + 1
+            if (
+                self.checkpoint_interval
+                and seq % self.checkpoint_interval == 0
+            ):
+                self._emit_checkpoint(seq)
+        if not self._pending and self._vc_timer is not None:
+            self.ctx.cancel_timer(self._vc_timer)
+            self._vc_timer = None
+
+    # -- checkpointing / log garbage collection ------------------------------------------
+
+    def _state_blob(self) -> tuple:
+        """Transferable state at the current execution point."""
+        return (
+            "CKPT-STATE",
+            self.app.snapshot(),
+            tuple(sorted(self._client_cache.items())),
+            self.exec_next,
+        )
+
+    def _emit_checkpoint(self, seq: SeqNum) -> None:
+        blob = self._state_blob()
+        self._ckpt_states[seq] = blob
+        digest = content_hash(blob)
+        self._usig_broadcast((CHECKPOINT, seq, digest))
+
+    def _on_checkpoint(self, replica: ProcessId, ui: UI, message: tuple) -> None:
+        _, seq, digest = message
+        if not isinstance(seq, int) or not isinstance(digest, bytes):
+            return
+        key = (seq, digest)
+        votes = self._ckpt_votes.setdefault(key, {})
+        votes.setdefault(replica, (message, ui))
+        # stabilize only once our own vote is in (log truncation needs the
+        # counter of OUR checkpoint message)
+        if (
+            len(votes) >= self.f + 1
+            and seq > self.stable_seq
+            and self.pid in votes
+        ):
+            self._stabilize(seq, votes)
+
+    def _stabilize(self, seq: SeqNum, votes: dict[ProcessId, tuple]) -> None:
+        self.stable_seq = seq
+        chosen = sorted(votes)[: self.f + 1]
+        if self.pid not in chosen:
+            chosen = [self.pid, *chosen[: self.f]]
+        self._stable_cert = tuple(
+            (r, votes[r][0], votes[r][1]) for r in sorted(chosen)
+        )
+        self._stable_state = self._ckpt_states.get(seq)
+        my_counter = votes[self.pid][1].counter
+        keep = [(m, u) for (m, u) in self.sent_log if u.counter > my_counter]
+        self.log_entries_gced += len(self.sent_log) - len(keep)
+        self.sent_log = keep
+        self._log_base = my_counter
+        # older checkpoint bookkeeping can go too
+        self._ckpt_states = {s: b for s, b in self._ckpt_states.items() if s >= seq}
+        self.ctx.record(
+            "custom", event="checkpoint_stable", seq=seq,
+            log_base=my_counter,
+        )
+
+    def on_execute(self, seq: SeqNum, request: Any, result: Any) -> None:
+        """Hook: called once per locally executed slot (adapters override)."""
+
+    # -- view change -------------------------------------------------------------------------
+
+    def _flush_batch(self) -> None:
+        self._batch_timer = None
+        if not self.is_primary:
+            return
+        fresh = [
+            (key, request)
+            for key, request in sorted(self._pending.items())
+            if key not in self._proposed_keys and not self._is_executed(key)
+        ]
+        if not fresh:
+            return
+        seq = self.next_seq
+        self.next_seq += 1
+        for key, _request in fresh:
+            self._proposed_keys.add(key)
+        batch = ("BATCH", *(request for _key, request in fresh))
+        self._usig_broadcast((PREPARE, self.view, seq, batch))
+
+    def on_timer(self, tag: Any) -> None:
+        if tag == "minbft-batch":
+            self._flush_batch()
+            return
+        if tag != self.VC_TIMER:
+            return
+        self._vc_timer = None
+        if not self._pending and self.in_view_change is None:
+            return
+        target = (self.in_view_change or self.view) + 1
+        self._send_req_view_change(target)
+        # keep escalating while stuck
+        self._vc_timer = self.ctx.set_timer(self.req_timeout, self.VC_TIMER)
+
+    def _send_req_view_change(self, new_view: int) -> None:
+        if new_view in self._rvc_sent:
+            return
+        self._rvc_sent.add(new_view)
+        sig = self.signer.sign(rvc_domain(self.pid, new_view))
+        self.ctx.broadcast(
+            (REQ_VIEW_CHANGE, self.pid, new_view, sig), include_self=True
+        )
+
+    def _on_req_view_change(self, src: ProcessId, msg: tuple) -> None:
+        _, claimed, new_view, sig = msg
+        if claimed != src or not isinstance(new_view, int):
+            return
+        if new_view <= self.view:
+            return
+        if not (
+            isinstance(sig, Signature)
+            and sig.signer == src
+            and 0 <= src < self.n
+            and self.scheme.verify(rvc_domain(src, new_view), sig)
+        ):
+            return
+        votes = self._rvc_votes.setdefault(new_view, set())
+        votes.add(src)
+        if len(votes) >= self.f + 1 and (
+            self.in_view_change is None or self.in_view_change < new_view
+        ):
+            self._enter_view_change(new_view)
+
+    def _enter_view_change(self, new_view: int) -> None:
+        if self.in_view_change is not None and self.in_view_change >= new_view:
+            return
+        self.in_view_change = new_view
+        self.ctx.record("custom", event="view_change_start", new_view=new_view)
+        self._send_req_view_change(new_view)  # join the chorus
+        self._usig_broadcast((
+            VIEW_CHANGE, new_view, self._log_base, self._stable_cert,
+            self._stable_state, tuple(self.sent_log),
+        ))
+        if self._vc_timer is not None:
+            self.ctx.cancel_timer(self._vc_timer)
+        self._vc_timer = self.ctx.set_timer(self.req_timeout, self.VC_TIMER)
+        self._maybe_send_new_view(new_view)
+
+    def _validate_vc(self, replica: ProcessId, base: Any, cert: Any,
+                     state_blob: Any, log: Any,
+                     end_counter: SeqNum) -> Optional[tuple]:
+        """Validate a VIEW-CHANGE body; returns (entries, stable_seq, blob).
+
+        ``base = 0`` means a full log (no garbage collection yet). A
+        non-zero base must come with a checkpoint certificate that (a) has
+        f+1 matching attestations, (b) contains *this replica's* checkpoint
+        message at exactly counter ``base`` — so nothing between the
+        checkpoint and the VIEW-CHANGE can be hidden — and (c) matches the
+        digest of the piggybacked state blob used for fast-forwarding.
+        """
+        if not isinstance(base, int) or base < 0:
+            return None
+        if base == 0:
+            if cert != () or state_blob is not None:
+                return None
+            entries = verify_log_from(self.verifier, replica, log, 1, end_counter)
+            if entries is None:
+                return None
+            return entries, 0, None
+        checked = validate_checkpoint_cert(self.verifier, cert, self.f)
+        if checked is None:
+            return None
+        stable_seq, digest, counters = checked
+        if counters.get(replica) != base:
+            return None
+        try:
+            if content_hash(state_blob) != digest:
+                return None
+        except Exception:
+            return None
+        entries = verify_log_from(
+            self.verifier, replica, log, base + 1, end_counter
+        )
+        if entries is None:
+            return None
+        return entries, stable_seq, state_blob
+
+    def _on_view_change(self, replica: ProcessId, ui: UI, message: tuple) -> None:
+        _, new_view, base, cert, state_blob, log = message
+        if not isinstance(new_view, int) or new_view <= self.view:
+            return
+        record = self._validate_vc(replica, base, cert, state_blob, log,
+                                   ui.counter)
+        if record is None:
+            return
+        self._vcs.setdefault(new_view, {})[replica] = (
+            record, (base, cert, state_blob, log)
+        )
+        # f+1 replicas are changing views: join them even if we saw no RVCs
+        if len(self._vcs[new_view]) >= self.f + 1 and (
+            self.in_view_change is None or self.in_view_change < new_view
+        ):
+            self._enter_view_change(new_view)
+        self._maybe_send_new_view(new_view)
+
+    def _maybe_send_new_view(self, new_view: int) -> None:
+        if (
+            self.primary_of(new_view) == self.pid
+            and len(self._vcs.get(new_view, {})) >= self.f + 1
+            and new_view not in self._new_view_sent
+            and self.in_view_change == new_view
+        ):
+            self._new_view_sent.add(new_view)
+            chosen = sorted(self._vcs[new_view])[: self.f + 1]
+            bundle = tuple(
+                (r, *self._vcs[new_view][r][1]) for r in chosen
+            )
+            self._usig_broadcast((NEW_VIEW, new_view, bundle))
+
+    def _on_new_view(self, replica: ProcessId, ui: UI, message: tuple) -> None:
+        _, new_view, bundle = message
+        if not isinstance(new_view, int) or new_view <= self.view:
+            return
+        if replica != self.primary_of(new_view):
+            return
+        if not isinstance(bundle, tuple) or len(bundle) < self.f + 1:
+            return
+        logs: dict[ProcessId, list[LogEntry]] = {}
+        best_stable: SeqNum = 0
+        best_blob: Any = None
+        for item in bundle:
+            if not (isinstance(item, tuple) and len(item) == 5):
+                return
+            r, base, cert, state_blob, log = item
+            if not (isinstance(r, int) and isinstance(log, tuple)):
+                return
+            end_counter = (base if isinstance(base, int) else 0) + len(log) + 1
+            record = self._validate_vc(r, base, cert, state_blob, log,
+                                       end_counter)
+            if record is None or r in logs:
+                return
+            entries, stable_seq, blob = record
+            logs[r] = entries
+            if stable_seq > best_stable:
+                best_stable, best_blob = stable_seq, blob
+        if len(logs) < self.f + 1:
+            return
+        reproposals = {
+            seq: cand
+            for seq, cand in compute_reproposals(logs).items()
+            if seq > best_stable
+        }
+        self._adopt_view(new_view, reproposals, best_stable, best_blob)
+
+    def _fast_forward(self, stable_seq: SeqNum, blob: Any) -> None:
+        """Install a certified checkpoint state we fell behind of."""
+        if blob is None or stable_seq < self.exec_next:
+            return
+        _tag, snapshot, cache_items, exec_next = blob
+        self.app.restore(snapshot)
+        self._client_cache = dict(cache_items)
+        self.exec_next = exec_next
+        self._certified = {
+            s: r for s, r in self._certified.items() if s >= exec_next
+        }
+        self._pending = {
+            k: r for k, r in self._pending.items() if not self._is_executed(k)
+        }
+        self.ctx.record(
+            "custom", event="state_transfer", stable_seq=stable_seq,
+            exec_next=exec_next,
+        )
+        self._execute_ready()
+
+    def _adopt_view(self, new_view: int, reproposals: dict[SeqNum, Any],
+                    stable_seq: SeqNum = 0, stable_blob: Any = None) -> None:
+        self.view = new_view
+        self.in_view_change = None
+        self.view_changes_completed += 1
+        if stable_seq >= self.exec_next:
+            self._fast_forward(stable_seq, stable_blob)
+        self._expected_reproposals = {
+            seq: cand.request for seq, cand in reproposals.items()
+        }
+        self._accepted = {}
+        self._proposed_keys = set()
+        self.ctx.record("custom", event="view_adopted", view=new_view)
+        max_slot = max(reproposals, default=stable_seq)
+        self.next_seq = max(max_slot + 1, self.exec_next)
+        if self._vc_timer is not None:
+            self.ctx.cancel_timer(self._vc_timer)
+            self._vc_timer = None
+        if self._pending:
+            self._vc_timer = self.ctx.set_timer(self.req_timeout, self.VC_TIMER)
+        if self.primary_of(new_view) == self.pid:
+            # re-propose ALL of S in order — even slots we already executed,
+            # because a lagging correct replica may still need a certificate
+            # in the new view — then any fresh pending requests
+            for seq in sorted(reproposals):
+                cand = reproposals[seq]
+                for req in proposal_requests(cand.request):
+                    self._proposed_keys.add(request_key(req))
+                self._usig_broadcast((PREPARE, new_view, seq, cand.request))
+            self._propose_pending()

@@ -1,0 +1,609 @@
+"""PBFT (Castro & Liskov) — the hardware-free baseline at n = 3f+1.
+
+The comparison the paper's motivation implies: without trusted hardware,
+asynchronous BFT replication needs **3f+1** replicas and **three** message
+rounds (PRE-PREPARE → PREPARE → COMMIT) with 2f+1-sized quorums; MinBFT's
+trusted counters cut both (2f+1 replicas, two rounds, f+1 quorums). The
+benches run both stacks over identical networks and workloads.
+
+Implementation notes: signed messages, in-order execution, a view change
+whose VIEW-CHANGE carries prepared certificates (the new primary's
+NEW-VIEW re-issues pre-prepares for every certified slot above the stable
+checkpoint, chosen by highest view), and classic checkpointing: 2f+1
+matching CHECKPOINT messages form a stable certificate that garbage-
+collects per-slot state and, piggybacked on VIEW-CHANGE, fast-forwards
+replicas that fell behind the low watermark.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..crypto.serialize import content_hash
+from ..crypto.signatures import Signature, SignatureScheme, Signer
+from ..errors import ConfigurationError
+from ..sim.process import Process
+from ..types import ProcessId, SeqNum
+from .apps import StateMachine
+from .minbft import REPLY, REQUEST, request_domain
+
+PRE_PREPARE = "PBFT-PRE-PREPARE"
+PREPARE = "PBFT-PREPARE"
+COMMIT = "PBFT-COMMIT"
+VIEW_CHANGE = "PBFT-VIEW-CHANGE"
+NEW_VIEW = "PBFT-NEW-VIEW"
+CHECKPOINT = "PBFT-CHECKPOINT"
+
+
+def pp_domain(view: int, seq: SeqNum, digest: bytes) -> tuple:
+    return ("PBFT-PP", view, seq, digest)
+
+
+def prep_domain(view: int, seq: SeqNum, digest: bytes, replica: ProcessId) -> tuple:
+    return ("PBFT-P", view, seq, digest, replica)
+
+
+def commit_domain(view: int, seq: SeqNum, digest: bytes, replica: ProcessId) -> tuple:
+    return ("PBFT-C", view, seq, digest, replica)
+
+
+def vc_domain(new_view: int, body: Any, replica: ProcessId) -> tuple:
+    return ("PBFT-VC", new_view, content_hash(body), replica)
+
+
+def ckpt_domain(seq: SeqNum, digest: bytes, replica: ProcessId) -> tuple:
+    return ("PBFT-CKPT", seq, digest, replica)
+
+
+class PBFTReplica(Process):
+    """One PBFT replica (n = 3f+1, f = (n-1)//3)."""
+
+    VC_TIMER = "pbft-vc"
+
+    def __init__(
+        self,
+        n: int,
+        scheme: SignatureScheme,
+        signer: Signer,
+        app: StateMachine,
+        req_timeout: float = 60.0,
+        checkpoint_interval: int = 0,
+    ) -> None:
+        super().__init__()
+        if n < 4 or (n - 1) % 3 != 0:
+            raise ConfigurationError(
+                f"PBFT runs with n = 3f+1 >= 4 replicas, got n={n}"
+            )
+        self.n = n
+        self.f = (n - 1) // 3
+        self.scheme = scheme
+        self.signer = signer
+        self.app = app
+        self.req_timeout = req_timeout
+
+        self.view = 0
+        self.in_view_change: Optional[int] = None
+        self.next_seq: SeqNum = 1
+        self.exec_next: SeqNum = 1
+        # seq -> (view, digest, request)
+        self._accepted_pp: dict[SeqNum, tuple[int, bytes, Any]] = {}
+        self._prepares: dict[tuple, set[ProcessId]] = {}
+        self._commits: dict[tuple, set[ProcessId]] = {}
+        self._prepared_certs: dict[SeqNum, tuple] = {}  # best cert per slot
+        self._commit_sent: set[tuple] = set()
+        self._certified: dict[SeqNum, Any] = {}
+        self._requests: dict[bytes, Any] = {}  # digest -> request
+        self._executed_keys: set[tuple] = set()
+        self._proposed_keys: set[tuple] = set()
+        self._client_cache: dict[ProcessId, tuple[int, Any]] = {}
+        self._pending: dict[tuple, Any] = {}
+        self._vcs: dict[int, dict[ProcessId, Any]] = {}
+        self._vc_sent: set[int] = set()
+        self._new_view_sent: set[int] = set()
+        self._vc_timer: Optional[int] = None
+        # checkpointing / garbage collection (classic PBFT: 2f+1 certs)
+        self.checkpoint_interval = checkpoint_interval
+        self._ckpt_votes: dict[tuple, dict[ProcessId, Signature]] = {}
+        self._ckpt_blobs: dict[SeqNum, Any] = {}
+        self.stable_seq: SeqNum = 0
+        self._stable_cert: tuple = ()
+        self._stable_blob: Any = None
+        self.log_entries_gced = 0
+        self.commits_executed = 0
+        self.view_changes_completed = 0
+
+    # -- helpers -----------------------------------------------------------------
+
+    def primary_of(self, view: int) -> ProcessId:
+        return view % self.n
+
+    @property
+    def is_primary(self) -> bool:
+        return self.in_view_change is None and self.primary_of(self.view) == self.pid
+
+    def _valid_request(self, request: Any) -> bool:
+        if not (isinstance(request, tuple) and len(request) == 5
+                and request[0] == REQUEST):
+            return False
+        _, client, req_id, op, sig = request
+        return (
+            isinstance(client, int)
+            and isinstance(req_id, int)
+            and isinstance(sig, Signature)
+            and sig.signer == client
+            and self.scheme.verify(request_domain(client, req_id, op), sig)
+        )
+
+    # -- dispatch -------------------------------------------------------------------
+
+    def on_message(self, src: ProcessId, msg: Any) -> None:
+        if not (isinstance(msg, tuple) and msg and isinstance(msg[0], str)):
+            return
+        kind = msg[0]
+        if kind == REQUEST and len(msg) == 5:
+            self._on_request(msg)
+        elif kind == PRE_PREPARE and len(msg) == 5:
+            self._on_pre_prepare(src, msg)
+        elif kind == PREPARE and len(msg) == 6:
+            self._on_prepare(src, msg)
+        elif kind == COMMIT and len(msg) == 6:
+            self._on_commit(src, msg)
+        elif kind == CHECKPOINT and len(msg) == 5:
+            self._on_checkpoint(src, msg)
+        elif kind == VIEW_CHANGE and len(msg) == 8:
+            self._on_view_change(src, msg)
+        elif kind == NEW_VIEW and len(msg) == 5:
+            self._on_new_view(src, msg)
+
+    # -- client requests -----------------------------------------------------------
+
+    def _on_request(self, request: tuple) -> None:
+        if not self._valid_request(request):
+            return
+        _, client, req_id, op, _sig = request
+        cached = self._client_cache.get(client)
+        if cached is not None and cached[0] >= req_id:
+            if cached[0] == req_id:
+                self.ctx.send(client, (REPLY, self.pid, req_id, cached[1], self.view))
+            return
+        key = (client, req_id)
+        if key in self._executed_keys:
+            return
+        self._pending.setdefault(key, request)
+        if self.is_primary:
+            self._propose_pending()
+        if self._vc_timer is None and self._pending:
+            self._vc_timer = self.ctx.set_timer(self.req_timeout, self.VC_TIMER)
+
+    def _propose_pending(self) -> None:
+        if not self.is_primary:
+            return
+        for key, request in sorted(self._pending.items()):
+            if key in self._proposed_keys or key in self._executed_keys:
+                continue
+            seq = self.next_seq
+            self.next_seq += 1
+            self._proposed_keys.add(key)
+            digest = content_hash(request)
+            sig = self.signer.sign(pp_domain(self.view, seq, digest))
+            self.ctx.broadcast(
+                (PRE_PREPARE, self.view, seq, request, sig), include_self=True
+            )
+
+    # -- three phases -------------------------------------------------------------------
+
+    def _on_pre_prepare(self, src: ProcessId, msg: tuple) -> None:
+        _, view, seq, request, sig = msg
+        if not isinstance(view, int) or not isinstance(seq, int) or seq < 1:
+            return
+        if seq <= self.stable_seq:
+            return  # below the low watermark: already covered by a checkpoint
+        if view != self.view or self.in_view_change is not None:
+            return
+        if src != self.primary_of(view):
+            return
+        if not self._valid_request(request):
+            return
+        digest = content_hash(request)
+        if not (
+            isinstance(sig, Signature)
+            and sig.signer == src
+            and self.scheme.verify(pp_domain(view, seq, digest), sig)
+        ):
+            return
+        existing = self._accepted_pp.get(seq)
+        if existing is not None and existing[0] == view and existing[1] != digest:
+            return  # equivocating primary: first pre-prepare wins locally
+        self._accepted_pp[seq] = (view, digest, request)
+        self._requests[digest] = request
+        self._proposed_keys.add((request[1], request[2]))
+        my_sig = self.signer.sign(prep_domain(view, seq, digest, self.pid))
+        self.ctx.broadcast(
+            (PREPARE, view, seq, digest, self.pid, my_sig), include_self=True
+        )
+
+    def _on_prepare(self, src: ProcessId, msg: tuple) -> None:
+        _, view, seq, digest, replica, sig = msg
+        if replica != src or view != self.view or self.in_view_change is not None:
+            return
+        if src == self.primary_of(view):
+            return  # the primary's pre-prepare is its prepare
+        if not (
+            isinstance(sig, Signature)
+            and sig.signer == src
+            and self.scheme.verify(prep_domain(view, seq, digest, src), sig)
+        ):
+            return
+        key = (view, seq, digest)
+        self._prepares.setdefault(key, set()).add(src)
+        self._maybe_prepared(key)
+
+    def _maybe_prepared(self, key: tuple) -> None:
+        view, seq, digest = key
+        accepted = self._accepted_pp.get(seq)
+        if accepted is None or accepted[0] != view or accepted[1] != digest:
+            return
+        if len(self._prepares.get(key, ())) < 2 * self.f:
+            return
+        if key in self._commit_sent:
+            return
+        self._commit_sent.add(key)
+        self._prepared_certs[seq] = (view, digest)
+        sig = self.signer.sign(commit_domain(view, seq, digest, self.pid))
+        self.ctx.broadcast(
+            (COMMIT, view, seq, digest, self.pid, sig), include_self=True
+        )
+
+    def _on_commit(self, src: ProcessId, msg: tuple) -> None:
+        _, view, seq, digest, replica, sig = msg
+        if replica != src or view != self.view or self.in_view_change is not None:
+            return
+        if not (
+            isinstance(sig, Signature)
+            and sig.signer == src
+            and self.scheme.verify(commit_domain(view, seq, digest, src), sig)
+        ):
+            return
+        key = (view, seq, digest)
+        commits = self._commits.setdefault(key, set())
+        commits.add(src)
+        if len(commits) >= 2 * self.f + 1 and seq not in self._certified:
+            request = self._requests.get(digest)
+            accepted = self._accepted_pp.get(seq)
+            if request is None or accepted is None or accepted[1] != digest:
+                return
+            self._certified[seq] = request
+            self._execute_ready()
+
+    def _execute_ready(self) -> None:
+        while self.exec_next in self._certified:
+            seq = self.exec_next
+            request = self._certified[seq]
+            _, client, req_id, op, _sig = request
+            key = (client, req_id)
+            if key not in self._executed_keys:
+                result = self.app.apply(op)
+                self._executed_keys.add(key)
+                self._client_cache[client] = (req_id, result)
+                self._pending.pop(key, None)
+                self.commits_executed += 1
+                self.ctx.record(
+                    "custom", event="execute", seq=seq, client=client,
+                    req_id=req_id, op=op, result=result,
+                )
+                self.ctx.send(client, (REPLY, self.pid, req_id, result, self.view))
+            self.exec_next = seq + 1
+            if self.checkpoint_interval and seq % self.checkpoint_interval == 0:
+                self._emit_checkpoint(seq)
+        if not self._pending and self._vc_timer is not None:
+            self.ctx.cancel_timer(self._vc_timer)
+            self._vc_timer = None
+
+    # -- checkpointing / garbage collection ------------------------------------------------
+
+    def _state_blob(self) -> tuple:
+        return (
+            "PBFT-CKPT-STATE",
+            self.app.snapshot(),
+            tuple(sorted(self._client_cache.items())),
+            self.exec_next,
+        )
+
+    def _emit_checkpoint(self, seq: SeqNum) -> None:
+        blob = self._state_blob()
+        self._ckpt_blobs[seq] = blob
+        digest = content_hash(blob)
+        sig = self.signer.sign(ckpt_domain(seq, digest, self.pid))
+        self.ctx.broadcast(
+            (CHECKPOINT, seq, digest, self.pid, sig), include_self=True
+        )
+
+    def _on_checkpoint(self, src: ProcessId, msg: tuple) -> None:
+        _, seq, digest, replica, sig = msg
+        if replica != src or not isinstance(seq, int):
+            return
+        if not isinstance(digest, bytes):
+            return
+        if not (
+            isinstance(sig, Signature)
+            and sig.signer == src
+            and self.scheme.verify(ckpt_domain(seq, digest, src), sig)
+        ):
+            return
+        votes = self._ckpt_votes.setdefault((seq, digest), {})
+        votes.setdefault(src, sig)
+        if (
+            len(votes) >= 2 * self.f + 1
+            and seq > self.stable_seq
+            and self.pid in votes  # our own vote pins the blob we ship
+        ):
+            self._stabilize(seq, digest, votes)
+
+    def _stabilize(self, seq: SeqNum, digest: bytes,
+                   votes: dict[ProcessId, Signature]) -> None:
+        self.stable_seq = seq
+        chosen = sorted(votes)[: 2 * self.f + 1]
+        if self.pid not in chosen:
+            chosen = [self.pid, *chosen[: 2 * self.f]]
+        self._stable_cert = tuple(
+            (r, seq, digest, votes[r]) for r in sorted(chosen)
+        )
+        self._stable_blob = self._ckpt_blobs.get(seq)
+        # garbage-collect per-slot protocol state at or below the watermark
+        before = len(self._prepared_certs) + len(self._accepted_pp)
+        self._prepared_certs = {
+            s: c for s, c in self._prepared_certs.items() if s > seq
+        }
+        self._accepted_pp = {
+            s: a for s, a in self._accepted_pp.items() if s > seq
+        }
+        self._prepares = {
+            k: v for k, v in self._prepares.items() if k[1] > seq
+        }
+        self._commits = {
+            k: v for k, v in self._commits.items() if k[1] > seq
+        }
+        self._certified = {
+            s: r for s, r in self._certified.items() if s >= self.exec_next
+        }
+        self.log_entries_gced += before - (
+            len(self._prepared_certs) + len(self._accepted_pp)
+        )
+        self._ckpt_blobs = {s: b for s, b in self._ckpt_blobs.items() if s >= seq}
+        self.ctx.record("custom", event="checkpoint_stable", seq=seq)
+
+    @staticmethod
+    def _validate_ckpt_cert(scheme, cert: Any, f: int):
+        """Returns (seq, digest) when cert holds 2f+1 matching signatures."""
+        if not isinstance(cert, tuple) or len(cert) < 2 * f + 1:
+            return None
+        seq = digest = None
+        seen = set()
+        for item in cert:
+            if not (isinstance(item, tuple) and len(item) == 4):
+                return None
+            r, c_seq, c_digest, sig = item
+            if seq is None:
+                seq, digest = c_seq, c_digest
+            elif (c_seq, c_digest) != (seq, digest):
+                return None
+            if r in seen or not isinstance(c_seq, int):
+                return None
+            if not (
+                isinstance(sig, Signature)
+                and sig.signer == r
+                and scheme.verify(ckpt_domain(c_seq, c_digest, r), sig)
+            ):
+                return None
+            seen.add(r)
+        if seq is None or len(seen) < 2 * f + 1:
+            return None
+        return seq, digest
+
+    # -- view change ----------------------------------------------------------------------
+
+    def on_timer(self, tag: Any) -> None:
+        if tag != self.VC_TIMER:
+            return
+        self._vc_timer = None
+        if not self._pending and self.in_view_change is None:
+            return
+        target = (self.in_view_change or self.view) + 1
+        self._send_view_change(target)
+        self._vc_timer = self.ctx.set_timer(self.req_timeout, self.VC_TIMER)
+
+    def _prepared_evidence(self) -> tuple:
+        """(seq, view, digest, request) for every slot this replica prepared."""
+        out = []
+        for seq, (view, digest) in sorted(self._prepared_certs.items()):
+            request = self._requests.get(digest)
+            if request is not None:
+                out.append((seq, view, digest, request))
+        return tuple(out)
+
+    def _send_view_change(self, new_view: int) -> None:
+        if new_view in self._vc_sent:
+            return
+        self._vc_sent.add(new_view)
+        self.in_view_change = max(self.in_view_change or 0, new_view)
+        self.ctx.record("custom", event="view_change_start", new_view=new_view)
+        body = (self.stable_seq, self._stable_cert, self._stable_blob,
+                self._prepared_evidence())
+        sig = self.signer.sign(vc_domain(new_view, body, self.pid))
+        self.ctx.broadcast(
+            (VIEW_CHANGE, new_view, *body, self.pid, sig), include_self=True
+        )
+
+    def _validate_vc_body(self, stable_seq: Any, cert: Any, blob: Any,
+                          prepared: Any) -> bool:
+        """Checkpoint consistency of a VIEW-CHANGE body.
+
+        ``stable_seq = 0`` means no checkpoint yet (empty cert, no blob);
+        otherwise the certificate must be a valid 2f+1 stable-checkpoint
+        proof for exactly ``stable_seq``, and the piggybacked state blob
+        must hash to the certified digest (that is what makes the blob safe
+        to install during fast-forward).
+        """
+        if not isinstance(stable_seq, int) or stable_seq < 0:
+            return False
+        if not isinstance(prepared, tuple):
+            return False
+        if stable_seq == 0:
+            return cert == () and blob is None
+        checked = self._validate_ckpt_cert(self.scheme, cert, self.f)
+        if checked is None or checked[0] != stable_seq:
+            return False
+        try:
+            return content_hash(blob) == checked[1]
+        except Exception:
+            return False
+
+    def _on_view_change(self, src: ProcessId, msg: tuple) -> None:
+        _, new_view, stable_seq, cert, blob, prepared, replica, sig = msg
+        if replica != src or not isinstance(new_view, int) or new_view <= self.view:
+            return
+        body = (stable_seq, cert, blob, prepared)
+        if not (
+            isinstance(sig, Signature)
+            and sig.signer == src
+            and self.scheme.verify(vc_domain(new_view, body, src), sig)
+        ):
+            return
+        if not self._validate_vc_body(stable_seq, cert, blob, prepared):
+            return
+        self._vcs.setdefault(new_view, {})[src] = (body, sig)
+        # join a view change that has quorum momentum
+        if len(self._vcs[new_view]) >= self.f + 1:
+            self._send_view_change(new_view)
+        if (
+            self.primary_of(new_view) == self.pid
+            and len(self._vcs[new_view]) >= 2 * self.f + 1
+            and new_view not in self._new_view_sent
+        ):
+            self._new_view_sent.add(new_view)
+            vcs = tuple(
+                (r, *body, vsig)
+                for r, (body, vsig) in sorted(self._vcs[new_view].items())
+            )[: 2 * self.f + 1]
+            reproposals = self._compute_reproposals(vcs)
+            sig_nv = self.signer.sign(
+                ("PBFT-NV", new_view, content_hash(vcs), self.pid)
+            )
+            self.ctx.broadcast(
+                (NEW_VIEW, new_view, vcs, reproposals, sig_nv), include_self=True
+            )
+
+    @staticmethod
+    def _compute_reproposals(vcs: tuple) -> tuple:
+        """Deterministic re-proposal set from the VC bundle.
+
+        Slots at or below the highest stable checkpoint among the VCs are
+        covered by state transfer, not re-proposal.
+        """
+        best_stable = 0
+        for item in vcs:
+            if isinstance(item, tuple) and len(item) == 6 and isinstance(item[1], int):
+                best_stable = max(best_stable, item[1])
+        best: dict[SeqNum, tuple] = {}
+        for item in vcs:
+            if not (isinstance(item, tuple) and len(item) == 6):
+                continue
+            prepared = item[4]
+            if not isinstance(prepared, tuple):
+                continue
+            for entry in prepared:
+                if not (isinstance(entry, tuple) and len(entry) == 4):
+                    continue
+                seq, view, digest, request = entry
+                if not isinstance(seq, int) or seq <= best_stable:
+                    continue
+                cur = best.get(seq)
+                if cur is None or view > cur[1]:
+                    best[seq] = (seq, view, digest, request)
+        return tuple(best[s] for s in sorted(best))
+
+    def _on_new_view(self, src: ProcessId, msg: tuple) -> None:
+        _, new_view, vcs, reproposals, sig = msg
+        if not isinstance(new_view, int) or new_view <= self.view:
+            return
+        if src != self.primary_of(new_view):
+            return
+        if not (
+            isinstance(sig, Signature)
+            and sig.signer == src
+            and self.scheme.verify(
+                ("PBFT-NV", new_view, content_hash(vcs), src), sig
+            )
+        ):
+            return
+        if not isinstance(vcs, tuple) or len(vcs) < 2 * self.f + 1:
+            return
+        seen: set[ProcessId] = set()
+        best_stable = 0
+        best_blob = None
+        for item in vcs:
+            if not (isinstance(item, tuple) and len(item) == 6):
+                return
+            r, stable_seq, cert, blob, prepared, vsig = item
+            if r in seen or not isinstance(r, int) or not (0 <= r < self.n):
+                return
+            body = (stable_seq, cert, blob, prepared)
+            if not (
+                isinstance(vsig, Signature)
+                and vsig.signer == r
+                and self.scheme.verify(vc_domain(new_view, body, r), vsig)
+            ):
+                return
+            if not self._validate_vc_body(stable_seq, cert, blob, prepared):
+                return
+            if stable_seq > best_stable:
+                best_stable, best_blob = stable_seq, blob
+            seen.add(r)
+        expected = self._compute_reproposals(vcs)
+        if expected != reproposals:
+            return
+        # adopt the view, fast-forwarding over checkpointed slots if behind
+        self.view = new_view
+        self.in_view_change = None
+        self.view_changes_completed += 1
+        if best_stable >= self.exec_next and best_blob is not None:
+            _tag, snapshot, cache_items, exec_next = best_blob
+            self.app.restore(snapshot)
+            self._client_cache = dict(cache_items)
+            self.exec_next = exec_next
+            self._certified = {
+                s: r for s, r in self._certified.items() if s >= exec_next
+            }
+            self._pending = {
+                k: r for k, r in self._pending.items()
+                if k not in self._executed_keys
+                and not (self._client_cache.get(k[0], (0,))[0] >= k[1])
+            }
+            self.ctx.record(
+                "custom", event="state_transfer", stable_seq=best_stable,
+                exec_next=exec_next,
+            )
+            self._execute_ready()
+        self._accepted_pp = {
+            s: a for s, a in self._accepted_pp.items() if s > best_stable
+        }
+        self._proposed_keys = set()
+        self._commit_sent = set()
+        self.ctx.record("custom", event="view_adopted", view=new_view)
+        max_slot = max((item[0] for item in reproposals), default=best_stable)
+        self.next_seq = max(max_slot + 1, self.exec_next)
+        if self._vc_timer is not None:
+            self.ctx.cancel_timer(self._vc_timer)
+            self._vc_timer = None
+        if self._pending:
+            self._vc_timer = self.ctx.set_timer(self.req_timeout, self.VC_TIMER)
+        if self.primary_of(new_view) == self.pid:
+            for seq, _view, digest, request in reproposals:
+                if self._valid_request(request):
+                    d = content_hash(request)
+                    s = self.signer.sign(pp_domain(new_view, seq, d))
+                    self._proposed_keys.add((request[1], request[2]))
+                    self.ctx.broadcast(
+                        (PRE_PREPARE, new_view, seq, request, s), include_self=True
+                    )
+            self._propose_pending()

@@ -1,0 +1,150 @@
+"""Safety and liveness checkers for replicated state machines.
+
+Protocol-agnostic: both MinBFT and PBFT replicas record
+``custom/execute`` trace events with ``(seq, client, req_id, op, result)``;
+the checkers audit those plus client completions.
+
+Checked properties:
+
+- **order safety** — correct replicas' executed logs are prefix-compatible
+  (no two correct replicas execute different requests at a slot, no holes);
+- **no duplicates** — no request executed twice by one replica;
+- **result determinism** — replicas that executed a slot produced the same
+  result (exercises the app's determinism end to end);
+- **client liveness** — every client finished its workload (optional, for
+  runs expected to complete).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from ..errors import PropertyViolation
+from ..sim.trace import Trace
+from ..types import ProcessId
+
+
+@dataclass(frozen=True, slots=True)
+class Execution:
+    """One replica's execution of one slot."""
+
+    replica: ProcessId
+    seq: int
+    client: ProcessId
+    req_id: int
+    op: Any
+    result: Any
+
+
+@dataclass(slots=True)
+class ReplicationReport:
+    executions: list[Execution] = field(default_factory=list)
+    violations: list[str] = field(default_factory=list)
+    clients_done: dict[ProcessId, int] = field(default_factory=dict)
+    liveness_violations: list[str] = field(default_factory=list)
+    transfers: dict[ProcessId, set[int]] = field(default_factory=dict)
+    """Per replica: stable seqs it fast-forwarded to via checkpoint transfer
+    (gaps up to those seqs are legitimate, not order violations)."""
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and not self.liveness_violations
+
+    def assert_ok(self) -> None:
+        if not self.ok:
+            problems = self.violations + self.liveness_violations
+            raise PropertyViolation("replication", "; ".join(problems[:3]))
+
+    def log_of(self, replica: ProcessId) -> list[Execution]:
+        return sorted(
+            (e for e in self.executions if e.replica == replica),
+            key=lambda e: e.seq,
+        )
+
+
+def check_replication(
+    trace: Trace,
+    correct_replicas: Iterable[ProcessId],
+    clients: Iterable[ProcessId] = (),
+    expected_ops: dict[ProcessId, int] | None = None,
+) -> ReplicationReport:
+    """Audit executed logs across the correct replicas (and client liveness)."""
+    correct = sorted(set(correct_replicas))
+    report = ReplicationReport()
+    for ev in trace.events("custom"):
+        if ev.field("event") == "execute" and ev.pid in correct:
+            report.executions.append(
+                Execution(
+                    replica=ev.pid,
+                    seq=ev.field("seq"),
+                    client=ev.field("client"),
+                    req_id=ev.field("req_id"),
+                    op=ev.field("op"),
+                    result=ev.field("result"),
+                )
+            )
+        elif ev.field("event") == "client_done":
+            report.clients_done[ev.pid] = ev.field("ops")
+        elif ev.field("event") == "state_transfer" and ev.pid in correct:
+            report.transfers.setdefault(ev.pid, set()).add(
+                ev.field("stable_seq")
+            )
+
+    # order safety + result determinism, slot by slot. A slot may carry a
+    # *batch* of requests; every replica must execute the same ordered batch
+    # with the same results.
+    by_slot: dict[int, dict[ProcessId, list[Execution]]] = {}
+    for e in report.executions:
+        by_slot.setdefault(e.seq, {}).setdefault(e.replica, []).append(e)
+    for seq, execs in sorted(by_slot.items()):
+        signatures = {
+            r: tuple((e.client, e.req_id, repr(e.result)) for e in es)
+            for r, es in execs.items()
+        }
+        distinct = set(signatures.values())
+        if len(distinct) > 1:
+            report.violations.append(
+                f"slot {seq} diverges across replicas: "
+                f"{sorted(str(s)[:80] for s in distinct)}"
+            )
+
+    # per-replica: contiguous slots (gaps only across checkpoint transfers),
+    # no duplicate requests
+    for r in correct:
+        log = report.log_of(r)
+        seqs = sorted({e.seq for e in log})  # batches repeat a seq; dedupe
+        covered = report.transfers.get(r, set())
+        prev = 0
+        for s in seqs:
+            contiguous = s == prev + 1
+            # a transfer to stable seq t installs state covering slots 1..t,
+            # so skipping prev+1..s-1 is fine when some t >= s-1 exists
+            transferred = any(t >= s - 1 for t in covered)
+            if not contiguous and not transferred:
+                report.violations.append(
+                    f"replica {r} executed non-contiguous slots {seqs[:20]} "
+                    f"(gap before {s} not covered by a checkpoint transfer)"
+                )
+                break
+            prev = s
+        keys = [(e.client, e.req_id) for e in log]
+        if len(keys) != len(set(keys)):
+            dupes = sorted({k for k in keys if keys.count(k) > 1})
+            report.violations.append(
+                f"replica {r} executed requests twice: {dupes[:5]}"
+            )
+
+    # client liveness
+    if expected_ops:
+        for client, expected in sorted(expected_ops.items()):
+            done = report.clients_done.get(client)
+            if done is None:
+                report.liveness_violations.append(
+                    f"client {client} never finished its {expected} ops"
+                )
+            elif done != expected:
+                report.liveness_violations.append(
+                    f"client {client} finished {done}/{expected} ops"
+                )
+    return report

@@ -1,0 +1,184 @@
+"""Directionality checkers: bidirectional / unidirectional / zero-directional.
+
+The paper's central definitions (Section 3.2 and the draft's "Old stuff"
+section) quantify, for rounds, how much communication between pairs of
+correct processes is guaranteed:
+
+- **bidirectional**: if p sends to q in round r, q receives p's round-r
+  message before q begins round r+1;
+- **unidirectional**: if p and q both send in round r, at least one of them
+  receives the other's round-r message before its own round r ends;
+- **zero-directional**: neither direction is guaranteed.
+
+These are properties of *systems* (all schedules), so a single trace can
+refute a level but never prove it. The checker therefore reports, per
+trace: which levels were *violated*, and the strongest level *consistent
+with* the trace. Benches run many adversarial schedules and aggregate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from ..errors import PropertyViolation
+from ..sim.trace import Trace
+from ..types import ProcessId, RoundId
+
+BIDIRECTIONAL = "bidirectional"
+UNIDIRECTIONAL = "unidirectional"
+ZERO_DIRECTIONAL = "zero-directional"
+
+
+@dataclass(frozen=True, slots=True)
+class PairViolation:
+    """A pair of correct processes and a round where a guarantee failed."""
+
+    p: ProcessId
+    q: ProcessId
+    round: RoundId
+    detail: str
+
+
+@dataclass(slots=True)
+class DirectionalityReport:
+    """Result of checking one trace."""
+
+    rounds_checked: int = 0
+    pairs_checked: int = 0
+    bidirectional_violations: list[PairViolation] = field(default_factory=list)
+    unidirectional_violations: list[PairViolation] = field(default_factory=list)
+
+    @property
+    def is_bidirectional(self) -> bool:
+        """No bidirectional violation observed (necessary, not sufficient)."""
+        return not self.bidirectional_violations
+
+    @property
+    def is_unidirectional(self) -> bool:
+        return not self.unidirectional_violations
+
+    def classify(self) -> str:
+        """Strongest directionality level consistent with this trace."""
+        if self.is_bidirectional:
+            return BIDIRECTIONAL
+        if self.is_unidirectional:
+            return UNIDIRECTIONAL
+        return ZERO_DIRECTIONAL
+
+    def assert_unidirectional(self) -> None:
+        if self.unidirectional_violations:
+            v = self.unidirectional_violations[0]
+            raise PropertyViolation(
+                "unidirectionality",
+                f"pair ({v.p}, {v.q}) round {v.round}: {v.detail} "
+                f"(+{len(self.unidirectional_violations) - 1} more)",
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class _RoundView:
+    """What one process did in one of its rounds, in trace-index terms."""
+
+    sent_index: Optional[int]  # None: participated without sending
+    end_index: Optional[int]  # None: round never completed in this trace
+    received_from: dict[ProcessId, int]  # src -> first receive index for this round
+
+
+def _collect(trace: Trace, pids: Iterable[ProcessId]) -> dict[ProcessId, dict[RoundId, _RoundView]]:
+    pidset = set(pids)
+    sent: dict[tuple[ProcessId, RoundId], int] = {}
+    ended: dict[tuple[ProcessId, RoundId], int] = {}
+    received: dict[tuple[ProcessId, RoundId], dict[ProcessId, int]] = {}
+    for ev in trace:
+        if ev.pid not in pidset:
+            continue
+        if ev.kind == "round_sent":
+            sent.setdefault((ev.pid, ev.field("round")), ev.index)
+        elif ev.kind == "round_end":
+            ended.setdefault((ev.pid, ev.field("round")), ev.index)
+        elif ev.kind == "round_recv":
+            r = ev.field("round")
+            src = ev.field("src")
+            received.setdefault((ev.pid, r), {}).setdefault(src, ev.index)
+    out: dict[ProcessId, dict[RoundId, _RoundView]] = {p: {} for p in pidset}
+    keys = set(sent) | set(ended) | set(received)
+    for p, r in keys:
+        out[p][r] = _RoundView(
+            sent_index=sent.get((p, r)),
+            end_index=ended.get((p, r)),
+            received_from=received.get((p, r), {}),
+        )
+    return out
+
+
+def check_directionality(
+    trace: Trace, correct: Iterable[ProcessId]
+) -> DirectionalityReport:
+    """Check one trace against the three directionality definitions.
+
+    Only rounds in which **both** processes of a pair sent are examined
+    (that is the paper's premise for unidirectionality); the bidirectional
+    check additionally covers the one-sided case — if p sent in round r and
+    q completed its round r without hearing p, bidirectionality is violated
+    regardless of whether q sent.
+
+    Rounds that a process never completed (trace ended first) impose no
+    obligation on that process but still witness receipt for the other side.
+    """
+    correct = sorted(set(correct))
+    views = _collect(trace, correct)
+    report = DirectionalityReport()
+    # labels may be any hashable; preserve first-appearance order
+    all_rounds = list(dict.fromkeys(r for p in correct for r in views[p]))
+    report.rounds_checked = len(all_rounds)
+
+    for i, p in enumerate(correct):
+        for q in correct[i + 1 :]:
+            for r in all_rounds:
+                vp = views[p].get(r)
+                vq = views[q].get(r)
+                # --- bidirectional obligations (one-sided) ---
+                for sender, receiver, vs, vr in ((p, q, vp, vq), (q, p, vq, vp)):
+                    if vs is None or vs.sent_index is None:
+                        continue
+                    if vr is None or vr.end_index is None:
+                        continue
+                    got = vr.received_from.get(sender)
+                    if got is None or got > vr.end_index:
+                        report.bidirectional_violations.append(
+                            PairViolation(
+                                sender,
+                                receiver,
+                                r,
+                                f"{receiver} ended round {r} without {sender}'s message",
+                            )
+                        )
+                # --- unidirectional obligation (both sent) ---
+                if vp is None or vq is None:
+                    continue
+                if vp.sent_index is None or vq.sent_index is None:
+                    continue
+                report.pairs_checked += 1
+                p_ok = _received_in_round(vp, q)
+                q_ok = _received_in_round(vq, p)
+                if not p_ok and not q_ok:
+                    # obligation only binds if both rounds actually ended
+                    if vp.end_index is not None and vq.end_index is not None:
+                        report.unidirectional_violations.append(
+                            PairViolation(
+                                p,
+                                q,
+                                r,
+                                "neither process received the other's round "
+                                f"{r} message before its round ended",
+                            )
+                        )
+    return report
+
+
+def _received_in_round(view: _RoundView, src: ProcessId) -> bool:
+    got = view.received_from.get(src)
+    if got is None:
+        return False
+    return view.end_index is None or got <= view.end_index

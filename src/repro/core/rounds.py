@@ -1,0 +1,568 @@
+"""Round-based communication: the engine and its transports.
+
+The paper's classification is phrased in terms of *rounds*: a system
+"implements rounds" with some directionality guarantee (bidirectional /
+unidirectional / zero-directional). This module gives protocols a uniform
+round API — :class:`RoundProcess` — over pluggable transports whose
+guarantees differ:
+
+========================================  =================================
+transport                                 guarantee (under the right adversary)
+========================================  =================================
+:class:`SharedMemoryRoundTransport`       **unidirectional** under full
+                                          asynchrony (paper §3.2: write own
+                                          object, then scan all)
+:class:`MessagePassingRoundTransport`     zero-directional (waits for n-f
+                                          round messages; classic asynchrony)
+:class:`LockStepRoundTransport`           bidirectional under lock-step
+                                          synchrony (global round boundaries)
+:class:`TimedRoundTransport`              unidirectional when ``wait >= 2Δ``
+                                          under Δ-bounded delays (draft
+                                          "Δ-synchronous communication");
+                                          zero-directional for small waits
+========================================  =================================
+
+**Round labels.** A round is identified by a protocol-chosen hashable
+*label* rather than a bare number. The paper's "round r" quantifies over a
+common label both processes use; under asynchrony different processes
+cannot align position-based counters, but they *can* agree on semantic
+labels like ``("copy", sender, seq)`` — which is exactly what Algorithm 1
+needs. ``begin_round(payload)`` without a label uses this process's round
+count (1, 2, …), matching the classic numbered-round reading.
+
+Besides rounds, every transport offers :meth:`RoundTransport.post` — a
+plain eventually-delivered "send to all" with no round obligation (in the
+shared-memory world: append without waiting for a scan). Protocols use it
+for relays that need only eventual delivery.
+
+Trace events ``round_begin/round_sent/round_recv/round_end`` feed the
+:mod:`repro.core.directionality` checker; posts are delivered to
+``on_round_message`` with the distinguished label :data:`POST`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Hashable, Optional
+
+from ..errors import ConfigurationError, SimulationError
+from ..hardware.registers import AppendOnlyRegister
+from ..sim.process import Process
+from ..types import ProcessId
+
+ROUND_MSG = "__round__"
+POST = ("__post__",)
+"""Label carried by non-round :meth:`RoundTransport.post` messages."""
+
+Label = Hashable
+
+
+class RoundTransport:
+    """Base class for round transports; subclasses implement the mechanics.
+
+    A transport is attached to exactly one host :class:`RoundProcess`. The
+    host forwards simulator events to the ``handle_*`` hooks; a hook returns
+    True when it consumed the event.
+
+    Rounds are sequential per process: at most one active at a time.
+    :meth:`begin_round_queued` defers a round until the active one
+    completes, which is what multi-phase protocols (Algorithm 1) use.
+    """
+
+    def __init__(self) -> None:
+        self.host: Optional["RoundProcess"] = None
+        self.active_label: Optional[Label] = None
+        self.rounds_begun = 0
+        self._labels_used: set[Label] = set()
+        self._queue: deque[tuple[Label | None, Any]] = deque()
+        self._delivered: set[tuple[ProcessId, Label, Any]] = set()
+
+    # -- wiring ---------------------------------------------------------------
+
+    def attach(self, host: "RoundProcess") -> None:
+        if self.host is not None:
+            raise ConfigurationError("round transport attached twice")
+        self.host = host
+
+    def start(self) -> None:
+        """Called from the host's ``on_start``."""
+
+    # -- host API ----------------------------------------------------------------
+
+    def begin_round(self, payload: Any, label: Label | None = None) -> Label:
+        """Send ``payload`` in a new round; returns the round's label.
+
+        Raises if a round is already active (use :meth:`begin_round_queued`)
+        or if the label was used before by this process.
+        """
+        if self.host is None:
+            raise SimulationError("transport not attached")
+        if self.active_label is not None:
+            raise SimulationError(
+                f"process {self.host.pid}: round {self.active_label!r} still "
+                f"active; queue the new round instead"
+            )
+        return self._begin(payload, label)
+
+    def begin_round_queued(self, payload: Any, label: Label | None = None) -> None:
+        """Begin the round now if idle, else after active/queued rounds end."""
+        if self.host is None:
+            raise SimulationError("transport not attached")
+        if self.active_label is None and not self._queue:
+            self._begin(payload, label)
+        else:
+            self._queue.append((label, payload))
+
+    def post(self, payload: Any) -> None:
+        """Eventually-delivered send-to-all with no round semantics."""
+        raise NotImplementedError
+
+    # -- subclass responsibilities ----------------------------------------------------
+
+    def _send(self, label: Label, payload: Any) -> None:
+        raise NotImplementedError
+
+    def handle_message(self, src: ProcessId, msg: Any) -> bool:
+        return False
+
+    def handle_op_result(self, object_name: str, op: str, handle: int,
+                         result: Any) -> bool:
+        return False
+
+    def handle_timer(self, tag: Any) -> bool:
+        return False
+
+    # -- shared plumbing -----------------------------------------------------------------
+
+    def _begin(self, payload: Any, label: Label | None) -> Label:
+        assert self.host is not None
+        self.rounds_begun += 1
+        if label is None:
+            label = self.rounds_begun
+        if label in self._labels_used:
+            raise SimulationError(
+                f"process {self.host.pid}: round label {label!r} reused"
+            )
+        self._labels_used.add(label)
+        self.active_label = label
+        ctx = self.host.ctx
+        ctx.record("round_begin", round=label)
+        ctx.record("round_sent", round=label, payload=payload)
+        self._send(label, payload)
+        return label
+
+    def _deliver(self, label: Label, src: ProcessId, payload: Any) -> None:
+        """Report a message once per (src, label, payload)."""
+        try:
+            key = (src, label, payload)
+            fresh = key not in self._delivered
+            if fresh:
+                self._delivered.add(key)
+        except TypeError:  # unhashable Byzantine payload: deliver, host validates
+            fresh = True
+        if fresh:
+            assert self.host is not None
+            self.host.ctx.record("round_recv", round=label, src=src, payload=payload)
+            self.host.on_round_message(label, src, payload)
+
+    def _complete(self, label: Label) -> None:
+        assert self.host is not None
+        if label != self.active_label:
+            return
+        self.active_label = None
+        self.host.ctx.record("round_end", round=label)
+        self.host.on_round_complete(label)
+        if self._queue and self.active_label is None:
+            next_label, payload = self._queue.popleft()
+            self._begin(payload, next_label)
+
+
+class RoundProcess(Process):
+    """A process that communicates through a :class:`RoundTransport`.
+
+    Subclasses implement ``on_round_message`` / ``on_round_complete`` (and
+    may use the normal :class:`~repro.sim.process.Process` hooks; transport
+    events are filtered out before ``on_other_message`` is called).
+    """
+
+    def __init__(self, transport: RoundTransport) -> None:
+        super().__init__()
+        self.rounds = transport
+
+    # -- override points ----------------------------------------------------------
+
+    def on_round_message(self, label: Label, src: ProcessId, payload: Any) -> None:
+        """A payload from ``src`` tagged with round ``label`` became visible.
+
+        ``label`` is :data:`POST` for non-round posts.
+        """
+
+    def on_round_complete(self, label: Label) -> None:
+        """This process's round ``label`` satisfied the end condition."""
+
+    def on_round_start(self) -> None:
+        """Called once at simulation start (after the transport is live)."""
+
+    def on_other_message(self, src: ProcessId, msg: Any) -> None:
+        """Non-transport message (protocols mixing rounds with direct sends)."""
+
+    # -- plumbing -------------------------------------------------------------------
+
+    def on_start(self) -> None:
+        self.rounds.attach(self)
+        self.rounds.start()
+        self.on_round_start()
+
+    def on_message(self, src: ProcessId, msg: Any) -> None:
+        if not self.rounds.handle_message(src, msg):
+            self.on_other_message(src, msg)
+
+    def on_timer(self, tag: Any) -> None:
+        self.rounds.handle_timer(tag)
+
+    def on_op_result(self, object_name: str, op: str, handle: int, result: Any) -> None:
+        self.rounds.handle_op_result(object_name, op, handle, result)
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory transport (the paper's §3.2 construction)
+# ---------------------------------------------------------------------------
+
+
+class SharedMemoryRoundTransport(RoundTransport):
+    """Unidirectional rounds from per-process append-only objects.
+
+    The construction of the paper's Claim in §3.2 (due to Aguilera et al.):
+    to send in round ``r``, append ``(r, payload)`` to your own object, then
+    read objects ``o_1 … o_n``; the round ends when one full scan that
+    *started after your append linearized* has completed. For any two
+    correct processes that both send in a round, the later appender's
+    counted scan must see the earlier appender's entry — unidirectionality.
+    The argument never uses the label, so it holds per label, concurrent or
+    not.
+
+    The transport keeps rescanning (with exponential backoff once nothing
+    changes) so entries appended later are still delivered — shared-memory
+    "reception" is reading, and readers poll. Polling frequency affects
+    only latency, never the unidirectionality argument. :meth:`post` is a
+    plain append: eventual delivery via everyone's scans.
+    """
+
+    SCAN_TAG = "__sm_round_scan__"
+
+    def __init__(
+        self,
+        log_prefix: str = "roundlog",
+        first_scan_delay: float = 0.05,
+        idle_backoff: float = 1.6,
+        max_interval: float = 30.0,
+    ) -> None:
+        super().__init__()
+        self.log_prefix = log_prefix
+        self.first_scan_delay = first_scan_delay
+        self.idle_backoff = idle_backoff
+        self.max_interval = max_interval
+        self._append_handle: Optional[int] = None
+        self._append_done_label: Optional[Label] = None
+        self._scan_handles: dict[int, ProcessId] = {}
+        self._scan_counts_label: Optional[Label] = None
+        self._scan_running = False
+        self._seen_lengths: dict[ProcessId, int] = {}
+        self._interval = first_scan_delay
+        self._new_data = False
+        self.scans_completed = 0
+
+    # -- setup helper ------------------------------------------------------------
+
+    @staticmethod
+    def build_logs(n: int, prefix: str = "roundlog") -> list[AppendOnlyRegister]:
+        """The per-process append-only objects; register them on the simulation."""
+        return [AppendOnlyRegister(f"{prefix}{i}", owner=i) for i in range(n)]
+
+    def _log_name(self, pid: ProcessId) -> str:
+        return f"{self.log_prefix}{pid}"
+
+    # -- round mechanics ------------------------------------------------------------
+
+    def start(self) -> None:
+        assert self.host is not None
+        self._seen_lengths = {p: 0 for p in range(self.host.ctx.n)}
+        self.host.ctx.set_timer(self.first_scan_delay, self.SCAN_TAG)
+
+    # -- object-specific hooks (overridden by the SWMR / PEATS / sticky
+    # variants in repro.core.uni_from_sm; the unidirectionality argument only
+    # needs "publish to own object, then scan all objects") -------------------
+
+    def _publish(self, entry: tuple) -> Optional[int]:
+        """Make ``entry = (label, payload)`` readable by everyone; returns handle."""
+        assert self.host is not None
+        return self.host.ctx.invoke(
+            self._log_name(self.host.pid), "append", entry
+        )
+
+    def _scan_one(self, p: ProcessId) -> Optional[int]:
+        """Issue the read of process ``p``'s object for the current scan."""
+        assert self.host is not None
+        return self.host.ctx.invoke(
+            self._log_name(p), "read_from", self._seen_lengths[p]
+        )
+
+    def _is_own_publish(self, object_name: str, op: str) -> bool:
+        """Whether an op response belongs to a fire-and-forget publish."""
+        return object_name.startswith(self.log_prefix) and op == "append"
+
+    def _send(self, label: Label, payload: Any) -> None:
+        self._append_done_label = None
+        self._append_handle = self._publish((label, payload))
+
+    def post(self, payload: Any) -> None:
+        self._publish((POST, payload))
+        self._poke()
+
+    def _poke(self) -> None:
+        """Make sure scanning resumes promptly after new local activity."""
+        self._interval = self.first_scan_delay
+
+    def handle_op_result(self, object_name, op, handle, result) -> bool:
+        assert self.host is not None
+        if handle == self._append_handle:
+            self._append_handle = None
+            self._append_done_label = self.active_label
+            # the next scan to *start* counts toward completing this round
+            if not self._scan_running:
+                self._begin_scan()
+            return True
+        if handle in self._scan_handles:
+            src = self._scan_handles.pop(handle)
+            self._ingest(src, result)
+            if not self._scan_handles:
+                self._finish_scan()
+            return True
+        if self._is_own_publish(object_name, op):
+            return True  # a post's publish response: nothing to do
+        return False
+
+    def handle_timer(self, tag: Any) -> bool:
+        if tag != self.SCAN_TAG:
+            return False
+        if not self._scan_running:
+            self._begin_scan()
+        return True
+
+    def _begin_scan(self) -> None:
+        assert self.host is not None
+        self._scan_running = True
+        self._new_data = False
+        # a scan "counts" for the active round iff its append already linearized
+        self._scan_counts_label = self._append_done_label
+        for p in range(self.host.ctx.n):
+            handle = self._scan_one(p)
+            if handle is not None:
+                self._scan_handles[handle] = p
+
+    def _ingest(self, src: ProcessId, result: Any) -> None:
+        if not isinstance(result, tuple):
+            return
+        start = self._seen_lengths[src]
+        self._seen_lengths[src] = start + len(result)
+        if result:
+            self._new_data = True
+        for entry in result:
+            if isinstance(entry, tuple) and len(entry) == 2:
+                self._deliver(entry[0], src, entry[1])
+
+    def _finish_scan(self) -> None:
+        assert self.host is not None
+        self._scan_running = False
+        self.scans_completed += 1
+        counted = self._scan_counts_label
+        if (
+            self.active_label is not None
+            and counted is not None
+            and counted == self.active_label
+        ):
+            self._complete(counted)
+        # keep watching: rescan soon while things move, back off when idle
+        if self._new_data or self.active_label is not None or self._append_handle is not None:
+            self._interval = self.first_scan_delay
+        else:
+            self._interval = min(self._interval * self.idle_backoff, self.max_interval)
+        self.host.ctx.set_timer(self._interval, self.SCAN_TAG)
+
+
+# ---------------------------------------------------------------------------
+# Message-passing transports
+# ---------------------------------------------------------------------------
+
+
+class MessagePassingRoundTransport(RoundTransport):
+    """Asynchronous rounds: wait for same-label messages from ``n - f`` senders.
+
+    This is the best a classic asynchronous system can do, and it is
+    **zero-directional**: the ``n - f`` heard senders need not include any
+    particular correct process (the draft's "Asynchronous communication"
+    paragraph). Messages for other labels are delivered on arrival.
+    """
+
+    def __init__(self, f: int) -> None:
+        super().__init__()
+        if f < 0:
+            raise ConfigurationError(f"f must be non-negative, got {f}")
+        self.f = f
+        self._heard: dict[Label, set[ProcessId]] = {}
+
+    def _send(self, label: Label, payload: Any) -> None:
+        assert self.host is not None
+        self.host.ctx.broadcast((ROUND_MSG, label, payload), include_self=True)
+
+    def post(self, payload: Any) -> None:
+        assert self.host is not None
+        self.host.ctx.broadcast((ROUND_MSG, POST, payload), include_self=True)
+
+    def handle_message(self, src: ProcessId, msg: Any) -> bool:
+        if not (isinstance(msg, tuple) and len(msg) == 3 and msg[0] == ROUND_MSG):
+            return False
+        _, label, payload = msg
+        try:
+            hash(label)
+        except TypeError:
+            return True  # malformed label from a Byzantine sender: drop
+        self._deliver(label, src, payload)
+        if label == POST:
+            return True
+        heard = self._heard.setdefault(label, set())
+        heard.add(src)
+        assert self.host is not None
+        if (
+            self.active_label is not None
+            and label == self.active_label
+            and len(heard) >= self.host.ctx.n - self.f
+        ):
+            self._complete(label)
+        return True
+
+
+class LockStepRoundTransport(RoundTransport):
+    """Globally synchronized rounds: boundary ``k`` opens round label ``k``.
+
+    Under a :class:`~repro.sim.adversary.LockStepSynchronous` adversary with
+    ``delta <= period``, every message sent at a round boundary arrives
+    before the round's closing boundary — **bidirectional** rounds (classic
+    lock-step synchrony). Payloads queued mid-round are sent at the next
+    boundary; custom labels are rejected because lock-step round identity
+    *is* the global boundary index.
+    """
+
+    BOUNDARY_TAG = "__lockstep_boundary__"
+
+    def __init__(self, period: float = 2.0) -> None:
+        super().__init__()
+        if period <= 0:
+            raise ConfigurationError(f"period must be positive, got {period}")
+        self.period = period
+        self._boundary = 0
+        self._pending: deque[Any] = deque()
+
+    def start(self) -> None:
+        assert self.host is not None
+        self.host.ctx.set_timer(self.period, self.BOUNDARY_TAG)
+
+    def _begin(self, payload: Any, label: Label | None) -> Label:
+        if label is not None:
+            raise ConfigurationError(
+                "lock-step rounds are labeled by the global boundary index; "
+                "custom labels are not supported"
+            )
+        self._pending.append(payload)
+        return self._boundary + 1  # the earliest boundary that could carry it
+
+    def post(self, payload: Any) -> None:
+        assert self.host is not None
+        self.host.ctx.broadcast((ROUND_MSG, POST, payload), include_self=True)
+
+    def _send(self, label: Label, payload: Any) -> None:
+        assert self.host is not None
+        self.host.ctx.broadcast((ROUND_MSG, label, payload), include_self=True)
+
+    def handle_timer(self, tag: Any) -> bool:
+        if tag != self.BOUNDARY_TAG:
+            return False
+        assert self.host is not None
+        ctx = self.host.ctx
+        # close the finishing round…
+        if self.active_label is not None:
+            label = self.active_label
+            self.active_label = None
+            ctx.record("round_end", round=label)
+            self.host.on_round_complete(label)
+        self._boundary += 1
+        # …and open the next one if a payload is waiting
+        if self._pending:
+            payload = self._pending.popleft()
+            label = self._boundary
+            self._labels_used.add(label)
+            self.rounds_begun += 1
+            self.active_label = label
+            ctx.record("round_begin", round=label)
+            ctx.record("round_sent", round=label, payload=payload)
+            self._send(label, payload)
+        ctx.set_timer(self.period, self.BOUNDARY_TAG)
+        return True
+
+    def handle_message(self, src: ProcessId, msg: Any) -> bool:
+        if not (isinstance(msg, tuple) and len(msg) == 3 and msg[0] == ROUND_MSG):
+            return False
+        _, label, payload = msg
+        try:
+            hash(label)
+        except TypeError:
+            return True
+        self._deliver(label, src, payload)
+        return True
+
+
+class TimedRoundTransport(RoundTransport):
+    """Timeout rounds for the Δ-synchronous model (draft section).
+
+    A round is: send to all, then wait ``wait`` time, then end. Under
+    Δ-bounded message delays, ``wait >= 2Δ`` yields **unidirectional**
+    rounds even when processes start a given label at arbitrary offsets:
+    if p misses q's label-L message (q started later than p's end minus Δ),
+    then p's message, sent at p's start, arrived at q at most Δ later —
+    before q's round began — and is buffered, so q has it before q's round
+    ends. Waits below 2Δ lose the guarantee (benchmarked in Q2).
+    """
+
+    WAIT_TAG = "__timed_round_end__"
+
+    def __init__(self, wait: float) -> None:
+        super().__init__()
+        if wait <= 0:
+            raise ConfigurationError(f"wait must be positive, got {wait}")
+        self.wait = wait
+
+    def _send(self, label: Label, payload: Any) -> None:
+        assert self.host is not None
+        self.host.ctx.broadcast((ROUND_MSG, label, payload), include_self=True)
+        self.host.ctx.set_timer(self.wait, (self.WAIT_TAG, label))
+
+    def post(self, payload: Any) -> None:
+        assert self.host is not None
+        self.host.ctx.broadcast((ROUND_MSG, POST, payload), include_self=True)
+
+    def handle_timer(self, tag: Any) -> bool:
+        if isinstance(tag, tuple) and len(tag) == 2 and tag[0] == self.WAIT_TAG:
+            self._complete(tag[1])
+            return True
+        return False
+
+    def handle_message(self, src: ProcessId, msg: Any) -> bool:
+        if not (isinstance(msg, tuple) and len(msg) == 3 and msg[0] == ROUND_MSG):
+            return False
+        _, label, payload = msg
+        try:
+            hash(label)
+        except TypeError:
+            return True
+        self._deliver(label, src, payload)
+        return True

@@ -1,0 +1,252 @@
+"""Executable separation: SRB cannot implement unidirectionality (§4.1).
+
+An impossibility theorem cannot be *proven* by running code, but its proof
+is a recipe for three concrete executions, and those we can run and audit.
+The paper's argument (n > 2f, f > 1; sets Q of size n-f, C1 = {p}, C2 of
+size f-1):
+
+- **Scenario 1** — p ∈ C1 crashed from the start; C2→Q messages arbitrarily
+  delayed; everything else immediate. Q and C2 must finish the round
+  (from their view, C1 ∪ C2 could be the ≤ f faulty set / they hear all
+  correct processes). A C2 process finishes *without hearing C1*.
+- **Scenario 2** — mirror image: C2 crashed, C1→Q delayed. C1 finishes
+  without hearing C2.
+- **Scenario 3** — nobody faulty; everything out of C1 and out of C2 to
+  the other sets delayed. Indistinguishable to Q from both scenarios, to
+  C1 from Scenario 2, to C2 from Scenario 1 — so C1 and C2 both finish the
+  round having heard nothing from each other: **unidirectionality fails**.
+
+:func:`run_srb_separation` executes all three against a *candidate*
+round-over-SRB protocol and verifies (a) the required round completions,
+(b) the pairwise view-indistinguishabilities, (c) the unidirectionality
+violation in Scenario 3. The default candidate waits for round messages
+from ``n - f`` distinct SRB streams — the most a fault-tolerant protocol
+can wait for without risking waiting on the faulty set forever; the runner
+accepts any :class:`RoundProcess`-compatible candidate factory so stronger
+heuristics (e.g. two-phase forwarding, which rescues only ``f = 1``) can be
+plugged in and shown to fail too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from ..errors import ConfigurationError, PropertyViolation
+from ..sim.partition import srb_separation_sets
+from ..sim.process import Process
+from ..sim.runner import Simulation
+from ..types import ProcessId, ProcessSet, Time
+from .directionality import DirectionalityReport, check_directionality
+from .srb_oracle import SRBOracle, SRBSenderHandle
+
+IMMEDIATE = 0.05
+"""Delay used for 'received immediately' links (constant, for determinism)."""
+
+
+class CandidateSRBRound(Process):
+    """A round implemented over SRB: broadcast, wait for n-f streams, finish.
+
+    Records the standard round trace events so
+    :func:`~repro.core.directionality.check_directionality` audits it like
+    any transport. ``on_finished`` hook marks "starts the next round".
+    """
+
+    LABEL = 1  # single common round
+
+    def __init__(self, oracle: SRBOracle, f: int) -> None:
+        super().__init__()
+        self.oracle = oracle
+        self.f = f
+        self._heard: set[ProcessId] = set()
+        self._handle: Optional[SRBSenderHandle] = None
+        self.finished = False
+
+    def on_start(self) -> None:
+        self.oracle.subscribe(self.pid, self._on_deliver)
+        self._handle = self.oracle.sender_handle(self.pid)
+        self.ctx.record("round_begin", round=self.LABEL)
+        self.ctx.record("round_sent", round=self.LABEL, payload=("hello", self.pid))
+        self._handle.broadcast(("R", self.LABEL, ("hello", self.pid)))
+
+    def _on_deliver(self, src: ProcessId, seq: int, value: Any) -> None:
+        if not (isinstance(value, tuple) and len(value) == 3 and value[0] == "R"):
+            return
+        _, label, payload = value
+        if label != self.LABEL:
+            return
+        self.ctx.record("round_recv", round=label, src=src, payload=payload)
+        self._heard.add(src)
+        if not self.finished and len(self._heard) >= self.ctx.n - self.f:
+            self.finished = True
+            self.ctx.record("round_end", round=label)
+            self.ctx.record("custom", event="next_round_started")
+
+
+CandidateFactory = Callable[[SRBOracle, int], Process]
+
+
+@dataclass(slots=True)
+class ScenarioResult:
+    """One scenario's simulation plus which processes finished the round."""
+
+    name: str
+    sim: Simulation
+    finished: frozenset[ProcessId]
+
+    def view(self, pid: ProcessId) -> tuple:
+        return self.sim.trace.local_view(pid)
+
+
+@dataclass(slots=True)
+class SeparationOutcome:
+    """Everything :func:`run_srb_separation` verified, for reporting."""
+
+    n: int
+    f: int
+    sets: dict[str, ProcessSet]
+    scenario1: ScenarioResult
+    scenario2: ScenarioResult
+    scenario3: ScenarioResult
+    directionality3: DirectionalityReport
+    indistinguishable_q: bool
+    indistinguishable_c1: bool
+    indistinguishable_c2: bool
+
+    @property
+    def separation_holds(self) -> bool:
+        return (
+            not self.directionality3.is_unidirectional
+            and self.indistinguishable_q
+            and self.indistinguishable_c1
+            and self.indistinguishable_c2
+        )
+
+    def assert_holds(self) -> None:
+        if not self.separation_holds:
+            problems = []
+            if self.directionality3.is_unidirectional:
+                problems.append("no unidirectionality violation in Scenario 3")
+            if not self.indistinguishable_q:
+                problems.append("Q distinguishes the scenarios")
+            if not self.indistinguishable_c1:
+                problems.append("C1 distinguishes Scenario 3 from Scenario 2")
+            if not self.indistinguishable_c2:
+                problems.append("C2 distinguishes Scenario 3 from Scenario 1")
+            raise PropertyViolation("srb-uni-separation", "; ".join(problems))
+
+
+def _policy_for(
+    scenario: int, sets: dict[str, ProcessSet]
+) -> Callable[[ProcessId, ProcessId, int, Time], Optional[float]]:
+    q, c1, c2 = sets["Q"], sets["C1"], sets["C2"]
+
+    def in_(ps: ProcessSet, pid: ProcessId) -> bool:
+        return pid in ps
+
+    def policy(s: ProcessId, r: ProcessId, seq: int, now: Time) -> Optional[float]:
+        if scenario == 1:
+            # C1 crashed (sends nothing anyway); C2 -> Q arbitrarily delayed
+            if in_(c2, s) and in_(q, r):
+                return None
+        elif scenario == 2:
+            # C2 silent; C1 -> Q arbitrarily delayed
+            if in_(c1, s) and in_(q, r):
+                return None
+        elif scenario == 3:
+            # everything out of C1 / C2 to *other* sets arbitrarily delayed
+            if in_(c1, s) and not in_(c1, r):
+                return None
+            if in_(c2, s) and not in_(c2, r):
+                return None
+        else:  # pragma: no cover
+            raise ConfigurationError(f"unknown scenario {scenario}")
+        return IMMEDIATE
+
+    return policy
+
+
+def _run_scenario(
+    scenario: int,
+    n: int,
+    f: int,
+    sets: dict[str, ProcessSet],
+    factory: CandidateFactory,
+    seed: int,
+    horizon: float,
+) -> ScenarioResult:
+    oracle = SRBOracle(policy=_policy_for(scenario, sets), seed=seed)
+    processes = [factory(oracle, f) for _ in range(n)]
+    sim = Simulation(processes, seed=seed)
+    oracle.bind(sim)
+    if scenario == 1:
+        for pid in sets["C1"]:
+            sim.declare_byzantine(pid)
+            sim.crash(pid)  # crashes at the very beginning, sends nothing
+    elif scenario == 2:
+        for pid in sets["C2"]:
+            sim.declare_byzantine(pid)
+            sim.crash(pid)
+    sim.run(until=horizon)
+    finished = frozenset(
+        ev.pid
+        for ev in sim.trace.events(
+            "custom", predicate=lambda e: e.field("event") == "next_round_started"
+        )
+    )
+    return ScenarioResult(name=f"scenario{scenario}", sim=sim, finished=finished)
+
+
+def run_srb_separation(
+    n: int,
+    f: int,
+    factory: CandidateFactory = CandidateSRBRound,
+    seed: int = 0,
+    horizon: float = 200.0,
+) -> SeparationOutcome:
+    """Execute the three scenarios of §4.1 against a candidate protocol.
+
+    Requires ``n > 2f`` and ``f > 1`` (the regime of the claim). Raises
+    :class:`~repro.errors.PropertyViolation` via
+    :meth:`SeparationOutcome.assert_holds` when the candidate *survives*
+    (e.g. run it with f=1 and a corner-case-style candidate to see the
+    separation fail to apply — see tests).
+    """
+    sets = srb_separation_sets(n, f)
+    s1 = _run_scenario(1, n, f, sets, factory, seed, horizon)
+    s2 = _run_scenario(2, n, f, sets, factory, seed, horizon)
+    s3 = _run_scenario(3, n, f, sets, factory, seed, horizon)
+
+    q, c1, c2 = sets["Q"], sets["C1"], sets["C2"]
+
+    # The proof's obligations on scenarios 1 and 2: the "surviving" sides
+    # must have started their next round.
+    for pid in q:
+        if pid not in s1.finished or pid not in s2.finished or pid not in s3.finished:
+            raise PropertyViolation(
+                "srb-uni-separation",
+                f"candidate deadlocked: Q member {pid} did not finish in some scenario "
+                "(a round protocol must tolerate f absent processes)",
+            )
+
+    # Indistinguishability checks (content+order of each process's view).
+    ind_q = all(
+        s3.view(pid) == s1.view(pid) == s2.view(pid) for pid in q
+    )
+    ind_c1 = all(s3.view(pid) == s2.view(pid) for pid in c1)
+    ind_c2 = all(s3.view(pid) == s1.view(pid) for pid in c2)
+
+    report3 = check_directionality(s3.sim.trace, correct=range(n))
+
+    return SeparationOutcome(
+        n=n,
+        f=f,
+        sets=sets,
+        scenario1=s1,
+        scenario2=s2,
+        scenario3=s3,
+        directionality3=report3,
+        indistinguishable_q=ind_q,
+        indistinguishable_c1=ind_c1,
+        indistinguishable_c2=ind_c2,
+    )

@@ -1,0 +1,205 @@
+"""Sequenced Reliable Broadcast: the interface and its four-property checker.
+
+The paper's Definition 1. A designated *sender* broadcasts messages with
+consecutive sequence numbers (1, 2, …); the primitive guarantees:
+
+1. **validity** — a correct sender's every message is eventually delivered
+   by every correct process;
+2. **agreement (relay + no-duplicity)** — if some correct process delivers
+   ``m`` with sequence number ``k`` from ``p``, eventually every correct
+   process delivers the same ``m`` with ``k`` from ``p``;
+3. **sequencing** — deliveries from ``p`` happen in sequence-number order
+   with no gaps;
+4. **integrity** — a delivered message was actually broadcast by ``p``.
+
+Implementations record ``bcast`` events when the sender broadcasts and
+``bcast_deliver`` events on delivery; :func:`check_srb` audits a finished
+trace. "Eventually" is interpreted as *by the end of the run* — callers
+are responsible for running long enough past quiescence (the benches use
+generous horizons and verify network fairness separately).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional
+
+from ..errors import PropertyViolation
+from ..sim.process import Process
+from ..sim.trace import Trace
+from ..types import Delivery, ProcessId, SeqNum
+
+
+class SRBroadcast(Process):
+    """Interface for SRB implementations (the sender-side API).
+
+    A concrete SRB protocol subclasses this (or embeds equivalent logic) —
+    application code calls :meth:`broadcast` on the sender and overrides
+    :meth:`on_deliver` everywhere. Implementations must call
+    :meth:`_record_broadcast` / :meth:`_record_delivery` so traces are
+    checkable.
+    """
+
+    def broadcast(self, message: Any) -> SeqNum:
+        """(Sender only.) Broadcast ``message`` with the next sequence number."""
+        raise NotImplementedError
+
+    def on_deliver(self, sender: ProcessId, seq: SeqNum, message: Any) -> None:
+        """Application hook: ``(seq, message)`` from ``sender`` was delivered."""
+
+    # -- trace plumbing ----------------------------------------------------------
+
+    def _record_broadcast(self, seq: SeqNum, message: Any) -> None:
+        self.ctx.record("bcast", seq=seq, value=message)
+
+    def _record_delivery(self, sender: ProcessId, seq: SeqNum, message: Any) -> None:
+        self.ctx.record("bcast_deliver", sender=sender, seq=seq, value=message)
+        self.on_deliver(sender, seq, message)
+
+
+@dataclass(slots=True)
+class SRBReport:
+    """Audit result for one sender's broadcast stream in one trace."""
+
+    sender: ProcessId
+    broadcasts: list[tuple[SeqNum, Any]] = field(default_factory=list)
+    deliveries: list[Delivery] = field(default_factory=list)
+    validity_violations: list[str] = field(default_factory=list)
+    agreement_violations: list[str] = field(default_factory=list)
+    sequencing_violations: list[str] = field(default_factory=list)
+    integrity_violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not (
+            self.validity_violations
+            or self.agreement_violations
+            or self.sequencing_violations
+            or self.integrity_violations
+        )
+
+    def all_violations(self) -> list[str]:
+        return (
+            [f"validity: {v}" for v in self.validity_violations]
+            + [f"agreement: {v}" for v in self.agreement_violations]
+            + [f"sequencing: {v}" for v in self.sequencing_violations]
+            + [f"integrity: {v}" for v in self.integrity_violations]
+        )
+
+    def assert_ok(self) -> None:
+        if not self.ok:
+            vs = self.all_violations()
+            raise PropertyViolation(
+                "SRB", vs[0] + (f" (+{len(vs) - 1} more)" if len(vs) > 1 else "")
+            )
+
+
+def check_srb(
+    trace: Trace,
+    sender: ProcessId,
+    correct: Iterable[ProcessId],
+    sender_correct: bool = True,
+    expect_complete: bool = True,
+) -> SRBReport:
+    """Audit the four SRB properties for ``sender``'s stream.
+
+    ``expect_complete=True`` treats the run as long enough that every
+    "eventually" should have resolved; set it False for truncated runs
+    (then only safety — agreement consistency, sequencing, integrity —
+    is checked, not liveness).
+
+    With a Byzantine sender (``sender_correct=False``) validity is not
+    required and integrity is checked against the union of values the
+    Byzantine code *recorded* as broadcast (our Byzantine senders attest
+    whatever they send; a value delivered that was never even recorded
+    means forged provenance — always a violation).
+    """
+    correct_set = sorted(set(correct))
+    report = SRBReport(sender=sender)
+
+    report.broadcasts = [
+        (ev.field("seq"), ev.field("value"))
+        for ev in trace.events("bcast", pid=sender)
+    ]
+    report.deliveries = [
+        d for d in trace.broadcast_deliveries() if d.sender == sender
+    ]
+    by_receiver: dict[ProcessId, list[Delivery]] = {p: [] for p in correct_set}
+    for d in report.deliveries:
+        if d.receiver in by_receiver:
+            by_receiver[d.receiver].append(d)
+
+    # --- sequencing (property 3): in-order, gap-free, no duplicates ------------
+    for p in correct_set:
+        seqs = [d.seq for d in by_receiver[p]]
+        for i, s in enumerate(seqs):
+            if s != i + 1:
+                report.sequencing_violations.append(
+                    f"process {p} delivery #{i + 1} has seq {s} "
+                    f"(full order: {seqs})"
+                )
+                break
+
+    # --- agreement part 1: no two correct processes disagree on a seq ----------
+    value_of: dict[SeqNum, tuple[ProcessId, Any]] = {}
+    for p in correct_set:
+        for d in by_receiver[p]:
+            if d.seq in value_of:
+                q, v = value_of[d.seq]
+                if v != d.value:
+                    report.agreement_violations.append(
+                        f"seq {d.seq}: process {q} delivered {v!r} but "
+                        f"process {p} delivered {d.value!r}"
+                    )
+            else:
+                value_of[d.seq] = (p, d.value)
+
+    # --- agreement part 2 (relay, liveness): all-or-nothing per seq ------------
+    if expect_complete:
+        for seq, (q, v) in sorted(value_of.items()):
+            for p in correct_set:
+                if not any(d.seq == seq for d in by_receiver[p]):
+                    report.agreement_violations.append(
+                        f"seq {seq}: delivered by process {q} but never by "
+                        f"process {p}"
+                    )
+
+    # --- validity (property 1) ---------------------------------------------------
+    if sender_correct and expect_complete:
+        for seq, value in report.broadcasts:
+            for p in correct_set:
+                if not any(
+                    d.seq == seq and d.value == value for d in by_receiver[p]
+                ):
+                    report.validity_violations.append(
+                        f"sender broadcast ({seq}, {value!r}) but process {p} "
+                        "did not deliver it"
+                    )
+
+    # --- integrity (property 4) ----------------------------------------------------
+    broadcast_set = set(report.broadcasts)
+    for p in correct_set:
+        for d in by_receiver[p]:
+            if (d.seq, d.value) not in broadcast_set:
+                if sender_correct:
+                    report.integrity_violations.append(
+                        f"process {p} delivered ({d.seq}, {d.value!r}) which the "
+                        "correct sender never broadcast"
+                    )
+                elif not any(v == d.value for (_s, v) in report.broadcasts):
+                    report.integrity_violations.append(
+                        f"process {p} delivered ({d.seq}, {d.value!r}); the "
+                        "Byzantine sender never even produced that value"
+                    )
+    return report
+
+
+def deliveries_by_process(
+    trace: Trace, sender: ProcessId
+) -> dict[ProcessId, list[tuple[SeqNum, Any]]]:
+    """Convenience: per-receiver ordered (seq, value) lists for ``sender``."""
+    out: dict[ProcessId, list[tuple[SeqNum, Any]]] = {}
+    for d in trace.broadcast_deliveries():
+        if d.sender == sender:
+            out.setdefault(d.receiver, []).append((d.seq, d.value))
+    return out

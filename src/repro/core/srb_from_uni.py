@@ -1,0 +1,398 @@
+"""Algorithm 1: Sequenced Reliable Broadcast from unidirectional rounds.
+
+The paper's §4.2 construction (adapted from Aguilera et al.'s SWMR
+algorithm by replacing writes with round-sends and reads with receives),
+with ``n >= 2t+1``:
+
+- the **sender** signs ``(k, m)`` and posts it to all;
+- on receiving the sender's value for the next expected ``k``, a process
+  *copies* it — signs it and sends it in the unidirectional round labeled
+  ``("copy", sender, k)``;
+- when that round has finished **and** it has ``t+1`` signed copies of its
+  adopted value **and** it has seen no conflicting sender-signed value, it
+  compiles an **L1 proof** (the t+1 copier signatures), signs it, and sends
+  it in round ``("l1", sender, k)``;
+- when that round has finished and it holds ``t+1`` valid L1 proofs from
+  distinct builders, it compiles an **L2 proof** and posts it;
+- a process delivers ``(k, m)`` upon holding a valid L2 proof for its next
+  expected sequence number, forwarding the proof so everyone else
+  eventually delivers too (relay).
+
+Why unidirectionality is exactly what's needed (paper's key argument): two
+correct processes that copied *conflicting* values both send in the same
+``("copy", sender, k)`` round; at least one receives the other's copy —
+which embeds a valid sender signature on the other value — **before its own
+round ends**, and therefore refuses to compile an L1 proof. Hence correct
+processes never build contradicting L1 proofs; since an L2 proof needs
+``t+1`` L1 *builder* signatures and at most ``t`` builders are Byzantine,
+no two L2 proofs for different values can exist, for any sequence number.
+
+Message shapes (round payloads)::
+
+    ("VAL",  k, m, sig_s)                              # post by sender
+    ("COPY", k, m, sig_s, sig_copier)                  # round ("copy", s, k)
+    ("L1",   k, m, sig_s, copies, sig_builder)         # round ("l1", s, k)
+        copies = ((j, sig_j), ...) with >= t+1 distinct j
+    ("L2",   k, m, sig_s, l1items)                     # post
+        l1items = ((builder, copies, sig_builder), ...) with >= t+1 builders
+
+Signature domains are tagged and bind the sender pid and seq, so proofs
+cannot be replayed across instances, sequence numbers, or values.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..crypto.signatures import Signature, SignatureScheme, Signer
+from ..errors import ConfigurationError
+from ..sim.adversary import Adversary, ReliableAsynchronous
+from ..sim.runner import Simulation
+from ..types import ProcessId, SeqNum
+from .rounds import Label, POST, RoundProcess, RoundTransport, SharedMemoryRoundTransport
+
+WAIT_SENDER = "WaitForSender"
+WAIT_L1 = "WaitForL1Proof"
+WAIT_L2 = "WaitForL2Proof"
+
+# -- signature domains -------------------------------------------------------------
+
+
+def val_domain(sender: ProcessId, k: SeqNum, m: Any) -> tuple:
+    return ("SRB-VAL", sender, k, m)
+
+
+def copy_domain(sender: ProcessId, k: SeqNum, m: Any) -> tuple:
+    return ("SRB-COPY", sender, k, m)
+
+
+def l1_domain(sender: ProcessId, k: SeqNum, m: Any) -> tuple:
+    return ("SRB-L1", sender, k, m)
+
+
+# -- proof validation (pure functions, reused by checkers and benches) ---------------
+
+
+def validate_copies(
+    scheme: SignatureScheme,
+    sender: ProcessId,
+    k: SeqNum,
+    m: Any,
+    copies: Any,
+    t: int,
+) -> bool:
+    """>= t+1 distinct copiers, each with a valid COPY signature on (k, m)."""
+    if not isinstance(copies, tuple):
+        return False
+    seen: set[ProcessId] = set()
+    domain = copy_domain(sender, k, m)
+    for item in copies:
+        if not (isinstance(item, tuple) and len(item) == 2):
+            continue
+        j, sig = item
+        if not isinstance(sig, Signature) or sig.signer != j or j in seen:
+            continue
+        if scheme.verify(domain, sig):
+            seen.add(j)
+    return len(seen) >= t + 1
+
+
+def validate_l1_item(
+    scheme: SignatureScheme,
+    sender: ProcessId,
+    k: SeqNum,
+    m: Any,
+    item: Any,
+    t: int,
+) -> Optional[ProcessId]:
+    """Validate one L1 proof ``(builder, copies, sig_builder)``; returns builder."""
+    if not (isinstance(item, tuple) and len(item) == 3):
+        return None
+    builder, copies, sig = item
+    if not isinstance(sig, Signature) or sig.signer != builder:
+        return None
+    if not scheme.verify(l1_domain(sender, k, m), sig):
+        return None
+    if not validate_copies(scheme, sender, k, m, copies, t):
+        return None
+    return builder
+
+
+def validate_l2(
+    scheme: SignatureScheme,
+    sender: ProcessId,
+    payload: Any,
+    t: int,
+) -> Optional[tuple[SeqNum, Any]]:
+    """Validate an L2 payload; returns ``(k, m)`` when sound, else ``None``."""
+    if not (isinstance(payload, tuple) and len(payload) == 5 and payload[0] == "L2"):
+        return None
+    _, k, m, sig_s, l1items = payload
+    if not isinstance(k, int) or k < 1:
+        return None
+    if not isinstance(sig_s, Signature) or sig_s.signer != sender:
+        return None
+    if not scheme.verify(val_domain(sender, k, m), sig_s):
+        return None
+    if not isinstance(l1items, tuple):
+        return None
+    builders: set[ProcessId] = set()
+    for item in l1items:
+        b = validate_l1_item(scheme, sender, k, m, item, t)
+        if b is not None:
+            builders.add(b)
+    if len(builders) < t + 1:
+        return None
+    return (k, m)
+
+
+class SRBFromUnidirectional(RoundProcess):
+    """One process of the Algorithm-1 SRB system.
+
+    Construct one per process with the *same* ``sender`` and ``t``; call
+    :meth:`broadcast` on the sender's instance. Deliveries arrive at
+    :meth:`on_deliver` and in the trace as ``bcast_deliver`` events.
+    """
+
+    def __init__(
+        self,
+        transport: RoundTransport,
+        sender: ProcessId,
+        t: int,
+        scheme: SignatureScheme,
+        signer: Signer,
+    ) -> None:
+        super().__init__(transport)
+        if t < 0:
+            raise ConfigurationError(f"t must be non-negative, got {t}")
+        self.sender = sender
+        self.t = t
+        self.scheme = scheme
+        self.signer = signer
+        # sender side
+        self.my_seq: SeqNum = 0
+        # receiver side
+        self.next_seq: SeqNum = 1
+        self.state = WAIT_SENDER
+        self._vals: dict[SeqNum, tuple[Any, Signature]] = {}
+        self._conflict: set[SeqNum] = set()
+        self._copies: dict[SeqNum, dict[ProcessId, Signature]] = {}
+        self._l1s: dict[SeqNum, dict[ProcessId, tuple]] = {}
+        self._l2s: dict[SeqNum, tuple] = {}
+        self._copied: set[SeqNum] = set()
+        self._sent_l1: set[SeqNum] = set()
+        self._sent_l2: set[SeqNum] = set()
+        self._forwarded: set[SeqNum] = set()
+        self._copy_round_done: set[SeqNum] = set()
+        self._l1_round_done: set[SeqNum] = set()
+
+    # -- public API -------------------------------------------------------------
+
+    def broadcast(self, message: Any) -> SeqNum:
+        """(Sender only.) Broadcast ``message`` with the next sequence number."""
+        if self.pid != self.sender:
+            raise ConfigurationError(
+                f"process {self.pid} is not the sender ({self.sender})"
+            )
+        self.my_seq += 1
+        k = self.my_seq
+        sig = self.signer.sign(val_domain(self.sender, k, message))
+        self.ctx.record("bcast", seq=k, value=message)
+        self.rounds.post(("VAL", k, message, sig))
+        return k
+
+    def on_deliver(self, sender: ProcessId, seq: SeqNum, message: Any) -> None:
+        """Application hook; override in subclasses or observe the trace."""
+
+    # -- message ingestion -----------------------------------------------------------
+
+    def on_round_message(self, label: Label, src: ProcessId, payload: Any) -> None:
+        if not (isinstance(payload, tuple) and payload and isinstance(payload[0], str)):
+            return
+        kind = payload[0]
+        if kind == "VAL" and len(payload) == 4:
+            _, k, m, sig_s = payload
+            self._note_val(k, m, sig_s)
+        elif kind == "COPY" and len(payload) == 5:
+            _, k, m, sig_s, sig_copier = payload
+            if not self._note_val(k, m, sig_s):
+                return
+            if (
+                isinstance(sig_copier, Signature)
+                and self.scheme.verify(copy_domain(self.sender, k, m), sig_copier)
+            ):
+                adopted = self._vals.get(k)
+                if adopted is not None and adopted[0] == m:
+                    self._copies.setdefault(k, {})[sig_copier.signer] = sig_copier
+        elif kind == "L1" and len(payload) == 6:
+            _, k, m, sig_s, copies, sig_builder = payload
+            if not self._note_val(k, m, sig_s):
+                return
+            adopted = self._vals.get(k)
+            if adopted is None or adopted[0] != m:
+                return
+            builder = validate_l1_item(
+                self.scheme, self.sender, k, m, (
+                    sig_builder.signer if isinstance(sig_builder, Signature) else -1,
+                    copies,
+                    sig_builder,
+                ), self.t,
+            )
+            if builder is not None:
+                self._l1s.setdefault(k, {})[builder] = (builder, copies, sig_builder)
+        elif kind == "L2" and len(payload) == 5:
+            checked = validate_l2(self.scheme, self.sender, payload, self.t)
+            if checked is not None:
+                k, _m = checked
+                self._l2s.setdefault(k, payload)
+        self._maybe_deliver()
+        self._advance()
+
+    def _note_val(self, k: Any, m: Any, sig_s: Any) -> bool:
+        """Register a sender-signed value; returns True when the signature is valid.
+
+        Also performs the algorithm's conflict detection: a second *distinct*
+        validly-signed value for the same ``k`` poisons that sequence number
+        (this process will never compile an L1 proof for it).
+        """
+        if not isinstance(k, int) or k < 1:
+            return False
+        if not isinstance(sig_s, Signature) or sig_s.signer != self.sender:
+            return False
+        if not self.scheme.verify(val_domain(self.sender, k, m), sig_s):
+            return False
+        adopted = self._vals.get(k)
+        if adopted is None:
+            self._vals[k] = (m, sig_s)
+        elif adopted[0] != m:
+            self._conflict.add(k)
+        return True
+
+    # -- round completion -------------------------------------------------------------
+
+    def on_round_complete(self, label: Label) -> None:
+        if isinstance(label, tuple) and len(label) == 3:
+            phase, sender, k = label
+            if sender == self.sender and isinstance(k, int):
+                if phase == "copy":
+                    self._copy_round_done.add(k)
+                elif phase == "l1":
+                    self._l1_round_done.add(k)
+        self._maybe_deliver()
+        self._advance()
+
+    # -- the state machine -------------------------------------------------------------
+
+    def _advance(self) -> None:
+        """Drive participation in the pipeline for the current ``next_seq``."""
+        progressed = True
+        while progressed:
+            progressed = False
+            k = self.next_seq
+            if self.state == WAIT_SENDER:
+                adopted = self._vals.get(k)
+                if adopted is not None and k not in self._copied:
+                    m, sig_s = adopted
+                    self._copied.add(k)
+                    my_sig = self.signer.sign(copy_domain(self.sender, k, m))
+                    self.rounds.begin_round_queued(
+                        ("COPY", k, m, sig_s, my_sig), ("copy", self.sender, k)
+                    )
+                    self.state = WAIT_L1
+                    progressed = True
+            elif self.state == WAIT_L1:
+                if (
+                    k in self._copy_round_done
+                    and k not in self._conflict
+                    and len(self._copies.get(k, {})) >= self.t + 1
+                    and k not in self._sent_l1
+                ):
+                    m, sig_s = self._vals[k]
+                    copies = tuple(sorted(self._copies[k].items()))
+                    my_sig = self.signer.sign(l1_domain(self.sender, k, m))
+                    self._sent_l1.add(k)
+                    self.rounds.begin_round_queued(
+                        ("L1", k, m, sig_s, copies, my_sig), ("l1", self.sender, k)
+                    )
+                    self.state = WAIT_L2
+                    progressed = True
+            elif self.state == WAIT_L2:
+                if (
+                    k in self._l1_round_done
+                    and len(self._l1s.get(k, {})) >= self.t + 1
+                    and k not in self._sent_l2
+                ):
+                    m, sig_s = self._vals[k]
+                    l1items = tuple(
+                        self._l1s[k][b] for b in sorted(self._l1s[k])
+                    )[: self.t + 1]
+                    l2 = ("L2", k, m, sig_s, tuple(l1items))
+                    self._sent_l2.add(k)
+                    self._l2s.setdefault(k, l2)
+                    self.rounds.post(l2)
+                    self._forwarded.add(k)
+                    self._maybe_deliver()
+                    progressed = True
+
+    def _maybe_deliver(self) -> None:
+        """The paper's ``maybeDeliver``: drain valid L2 proofs in order."""
+        while True:
+            k = self.next_seq
+            proof = self._l2s.get(k)
+            if proof is None:
+                return
+            checked = validate_l2(self.scheme, self.sender, proof, self.t)
+            if checked is None:  # stored proofs were validated; belt and braces
+                del self._l2s[k]
+                return
+            _, m = checked
+            if k not in self._forwarded:
+                self._forwarded.add(k)
+                self.rounds.post(proof)
+            self.ctx.record("bcast_deliver", sender=self.sender, seq=k, value=m)
+            self.on_deliver(self.sender, k, m)
+            self.next_seq = k + 1
+            self.state = WAIT_SENDER
+
+
+# ---------------------------------------------------------------------------
+# Convenience builders
+# ---------------------------------------------------------------------------
+
+
+def build_sm_srb_system(
+    n: int,
+    t: int,
+    sender: ProcessId = 0,
+    seed: int = 0,
+    adversary: Adversary | None = None,
+    process_factory=None,
+) -> tuple[Simulation, list[SRBFromUnidirectional], SignatureScheme]:
+    """An Algorithm-1 SRB system over shared-memory unidirectional rounds.
+
+    Returns ``(simulation, processes, scheme)`` ready to run; the SWMR-style
+    append-only logs are registered on the simulation. ``process_factory``
+    (pid, transport, scheme, signer) → Process lets tests substitute
+    Byzantine variants for chosen pids.
+    """
+    if n < 2 * t + 1:
+        raise ConfigurationError(
+            f"Algorithm 1 requires n >= 2t+1 (got n={n}, t={t})"
+        )
+    if not (0 <= sender < n):
+        raise ConfigurationError(f"sender {sender} out of range (n={n})")
+    scheme = SignatureScheme(n, seed=seed)
+    processes: list[Any] = []
+    for pid in range(n):
+        transport = SharedMemoryRoundTransport()
+        signer = scheme.signer(pid)
+        if process_factory is not None:
+            proc = process_factory(pid, transport, scheme, signer)
+        else:
+            proc = SRBFromUnidirectional(transport, sender, t, scheme, signer)
+        processes.append(proc)
+    adversary = adversary if adversary is not None else ReliableAsynchronous(0.01, 1.0)
+    sim = Simulation(processes, adversary, seed=seed)
+    for log in SharedMemoryRoundTransport.build_logs(n):
+        sim.memory.register(log)
+    return sim, processes, scheme

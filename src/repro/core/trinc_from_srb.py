@@ -1,0 +1,150 @@
+"""Theorem 1: Sequenced Reliable Broadcast implements the TrInc interface.
+
+The paper's construction, verbatim in structure::
+
+    attestation Attest(seq-num c, message m):
+        Broadcast(k, (c, m))        # k = this stream's broadcast seq number
+        return (k, (c, m))
+
+    bool CheckAttestation(a, q):
+        upon delivering (k, (c, m)) from q:
+            if C[q] < c: store (k, (c, m)); C[q] = c
+        return (a is stored for q)
+
+Why it satisfies TrInc's contract:
+
+- *completeness*: a correctly produced attestation is eventually stored and
+  validated everywhere (SRB properties 1 & 2 — every correct process
+  delivers the broadcast, and a correct attester uses strictly increasing
+  ``c``, so the ``C[q] < c`` check passes);
+- *soundness*: an attestation validates only if it was delivered from
+  ``q``'s stream (SRB integrity — ``q`` really broadcast it), and at most
+  one attestation per ``(q, c)`` can ever validate anywhere: deliveries
+  from ``q`` arrive in the same sequence order at every process (SRB
+  properties 2 & 3), so the first broadcast carrying counter value ``c``
+  is stored by everyone and every later one fails ``C[q] < c`` — exactly
+  TrInc's "a Trinket does not produce a new valid attestation for a
+  sequence number that has already been used".
+
+The module exposes the same duck-typed surface as
+:class:`repro.hardware.trinc.Trinket` / ``TrincAuthority.check`` so tests
+can run one suite against both the hardware and the SRB-backed
+implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..errors import AttestationError
+from ..types import ProcessId, SeqNum
+from .srb_oracle import SRBOracle, SRBSenderHandle
+
+
+@dataclass(frozen=True, slots=True)
+class SRBAttestation:
+    """The (k, (c, m)) tuple of the paper, with the attester id for checking."""
+
+    attester: ProcessId
+    broadcast_seq: SeqNum  # k — position in the attester's SRB stream
+    counter: SeqNum        # c — the TrInc sequence number being claimed
+    message: Any           # m
+
+    def __repr__(self) -> str:
+        return (
+            f"SRBAttestation(T{self.attester}: k={self.broadcast_seq}, "
+            f"c={self.counter}, m={self.message!r})"
+        )
+
+
+class SRBTrinket:
+    """The per-process attester side (a Trinket implemented over SRB).
+
+    A *correct* host calls :meth:`attest`, which enforces the monotone
+    counter locally and broadcasts; a Byzantine host can bypass the local
+    check by calling :meth:`attest_unchecked` (it owns its stream) — the
+    point of the theorem is that verifiers are still safe.
+    """
+
+    def __init__(self, handle: SRBSenderHandle) -> None:
+        self._handle = handle
+        self._last: SeqNum = 0
+        self.attest_calls = 0
+        self.attest_refusals = 0
+
+    @property
+    def pid(self) -> ProcessId:
+        return self._handle.pid
+
+    def last_seq(self) -> SeqNum:
+        return self._last
+
+    def attest(self, c: SeqNum, m: Any) -> Optional[SRBAttestation]:
+        """Paper's ``Attest``: broadcast and return (k, (c, m)); None if stale c."""
+        self.attest_calls += 1
+        if not isinstance(c, int):
+            raise AttestationError(f"sequence number must be an int, got {c!r}")
+        if c <= 0:
+            raise AttestationError(f"sequence numbers start at 1, got {c}")
+        if c <= self._last:
+            self.attest_refusals += 1
+            return None
+        self._last = c
+        k = self._handle.broadcast((c, m))
+        return SRBAttestation(self.pid, k, c, m)
+
+    def attest_unchecked(self, c: SeqNum, m: Any) -> SRBAttestation:
+        """Byzantine-host path: broadcast an arbitrary (c, m) claim.
+
+        Exists so tests can drive the adversarial executions of the
+        theorem's proof; verifiers must reject replays/duplicates.
+        """
+        k = self._handle.broadcast((c, m))
+        return SRBAttestation(self.pid, k, c, m)
+
+
+class SRBTrincVerifier:
+    """The per-process verifier side (``CheckAttestation`` plus its storage).
+
+    One instance per process; wire :meth:`on_deliver` as the process's SRB
+    oracle subscription (or call it from a protocol's delivery hook).
+    """
+
+    def __init__(self, n: int) -> None:
+        self._n = n
+        self._counters: dict[ProcessId, SeqNum] = {q: 0 for q in range(n)}
+        self._stored: dict[tuple[ProcessId, SeqNum], tuple[SeqNum, Any]] = {}
+        self.deliveries = 0
+        self.rejected_stale = 0
+
+    # -- delivery ingestion (the 'upon delivering' clause) -----------------------
+
+    def on_deliver(self, sender: ProcessId, seq: SeqNum, value: Any) -> None:
+        self.deliveries += 1
+        if not (isinstance(value, tuple) and len(value) == 2):
+            return  # a Byzantine stream may carry junk
+        c, m = value
+        if not isinstance(c, int) or c <= 0:
+            return
+        if self._counters.get(sender, 0) < c:
+            self._stored[(sender, c)] = (seq, m)
+            self._counters[sender] = c
+        else:
+            self.rejected_stale += 1
+
+    # -- the paper's CheckAttestation -----------------------------------------------
+
+    def check_attestation(self, a: Any, q: ProcessId) -> bool:
+        if not isinstance(a, SRBAttestation):
+            return False
+        if a.attester != q:
+            return False
+        stored = self._stored.get((q, a.counter))
+        if stored is None:
+            return False
+        k, m = stored
+        return k == a.broadcast_seq and m == a.message
+
+    def highest_counter(self, q: ProcessId) -> SeqNum:
+        return self._counters.get(q, 0)

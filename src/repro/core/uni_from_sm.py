@@ -1,0 +1,238 @@
+"""Unidirectional rounds from *every* ACL-guarded shared-memory primitive.
+
+The paper's Claim (§3.2) is deliberately broad: *any* shared-memory system
+where each process ``p_i`` has some object ``o_i`` that only ``p_i`` can
+modify and everyone can read yields unidirectional communication — this
+covers SWMR registers, sticky bits, PEATS, and "all objects considered in
+[Malkhi et al.]". The default
+:class:`~repro.core.rounds.SharedMemoryRoundTransport` uses per-process
+append-only logs; this module instantiates the same write-then-scan recipe
+over the other hardware:
+
+- :class:`SWMRRoundTransport` — plain single-writer multi-reader registers;
+  the owner rewrites its register with its full entry history (the classic
+  encoding of a log in a register);
+- :class:`PEATSRoundTransport` — one policy-enforced tuple space; the
+  policy only lets process *i* insert tuples tagged with *i* and forbids
+  removal, which is exactly the "modify own / read all" shape;
+- :class:`StickyChainRoundTransport` — per-process chains of write-once
+  sticky registers; entry ``k`` of process ``i`` lives in sticky register
+  ``(i, k)``, and a scan follows each chain until the first unset cell.
+
+All three inherit the scan/round-accounting skeleton, so the
+unidirectionality argument (publish linearizes before the counted scan's
+reads) is common; each subclass only redefines how to publish and read.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..errors import ConfigurationError
+from ..hardware.peats import PEATS, WILDCARD, single_inserter_per_slot
+from ..hardware.registers import SWMRRegister
+from ..hardware.sticky import StickyRegister, UNSET
+from ..sim.shared_memory import SharedObject
+from ..types import ProcessId
+from .rounds import SharedMemoryRoundTransport
+
+
+class SWMRRoundTransport(SharedMemoryRoundTransport):
+    """Write-then-scan rounds over plain SWMR registers.
+
+    The register of process ``i`` always holds the tuple of *all* entries
+    ``i`` has published (a register is overwritten, so the history must be
+    carried — this is the standard register encoding of an append-only
+    log and keeps reads atomic snapshots).
+    """
+
+    def __init__(self, reg_prefix: str = "swmr", **kwargs: Any) -> None:
+        super().__init__(log_prefix=reg_prefix, **kwargs)
+        self._my_history: list[tuple] = []
+
+    @staticmethod
+    def build_objects(n: int, prefix: str = "swmr") -> list[SWMRRegister]:
+        return [SWMRRegister(f"{prefix}{i}", owner=i, initial=()) for i in range(n)]
+
+    def _publish(self, entry: tuple) -> Optional[int]:
+        assert self.host is not None
+        self._my_history.append(entry)
+        return self.host.ctx.invoke(
+            self._log_name(self.host.pid), "write", tuple(self._my_history)
+        )
+
+    def _scan_one(self, p: ProcessId) -> Optional[int]:
+        assert self.host is not None
+        return self.host.ctx.invoke(self._log_name(p), "read")
+
+    def _is_own_publish(self, object_name: str, op: str) -> bool:
+        return object_name.startswith(self.log_prefix) and op == "write"
+
+    def _ingest(self, src: ProcessId, result: Any) -> None:
+        if not isinstance(result, tuple):
+            return
+        start = self._seen_lengths[src]
+        if len(result) > start:
+            self._new_data = True
+            self._seen_lengths[src] = len(result)
+            for entry in result[start:]:
+                if isinstance(entry, tuple) and len(entry) == 2:
+                    self._deliver(entry[0], src, entry[1])
+
+
+class PEATSRoundTransport(SharedMemoryRoundTransport):
+    """Write-then-scan rounds over one policy-enforced tuple space.
+
+    Entries are ``(owner, seq, label, payload)``; the policy admits an
+    ``out`` only when the entry's owner slot matches the inserting process,
+    and rejects every ``inp`` — the space behaves as a union of
+    per-process append-only logs. One ``rdall`` over the whole space is a
+    scan of "all objects".
+    """
+
+    def __init__(self, space_name: str = "roundspace", **kwargs: Any) -> None:
+        super().__init__(log_prefix=space_name, **kwargs)
+        self.space_name = space_name
+        self._my_count = 0
+        self._scan_handle: Optional[int] = None
+
+    @staticmethod
+    def build_objects(n: int, space_name: str = "roundspace") -> list[PEATS]:
+        return [PEATS(space_name, policy=single_inserter_per_slot(0), arity=4)]
+
+    def _publish(self, entry: tuple) -> Optional[int]:
+        assert self.host is not None
+        self._my_count += 1
+        label, payload = entry
+        return self.host.ctx.invoke(
+            self.space_name, "out", (self.host.pid, self._my_count, label, payload)
+        )
+
+    def _is_own_publish(self, object_name: str, op: str) -> bool:
+        return object_name == self.space_name and op == "out"
+
+    # one rdall is the whole scan: issue it for "process 0" and skip the rest
+    def _scan_one(self, p: ProcessId) -> Optional[int]:
+        assert self.host is not None
+        if p != 0:
+            return None
+        return self.host.ctx.invoke(
+            self.space_name, "rdall", (WILDCARD, WILDCARD, WILDCARD, WILDCARD)
+        )
+
+    def _ingest(self, src: ProcessId, result: Any) -> None:
+        # ``src`` is the placeholder 0; true sources are inside the entries.
+        if not isinstance(result, tuple):
+            return
+        for entry in result:
+            if not (isinstance(entry, tuple) and len(entry) == 4):
+                continue
+            owner, seq, label, payload = entry
+            if not isinstance(owner, int):
+                continue
+            key = owner
+            if isinstance(seq, int) and seq > self._seen_lengths.get(key, 0):
+                self._seen_lengths[key] = seq
+                self._new_data = True
+            self._deliver(label, owner, payload)
+
+
+class StickyChainRoundTransport(SharedMemoryRoundTransport):
+    """Write-then-scan rounds over chains of write-once sticky registers.
+
+    Process ``i``'s k-th entry is written (once, ever) into sticky register
+    ``sticky_{i}_{k}``; scanning a process means following its chain from
+    the last known set cell until the first unset one. ``capacity`` bounds
+    each chain (sticky registers must be pre-allocated).
+    """
+
+    def __init__(self, capacity: int = 64, reg_prefix: str = "sticky", **kwargs: Any) -> None:
+        super().__init__(log_prefix=reg_prefix, **kwargs)
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._my_count = 0
+        self._chain_ptr: dict[ProcessId, int] = {}
+        self._chain_done: set[ProcessId] = set()
+
+    @staticmethod
+    def build_objects(n: int, capacity: int = 64,
+                      prefix: str = "sticky") -> list[StickyRegister]:
+        return [
+            StickyRegister(f"{prefix}_{i}_{k}", owner=i)
+            for i in range(n)
+            for k in range(capacity)
+        ]
+
+    def _cell(self, p: ProcessId, k: int) -> str:
+        return f"{self.log_prefix}_{p}_{k}"
+
+    def _publish(self, entry: tuple) -> Optional[int]:
+        assert self.host is not None
+        if self._my_count >= self.capacity:
+            raise ConfigurationError(
+                f"sticky chain capacity {self.capacity} exhausted at "
+                f"process {self.host.pid}"
+            )
+        handle = self.host.ctx.invoke(
+            self._cell(self.host.pid, self._my_count), "write", entry
+        )
+        self._my_count += 1
+        return handle
+
+    def _is_own_publish(self, object_name: str, op: str) -> bool:
+        return object_name.startswith(self.log_prefix) and op == "write"
+
+    def _begin_scan(self) -> None:  # fresh chain-progress bookkeeping per scan
+        self._chain_done = set()
+        super()._begin_scan()
+
+    def _scan_one(self, p: ProcessId) -> Optional[int]:
+        assert self.host is not None
+        ptr = self._chain_ptr.setdefault(p, 0)
+        if ptr >= self.capacity:
+            self._chain_done.add(p)
+            return None
+        return self.host.ctx.invoke(self._cell(p, ptr), "read")
+
+    def handle_op_result(self, object_name, op, handle, result) -> bool:
+        # chain-following: a set cell triggers a read of the next cell within
+        # the same scan; an unset cell ends that process's chain for the scan.
+        if handle in self._scan_handles:
+            src = self._scan_handles.pop(handle)
+            if result is not UNSET and isinstance(result, tuple) and len(result) == 2:
+                self._new_data = True
+                self._chain_ptr[src] = self._chain_ptr.get(src, 0) + 1
+                self._deliver(result[0], src, result[1])
+                nxt = self._scan_one(src)
+                if nxt is not None:
+                    self._scan_handles[nxt] = src
+            if not self._scan_handles:
+                self._finish_scan()
+            return True
+        return super().handle_op_result(object_name, op, handle, result)
+
+    def _ingest(self, src: ProcessId, result: Any) -> None:  # pragma: no cover
+        raise AssertionError("sticky transport ingests inline in handle_op_result")
+
+
+ALL_SM_TRANSPORTS = {
+    "append-log": SharedMemoryRoundTransport,
+    "swmr": SWMRRoundTransport,
+    "peats": PEATSRoundTransport,
+    "sticky": StickyChainRoundTransport,
+}
+"""Name → transport class, for parameterized tests and the FIG1 bench."""
+
+
+def build_objects_for(name: str, n: int) -> list[SharedObject]:
+    """Build the shared objects the named transport needs for ``n`` processes."""
+    if name == "append-log":
+        return list(SharedMemoryRoundTransport.build_logs(n))
+    if name == "swmr":
+        return list(SWMRRoundTransport.build_objects(n))
+    if name == "peats":
+        return list(PEATSRoundTransport.build_objects(n))
+    if name == "sticky":
+        return list(StickyChainRoundTransport.build_objects(n))
+    raise ConfigurationError(f"unknown shared-memory transport {name!r}")

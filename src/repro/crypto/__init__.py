@@ -1,0 +1,24 @@
+"""Simulated cryptography: canonical serialization and unforgeable signatures.
+
+The paper assumes *unforgeable transferable signatures* (Section 2). This
+package provides a deterministic, dependency-free simulation with the same
+interface contract:
+
+- :func:`repro.crypto.serialize.canonical_bytes` — stable byte encoding of
+  the immutable values protocols exchange, so signatures commit to content.
+- :class:`repro.crypto.signatures.SignatureScheme` — issues per-process
+  :class:`~repro.crypto.signatures.Signer` capabilities; holding a signer is
+  the simulation's model of holding a private key. Verification requires
+  only the scheme and the claimed signer id (transferability).
+"""
+
+from .serialize import canonical_bytes, content_hash
+from .signatures import Signature, SignatureScheme, Signer
+
+__all__ = [
+    "canonical_bytes",
+    "content_hash",
+    "Signature",
+    "SignatureScheme",
+    "Signer",
+]

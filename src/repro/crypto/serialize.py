@@ -1,0 +1,119 @@
+"""Canonical, deterministic serialization of protocol values.
+
+Signatures must commit to message *content*, so the library needs a stable
+byte encoding for every value protocols exchange. The encoding here is a
+small, self-describing tag-length-value format over the closed set of types
+the protocols use: ``None``, ``bool``, ``int``, ``float``, ``str``,
+``bytes``, ``tuple``/``list`` (encoded identically — protocols treat both as
+sequences), frozen dataclasses, ``frozenset`` (sorted by element encoding),
+and ``dict`` (sorted by key encoding).
+
+The format is injective on this domain: distinct values produce distinct
+bytes, so a signature over :func:`canonical_bytes` is a commitment to the
+value itself. This property is exercised by hypothesis tests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import struct
+from typing import Any
+
+from ..errors import SignatureError
+
+_TAG_NONE = b"N"
+_TAG_TRUE = b"T"
+_TAG_FALSE = b"F"
+_TAG_INT = b"I"
+_TAG_FLOAT = b"D"
+_TAG_STR = b"S"
+_TAG_BYTES = b"B"
+_TAG_SEQ = b"L"
+_TAG_SET = b"E"
+_TAG_MAP = b"M"
+_TAG_DATACLASS = b"C"
+
+
+def _encode_length(out: bytearray, n: int) -> None:
+    out += struct.pack(">Q", n)
+
+
+def _encode(value: Any, out: bytearray) -> None:
+    if value is None:
+        out += _TAG_NONE
+    elif value is True:
+        out += _TAG_TRUE
+    elif value is False:
+        out += _TAG_FALSE
+    elif isinstance(value, int):
+        body = str(value).encode("ascii")
+        out += _TAG_INT
+        _encode_length(out, len(body))
+        out += body
+    elif isinstance(value, float):
+        out += _TAG_FLOAT
+        out += struct.pack(">d", value)
+    elif isinstance(value, str):
+        body = value.encode("utf-8")
+        out += _TAG_STR
+        _encode_length(out, len(body))
+        out += body
+    elif isinstance(value, (bytes, bytearray)):
+        out += _TAG_BYTES
+        _encode_length(out, len(value))
+        out += bytes(value)
+    elif isinstance(value, (tuple, list)):
+        out += _TAG_SEQ
+        _encode_length(out, len(value))
+        for item in value:
+            _encode(item, out)
+    elif isinstance(value, frozenset):
+        encoded = sorted(canonical_bytes(item) for item in value)
+        out += _TAG_SET
+        _encode_length(out, len(encoded))
+        for item in encoded:
+            _encode_length(out, len(item))
+            out += item
+    elif isinstance(value, dict):
+        items = sorted(
+            (canonical_bytes(k), canonical_bytes(v)) for k, v in value.items()
+        )
+        out += _TAG_MAP
+        _encode_length(out, len(items))
+        for k, v in items:
+            _encode_length(out, len(k))
+            out += k
+            _encode_length(out, len(v))
+            out += v
+    elif dataclasses.is_dataclass(value) and not isinstance(value, type):
+        name = type(value).__qualname__.encode("utf-8")
+        out += _TAG_DATACLASS
+        _encode_length(out, len(name))
+        out += name
+        fields = dataclasses.fields(value)
+        _encode_length(out, len(fields))
+        for f in fields:
+            _encode(getattr(value, f.name), out)
+    else:
+        raise SignatureError(
+            f"cannot canonically serialize value of type {type(value).__name__}: {value!r}"
+        )
+
+
+def canonical_bytes(value: Any) -> bytes:
+    """Encode ``value`` into its canonical byte representation.
+
+    Raises :class:`~repro.errors.SignatureError` for values outside the
+    supported domain (e.g. sets of unhashable items, arbitrary objects).
+    """
+
+    out = bytearray()
+    _encode(value, out)
+    return bytes(out)
+
+
+def content_hash(value: Any) -> bytes:
+    """SHA-256 digest of :func:`canonical_bytes`; used as a compact commitment."""
+
+    return hashlib.sha256(canonical_bytes(value)).digest()

@@ -1,0 +1,155 @@
+"""Simulated unforgeable transferable signatures.
+
+The model follows the object-capability discipline used throughout this
+library: a :class:`SignatureScheme` owns per-process secret keys and hands
+out a :class:`Signer` capability to each process exactly once. Simulated
+Byzantine processes receive *their own* signer only; since the secret key
+bytes never appear outside this module, no in-simulation adversary can forge
+a signature of another process. Verification needs only the scheme object
+and the claimed signer id, so signatures are *transferable*: any process may
+relay a signature it received and third parties can verify it, which is what
+the L1/L2 proof construction of Algorithm 1 in the paper relies on.
+
+Implementation detail: signatures are HMAC-SHA256 tags over the canonical
+serialization of the payload, keyed by a per-process key derived from the
+scheme seed. This keeps runs deterministic across platforms.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+from typing import Any
+
+from ..errors import SignatureError
+from ..types import ProcessId
+from .serialize import canonical_bytes
+
+
+@dataclass(frozen=True, slots=True)
+class Signature:
+    """A transferable signature: ``signer`` claims authorship of a payload.
+
+    The payload itself is *not* embedded; protocols carry ``(value,
+    signature)`` pairs and verification recomputes the tag from the value.
+    ``tag`` is an HMAC output, opaque to protocols.
+    """
+
+    signer: ProcessId
+    tag: bytes
+
+    def __repr__(self) -> str:
+        return f"Signature(signer={self.signer}, tag={self.tag[:4].hex()}…)"
+
+
+class Signer:
+    """Capability to sign on behalf of one process.
+
+    Instances are only constructed by :meth:`SignatureScheme.signer` and hold
+    a reference to the scheme's private key table rather than key bytes, so
+    even introspection-free "honest but curious" protocol code cannot leak a
+    key through a trace.
+    """
+
+    __slots__ = ("_scheme", "_pid", "_revoked")
+
+    def __init__(self, scheme: "SignatureScheme", pid: ProcessId) -> None:
+        self._scheme = scheme
+        self._pid = pid
+        self._revoked = False
+
+    @property
+    def pid(self) -> ProcessId:
+        return self._pid
+
+    def sign(self, value: Any) -> Signature:
+        """Produce a signature of ``value`` by this signer's process."""
+        if self._revoked:
+            raise SignatureError(f"signer for process {self._pid} was revoked")
+        return self._scheme._sign(self._pid, value)
+
+    def revoke(self) -> None:
+        """Disable this capability (used by tests modeling key compromise recovery)."""
+        self._revoked = True
+
+
+class SignatureScheme:
+    """Deterministic signature scheme for one simulation.
+
+    Parameters
+    ----------
+    n:
+        Number of processes; signer ids are ``0..n-1``.
+    seed:
+        Seed mixed into every per-process key. Two schemes with the same
+        ``(n, seed)`` produce identical signatures, keeping simulations
+        reproducible; schemes with different seeds reject each other's
+        signatures, modeling distinct PKIs.
+    """
+
+    def __init__(self, n: int, seed: int = 0) -> None:
+        if n <= 0:
+            raise SignatureError(f"scheme needs at least one process, got n={n}")
+        self._n = n
+        self._seed = seed
+        root = hashlib.sha256(f"repro-pki|{seed}".encode()).digest()
+        self._keys: dict[ProcessId, bytes] = {
+            pid: hashlib.sha256(root + pid.to_bytes(8, "big")).digest()
+            for pid in range(n)
+        }
+        self._issued: set[ProcessId] = set()
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    def signer(self, pid: ProcessId) -> Signer:
+        """Issue the signing capability for ``pid``; valid at most once per pid.
+
+        The once-only rule catches simulation wiring bugs where two process
+        objects believe they are the same principal.
+        """
+        if pid not in self._keys:
+            raise SignatureError(f"no such process id {pid} (n={self._n})")
+        if pid in self._issued:
+            raise SignatureError(f"signer for process {pid} already issued")
+        self._issued.add(pid)
+        return Signer(self, pid)
+
+    def _sign(self, pid: ProcessId, value: Any) -> Signature:
+        tag = hmac.new(self._keys[pid], canonical_bytes(value), hashlib.sha256)
+        return Signature(signer=pid, tag=tag.digest())
+
+    def verify(self, value: Any, signature: Signature) -> bool:
+        """Check that ``signature`` is a valid signature of ``value``.
+
+        Returns ``False`` (never raises) for wrong signers, tampered values,
+        foreign-scheme signatures, and structurally odd tags — protocols
+        treat all of these identically as "invalid signature".
+        """
+        if not isinstance(signature, Signature):
+            return False
+        key = self._keys.get(signature.signer)
+        if key is None:
+            return False
+        try:
+            expected = hmac.new(key, canonical_bytes(value), hashlib.sha256).digest()
+        except SignatureError:
+            return False
+        return hmac.compare_digest(expected, signature.tag)
+
+    def verify_signed(self, pair: Any, expected_signer: ProcessId | None = None) -> bool:
+        """Verify a ``(value, Signature)`` pair as carried in protocol messages.
+
+        Convenience used by protocol code: checks the pair shape, optionally
+        that the claimed signer matches ``expected_signer``, then verifies.
+        """
+        if not (isinstance(pair, tuple) and len(pair) == 2):
+            return False
+        value, signature = pair
+        if not isinstance(signature, Signature):
+            return False
+        if expected_signer is not None and signature.signer != expected_signer:
+            return False
+        return self.verify(value, signature)

@@ -1,0 +1,76 @@
+"""The trusted-hardware zoo the paper classifies.
+
+Two families, mirroring the paper's Section 2.1:
+
+**Trusted logs (message-passing class, ≤ SRB):**
+
+- :class:`~repro.hardware.trinc.Trinket` / :class:`~repro.hardware.trinc.TrincAuthority` —
+  TrInc, the trusted incrementer (paper Figure 2).
+- :class:`~repro.hardware.a2m.A2MDevice` / :class:`~repro.hardware.a2m.A2MAuthority` —
+  attested append-only memory.
+- :class:`~repro.hardware.a2m_from_trinc.TrincBackedA2M` — the Levin et al.
+  reduction, executable.
+- :class:`~repro.hardware.enclave.Enclave` — SGX-like attested state
+  machines ("more expressive computations").
+
+**Shared memory with ACLs (unidirectional class):**
+
+- :class:`~repro.hardware.registers.SWMRRegister` and
+  :class:`~repro.hardware.registers.AppendOnlyRegister`.
+- :class:`~repro.hardware.sticky.StickyBit` / ``StickyRegister``.
+- :class:`~repro.hardware.peats.PEATS` — policy-enforced augmented tuple
+  spaces.
+
+All devices follow the same trust model: a per-process capability object
+whose secret state cannot be extracted, plus a public authority/verifier.
+"""
+
+from .a2m import A2MAuthority, A2MDevice, A2MStatement, END, LOOKUP
+from .a2m_from_trinc import EndProof, LookupProof, TrincA2MChecker, TrincBackedA2M
+from .acl import AccessControlList, EVERYONE, Policy
+from .enclave import Enclave, EnclaveAuthority, EnclaveOutput, EnclaveProgram
+from .peats import PEATS, WILDCARD, matches, remove_only_own, single_inserter_per_slot
+from .registers import (
+    AppendOnlyRegister,
+    SWMRRegister,
+    append_log_array,
+    swmr_array,
+)
+from .sticky import StickyBit, StickyRegister, UNSET, sticky_array
+from .trinc import Attestation, StatusAttestation, Trinket, TrincAuthority
+
+__all__ = [
+    "A2MAuthority",
+    "A2MDevice",
+    "A2MStatement",
+    "AccessControlList",
+    "AppendOnlyRegister",
+    "Attestation",
+    "END",
+    "EVERYONE",
+    "Enclave",
+    "EnclaveAuthority",
+    "EnclaveOutput",
+    "EnclaveProgram",
+    "EndProof",
+    "LOOKUP",
+    "LookupProof",
+    "PEATS",
+    "Policy",
+    "SWMRRegister",
+    "StatusAttestation",
+    "StickyBit",
+    "StickyRegister",
+    "Trinket",
+    "TrincA2MChecker",
+    "TrincAuthority",
+    "TrincBackedA2M",
+    "UNSET",
+    "WILDCARD",
+    "append_log_array",
+    "matches",
+    "remove_only_own",
+    "single_inserter_per_slot",
+    "sticky_array",
+    "swmr_array",
+]

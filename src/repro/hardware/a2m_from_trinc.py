@@ -1,0 +1,180 @@
+"""A2M implemented from TrInc (the Levin et al. reduction).
+
+The paper (Section 3.1) leans on this known result: *"Levin et al. show
+that TrInc can implement the interface of attested append-only memory"* —
+so proving SRB ≥ TrInc also covers A2M. This module makes the reduction
+executable.
+
+Construction, per log:
+
+- each A2M log gets its own trinket counter (``counter_id = log_id``);
+- ``append(log, x)`` attests ``x`` at the next consecutive sequence number.
+  Because the counter can never be reused, the attestation with
+  ``prev = s-1, seq = s`` *is* an unforgeable statement "x is the s-th
+  entry of this log" — there can never be a conflicting one;
+- ``lookup(log, s)`` returns that stored attestation (the untrusted host
+  stores them; losing one only loses the ability to prove, never the
+  ability to lie);
+- ``end(log, z)`` returns a :class:`~repro.hardware.trinc.StatusAttestation`
+  of the log counter (TrInc's non-advancing attest), which freshly and
+  verifiably states the current length, together with the last entry's
+  attestation.
+
+Verification is pure (:class:`TrincA2MChecker`), so statements are
+transferable exactly like native A2M statements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..errors import AttestationError
+from ..types import ProcessId, SeqNum
+from .trinc import Attestation, StatusAttestation, Trinket, TrincAuthority
+
+
+@dataclass(frozen=True, slots=True)
+class LookupProof:
+    """Proof that ``entry.message`` is entry number ``entry.seq`` of log
+    ``entry.counter_id`` on the device ``entry.trinket_id``."""
+
+    entry: Attestation
+
+    @property
+    def log_id(self) -> int:
+        return self.entry.counter_id
+
+    @property
+    def index(self) -> SeqNum:
+        return self.entry.seq
+
+    @property
+    def value(self) -> Any:
+        return self.entry.message
+
+
+@dataclass(frozen=True, slots=True)
+class EndProof:
+    """Proof of a log's current length (and last value when non-empty).
+
+    ``status`` binds the verifier's nonce, so it postdates the challenge;
+    ``last`` is the entry attestation for index ``status.value`` (``None``
+    iff the log is empty).
+    """
+
+    status: StatusAttestation
+    last: Optional[Attestation]
+
+    @property
+    def log_id(self) -> int:
+        return self.status.counter_id
+
+    @property
+    def length(self) -> SeqNum:
+        return self.status.value
+
+    @property
+    def value(self) -> Any:
+        return self.last.message if self.last is not None else None
+
+
+class TrincBackedA2M:
+    """The untrusted host side of the reduction; mirrors :class:`A2MDevice`.
+
+    Holds the process's trinket plus plain host memory for issued
+    attestations. Log ids are the trinket counter ids, starting at 1
+    (counter 0 stays free for other uses by the same process).
+    """
+
+    def __init__(self, trinket: Trinket) -> None:
+        self._trinket = trinket
+        self._entries: dict[int, list[Attestation]] = {}
+        self._next_log = 1
+
+    @property
+    def pid(self) -> ProcessId:
+        return self._trinket.pid
+
+    def create_log(self) -> int:
+        log_id = self._next_log
+        self._next_log += 1
+        self._entries[log_id] = []
+        return log_id
+
+    def log_ids(self) -> tuple[int, ...]:
+        return tuple(sorted(self._entries))
+
+    def append(self, log_id: int, value: Any) -> SeqNum:
+        entries = self._entries.get(log_id)
+        if entries is None:
+            raise AttestationError(f"host {self.pid}: no log {log_id}")
+        seq = len(entries) + 1
+        att = self._trinket.attest(seq, value, counter_id=log_id)
+        if att is None:  # counter ahead of host memory: host state corrupted
+            raise AttestationError(
+                f"host {self.pid}: trinket counter for log {log_id} is ahead "
+                f"of host storage (expected next seq {seq})"
+            )
+        entries.append(att)
+        return seq
+
+    def lookup(self, log_id: int, s: SeqNum, nonce: Any = None) -> Optional[LookupProof]:
+        entries = self._entries.get(log_id)
+        if entries is None or not (1 <= s <= len(entries)):
+            return None
+        return LookupProof(entry=entries[s - 1])
+
+    def end(self, log_id: int, nonce: Any = None) -> Optional[EndProof]:
+        entries = self._entries.get(log_id)
+        if entries is None:
+            return None
+        status = self._trinket.status(counter_id=log_id, nonce=nonce)
+        last = entries[-1] if entries else None
+        return EndProof(status=status, last=last)
+
+
+class TrincA2MChecker:
+    """Public verifier for :class:`LookupProof` / :class:`EndProof`.
+
+    The key soundness facts checked here:
+
+    - a lookup proof must have consecutive ``prev = seq - 1`` — otherwise
+      the host skipped counter values and the "s-th entry" claim is bogus;
+    - an end proof's status value must match the last entry's seq (or be 0
+      with no last entry), and the nonce must be the verifier's challenge.
+    """
+
+    def __init__(self, authority: TrincAuthority) -> None:
+        self._authority = authority
+
+    def check_lookup(self, proof: Any, q: ProcessId, log_id: int,
+                     s: SeqNum) -> bool:
+        if not isinstance(proof, LookupProof):
+            return False
+        a = proof.entry
+        if not isinstance(a, Attestation):
+            return False
+        if a.counter_id != log_id or a.seq != s or a.prev != s - 1:
+            return False
+        return self._authority.check(a, q)
+
+    def check_end(self, proof: Any, q: ProcessId, log_id: int,
+                  nonce: Any = None) -> bool:
+        if not isinstance(proof, EndProof):
+            return False
+        st = proof.status
+        if not isinstance(st, StatusAttestation):
+            return False
+        if st.counter_id != log_id or st.nonce != nonce:
+            return False
+        if not self._authority.check_status(st, q):
+            return False
+        if st.value == 0:
+            return proof.last is None
+        last = proof.last
+        if not isinstance(last, Attestation):
+            return False
+        if last.counter_id != log_id or last.seq != st.value or last.prev != st.value - 1:
+            return False
+        return self._authority.check(last, q)

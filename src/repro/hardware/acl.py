@@ -1,0 +1,102 @@
+"""Access control lists and policies for shared objects.
+
+Section 2.1 of the paper: *"shared memory primitives have been associated
+with access control lists (ACLs). These lists specify, for each object O and
+operation op, which processes can execute op on O."* PEATS generalizes this
+to *policies* that may consult the object's current state.
+
+:class:`AccessControlList` implements the static form;
+:class:`Policy` the dynamic (state-aware) form. Both plug into
+:class:`~repro.sim.shared_memory.SharedObject.check_access`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Mapping, Optional
+
+from ..errors import AccessDeniedError, ConfigurationError
+from ..types import ProcessId
+
+EVERYONE = "everyone"
+"""ACL wildcard: any process may perform the operation."""
+
+
+class AccessControlList:
+    """Static per-operation permission table.
+
+    ``rules`` maps operation name to either :data:`EVERYONE` or an iterable
+    of process ids. Operations missing from the table are denied to all —
+    deny-by-default is the safe direction for trusted hardware.
+    """
+
+    def __init__(self, rules: Mapping[str, object]) -> None:
+        self._rules: dict[str, frozenset[ProcessId] | str] = {}
+        for op, who in rules.items():
+            if who == EVERYONE:
+                self._rules[op] = EVERYONE
+            else:
+                try:
+                    self._rules[op] = frozenset(who)  # type: ignore[arg-type]
+                except TypeError:
+                    raise ConfigurationError(
+                        f"ACL rule for {op!r} must be EVERYONE or an iterable "
+                        f"of pids, got {who!r}"
+                    ) from None
+
+    @classmethod
+    def single_writer(cls, owner: ProcessId, write_ops: Iterable[str] = ("write",),
+                      read_ops: Iterable[str] = ("read",)) -> "AccessControlList":
+        """The SWMR pattern: one owner may modify, everyone may read."""
+        rules: dict[str, object] = {op: (owner,) for op in write_ops}
+        rules.update({op: EVERYONE for op in read_ops})
+        return cls(rules)
+
+    def allows(self, pid: ProcessId, op: str) -> bool:
+        who = self._rules.get(op)
+        if who is None:
+            return False
+        if who == EVERYONE:
+            return True
+        return pid in who  # type: ignore[operator]
+
+    def enforce(self, pid: ProcessId, object_name: str, op: str) -> None:
+        if not self.allows(pid, op):
+            raise AccessDeniedError(pid, object_name, op)
+
+    def writers(self, op: str) -> Optional[frozenset[ProcessId]]:
+        """The pid set allowed to perform ``op``; ``None`` when EVERYONE."""
+        who = self._rules.get(op)
+        if who == EVERYONE:
+            return None
+        return who if who is not None else frozenset()
+
+
+PolicyFn = Callable[[object, ProcessId, str, tuple], bool]
+"""``(object_state, pid, op, args) -> allowed`` — a PEATS-style policy."""
+
+
+class Policy:
+    """State-aware access policy (PEATS, Section 2.1).
+
+    Combines an optional static ACL (checked first) with a dynamic predicate
+    that may inspect the object's state — e.g. "a tuple may be replaced only
+    by its inserter" or "insertion allowed only while the space has fewer
+    than k entries of this type".
+    """
+
+    def __init__(self, fn: PolicyFn, acl: AccessControlList | None = None,
+                 description: str = "") -> None:
+        self._fn = fn
+        self._acl = acl
+        self.description = description
+
+    def enforce(self, state: object, pid: ProcessId, object_name: str,
+                op: str, args: tuple) -> None:
+        if self._acl is not None:
+            self._acl.enforce(pid, object_name, op)
+        if not self._fn(state, pid, op, args):
+            raise AccessDeniedError(pid, object_name, op)
+
+    @staticmethod
+    def allow_all() -> "Policy":
+        return Policy(lambda state, pid, op, args: True, description="allow-all")

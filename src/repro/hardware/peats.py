@@ -1,0 +1,175 @@
+"""PEATS — Policy-Enforced Augmented Tuple Spaces (Bessani et al.).
+
+A tuple space stores immutable tuples; processes insert (``out``), read
+(``rdp``) and remove (``inp``) entries by *pattern matching*. PEATS guards
+every operation with a **policy** that may consult the current state of the
+space, not just a static ACL — the distinguishing feature the paper notes in
+Section 2.1.
+
+This implementation provides the non-blocking probe variants (``rdp`` /
+``inp``), which is what asynchronous protocols can use; blocking ``rd``/``in``
+would embed waiting inside the shared object, which the simulation model
+(atomic linearization points) correctly forbids.
+
+Pattern language: a pattern is a tuple the same length as candidate
+entries; each position is either a concrete value (must equal) or
+:data:`WILDCARD`. ``rdp``/``inp`` return the *oldest* matching entry so the
+space behaves deterministically under deterministic schedules.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional
+
+from ..errors import ConfigurationError
+from ..sim.shared_memory import SharedObject
+from ..types import ProcessId
+from .acl import Policy
+
+
+class _Wildcard:
+    _instance: "_Wildcard | None" = None
+
+    def __new__(cls) -> "_Wildcard":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "*"
+
+
+WILDCARD = _Wildcard()
+
+
+def matches(pattern: tuple, entry: tuple) -> bool:
+    """Whether ``entry`` matches ``pattern`` (same arity, WILDCARD anywhere)."""
+    if len(pattern) != len(entry):
+        return False
+    return all(p is WILDCARD or p == e for p, e in zip(pattern, entry))
+
+
+class TupleSpaceState:
+    """The state a PEATS policy may inspect: entries plus their inserters."""
+
+    def __init__(self) -> None:
+        self.entries: list[tuple] = []
+        self.inserters: list[ProcessId] = []
+
+    def count(self, pattern: tuple) -> int:
+        return sum(1 for e in self.entries if matches(pattern, e))
+
+    def inserter_of_oldest(self, pattern: tuple) -> Optional[ProcessId]:
+        for e, who in zip(self.entries, self.inserters):
+            if matches(pattern, e):
+                return who
+        return None
+
+
+class PEATS(SharedObject):
+    """A policy-enforced augmented tuple space.
+
+    Operations (process id is implicit):
+
+    - ``out(entry)`` — insert a tuple.
+    - ``rdp(pattern) -> entry | None`` — read oldest match without removing.
+    - ``inp(pattern) -> entry | None`` — remove and return oldest match.
+    - ``count(pattern) -> int`` — number of matching entries ("augmented"
+      feature: conditional/counting reads).
+    - ``rdall(pattern) -> tuple[entry, ...]`` — all matches, oldest first.
+
+    ``policy`` receives ``(TupleSpaceState, pid, op, args)``.
+    """
+
+    def __init__(self, name: str, policy: Policy | None = None,
+                 arity: int | None = None) -> None:
+        super().__init__(name)
+        self.policy = policy if policy is not None else Policy.allow_all()
+        self.arity = arity
+        self.state = TupleSpaceState()
+
+    def check_access(self, pid: ProcessId, op: str, args: tuple) -> None:
+        self.policy.enforce(self.state, pid, self.name, op, args)
+
+    def _check_shape(self, value: Any, what: str) -> tuple:
+        if not isinstance(value, tuple):
+            raise ConfigurationError(
+                f"{what} in space {self.name!r} must be a tuple, got {value!r}"
+            )
+        if self.arity is not None and len(value) != self.arity:
+            raise ConfigurationError(
+                f"{what} in space {self.name!r} must have arity {self.arity}, "
+                f"got {len(value)}"
+            )
+        return value
+
+    # -- operations ----------------------------------------------------------
+
+    def op_out(self, pid: ProcessId, entry: tuple) -> None:
+        entry = self._check_shape(entry, "entry")
+        self.state.entries.append(entry)
+        self.state.inserters.append(pid)
+
+    def op_rdp(self, pid: ProcessId, pattern: tuple) -> Optional[tuple]:
+        pattern = self._check_shape(pattern, "pattern")
+        for e in self.state.entries:
+            if matches(pattern, e):
+                return e
+        return None
+
+    def op_inp(self, pid: ProcessId, pattern: tuple) -> Optional[tuple]:
+        pattern = self._check_shape(pattern, "pattern")
+        for i, e in enumerate(self.state.entries):
+            if matches(pattern, e):
+                del self.state.entries[i]
+                del self.state.inserters[i]
+                return e
+        return None
+
+    def op_count(self, pid: ProcessId, pattern: tuple) -> int:
+        pattern = self._check_shape(pattern, "pattern")
+        return self.state.count(pattern)
+
+    def op_rdall(self, pid: ProcessId, pattern: tuple) -> tuple:
+        pattern = self._check_shape(pattern, "pattern")
+        return tuple(e for e in self.state.entries if matches(pattern, e))
+
+
+# -- stock policies ------------------------------------------------------------
+
+
+def single_inserter_per_slot(slot_index: int) -> Policy:
+    """Only the process named in position ``slot_index`` of an entry may insert it.
+
+    With entries shaped ``(owner_pid, round, payload)`` this makes a PEATS
+    behave like per-process append-only logs: process i can only insert
+    entries tagged with its own id, and nobody can remove (``inp`` denied) —
+    the configuration used to build unidirectional rounds from PEATS.
+    """
+
+    def fn(state: object, pid: ProcessId, op: str, args: tuple) -> bool:
+        if op == "out":
+            entry = args[0]
+            return (
+                isinstance(entry, tuple)
+                and len(entry) > slot_index
+                and entry[slot_index] == pid
+            )
+        if op == "inp":
+            return False
+        return True  # rdp / count / rdall open to everyone
+
+    return Policy(fn, description=f"single-inserter-per-slot[{slot_index}]; no removal")
+
+
+def remove_only_own() -> Policy:
+    """Entries may be removed only by the process that inserted them."""
+
+    def fn(state: object, pid: ProcessId, op: str, args: tuple) -> bool:
+        if op != "inp":
+            return True
+        assert isinstance(state, TupleSpaceState)
+        who = state.inserter_of_oldest(args[0])
+        return who is None or who == pid
+
+    return Policy(fn, description="remove-only-own")

@@ -1,0 +1,102 @@
+"""SWMR registers and append-only registers.
+
+These are the shared-memory primitives of Aguilera et al. that the paper's
+Claim in Section 3.2 builds unidirectional rounds from: *"for each process
+p_i there is some object o_i such that p_i is the only process that can
+modify o_i, and all processes can read o_i."*
+
+- :class:`SWMRRegister` — classic single-writer multi-reader atomic
+  register (read/write).
+- :class:`AppendOnlyRegister` — single-appender multi-reader growing log;
+  the round protocol *appends* ``(r, m)`` and readers receive the whole
+  history, which is what lets late rounds coexist in one object.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..sim.shared_memory import SharedObject
+from ..types import ProcessId
+from .acl import AccessControlList
+
+
+class SWMRRegister(SharedObject):
+    """Single-writer multi-reader atomic register.
+
+    Operations: ``write(value)`` (owner only), ``read() -> value``.
+    The initial value is ``None`` unless overridden.
+    """
+
+    def __init__(self, name: str, owner: ProcessId, initial: Any = None) -> None:
+        super().__init__(name)
+        self.owner = owner
+        self._acl = AccessControlList.single_writer(owner)
+        self._value = initial
+        self.write_count = 0
+        self.read_count = 0
+
+    def check_access(self, pid: ProcessId, op: str, args: tuple) -> None:
+        self._acl.enforce(pid, self.name, op)
+
+    def op_write(self, pid: ProcessId, value: Any) -> None:
+        self._value = value
+        self.write_count += 1
+
+    def op_read(self, pid: ProcessId) -> Any:
+        self.read_count += 1
+        return self._value
+
+
+class AppendOnlyRegister(SharedObject):
+    """Single-appender multi-reader log.
+
+    Operations: ``append(value)`` (owner only), ``read() -> tuple`` (whole
+    history), ``read_from(index) -> tuple`` (suffix — used by scanners that
+    already saw a prefix), ``length() -> int``.
+
+    Readers get immutable tuples, so no reader can perturb the log or
+    another reader.
+    """
+
+    def __init__(self, name: str, owner: ProcessId) -> None:
+        super().__init__(name)
+        self.owner = owner
+        self._acl = AccessControlList.single_writer(
+            owner, write_ops=("append",), read_ops=("read", "read_from", "length")
+        )
+        self._log: list[Any] = []
+        self.append_count = 0
+        self.read_count = 0
+
+    def check_access(self, pid: ProcessId, op: str, args: tuple) -> None:
+        self._acl.enforce(pid, self.name, op)
+
+    def op_append(self, pid: ProcessId, value: Any) -> int:
+        """Append ``value``; returns its (0-based) index in the log."""
+        self._log.append(value)
+        self.append_count += 1
+        return len(self._log) - 1
+
+    def op_read(self, pid: ProcessId) -> tuple:
+        self.read_count += 1
+        return tuple(self._log)
+
+    def op_read_from(self, pid: ProcessId, index: int) -> tuple:
+        self.read_count += 1
+        if index < 0:
+            index = 0
+        return tuple(self._log[index:])
+
+    def op_length(self, pid: ProcessId) -> int:
+        return len(self._log)
+
+
+def swmr_array(n: int, prefix: str = "reg") -> list[SWMRRegister]:
+    """One SWMR register per process: ``reg[i]`` owned by process ``i``."""
+    return [SWMRRegister(f"{prefix}{i}", owner=i) for i in range(n)]
+
+
+def append_log_array(n: int, prefix: str = "log") -> list[AppendOnlyRegister]:
+    """One append-only log per process, the layout the round engine uses."""
+    return [AppendOnlyRegister(f"{prefix}{i}", owner=i) for i in range(n)]

@@ -1,0 +1,101 @@
+"""Sticky bits and sticky registers.
+
+Malkhi et al. (the paper's citation for sticky bits) define registers whose
+value, once set, can never change. They are the minimal shared-memory
+object considered in the paper's classification: a sticky register with
+per-process ownership still provides the "modify own / read all" shape that
+yields unidirectional rounds, and a *sticky* write additionally gives
+first-write-wins consensus-like behavior used in classic constructions.
+
+Operations:
+
+- ``write(value)``: succeeds (returns True) only if the register is still
+  unset; later writes return False and leave the value untouched.
+- ``read()``: current value or the ``UNSET`` sentinel.
+
+A :class:`StickyBit` restricts the domain to {0, 1}.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..errors import ConfigurationError
+from ..sim.shared_memory import SharedObject
+from ..types import ProcessId
+from .acl import AccessControlList, EVERYONE
+
+
+class _Unset:
+    """Sentinel for 'never written'. Single instance, falsy, prints as UNSET."""
+
+    _instance: "_Unset | None" = None
+
+    def __new__(cls) -> "_Unset":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return "UNSET"
+
+
+UNSET = _Unset()
+
+
+class StickyRegister(SharedObject):
+    """Write-once register.
+
+    ``owner`` restricts who may attempt the write; pass ``None`` for a
+    multi-writer sticky register (anyone may attempt; first write wins —
+    the classic sticky-bit semantics from the universality constructions).
+    """
+
+    def __init__(self, name: str, owner: ProcessId | None = None) -> None:
+        super().__init__(name)
+        self.owner = owner
+        if owner is None:
+            self._acl = AccessControlList({"write": EVERYONE, "read": EVERYONE,
+                                           "is_set": EVERYONE})
+        else:
+            self._acl = AccessControlList.single_writer(
+                owner, write_ops=("write",), read_ops=("read", "is_set")
+            )
+        self._value: Any = UNSET
+        self.first_writer: ProcessId | None = None
+
+    def check_access(self, pid: ProcessId, op: str, args: tuple) -> None:
+        self._acl.enforce(pid, self.name, op)
+
+    def op_write(self, pid: ProcessId, value: Any) -> bool:
+        """Set the value if still unset. Returns whether this write took effect."""
+        if self._value is UNSET:
+            self._value = value
+            self.first_writer = pid
+            return True
+        return False
+
+    def op_read(self, pid: ProcessId) -> Any:
+        return self._value
+
+    def op_is_set(self, pid: ProcessId) -> bool:
+        return self._value is not UNSET
+
+
+class StickyBit(StickyRegister):
+    """Sticky register over the domain {0, 1}."""
+
+    def op_write(self, pid: ProcessId, value: Any) -> bool:
+        if value not in (0, 1):
+            raise ConfigurationError(
+                f"sticky bit {self.name!r} accepts only 0 or 1, got {value!r}"
+            )
+        return super().op_write(pid, value)
+
+
+def sticky_array(n: int, prefix: str = "sticky") -> list[StickyRegister]:
+    """One per-process sticky register (owner i writes ``sticky{i}``)."""
+    return [StickyRegister(f"{prefix}{i}", owner=i) for i in range(n)]

@@ -1,0 +1,214 @@
+"""TrInc — the trusted incrementer (Levin et al.), per the paper's Figure 2.
+
+Each process owns a *Trinket* ``T_p``. ``Attest(c, m)`` returns an
+attestation binding ``(prev, c, m)`` — where ``prev`` is the previously
+attested sequence number — iff ``c`` is strictly greater than every
+sequence number this trinket attested before; otherwise it returns ``None``.
+``CheckAttestation(a, q)`` verifies that ``a`` was output by ``T_q``.
+
+Non-equivocation follows because a counter value can be bound to at most
+one message: a Byzantine host holding its trinket can skip counter values
+or stop attesting, but can never obtain two attestations with the same
+``c``.
+
+Following real TrInc, a trinket hosts **multiple independent counters**
+(``counter_id``); the paper's simplified interface is counter 0, which the
+:meth:`Trinket.attest` default provides.
+
+Trust model: the :class:`TrincAuthority` holds all device keys; processes
+get a :class:`Trinket` capability (their device). Byzantine processes hold
+their trinket and may drive it arbitrarily, but cannot extract keys or
+mint attestations for other trinkets — :meth:`TrincAuthority.check` is the
+public verifier anyone can call on a relayed attestation (transferability).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..crypto.serialize import canonical_bytes, content_hash
+from ..errors import AttestationError, ConfigurationError
+from ..types import ProcessId, SeqNum
+
+
+@dataclass(frozen=True, slots=True)
+class StatusAttestation:
+    """A non-advancing attestation of a counter's *current* value.
+
+    Real TrInc permits ``Attest`` with ``c' = c`` (no increment), which
+    attests the current counter state without consuming a sequence number.
+    The paper's simplified Figure 2 omits this, so it is a separate method
+    here; the A2M-from-TrInc reduction uses it for fresh ``End`` statements.
+    ``nonce`` is the verifier's freshness challenge.
+    """
+
+    trinket_id: ProcessId
+    counter_id: int
+    value: SeqNum
+    nonce: Any
+    tag: bytes
+
+
+@dataclass(frozen=True, slots=True)
+class Attestation:
+    """An unforgeable statement: trinket ``trinket_id``, counter ``counter_id``,
+    advanced from ``prev`` to ``seq`` while binding ``message``."""
+
+    trinket_id: ProcessId
+    counter_id: int
+    prev: SeqNum
+    seq: SeqNum
+    message: Any
+    tag: bytes
+
+    def __repr__(self) -> str:
+        return (
+            f"Attestation(T{self.trinket_id}.c{self.counter_id}: "
+            f"{self.prev}->{self.seq}, m={self.message!r})"
+        )
+
+
+class TrincAuthority:
+    """Manufacturer of trinkets for one simulation; the root of trust.
+
+    Deterministic per ``(n, seed)`` like the signature scheme.
+    """
+
+    def __init__(self, n: int, seed: int = 0) -> None:
+        if n <= 0:
+            raise ConfigurationError(f"need at least one trinket, got n={n}")
+        self._n = n
+        root = hashlib.sha256(f"repro-trinc|{seed}".encode()).digest()
+        self._keys: dict[ProcessId, bytes] = {
+            pid: hashlib.sha256(root + pid.to_bytes(8, "big")).digest()
+            for pid in range(n)
+        }
+        self._issued: set[ProcessId] = set()
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    def trinket(self, pid: ProcessId) -> "Trinket":
+        """Issue the (single) trinket for process ``pid``."""
+        if pid not in self._keys:
+            raise ConfigurationError(f"no trinket for pid {pid} (n={self._n})")
+        if pid in self._issued:
+            raise ConfigurationError(f"trinket for pid {pid} already issued")
+        self._issued.add(pid)
+        return Trinket(self, pid)
+
+    def _tag(self, pid: ProcessId, counter_id: int, prev: SeqNum, seq: SeqNum,
+             message: Any) -> bytes:
+        body = canonical_bytes(
+            ("attest", pid, counter_id, prev, seq, content_hash(message))
+        )
+        return hmac.new(self._keys[pid], body, hashlib.sha256).digest()
+
+    def _status_tag(self, pid: ProcessId, counter_id: int, value: SeqNum,
+                    nonce: Any) -> bytes:
+        body = canonical_bytes(("status", pid, counter_id, value, content_hash(nonce)))
+        return hmac.new(self._keys[pid], body, hashlib.sha256).digest()
+
+    def check_status(self, statement: Any, q: ProcessId) -> bool:
+        """Verify a :class:`StatusAttestation` claimed to come from ``T_q``."""
+        s = statement
+        if not isinstance(s, StatusAttestation):
+            return False
+        if s.trinket_id != q or q not in self._keys:
+            return False
+        if not isinstance(s.value, int) or s.value < 0:
+            return False
+        try:
+            expected = self._status_tag(q, s.counter_id, s.value, s.nonce)
+        except Exception:
+            return False
+        return hmac.compare_digest(expected, s.tag)
+
+    def check(self, attestation: Any, q: ProcessId) -> bool:
+        """The paper's ``CheckAttestation(a, q)``.
+
+        True iff ``attestation`` is a valid attestation previously output by
+        trinket ``T_q``. Never raises on malformed input — Byzantine
+        processes send garbage.
+        """
+        a = attestation
+        if not isinstance(a, Attestation):
+            return False
+        if a.trinket_id != q:
+            return False
+        if q not in self._keys:
+            return False
+        # counters start at 0 and strictly increase, so 0 <= prev < seq
+        if not isinstance(a.prev, int) or not isinstance(a.seq, int):
+            return False
+        if a.prev < 0 or a.seq <= a.prev:
+            return False
+        try:
+            expected = self._tag(q, a.counter_id, a.prev, a.seq, a.message)
+        except Exception:
+            return False
+        return hmac.compare_digest(expected, a.tag)
+
+
+class Trinket:
+    """One process's trusted incrementer. Obtainable only from the authority."""
+
+    __slots__ = ("_authority", "_pid", "_last", "attest_calls", "attest_refusals")
+
+    def __init__(self, authority: TrincAuthority, pid: ProcessId) -> None:
+        self._authority = authority
+        self._pid = pid
+        self._last: dict[int, SeqNum] = {}
+        self.attest_calls = 0
+        self.attest_refusals = 0
+
+    @property
+    def pid(self) -> ProcessId:
+        return self._pid
+
+    def last_seq(self, counter_id: int = 0) -> SeqNum:
+        """Highest sequence number attested on ``counter_id`` so far (0 = none)."""
+        return self._last.get(counter_id, 0)
+
+    def attest(self, c: SeqNum, m: Any, counter_id: int = 0) -> Optional[Attestation]:
+        """The paper's ``Attest(seq-num c, message m)``.
+
+        Returns an attestation to ``(prev, c, m)`` if ``c`` is higher than
+        any sequence number used on this counter so far; ``None`` otherwise.
+        """
+        self.attest_calls += 1
+        if not isinstance(c, int):
+            raise AttestationError(f"sequence number must be an int, got {c!r}")
+        if c <= 0:
+            raise AttestationError(f"sequence numbers start at 1, got {c}")
+        if counter_id < 0:
+            raise AttestationError(f"counter_id must be non-negative, got {counter_id}")
+        prev = self._last.get(counter_id, 0)
+        if c <= prev:
+            self.attest_refusals += 1
+            return None
+        tag = self._authority._tag(self._pid, counter_id, prev, c, m)
+        self._last[counter_id] = c
+        return Attestation(
+            trinket_id=self._pid, counter_id=counter_id, prev=prev, seq=c,
+            message=m, tag=tag,
+        )
+
+    def status(self, counter_id: int = 0, nonce: Any = None) -> StatusAttestation:
+        """Attest the current value of ``counter_id`` without advancing it.
+
+        Models real TrInc's non-advancing attest (``c' = c``); see
+        :class:`StatusAttestation`.
+        """
+        if counter_id < 0:
+            raise AttestationError(f"counter_id must be non-negative, got {counter_id}")
+        value = self._last.get(counter_id, 0)
+        tag = self._authority._status_tag(self._pid, counter_id, value, nonce)
+        return StatusAttestation(
+            trinket_id=self._pid, counter_id=counter_id, value=value,
+            nonce=nonce, tag=tag,
+        )

@@ -1,0 +1,73 @@
+"""Deterministic discrete-event simulation of asynchronous distributed systems.
+
+The substrate every protocol in this library runs on:
+
+- :class:`~repro.sim.runner.Simulation` — the façade: processes, network,
+  shared memory, virtual time, fault injection.
+- :class:`~repro.sim.process.Process` — event-driven message-passing
+  processes; :class:`~repro.sim.shared_memory.SMProgram` — sequential
+  shared-memory programs.
+- :mod:`~repro.sim.adversary` — delay/partition control: asynchronous,
+  partially synchronous, lock-step synchronous, scripted.
+- :class:`~repro.sim.trace.Trace` — the structured log all property
+  checkers consume.
+"""
+
+from .adversary import (
+    Adversary,
+    DuplicatingAsynchronous,
+    LinkRule,
+    LockStepSynchronous,
+    PartiallySynchronous,
+    PartitionAdversary,
+    ReliableAsynchronous,
+    ScriptedAdversary,
+    WITHHELD,
+)
+from .byzantine import (
+    BabblerProcess,
+    ByzantineWrapper,
+    SilentProcess,
+    drop_to,
+    equivocate_by_destination,
+    mutate_kind,
+)
+from .partition import split, srb_separation_sets, weak_agreement_sets
+from .process import Context, Process
+from .runner import Simulation
+from .scheduler import RunStats, Scheduler
+from .shared_memory import Op, SharedMemorySystem, SharedObject, Sleep, SMProgram
+from .trace import Trace, TraceEvent
+
+__all__ = [
+    "Adversary",
+    "BabblerProcess",
+    "ByzantineWrapper",
+    "Context",
+    "DuplicatingAsynchronous",
+    "LinkRule",
+    "LockStepSynchronous",
+    "Op",
+    "PartiallySynchronous",
+    "PartitionAdversary",
+    "Process",
+    "ReliableAsynchronous",
+    "RunStats",
+    "Scheduler",
+    "ScriptedAdversary",
+    "SharedMemorySystem",
+    "SharedObject",
+    "SilentProcess",
+    "Simulation",
+    "Sleep",
+    "SMProgram",
+    "Trace",
+    "TraceEvent",
+    "WITHHELD",
+    "drop_to",
+    "equivocate_by_destination",
+    "mutate_kind",
+    "split",
+    "srb_separation_sets",
+    "weak_agreement_sets",
+]

@@ -1,0 +1,207 @@
+"""Reusable Byzantine behaviors.
+
+Two styles:
+
+- standalone adversarial processes (:class:`SilentProcess`,
+  :class:`BabblerProcess`) for scenarios where the Byzantine strategy is
+  simple;
+- :class:`ByzantineWrapper`, which hosts an unmodified correct protocol
+  instance behind an intercepting context and lets an attack mutate, drop,
+  duplicate, or selectively deliver its outgoing messages. This models the
+  strongest realistic adversary for protocol-level tests: it follows the
+  protocol except where the attack says otherwise, so it passes any
+  syntactic validation the protocol performs.
+
+Hardware capabilities are *not* bypassed by any of these: a wrapped process
+still signs with its own signer and attests with its own trinket, exactly
+like real compromised hosts with intact trusted hardware.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ..types import ProcessId
+from .process import Context, Process
+
+
+class SilentProcess(Process):
+    """Byzantine process that never sends anything (crash-at-start)."""
+
+
+class BabblerProcess(Process):
+    """Sends random junk to random processes every ``period`` time units.
+
+    Exercises validation paths: correct protocols must ignore garbage.
+    """
+
+    def __init__(self, period: float = 1.0, fanout: int = 3, rounds: int = 20) -> None:
+        super().__init__()
+        self.period = period
+        self.fanout = fanout
+        self.rounds = rounds
+        self._sent = 0
+
+    def on_start(self) -> None:
+        self.ctx.set_timer(self.period, "babble")
+
+    def on_timer(self, tag: Any) -> None:
+        if tag != "babble" or self._sent >= self.rounds:
+            return
+        self._sent += 1
+        for _ in range(self.fanout):
+            dst = self.ctx.rng.randrange(self.ctx.n)
+            junk = ("JUNK", self.ctx.rng.getrandbits(32))
+            self.ctx.send(dst, junk)
+        self.ctx.set_timer(self.period, "babble")
+
+
+# ---------------------------------------------------------------------------
+# Wrapping attacks around correct protocol code
+# ---------------------------------------------------------------------------
+
+MessageFilter = Callable[[ProcessId, ProcessId, Any], Optional[Any]]
+"""``(src, dst, msg) -> msg' | None``; ``None`` drops the message."""
+
+
+class _InterceptingContext:
+    """Duck-typed Context that applies a filter to outgoing messages.
+
+    Wraps the real :class:`~repro.sim.process.Context`; everything except
+    ``send``/``broadcast`` passes through. ``broadcast`` is decomposed into
+    per-destination sends so a filter can equivocate (send different bodies
+    to different destinations) — the attack the paper's hardware exists to
+    prevent.
+    """
+
+    def __init__(self, real: Context, filt: MessageFilter) -> None:
+        self._real = real
+        self._filter = filt
+
+    # pass-throughs -----------------------------------------------------------
+    @property
+    def pid(self) -> ProcessId:
+        return self._real.pid
+
+    @property
+    def n(self) -> int:
+        return self._real.n
+
+    @property
+    def now(self):
+        return self._real.now
+
+    @property
+    def alive(self) -> bool:
+        return self._real.alive
+
+    @property
+    def rng(self):
+        return self._real.rng
+
+    def set_timer(self, delay: float, tag: Any):
+        return self._real.set_timer(delay, tag)
+
+    def cancel_timer(self, timer_id: int) -> None:
+        self._real.cancel_timer(timer_id)
+
+    def invoke(self, object_name: str, op: str, *args: Any):
+        return self._real.invoke(object_name, op, *args)
+
+    def decide(self, value: Any) -> None:
+        self._real.decide(value)
+
+    def record(self, kind: str, **fields: Any) -> None:
+        self._real.record(kind, **fields)
+
+    # intercepted -----------------------------------------------------------------
+
+    def send(self, dst: ProcessId, msg: Any) -> None:
+        out = self._filter(self._real.pid, dst, msg)
+        if out is not None:
+            self._real.send(dst, out)
+
+    def broadcast(self, msg: Any, include_self: bool = True) -> None:
+        for dst in range(self._real.n):
+            if dst == self._real.pid and not include_self:
+                continue
+            self.send(dst, msg)
+
+
+class ByzantineWrapper(Process):
+    """Run ``inner`` (an unmodified protocol process) under a message filter."""
+
+    def __init__(self, inner: Process, message_filter: MessageFilter) -> None:
+        super().__init__()
+        self.inner = inner
+        self._message_filter = message_filter
+
+    def _attach(self, ctx: Context) -> None:
+        super()._attach(ctx)
+        self.inner._ctx = _InterceptingContext(ctx, self._message_filter)  # type: ignore[assignment]
+
+    def on_start(self) -> None:
+        self.inner.on_start()
+
+    def on_message(self, src: ProcessId, msg: Any) -> None:
+        self.inner.on_message(src, msg)
+
+    def on_timer(self, tag: Any) -> None:
+        self.inner.on_timer(tag)
+
+    def on_op_result(self, object_name: str, op: str, handle: int, result: Any) -> None:
+        self.inner.on_op_result(object_name, op, handle, result)
+
+
+# -- common filters -----------------------------------------------------------------
+
+
+def drop_to(*victims: ProcessId) -> MessageFilter:
+    """Suppress all messages to the given destinations (selective silence)."""
+
+    victim_set = frozenset(victims)
+
+    def filt(src: ProcessId, dst: ProcessId, msg: Any) -> Optional[Any]:
+        return None if dst in victim_set else msg
+
+    return filt
+
+
+def mutate_kind(kind: str, mutator: Callable[[Any], Any]) -> MessageFilter:
+    """Apply ``mutator`` to the body of messages whose ``kind`` matches.
+
+    Works on the library's ``(kind, body...)`` tuple convention and on
+    :class:`~repro.types.Message`; other messages pass through unchanged.
+    """
+
+    from ..types import Message
+
+    def filt(src: ProcessId, dst: ProcessId, msg: Any) -> Optional[Any]:
+        if isinstance(msg, Message) and msg.kind == kind:
+            return Message(kind, mutator(msg.body))
+        if isinstance(msg, tuple) and msg and msg[0] == kind:
+            return (kind, *mutator(msg[1:]))
+        return msg
+
+    return filt
+
+
+def equivocate_by_destination(
+    kind: str, chooser: Callable[[ProcessId, Any], Any]
+) -> MessageFilter:
+    """Send destination-dependent bodies for ``kind`` messages.
+
+    ``chooser(dst, body)`` returns the body destination ``dst`` should see —
+    the canonical equivocation attack.
+    """
+
+    from ..types import Message
+
+    def filt(src: ProcessId, dst: ProcessId, msg: Any) -> Optional[Any]:
+        if isinstance(msg, Message) and msg.kind == kind:
+            return Message(kind, chooser(dst, msg.body))
+        if isinstance(msg, tuple) and msg and msg[0] == kind:
+            return (kind, *chooser(dst, msg[1:]))
+        return msg
+
+    return filt

@@ -1,0 +1,77 @@
+"""Event types for the discrete-event scheduler.
+
+Every behavior in a simulation — message delivery, timer expiry, a shared
+memory operation reaching its linearization point, a response arriving back
+at its invoker — is an :class:`Event` on the scheduler's heap. Events are
+ordered by ``(time, seq)``; ``seq`` is a global creation counter that makes
+tie-breaking deterministic and FIFO for same-time events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..types import ProcessId, Time
+
+
+@dataclass(frozen=True, slots=True)
+class MessageDeliver:
+    """Deliver ``msg`` from ``src`` to ``dst`` (calls ``dst.on_message``)."""
+
+    src: ProcessId
+    dst: ProcessId
+    msg: Any
+    send_time: Time
+
+
+@dataclass(frozen=True, slots=True)
+class TimerFire:
+    """Fire timer ``tag`` at process ``pid`` (calls ``on_timer``)."""
+
+    pid: ProcessId
+    tag: Any
+    timer_id: int
+
+
+@dataclass(frozen=True, slots=True)
+class OpLinearize:
+    """A shared-memory operation reaches its atomic linearization point."""
+
+    pid: ProcessId
+    handle: int
+    object_name: str
+    op: str
+    args: tuple
+
+
+@dataclass(frozen=True, slots=True)
+class OpRespond:
+    """The response of a linearized shared-memory operation reaches its invoker."""
+
+    pid: ProcessId
+    handle: int
+    object_name: str
+    op: str
+    result: Any
+
+
+@dataclass(frozen=True, slots=True)
+class Callback:
+    """Run an arbitrary zero-argument function (used by scenario scripts)."""
+
+    fn: Callable[[], None]
+    label: str = ""
+
+
+Payload = MessageDeliver | TimerFire | OpLinearize | OpRespond | Callback
+
+
+@dataclass(order=True, slots=True)
+class Event:
+    """A scheduled occurrence. Ordering compares only ``(time, seq)``."""
+
+    time: Time
+    seq: int
+    payload: Payload = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)

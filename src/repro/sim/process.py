@@ -1,0 +1,169 @@
+"""Process model for message-passing simulations.
+
+A process is an event-driven state machine: the simulation calls
+``on_start`` once, then ``on_message`` / ``on_timer`` / ``on_op_result`` as
+events arrive. All interaction with the outside world goes through the
+:class:`Context` capability the simulation injects — processes never touch
+the scheduler or network directly, which is what lets the simulation
+interpose crashes, Byzantine wrappers, and trace recording uniformly.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Optional, TYPE_CHECKING
+
+from ..errors import SimulationError
+from ..types import ProcessId, Time
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .runner import Simulation
+
+
+class Context:
+    """Per-process capability for acting on the simulated world.
+
+    Each live process owns exactly one context. Crashing a process disables
+    its context, after which all actions become silent no-ops — mirroring a
+    crashed machine whose queued instructions have no external effect.
+    """
+
+    __slots__ = ("_sim", "_pid", "_alive", "rng")
+
+    def __init__(self, sim: "Simulation", pid: ProcessId, rng: random.Random) -> None:
+        self._sim = sim
+        self._pid = pid
+        self._alive = True
+        self.rng = rng
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def pid(self) -> ProcessId:
+        return self._pid
+
+    @property
+    def n(self) -> int:
+        return self._sim.n
+
+    @property
+    def now(self) -> Time:
+        return self._sim.now
+
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    # -- messaging -----------------------------------------------------------
+
+    def send(self, dst: ProcessId, msg: Any) -> None:
+        """Send ``msg`` to ``dst`` over the adversarial network."""
+        if not self._alive:
+            return
+        self._sim.network.submit(self._pid, dst, msg)
+
+    def broadcast(self, msg: Any, include_self: bool = True) -> None:
+        """Send ``msg`` to every process (the paper's "send to all").
+
+        ``include_self`` defaults to True: "all" in the paper's pseudocode
+        includes the sender, and self-delivery goes through the network like
+        any other message (the adversary may delay it).
+        """
+        if not self._alive:
+            return
+        for dst in range(self._sim.n):
+            if dst == self._pid and not include_self:
+                continue
+            self._sim.network.submit(self._pid, dst, msg)
+
+    # -- timers ---------------------------------------------------------------
+
+    def set_timer(self, delay: float, tag: Any) -> Optional[int]:
+        """Schedule ``on_timer(tag)`` after ``delay``; returns a cancellable id."""
+        if not self._alive:
+            return None
+        return self._sim.set_timer(self._pid, delay, tag)
+
+    def cancel_timer(self, timer_id: int) -> None:
+        if not self._alive:
+            return
+        self._sim.cancel_timer(timer_id)
+
+    # -- shared memory ---------------------------------------------------------
+
+    def invoke(self, object_name: str, op: str, *args: Any) -> Optional[int]:
+        """Asynchronously invoke a shared-memory operation.
+
+        The operation linearizes and responds at adversary-chosen later
+        times; the result arrives via ``on_op_result``. Returns an
+        invocation handle for correlating the response.
+        """
+        if not self._alive:
+            return None
+        return self._sim.memory.invoke(self._pid, object_name, op, args)
+
+    # -- protocol-level trace records --------------------------------------------
+
+    def decide(self, value: Any) -> None:
+        """Record that this process commits/decides ``value``."""
+        if not self._alive:
+            return
+        self._sim.trace.record(self._sim.now, "decide", self._pid, value=value)
+
+    def record(self, kind: str, **fields: Any) -> None:
+        """Record a protocol-defined trace event attributed to this process."""
+        if not self._alive:
+            return
+        self._sim.trace.record(self._sim.now, kind, self._pid, **fields)
+
+    # -- lifecycle (simulation-internal) -------------------------------------------
+
+    def _kill(self) -> None:
+        self._alive = False
+
+
+class Process:
+    """Base class for event-driven processes.
+
+    Subclasses override the ``on_*`` hooks. ``self.ctx`` and ``self.pid``
+    are injected by the simulation before ``on_start``; accessing them
+    earlier raises.
+    """
+
+    def __init__(self) -> None:
+        self._ctx: Optional[Context] = None
+
+    # -- wiring -------------------------------------------------------------
+
+    @property
+    def ctx(self) -> Context:
+        if self._ctx is None:
+            raise SimulationError(
+                f"{type(self).__name__} used before being attached to a simulation"
+            )
+        return self._ctx
+
+    @property
+    def pid(self) -> ProcessId:
+        return self.ctx.pid
+
+    def _attach(self, ctx: Context) -> None:
+        if self._ctx is not None:
+            raise SimulationError(
+                f"{type(self).__name__} attached to two simulations"
+            )
+        self._ctx = ctx
+
+    # -- event hooks ------------------------------------------------------------
+
+    def on_start(self) -> None:
+        """Called once when the simulation starts."""
+
+    def on_message(self, src: ProcessId, msg: Any) -> None:
+        """Called when a network message from ``src`` is delivered."""
+
+    def on_timer(self, tag: Any) -> None:
+        """Called when a timer set via ``ctx.set_timer`` fires."""
+
+    def on_op_result(self, object_name: str, op: str, handle: int, result: Any) -> None:
+        """Called when a shared-memory invocation completes."""

@@ -1,0 +1,241 @@
+"""The :class:`Simulation` façade: wiring, dispatch, lifecycle.
+
+Typical usage::
+
+    sim = Simulation(processes=[P0(), P1(), P2()], adversary=ReliableAsynchronous(), seed=7)
+    sim.declare_byzantine(2)
+    sim.crash_at(1, time=5.0)
+    sim.run(until=100.0)
+    checker.check(sim.trace, correct=sim.correct_pids)
+
+Determinism contract: a simulation is fully determined by (process code,
+adversary, seed). Per-process RNG streams and the adversary stream are
+derived from the seed with a cryptographic hash so adding a process does
+not shift every other stream.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+from ..errors import ConfigurationError, SimulationError
+from ..types import ProcessId, Time
+from .adversary import Adversary, ReliableAsynchronous
+from .events import (
+    Callback,
+    Event,
+    MessageDeliver,
+    OpLinearize,
+    OpRespond,
+    TimerFire,
+)
+from .network import Network
+from .process import Context, Process
+from .scheduler import RunStats, Scheduler
+from .shared_memory import SharedMemorySystem
+from .trace import Trace
+
+
+def _derive_rng(seed: int, *labels: Any) -> random.Random:
+    material = "|".join(str(x) for x in (seed, *labels)).encode()
+    digest = hashlib.sha256(material).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))
+
+
+class Simulation:
+    """One deterministic execution of ``n`` processes under an adversary."""
+
+    DEFAULT_MAX_EVENTS = 5_000_000
+
+    def __init__(
+        self,
+        processes: Sequence[Process],
+        adversary: Adversary | None = None,
+        seed: int = 0,
+        horizon: Time = float("inf"),
+    ) -> None:
+        if not processes:
+            raise ConfigurationError("a simulation needs at least one process")
+        self.n = len(processes)
+        self.seed = seed
+        self.horizon = horizon
+        self.scheduler = Scheduler()
+        self.scheduler.dispatch = self._dispatch
+        self.trace = Trace()
+        adversary = adversary if adversary is not None else ReliableAsynchronous()
+        adversary.bind(_derive_rng(seed, "adversary"))
+        self.network = Network(self, adversary)
+        self.memory = SharedMemorySystem(self)
+        self._processes: list[Process] = list(processes)
+        self._contexts: list[Context] = []
+        self._byzantine: set[ProcessId] = set()
+        self._crashed: set[ProcessId] = set()
+        self._timers: dict[int, Event] = {}
+        self._next_timer_id = 0
+        self._started = False
+        for pid, proc in enumerate(self._processes):
+            ctx = Context(self, pid, _derive_rng(seed, "proc", pid))
+            proc._attach(ctx)
+            self._contexts.append(ctx)
+
+    # -- basic accessors -----------------------------------------------------
+
+    @property
+    def now(self) -> Time:
+        return self.scheduler.now
+
+    def process(self, pid: ProcessId) -> Process:
+        return self._processes[pid]
+
+    @property
+    def processes(self) -> Sequence[Process]:
+        return tuple(self._processes)
+
+    # -- fault management -----------------------------------------------------
+
+    def declare_byzantine(self, *pids: ProcessId) -> "Simulation":
+        """Mark processes as Byzantine for checkers; their code runs unchanged."""
+        for pid in pids:
+            self._check_pid(pid)
+            self._byzantine.add(pid)
+        return self
+
+    @property
+    def byzantine_pids(self) -> frozenset[ProcessId]:
+        return frozenset(self._byzantine)
+
+    @property
+    def crashed_pids(self) -> frozenset[ProcessId]:
+        return frozenset(self._crashed)
+
+    @property
+    def correct_pids(self) -> tuple[ProcessId, ...]:
+        """Processes that are neither Byzantine nor crashed (at current time)."""
+        return tuple(
+            p for p in range(self.n) if p not in self._byzantine and p not in self._crashed
+        )
+
+    def crash(self, pid: ProcessId) -> None:
+        """Crash ``pid`` now: no further events reach it, its sends stop."""
+        self._check_pid(pid)
+        if pid in self._crashed:
+            return
+        self._crashed.add(pid)
+        self._contexts[pid]._kill()
+        self.trace.record(self.now, "custom", pid, event="crash")
+
+    def crash_at(self, pid: ProcessId, time: Time) -> None:
+        """Schedule a crash of ``pid`` at virtual ``time``."""
+        self._check_pid(pid)
+        self.scheduler.schedule_at(
+            time, Callback(fn=lambda: self.crash(pid), label=f"crash-{pid}")
+        )
+
+    def _check_pid(self, pid: ProcessId) -> None:
+        if not (0 <= pid < self.n):
+            raise ConfigurationError(f"pid {pid} out of range (n={self.n})")
+
+    # -- timers ------------------------------------------------------------------
+
+    def set_timer(self, pid: ProcessId, delay: float, tag: Any) -> int:
+        timer_id = self._next_timer_id
+        self._next_timer_id += 1
+        ev = self.scheduler.schedule(delay, TimerFire(pid=pid, tag=tag, timer_id=timer_id))
+        self._timers[timer_id] = ev
+        self.trace.record(self.now, "timer_set", pid, tag=tag, timer_id=timer_id)
+        return timer_id
+
+    def cancel_timer(self, timer_id: int) -> None:
+        ev = self._timers.pop(timer_id, None)
+        if ev is not None:
+            Scheduler.cancel(ev)
+
+    # -- scenario scripting ----------------------------------------------------------
+
+    def at(self, time: Time, fn: Callable[[], None], label: str = "") -> None:
+        """Run ``fn`` at virtual ``time`` (partition healing, fault injection…)."""
+        self.scheduler.schedule_at(time, Callback(fn=fn, label=label))
+
+    # -- main loop -----------------------------------------------------------------
+
+    def start(self) -> None:
+        """Deliver ``on_start`` to every process (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        for pid, proc in enumerate(self._processes):
+            if pid not in self._crashed:
+                proc.on_start()
+
+    def run(
+        self,
+        until: Time | None = None,
+        max_events: int | None = None,
+    ) -> RunStats:
+        """Start (if needed) and run to quiescence, ``until``, or the horizon."""
+        self.start()
+        if until is None and self.horizon != float("inf"):
+            until = self.horizon
+        limit = max_events if max_events is not None else self.DEFAULT_MAX_EVENTS
+        stats = self.scheduler.run(until=until, max_events=limit)
+        if max_events is None and stats.events_processed >= limit:
+            raise SimulationError(
+                f"simulation exceeded the default event cap ({limit}); "
+                "likely a livelock — pass max_events explicitly to override"
+            )
+        return stats
+
+    def run_to_quiescence(self, max_events: int | None = None) -> RunStats:
+        """Run until no events remain (requires protocols that go quiet)."""
+        self.start()
+        limit = max_events if max_events is not None else self.DEFAULT_MAX_EVENTS
+        stats = self.scheduler.run(until=None, max_events=limit)
+        if not stats.exhausted:
+            raise SimulationError(
+                f"no quiescence after {stats.events_processed} events"
+            )
+        return stats
+
+    # -- dispatch -----------------------------------------------------------------
+
+    def _dispatch(self, ev: Event) -> None:
+        payload = ev.payload
+        if isinstance(payload, MessageDeliver):
+            if payload.dst in self._crashed:
+                return
+            self.network.note_delivered()
+            self.trace.record(
+                self.now, "deliver", payload.dst, src=payload.src, msg=payload.msg
+            )
+            self._processes[payload.dst].on_message(payload.src, payload.msg)
+        elif isinstance(payload, TimerFire):
+            if payload.timer_id not in self._timers:
+                return  # cancelled
+            del self._timers[payload.timer_id]
+            if payload.pid in self._crashed:
+                return
+            self.trace.record(self.now, "timer_fire", payload.pid, tag=payload.tag)
+            self._processes[payload.pid].on_timer(payload.tag)
+        elif isinstance(payload, OpLinearize):
+            self.memory.linearize(payload)
+        elif isinstance(payload, OpRespond):
+            self.memory.complete(payload.handle)
+            if payload.pid in self._crashed:
+                return
+            self.trace.record(
+                self.now,
+                "op_respond",
+                payload.pid,
+                handle=payload.handle,
+                object=payload.object_name,
+                op=payload.op,
+            )
+            self._processes[payload.pid].on_op_result(
+                payload.object_name, payload.op, payload.handle, payload.result
+            )
+        elif isinstance(payload, Callback):
+            payload.fn()
+        else:  # pragma: no cover - exhaustive over Payload union
+            raise SimulationError(f"unknown event payload {payload!r}")

@@ -1,0 +1,120 @@
+"""Deterministic discrete-event scheduler.
+
+A binary heap of :class:`~repro.sim.events.Event` ordered by
+``(time, creation_seq)``. Determinism: given the same seed and the same
+sequence of ``schedule`` calls, a run produces the identical event order on
+any platform — there is no wall-clock anywhere and ties break by creation
+order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..errors import SimulationError
+from ..types import Time
+from .events import Event, Payload
+
+
+@dataclass(slots=True)
+class RunStats:
+    """Summary of one scheduler run segment."""
+
+    events_processed: int = 0
+    end_time: Time = 0.0
+    exhausted: bool = False
+    """True when the queue emptied (quiescence) rather than hitting a limit."""
+
+
+class Scheduler:
+    """Event queue with virtual time.
+
+    The owner installs a ``dispatch`` callable that interprets event
+    payloads; the scheduler itself knows nothing about processes or
+    networks, which keeps it reusable for both the message-passing and
+    shared-memory layers.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = 0
+        self._now: Time = 0.0
+        self._running = False
+        self.dispatch: Optional[Callable[[Event], None]] = None
+
+    @property
+    def now(self) -> Time:
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-dispatched, not-cancelled events."""
+        return sum(1 for ev in self._heap if not ev.cancelled)
+
+    def schedule(self, delay: float, payload: Payload) -> Event:
+        """Enqueue ``payload`` to occur ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        ev = Event(time=self._now + delay, seq=self._seq, payload=payload)
+        self._seq += 1
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def schedule_at(self, time: Time, payload: Payload) -> Event:
+        """Enqueue ``payload`` at absolute virtual time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} before current time {self._now}"
+            )
+        ev = Event(time=time, seq=self._seq, payload=payload)
+        self._seq += 1
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    @staticmethod
+    def cancel(event: Event) -> None:
+        """Mark an event so it is skipped when popped (O(1) cancellation)."""
+        event.cancelled = True
+
+    def run(
+        self,
+        until: Time | None = None,
+        max_events: int | None = None,
+    ) -> RunStats:
+        """Dispatch events in order until quiescence, ``until``, or ``max_events``.
+
+        Events with time strictly greater than ``until`` stay queued (a
+        subsequent ``run`` may continue). Re-entrant calls are rejected.
+        """
+        if self.dispatch is None:
+            raise SimulationError("no dispatch function installed")
+        if self._running:
+            raise SimulationError("scheduler is already running (re-entrant run)")
+        self._running = True
+        stats = RunStats()
+        try:
+            while self._heap:
+                if max_events is not None and stats.events_processed >= max_events:
+                    break
+                ev = self._heap[0]
+                if ev.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and ev.time > until:
+                    break
+                heapq.heappop(self._heap)
+                self._now = ev.time
+                self.dispatch(ev)
+                stats.events_processed += 1
+            else:
+                stats.exhausted = True
+        finally:
+            self._running = False
+        if until is not None and stats.exhausted:
+            # Quiescent before the horizon: advance the clock to the horizon so
+            # 'run until T' always ends at T regardless of queue contents.
+            self._now = max(self._now, until)
+        stats.end_time = self._now
+        return stats

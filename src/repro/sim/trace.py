@@ -1,0 +1,195 @@
+"""Structured execution traces.
+
+A :class:`Trace` is an append-only log of everything observable that happened
+in a run. Property checkers (`repro.core.directionality`, `repro.core.srb`,
+`repro.agreement.checkers`, `repro.consensus.safety`) consume traces rather
+than protocol internals, so the same checker validates any implementation of
+a primitive.
+
+Indistinguishability arguments (the separation scenarios) compare the
+*local view* of a process between two executions: the ordered sequence of
+events that process can observe (its own sends, its deliveries, timers, op
+responses, and its protocol-level records). :meth:`Trace.local_view`
+extracts exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator, Optional
+
+from ..types import Delivery, Decision, ProcessId, Time
+
+# Event kind constants — string tags keep the trace easy to filter and dump.
+SEND = "send"
+DELIVER = "deliver"
+TIMER_SET = "timer_set"
+TIMER_FIRE = "timer_fire"
+OP_INVOKE = "op_invoke"
+OP_LINEARIZE = "op_linearize"
+OP_RESPOND = "op_respond"
+DECIDE = "decide"
+BCAST = "bcast"
+BCAST_DELIVER = "bcast_deliver"
+ROUND_BEGIN = "round_begin"
+ROUND_SENT = "round_sent"
+ROUND_RECV = "round_recv"
+ROUND_END = "round_end"
+CUSTOM = "custom"
+
+# Kinds that are part of a process's *local view* — what it can observe.
+# Sends/invocations are included (a process knows what it did); linearization
+# points are not (they happen inside the shared memory, invisible until the
+# response arrives).
+_LOCAL_VIEW_KINDS = frozenset(
+    {
+        SEND,
+        DELIVER,
+        TIMER_SET,
+        TIMER_FIRE,
+        OP_INVOKE,
+        OP_RESPOND,
+        DECIDE,
+        BCAST,
+        BCAST_DELIVER,
+        ROUND_BEGIN,
+        ROUND_SENT,
+        ROUND_RECV,
+        ROUND_END,
+        CUSTOM,
+    }
+)
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One record in a trace.
+
+    ``pid`` is the process the event belongs to (for :data:`DELIVER` that is
+    the receiver; the sender appears in ``fields['src']``). ``fields`` is a
+    flat mapping of event-kind-specific data.
+    """
+
+    index: int
+    time: Time
+    kind: str
+    pid: ProcessId
+    fields: dict[str, Any]
+
+    def field(self, name: str, default: Any = None) -> Any:
+        return self.fields.get(name, default)
+
+    def view_key(self) -> tuple:
+        """Content of this event as seen by ``pid`` (time excluded).
+
+        Virtual timestamps differ between executions that are supposed to be
+        indistinguishable, so views compare event *content and order* only.
+        """
+        return (self.kind, tuple(sorted(self.fields.items(), key=lambda kv: kv[0])))
+
+
+class Trace:
+    """Append-only event log with query helpers."""
+
+    def __init__(self) -> None:
+        self._events: list[TraceEvent] = []
+
+    # -- recording -------------------------------------------------------
+
+    def record(self, time: Time, kind: str, pid: ProcessId, **fields: Any) -> None:
+        self._events.append(
+            TraceEvent(index=len(self._events), time=time, kind=kind, pid=pid, fields=fields)
+        )
+
+    # -- iteration / filtering -------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def events(
+        self,
+        kind: str | None = None,
+        pid: ProcessId | None = None,
+        predicate: Callable[[TraceEvent], bool] | None = None,
+    ) -> list[TraceEvent]:
+        """All events matching the given filters, in trace order."""
+        out = []
+        for ev in self._events:
+            if kind is not None and ev.kind != kind:
+                continue
+            if pid is not None and ev.pid != pid:
+                continue
+            if predicate is not None and not predicate(ev):
+                continue
+            out.append(ev)
+        return out
+
+    # -- protocol-level conveniences --------------------------------------
+
+    def decisions(self) -> list[Decision]:
+        """All :data:`DECIDE` events as :class:`~repro.types.Decision` values."""
+        return [
+            Decision(pid=ev.pid, value=ev.field("value"), time=ev.time)
+            for ev in self.events(DECIDE)
+        ]
+
+    def decision_of(self, pid: ProcessId) -> Optional[Decision]:
+        """The first decision of ``pid``, or ``None``."""
+        for d in self.decisions():
+            if d.pid == pid:
+                return d
+        return None
+
+    def broadcast_deliveries(self) -> list[Delivery]:
+        """All :data:`BCAST_DELIVER` events as :class:`~repro.types.Delivery` values."""
+        return [
+            Delivery(
+                receiver=ev.pid,
+                sender=ev.field("sender"),
+                seq=ev.field("seq"),
+                value=ev.field("value"),
+                time=ev.time,
+            )
+            for ev in self.events(BCAST_DELIVER)
+        ]
+
+    def message_sends(self, src: ProcessId | None = None) -> list[TraceEvent]:
+        return self.events(SEND, pid=src)
+
+    def message_deliveries(self, dst: ProcessId | None = None) -> list[TraceEvent]:
+        return self.events(DELIVER, pid=dst)
+
+    # -- indistinguishability ----------------------------------------------
+
+    def local_view(self, pid: ProcessId) -> tuple[tuple, ...]:
+        """Ordered content of everything ``pid`` observed in this run."""
+        return tuple(
+            ev.view_key()
+            for ev in self._events
+            if ev.pid == pid and ev.kind in _LOCAL_VIEW_KINDS
+        )
+
+    def views_equal(self, other: "Trace", pids: Iterable[ProcessId]) -> bool:
+        """Whether every process in ``pids`` has the same local view in both traces."""
+        return all(self.local_view(p) == other.local_view(p) for p in pids)
+
+    def differing_views(
+        self, other: "Trace", pids: Iterable[ProcessId]
+    ) -> list[ProcessId]:
+        """Processes whose local views differ between the two traces."""
+        return [p for p in pids if self.local_view(p) != other.local_view(p)]
+
+    # -- debugging ---------------------------------------------------------
+
+    def dump(self, limit: int | None = None) -> str:
+        """Human-readable rendering of the trace (for failing-test output)."""
+        lines = []
+        for ev in self._events[: limit if limit is not None else len(self._events)]:
+            fields = " ".join(f"{k}={v!r}" for k, v in ev.fields.items())
+            lines.append(f"[{ev.time:10.4f}] p{ev.pid:<3} {ev.kind:<14} {fields}")
+        if limit is not None and len(self._events) > limit:
+            lines.append(f"… {len(self._events) - limit} more events")
+        return "\n".join(lines)

@@ -1,0 +1,11 @@
+"""Workload generators for the consensus benches."""
+
+from .generator import WorkloadSpec, generate_workload, uniform_kv, skewed_kv, bank_transfers
+
+__all__ = [
+    "WorkloadSpec",
+    "bank_transfers",
+    "generate_workload",
+    "skewed_kv",
+    "uniform_kv",
+]

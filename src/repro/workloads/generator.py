@@ -1,0 +1,96 @@
+"""Deterministic client workload generators.
+
+Each generator takes an explicit seed and returns plain op lists for the
+:mod:`repro.consensus.apps` state machines, so benches are reproducible
+and independent of simulation RNG streams.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadSpec:
+    """Named workload recipe: ``kind`` + parameters."""
+
+    kind: str
+    n_ops: int
+    seed: int = 0
+    keys: int = 16
+    write_ratio: float = 0.5
+    zipf_s: float = 1.2
+    accounts: int = 8
+
+
+def uniform_kv(n_ops: int, seed: int = 0, keys: int = 16,
+               write_ratio: float = 0.5) -> list[tuple]:
+    """Uniform key choice, mixed put/get."""
+    rng = random.Random(seed)
+    ops: list[tuple] = []
+    for i in range(n_ops):
+        k = f"k{rng.randrange(keys)}"
+        if rng.random() < write_ratio:
+            ops.append(("put", k, f"v{seed}-{i}"))
+        else:
+            ops.append(("get", k))
+    return ops
+
+
+def skewed_kv(n_ops: int, seed: int = 0, keys: int = 16, zipf_s: float = 1.2,
+              write_ratio: float = 0.5) -> list[tuple]:
+    """Zipf-skewed key popularity (hot keys), mixed put/get."""
+    if zipf_s <= 0:
+        raise ConfigurationError(f"zipf_s must be positive, got {zipf_s}")
+    rng = random.Random(seed)
+    weights = [1.0 / ((rank + 1) ** zipf_s) for rank in range(keys)]
+    total = sum(weights)
+    cumulative = []
+    acc = 0.0
+    for w in weights:
+        acc += w / total
+        cumulative.append(acc)
+    ops: list[tuple] = []
+    for i in range(n_ops):
+        x = rng.random()
+        key_idx = next(idx for idx, c in enumerate(cumulative) if x <= c)
+        k = f"k{key_idx}"
+        if rng.random() < write_ratio:
+            ops.append(("put", k, f"v{seed}-{i}"))
+        else:
+            ops.append(("get", k))
+    return ops
+
+
+def bank_transfers(n_ops: int, seed: int = 0, accounts: int = 8) -> list[tuple]:
+    """Open accounts, deposit, then shuffle money around (order-sensitive)."""
+    rng = random.Random(seed)
+    names = [f"acct{i}" for i in range(accounts)]
+    ops: list[tuple] = [("open", a) for a in names]
+    ops += [("deposit", a, 100) for a in names]
+    while len(ops) < n_ops:
+        src, dst = rng.sample(names, 2)
+        ops.append(("transfer", src, dst, rng.randrange(1, 50)))
+    return ops[:n_ops]
+
+
+_GENERATORS: dict[str, Callable[..., list[tuple]]] = {
+    "uniform-kv": lambda s: uniform_kv(s.n_ops, s.seed, s.keys, s.write_ratio),
+    "skewed-kv": lambda s: skewed_kv(s.n_ops, s.seed, s.keys, s.zipf_s, s.write_ratio),
+    "bank": lambda s: bank_transfers(s.n_ops, s.seed, s.accounts),
+}
+
+
+def generate_workload(spec: WorkloadSpec) -> list[tuple]:
+    """Materialize a :class:`WorkloadSpec` into an op list."""
+    try:
+        gen = _GENERATORS[spec.kind]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown workload kind {spec.kind!r}; available: {sorted(_GENERATORS)}"
+        ) from None
+    return gen(spec)

@@ -1,0 +1,28 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto import SignatureScheme
+from repro.sim import ReliableAsynchronous, Simulation
+
+
+@pytest.fixture
+def scheme4() -> SignatureScheme:
+    return SignatureScheme(4, seed=99)
+
+
+def run_async_sim(processes, seed=0, until=None, min_delay=0.01, max_delay=0.5,
+                  objects=(), **kwargs):
+    """Build + run a simulation under standard asynchrony; returns the sim."""
+    sim = Simulation(
+        processes, ReliableAsynchronous(min_delay, max_delay), seed=seed, **kwargs
+    )
+    for obj in objects:
+        sim.memory.register(obj)
+    if until is None:
+        sim.run_to_quiescence()
+    else:
+        sim.run(until=until)
+    return sim

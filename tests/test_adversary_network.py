@@ -1,0 +1,163 @@
+"""Tests for adversaries, the network ledger, and fairness audits."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, PropertyViolation
+from repro.sim import (
+    LinkRule,
+    LockStepSynchronous,
+    PartiallySynchronous,
+    PartitionAdversary,
+    Process,
+    ReliableAsynchronous,
+    ScriptedAdversary,
+    Simulation,
+)
+
+
+class Sender(Process):
+    """Sends one tagged message to every other process at start."""
+
+    def __init__(self):
+        super().__init__()
+        self.received = []
+
+    def on_start(self):
+        self.ctx.broadcast(("M", self.pid), include_self=False)
+
+    def on_message(self, src, msg):
+        self.received.append((self.ctx.now, src))
+
+
+def deliveries(sim, dst):
+    return [(ev.field("src"), ev.time) for ev in sim.trace.message_deliveries(dst)]
+
+
+class TestReliableAsynchronous:
+    def test_all_delivered_within_bounds(self):
+        procs = [Sender() for _ in range(4)]
+        sim = Simulation(procs, ReliableAsynchronous(0.2, 0.9), seed=1)
+        sim.run_to_quiescence()
+        assert sim.network.messages_delivered == 12
+        for ev in sim.trace.message_deliveries():
+            assert 0.2 <= ev.time <= 0.9
+
+    def test_fairness_audit_passes(self):
+        procs = [Sender() for _ in range(3)]
+        sim = Simulation(procs, ReliableAsynchronous(), seed=2)
+        sim.run_to_quiescence()
+        sim.network.assert_fair_for(range(3))
+
+    def test_invalid_delay_range(self):
+        with pytest.raises(ConfigurationError):
+            ReliableAsynchronous(1.0, 0.5)
+
+
+class TestLockStep:
+    def test_exact_delta(self):
+        procs = [Sender() for _ in range(3)]
+        sim = Simulation(procs, LockStepSynchronous(delta=2.5), seed=0)
+        sim.run_to_quiescence()
+        assert all(ev.time == 2.5 for ev in sim.trace.message_deliveries())
+
+
+class TestPartiallySynchronous:
+    def test_pre_gst_messages_arrive_after_gst(self):
+        procs = [Sender() for _ in range(3)]
+        sim = Simulation(procs, PartiallySynchronous(gst=10.0, delta=1.0), seed=3)
+        sim.run_to_quiescence()
+        for ev in sim.trace.message_deliveries():
+            assert ev.time >= 10.0
+
+    class LateSender(Sender):
+        def on_start(self):
+            self.ctx.set_timer(20.0, "go")
+
+        def on_timer(self, tag):
+            self.ctx.broadcast(("M", self.pid), include_self=False)
+
+    def test_post_gst_messages_bounded_by_delta(self):
+        procs = [self.LateSender() for _ in range(3)]
+        sim = Simulation(procs, PartiallySynchronous(gst=10.0, delta=1.0), seed=4)
+        sim.run_to_quiescence()
+        for ev in sim.trace.message_deliveries():
+            assert 20.0 <= ev.time <= 21.0
+
+
+class TestScripted:
+    def test_withhold_records_ledger(self):
+        adv = ScriptedAdversary(base_delay=0.1).withhold([0], [1])
+        procs = [Sender() for _ in range(3)]
+        sim = Simulation(procs, adv, seed=5)
+        sim.run_to_quiescence()
+        held = sim.network.withheld_between([0], [1])
+        assert len(held) == 1
+        assert deliveries(sim, 1) == [(2, 0.1)]
+
+    def test_fairness_audit_fails_on_withheld(self):
+        adv = ScriptedAdversary().withhold([0], [1])
+        procs = [Sender() for _ in range(3)]
+        sim = Simulation(procs, adv, seed=5)
+        sim.run_to_quiescence()
+        with pytest.raises(PropertyViolation, match="network-fairness"):
+            sim.network.assert_fair_for(range(3))
+
+    def test_time_windowed_rule(self):
+        class TwoPhase(Sender):
+            def on_start(self):
+                self.ctx.broadcast(("early", self.pid), include_self=False)
+                self.ctx.set_timer(10.0, "late")
+
+            def on_timer(self, tag):
+                self.ctx.broadcast(("late", self.pid), include_self=False)
+
+        adv = ScriptedAdversary(base_delay=0.1)
+        adv.add_rule(LinkRule([0], [1], None, start=0.0, end=5.0))
+        procs = [TwoPhase() for _ in range(2)]
+        sim = Simulation(procs, adv, seed=6)
+        sim.run_to_quiescence()
+        got = [ev.field("msg")[0] for ev in sim.trace.message_deliveries(1)]
+        assert got == ["late"]
+
+    def test_first_matching_rule_wins(self):
+        adv = ScriptedAdversary(base_delay=0.1)
+        adv.add_rule(LinkRule([0], [1], 5.0))
+        adv.add_rule(LinkRule([0], [1], None))
+        procs = [Sender() for _ in range(2)]
+        sim = Simulation(procs, adv, seed=7)
+        sim.run_to_quiescence()
+        assert deliveries(sim, 1) == [(0, 5.0)]
+
+
+class TestPartition:
+    def test_permanent_partition_blocks_cross_traffic(self):
+        adv = PartitionAdversary([[0, 1], [2, 3]])
+        procs = [Sender() for _ in range(4)]
+        sim = Simulation(procs, adv, seed=8)
+        sim.run_to_quiescence()
+        for ev in sim.trace.message_deliveries():
+            src, dst = ev.field("src"), ev.pid
+            assert (src < 2) == (dst < 2)
+        assert len(sim.network.withheld) == 8
+
+    def test_healing_partition_delivers_late(self):
+        adv = PartitionAdversary([[0, 1], [2, 3]], heal_at=50.0)
+        procs = [Sender() for _ in range(4)]
+        sim = Simulation(procs, adv, seed=9)
+        sim.run_to_quiescence()
+        cross = [
+            ev for ev in sim.trace.message_deliveries()
+            if (ev.field("src") < 2) != (ev.pid < 2)
+        ]
+        assert len(cross) == 8
+        assert all(ev.time >= 50.0 for ev in cross)
+
+    def test_overlapping_groups_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PartitionAdversary([[0, 1], [1, 2]])
+
+    def test_single_group_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PartitionAdversary([[0, 1]])

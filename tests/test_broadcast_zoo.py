@@ -1,0 +1,264 @@
+"""Tests for the broadcast problem zoo: Bracha, NEB, Dolev–Strong."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.broadcast import (
+    BOT,
+    BrachaRBC,
+    DolevStrong,
+    NonEquivocatingBroadcast,
+    check_byzantine_broadcast,
+    check_nonequivocating_broadcast,
+    check_reliable_broadcast,
+)
+from repro.broadcast.dolev_strong import ds_domain, validate_chain
+from repro.broadcast.nonequivocating import _neb_domain
+from repro.core.rounds import LockStepRoundTransport, SharedMemoryRoundTransport, TimedRoundTransport
+from repro.core.uni_from_sm import build_objects_for
+from repro.crypto import SignatureScheme
+from repro.errors import ConfigurationError
+from repro.sim import LockStepSynchronous, ReliableAsynchronous, Simulation
+
+
+class TestBracha:
+    def build(self, n, f, seed, strict=True):
+        procs = [BrachaRBC(0, n, f, strict=strict) for _ in range(n)]
+        sim = Simulation(procs, ReliableAsynchronous(0.01, 0.5), seed=seed)
+        return sim, procs
+
+    def test_happy_path(self):
+        sim, procs = self.build(4, 1, seed=1)
+        sim.at(0.1, lambda: procs[0].broadcast("v"))
+        sim.run_to_quiescence()
+        check_reliable_broadcast(sim.trace, 0, "v", range(4), True).assert_ok()
+
+    def test_tolerates_f_crashes(self):
+        sim, procs = self.build(7, 2, seed=2)
+        sim.crash(5)
+        sim.crash(6)
+        sim.at(0.1, lambda: procs[0].broadcast("v"))
+        sim.run_to_quiescence()
+        check_reliable_broadcast(sim.trace, 0, "v", range(5), True).assert_ok()
+
+    def test_below_bound_rejected_strict(self):
+        with pytest.raises(ConfigurationError, match="3f\\+1"):
+            BrachaRBC(0, 3, 1)
+
+    def test_below_bound_loses_liveness_not_safety(self):
+        """At n = 3, f = 1 with one crash, quorums never form: nobody commits."""
+        procs = [BrachaRBC(0, 3, 1, strict=False) for _ in range(3)]
+        sim = Simulation(procs, ReliableAsynchronous(0.01, 0.5), seed=3)
+        sim.crash(2)
+        sim.at(0.1, lambda: procs[0].broadcast("v"))
+        sim.run_to_quiescence()
+        assert sim.trace.decisions() == []
+
+    def test_echo_amplification_from_readies(self):
+        """A process that missed the SEND still commits via f+1 READYs."""
+        from repro.sim import ScriptedAdversary
+
+        adv = ScriptedAdversary(base_delay=0.05).withhold([0], [3])
+        procs = [BrachaRBC(0, 4, 1) for _ in range(4)]
+        sim = Simulation(procs, adv, seed=4)
+        sim.at(0.1, lambda: procs[0].broadcast("v"))
+        sim.run_to_quiescence()
+        rep = check_reliable_broadcast(sim.trace, 0, "v", range(4), True)
+        rep.assert_ok()
+
+    def test_junk_ignored(self):
+        from repro.sim import BabblerProcess
+
+        procs = [BrachaRBC(0, 4, 1) for _ in range(3)] + [BabblerProcess(rounds=5)]
+        sim = Simulation(procs, ReliableAsynchronous(0.01, 0.3), seed=5)
+        sim.declare_byzantine(3)
+        sim.at(0.1, lambda: procs[0].broadcast("v"))
+        sim.run(until=100.0)
+        rep = check_reliable_broadcast(sim.trace, 0, "v", range(3), True)
+        rep.assert_ok()
+
+
+class TestNEB:
+    def build_sm(self, n, seed):
+        scheme = SignatureScheme(n, seed=seed)
+        procs = [
+            NonEquivocatingBroadcast(
+                SharedMemoryRoundTransport(), 0, scheme, scheme.signer(p)
+            )
+            for p in range(n)
+        ]
+        sim = Simulation(procs, ReliableAsynchronous(0.01, 0.8), seed=seed)
+        for obj in build_objects_for("append-log", n):
+            sim.memory.register(obj)
+        return sim, procs, scheme
+
+    def test_honest_sender_all_commit(self):
+        sim, procs, _ = self.build_sm(4, seed=1)
+        sim.at(0.2, lambda: procs[0].broadcast("v"))
+        sim.run(until=300.0)
+        rep = check_nonequivocating_broadcast(sim.trace, 0, "v", range(4), True)
+        rep.assert_ok()
+
+    def test_n_equals_f_plus_1(self):
+        """The striking bound: NEB works with just 2 processes, f = 1."""
+        sim, procs, _ = self.build_sm(2, seed=2)
+        sim.at(0.2, lambda: procs[0].broadcast("v"))
+        sim.run(until=300.0)
+        rep = check_nonequivocating_broadcast(sim.trace, 0, "v", range(2), True)
+        rep.assert_ok()
+
+    def test_equivocation_over_timed_rounds_agreement_up_to_bot(self):
+        n = 4
+        scheme = SignatureScheme(n, seed=3)
+        signers = [scheme.signer(p) for p in range(n)]
+
+        class Equiv(NonEquivocatingBroadcast):
+            def equivocate(self):
+                for dst in range(self.ctx.n):
+                    v = "A" if dst < 2 else "B"
+                    sig = self.signer.sign(_neb_domain(self.sender, v))
+                    self.ctx.send(
+                        dst, ("__round__", ("__post__",), ("NEB-VAL", v, sig))
+                    )
+
+        procs = [
+            (Equiv if p == 0 else NonEquivocatingBroadcast)(
+                TimedRoundTransport(wait=2.0), 0, scheme, signers[p]
+            )
+            for p in range(n)
+        ]
+        sim = Simulation(procs, ReliableAsynchronous(0.0, 1.0), seed=3)
+        sim.declare_byzantine(0)
+        sim.at(0.2, lambda: procs[0].equivocate())
+        sim.run(until=100.0)
+        rep = check_nonequivocating_broadcast(
+            sim.trace, 0, None, [1, 2, 3], sender_correct=False
+        )
+        rep.assert_ok()
+        non_bot = {v for v in rep.commits.values() if v is not BOT}
+        assert len(non_bot) <= 1
+
+    def test_forged_sender_signature_ignored(self):
+        from repro.crypto.signatures import Signature
+
+        sim, procs, scheme = self.build_sm(3, seed=4)
+
+        def forge():
+            fake = Signature(signer=0, tag=b"\x00" * 32)
+            procs[1].rounds.post(("NEB-VAL", "forged", fake))
+
+        sim.at(0.2, forge)
+        sim.run(until=200.0)
+        assert sim.trace.decisions() == []
+
+    def test_non_sender_cannot_broadcast(self):
+        sim, procs, _ = self.build_sm(3, seed=5)
+        sim.run(until=1.0)
+        with pytest.raises(ConfigurationError):
+            procs[1].broadcast("nope")
+
+
+class TestDolevStrong:
+    def build(self, n, f, seed, sender_cls=None, my_input="V"):
+        scheme = SignatureScheme(n, seed=seed)
+        procs = []
+        for p in range(n):
+            cls = sender_cls if (p == 0 and sender_cls) else DolevStrong
+            procs.append(
+                cls(LockStepRoundTransport(period=2.0), 0, f, scheme,
+                    scheme.signer(p), my_input=my_input if p == 0 else None)
+            )
+        sim = Simulation(procs, LockStepSynchronous(delta=1.0), seed=seed)
+        return sim, procs, scheme
+
+    def test_honest_sender(self):
+        sim, procs, _ = self.build(4, 1, seed=1)
+        sim.run(until=40.0)
+        rep = check_byzantine_broadcast(sim.trace, 0, "V", range(4), True)
+        rep.assert_ok()
+        assert all(v == "V" for v in rep.commits.values())
+
+    def test_silent_sender_commits_default(self):
+        sim, procs, _ = self.build(4, 1, seed=2)
+        sim.declare_byzantine(0)
+        sim.crash(0)
+        sim.run(until=40.0)
+        rep = check_byzantine_broadcast(sim.trace, 0, None, [1, 2, 3], False)
+        rep.assert_ok()
+        assert all(v is BOT for v in rep.commits.values())
+
+    def test_equivocating_sender_detected(self):
+        class EquivDS(DolevStrong):
+            def on_round_start(self):
+                for dst in range(self.ctx.n):
+                    v = "A" if dst <= 1 else "B"
+                    sig = self.signer.sign(ds_domain(self.sender, v, ()))
+                    self.ctx.send(
+                        dst, ("__round__", 1, ((v, ((self.sender, sig),)),))
+                    )
+                self.rounds.begin_round(())
+
+        sim, procs, _ = self.build(4, 1, seed=3, sender_cls=EquivDS, my_input="A")
+        sim.declare_byzantine(0)
+        sim.run(until=40.0)
+        rep = check_byzantine_broadcast(sim.trace, 0, "A", [1, 2, 3], False)
+        rep.assert_ok()  # agreement + termination hold; value is consistent
+
+    def test_f2_needs_three_forwarding_rounds(self):
+        sim, procs, _ = self.build(5, 2, seed=4)
+        sim.run(until=60.0)
+        rep = check_byzantine_broadcast(sim.trace, 0, "V", range(5), True)
+        rep.assert_ok()
+
+    def test_chain_validation(self):
+        scheme = SignatureScheme(3, seed=5)
+        s0, s1 = scheme.signer(0), scheme.signer(1)
+        sig0 = s0.sign(ds_domain(0, "v", ()))
+        chain1 = ("v", ((0, sig0),))
+        assert validate_chain(scheme, 0, chain1) == ("v", (0,))
+        sig1 = s1.sign(ds_domain(0, "v", (0,)))
+        chain2 = ("v", ((0, sig0), (1, sig1)))
+        assert validate_chain(scheme, 0, chain2) == ("v", (0, 1))
+        # wrong order of signatures fails
+        bad = ("v", ((1, sig1), (0, sig0)))
+        assert validate_chain(scheme, 0, bad) is None
+        # duplicate signer fails
+        dup = ("v", ((0, sig0), (0, sig0)))
+        assert validate_chain(scheme, 0, dup) is None
+        # chain not starting at the sender fails
+        sig1_first = s1.sign(ds_domain(0, "v", ()))
+        notsender = ("v", ((1, sig1_first),))
+        assert validate_chain(scheme, 0, notsender) is None
+
+    def test_late_injection_rejected(self):
+        """A 1-signature chain arriving in round 2 is ignored (needs >= 2)."""
+        scheme = SignatureScheme(3, seed=6)
+        signers = [scheme.signer(p) for p in range(3)]
+
+        class LateInjector(DolevStrong):
+            def on_round_complete(self, label):
+                if label == 1:
+                    # inject a fresh value with only the sender's signature
+                    sig = self.signer.sign(ds_domain(0, "LATE", ()))
+                    self.ctx.broadcast(
+                        ("__round__", 2, (("LATE", ((0, sig),)),)),
+                        include_self=False,
+                    )
+                super().on_round_complete(label)
+
+        procs = [
+            (LateInjector if p == 0 else DolevStrong)(
+                LockStepRoundTransport(period=2.0), 0, 1, scheme, signers[p],
+                my_input="V" if p == 0 else None,
+            )
+            for p in range(3)
+        ]
+        sim = Simulation(procs, LockStepSynchronous(delta=1.0), seed=6)
+        sim.declare_byzantine(0)
+        sim.run(until=40.0)
+        rep = check_byzantine_broadcast(sim.trace, 0, "V", [1, 2], False)
+        rep.assert_ok()
+        # LATE must not have been extracted by the correct processes:
+        # they commit V (the round-1 value), not BOT
+        assert set(rep.commits.values()) == {"V"}

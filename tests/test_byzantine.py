@@ -1,0 +1,114 @@
+"""Tests for the Byzantine behavior library."""
+
+from __future__ import annotations
+
+from repro.sim import (
+    BabblerProcess,
+    ByzantineWrapper,
+    Process,
+    Simulation,
+    drop_to,
+    equivocate_by_destination,
+    mutate_kind,
+)
+from repro.types import Message
+
+
+class Collector(Process):
+    def __init__(self):
+        super().__init__()
+        self.got = []
+
+    def on_message(self, src, msg):
+        self.got.append((src, msg))
+
+
+class Announcer(Process):
+    """The 'correct protocol' being wrapped: broadcasts one VALUE message."""
+
+    def on_start(self):
+        self.ctx.broadcast(("VALUE", "truth"), include_self=False)
+
+
+class TestStandaloneByzantine:
+    def test_silent_sends_nothing(self):
+        from repro.sim import SilentProcess
+
+        c = Collector()
+        sim = Simulation([SilentProcess(), c], seed=0)
+        sim.run_to_quiescence()
+        assert c.got == []
+
+    def test_babbler_sends_junk(self):
+        c0, c1 = Collector(), Collector()
+        sim = Simulation([BabblerProcess(rounds=3, fanout=2), c0, c1], seed=1)
+        sim.run(until=100.0)
+        junk = c0.got + c1.got
+        assert junk and all(m[1][0] == "JUNK" for m in junk)
+
+
+class TestWrapper:
+    def _run(self, filt, n=3, seed=2):
+        collectors = [Collector() for _ in range(n - 1)]
+        wrapped = ByzantineWrapper(Announcer(), filt)
+        sim = Simulation([wrapped, *collectors], seed=seed)
+        sim.declare_byzantine(0)
+        sim.run_to_quiescence()
+        return collectors
+
+    def test_drop_to_selective_silence(self):
+        c1, c2 = self._run(drop_to(1))
+        assert c1.got == []
+        assert c2.got == [(0, ("VALUE", "truth"))]
+
+    def test_mutate_kind(self):
+        c1, c2 = self._run(mutate_kind("VALUE", lambda body: ("lie",)))
+        assert c1.got == [(0, ("VALUE", "lie"))]
+        assert c2.got == [(0, ("VALUE", "lie"))]
+
+    def test_mutate_other_kinds_untouched(self):
+        c1, c2 = self._run(mutate_kind("OTHER", lambda body: ("lie",)))
+        assert c1.got == [(0, ("VALUE", "truth"))]
+
+    def test_equivocate_by_destination(self):
+        filt = equivocate_by_destination(
+            "VALUE", lambda dst, body: (f"for-{dst}",)
+        )
+        c1, c2 = self._run(filt)
+        assert c1.got == [(0, ("VALUE", "for-1"))]
+        assert c2.got == [(0, ("VALUE", "for-2"))]
+
+    def test_wrapper_forwards_inbound_events(self):
+        class EchoInner(Process):
+            def on_message(self, src, msg):
+                self.ctx.send(src, ("ECHO", msg))
+
+        class Prober(Process):
+            def __init__(self):
+                super().__init__()
+                self.got = []
+
+            def on_start(self):
+                self.ctx.send(0, ("PING",))
+
+            def on_message(self, src, msg):
+                self.got.append(msg)
+
+        wrapped = ByzantineWrapper(EchoInner(), lambda s, d, m: m)
+        prober = Prober()
+        sim = Simulation([wrapped, prober], seed=3)
+        sim.run_to_quiescence()
+        assert prober.got == [("ECHO", ("PING",))]
+
+    def test_message_dataclass_equivocation(self):
+        class MsgAnnouncer(Process):
+            def on_start(self):
+                self.ctx.broadcast(Message("VALUE", "v"), include_self=False)
+
+        filt = equivocate_by_destination("VALUE", lambda dst, body: f"{body}-{dst}")
+        collectors = [Collector(), Collector()]
+        wrapped = ByzantineWrapper(MsgAnnouncer(), filt)
+        sim = Simulation([wrapped, *collectors], seed=4)
+        sim.run_to_quiescence()
+        assert collectors[0].got == [(0, Message("VALUE", "v-1"))]
+        assert collectors[1].got == [(0, Message("VALUE", "v-2"))]

@@ -1,0 +1,131 @@
+"""Tests for the f=1 corner case (Appendix B): RB implements unidirectionality."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.directionality import check_directionality
+from repro.core.rounds import POST, RoundProcess
+from repro.core.srb_oracle import SRBOracle
+from repro.core.uni_from_rb_corner import CornerCaseRoundTransport
+from repro.crypto import SignatureScheme
+from repro.errors import ConfigurationError
+from repro.sim import SilentProcess, Simulation
+
+
+class OneRound(RoundProcess):
+    def __init__(self, transport):
+        super().__init__(transport)
+        self.posts = []
+
+    def on_round_start(self):
+        self.rounds.begin_round(("v", self.pid), label="r1")
+
+    def on_round_message(self, label, src, payload):
+        if label == POST:
+            self.posts.append((src, payload))
+
+
+def build(n, seed, silent=None, policy=None):
+    scheme = SignatureScheme(n, seed=seed)
+    oracle = SRBOracle(policy=policy, seed=seed)
+    procs = []
+    for pid in range(n):
+        if pid == silent:
+            procs.append(SilentProcess())
+        else:
+            procs.append(
+                OneRound(CornerCaseRoundTransport(oracle, scheme, scheme.signer(pid)))
+            )
+    sim = Simulation(procs, seed=seed)
+    oracle.bind(sim)
+    if silent is not None:
+        sim.declare_byzantine(silent)
+    return sim, procs
+
+
+class TestGuarantee:
+    def test_all_correct_n3(self):
+        sim, procs = build(3, seed=1)
+        sim.run(until=100.0)
+        rep = check_directionality(sim.trace, range(3))
+        assert rep.is_unidirectional
+        assert len(sim.trace.events("round_end")) == 3
+
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_one_silent_process(self, n):
+        sim, procs = build(n, seed=2, silent=n - 1)
+        sim.run(until=100.0)
+        correct = list(range(n - 1))
+        rep = check_directionality(sim.trace, correct)
+        assert rep.is_unidirectional
+        assert len(sim.trace.events("round_end")) == n - 1
+
+    def test_partitioned_pair_rescued_by_relay(self):
+        """Direct 0<->1 RB deliveries withheld; Q's phase-2 bundle carries
+        the values — the crux of the appendix proof."""
+        def policy(s, r, k, now):
+            return None if (s, r) in ((0, 1), (1, 0)) else 0.05
+
+        sim, procs = build(3, seed=3, policy=policy)
+        sim.run(until=100.0)
+        rep = check_directionality(sim.trace, range(3))
+        assert rep.is_unidirectional
+        # both partitioned processes must have received the other via bundles
+        recvs_0 = {e.field("src") for e in sim.trace.events("round_recv", pid=0)}
+        recvs_1 = {e.field("src") for e in sim.trace.events("round_recv", pid=1)}
+        assert 1 in recvs_0 or 0 in recvs_1
+
+    def test_multiple_sequential_rounds(self):
+        class TwoRounds(OneRound):
+            def on_round_complete(self, label):
+                if label == "r1":
+                    self.rounds.begin_round(("w", self.pid), label="r2")
+
+        scheme = SignatureScheme(3, seed=4)
+        oracle = SRBOracle(seed=4)
+        procs = [
+            TwoRounds(CornerCaseRoundTransport(oracle, scheme, scheme.signer(p)))
+            for p in range(3)
+        ]
+        sim = Simulation(procs, seed=4)
+        oracle.bind(sim)
+        sim.run(until=200.0)
+        rep = check_directionality(sim.trace, range(3))
+        assert rep.is_unidirectional and rep.rounds_checked == 2
+        assert len(sim.trace.events("round_end")) == 6
+
+    def test_posts_delivered(self):
+        sim, procs = build(3, seed=5)
+        sim.at(0.5, lambda: procs[0].rounds.post("extra"))
+        sim.run(until=100.0)
+        for p in procs[1:]:
+            assert (0, "extra") in p.posts
+
+
+class TestConfiguration:
+    def test_f_must_be_one(self):
+        scheme = SignatureScheme(5, seed=6)
+        oracle = SRBOracle(seed=6)
+        with pytest.raises(ConfigurationError, match="f=1"):
+            CornerCaseRoundTransport(oracle, scheme, scheme.signer(0), f=2)
+
+    def test_forged_phase1_signature_ignored(self):
+        """A Byzantine relay cannot inject values for other processes."""
+        from repro.crypto.signatures import Signature
+
+        sim, procs = build(3, seed=7)
+
+        def inject():
+            # a bogus P1 claiming to be from process 1 with a junk signature
+            fake_sig = Signature(signer=1, tag=b"\x00" * 32)
+            h = procs[0].rounds._handle
+            h.broadcast(("P1", "r1", ("forged", 1), fake_sig))
+
+        sim.at(0.05, inject)
+        sim.run(until=100.0)
+        forged = [
+            e for e in sim.trace.events("round_recv")
+            if e.field("payload") == ("forged", 1)
+        ]
+        assert forged == []

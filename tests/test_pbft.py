@@ -1,0 +1,125 @@
+"""System tests for the PBFT baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.consensus import build_pbft_system, check_replication
+from repro.consensus.pbft import PBFTReplica, PRE_PREPARE, pp_domain
+from repro.crypto.serialize import content_hash
+from repro.errors import ConfigurationError
+
+
+class TestHappyPath:
+    def test_single_client(self):
+        sim, reps, clients = build_pbft_system(f=1, n_clients=1,
+                                               ops_per_client=4, seed=1)
+        sim.run(until=3000.0)
+        n = len(reps)
+        rep = check_replication(sim.trace, range(n), expected_ops={n: 4})
+        rep.assert_ok()
+        assert all(r.commits_executed == 4 for r in reps)
+
+    def test_multi_client_kv(self):
+        sim, reps, clients = build_pbft_system(f=1, n_clients=2,
+                                               ops_per_client=3, app="kv", seed=2)
+        sim.run(until=4000.0)
+        n = len(reps)
+        rep = check_replication(
+            sim.trace, range(n), expected_ops={n: 3, n + 1: 3}
+        )
+        rep.assert_ok()
+        assert len({r.app.digest() for r in reps}) == 1
+
+    def test_f2_seven_replicas(self):
+        sim, reps, clients = build_pbft_system(f=2, n_clients=1,
+                                               ops_per_client=2, seed=3)
+        sim.run(until=3000.0)
+        rep = check_replication(sim.trace, range(7), expected_ops={7: 2})
+        rep.assert_ok()
+
+
+class TestFaults:
+    def test_f_backup_crashes_tolerated(self):
+        sim, reps, clients = build_pbft_system(f=1, n_clients=1,
+                                               ops_per_client=4, seed=4)
+        sim.crash_at(3, 0.5)
+        sim.run(until=3000.0)
+        rep = check_replication(sim.trace, [0, 1, 2], expected_ops={4: 4})
+        rep.assert_ok()
+
+    def test_primary_crash_view_change(self):
+        sim, reps, clients = build_pbft_system(
+            f=1, n_clients=1, ops_per_client=5, seed=5,
+            req_timeout=20.0, retry_timeout=60.0,
+        )
+        sim.crash_at(0, 2.0)
+        sim.run(until=8000.0)
+        rep = check_replication(sim.trace, [1, 2, 3], expected_ops={4: 5})
+        rep.assert_ok()
+        assert all(r.view >= 1 for r in reps[1:])
+
+    def test_equivocating_primary_safe(self):
+        """The 3f+1 quorum intersection does the non-equivocation work here
+        (no hardware): conflicting pre-prepares cannot both gather 2f+1."""
+
+        class Equiv(PBFTReplica):
+            def _propose_pending(self):
+                if not self.is_primary or not self._pending:
+                    return
+                _key, request = sorted(self._pending.items())[0]
+                # craft two pre-prepares for slot 1 with different requests:
+                # the second reuses a request with a different req payload —
+                # but it must be validly signed by the client, so reuse the
+                # same request and vary only the slot binding to confuse halves
+                d = content_hash(request)
+                s1 = self.signer.sign(pp_domain(self.view, 1, d))
+                for dst in range(self.n):
+                    if dst < 2:
+                        self.ctx.send(dst, (PRE_PREPARE, self.view, 1, request, s1))
+                    # other half receives nothing -> must view-change
+                self._pending.clear()
+
+        def factory(pid, **kw):
+            return Equiv(**kw) if pid == 0 else PBFTReplica(**kw)
+
+        sim, reps, clients = build_pbft_system(
+            f=1, n_clients=1, ops_per_client=2, seed=6,
+            req_timeout=20.0, retry_timeout=60.0, replica_factory=factory,
+        )
+        sim.declare_byzantine(0)
+        sim.run(until=10000.0)
+        rep = check_replication(sim.trace, [1, 2, 3], expected_ops={4: 2})
+        rep.assert_ok()
+
+
+class TestResilienceContrast:
+    """The headline comparison: MinBFT runs at n=3 where PBFT needs n=4."""
+
+    def test_pbft_rejects_n3(self):
+        from repro.consensus.apps import make_app
+        from repro.crypto import SignatureScheme
+
+        with pytest.raises(ConfigurationError, match="3f\\+1"):
+            PBFTReplica(n=3, scheme=SignatureScheme(3), signer=None,
+                        app=make_app("counter"))
+
+    def test_replica_counts(self):
+        from repro.consensus import build_minbft_system
+
+        _, minbft_reps, _ = build_minbft_system(f=2, seed=0)
+        _, pbft_reps, _ = build_pbft_system(f=2, seed=0)
+        assert len(minbft_reps) == 5 and len(pbft_reps) == 7
+
+    def test_message_rounds_fewer_in_minbft(self):
+        """Same f, same workload: MinBFT uses fewer protocol messages."""
+        from repro.consensus import build_minbft_system
+
+        sim_m, reps_m, cl_m = build_minbft_system(f=1, n_clients=1,
+                                                  ops_per_client=5, seed=7)
+        sim_m.run(until=3000.0)
+        sim_p, reps_p, cl_p = build_pbft_system(f=1, n_clients=1,
+                                                ops_per_client=5, seed=7)
+        sim_p.run(until=3000.0)
+        assert len(cl_m[0].latencies) == 5 and len(cl_p[0].latencies) == 5
+        assert sim_m.network.messages_sent < sim_p.network.messages_sent

@@ -1,0 +1,142 @@
+"""Property-based tests: protocol safety under randomized schedules/faults.
+
+Each property runs a full simulation inside hypothesis with the schedule
+shaped by drawn parameters (delay ranges, crash times, victim sets, seeds)
+and asserts the protocol's *safety* properties — the ones that must hold
+on every schedule, not just eventually-nice ones.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.agreement import VERY_WEAK, VeryWeakAgreement, check_agreement
+from repro.broadcast import BrachaRBC, check_reliable_broadcast
+from repro.core.directionality import check_directionality
+from repro.core.rounds import RoundProcess, SharedMemoryRoundTransport
+from repro.core.srb import check_srb
+from repro.core.srb_from_trinc import SRBFromTrInc
+from repro.core.uni_from_sm import build_objects_for
+from repro.hardware import TrincAuthority
+from repro.sim import ReliableAsynchronous, Simulation
+
+SLOW = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class _Chat(RoundProcess):
+    def on_round_start(self):
+        self.rounds.begin_round(("m", self.pid), label="r1")
+
+
+class TestUnidirectionalityProperty:
+    @SLOW
+    @given(
+        seed=st.integers(0, 10_000),
+        max_delay=st.floats(0.1, 6.0),
+        crash_time=st.one_of(st.none(), st.floats(0.0, 5.0)),
+    )
+    def test_sm_rounds_never_violate_unidirectionality(
+        self, seed, max_delay, crash_time
+    ):
+        n = 4
+        procs = [_Chat(SharedMemoryRoundTransport()) for _ in range(n)]
+        sim = Simulation(procs, ReliableAsynchronous(0.0, max_delay), seed=seed)
+        for obj in build_objects_for("append-log", n):
+            sim.memory.register(obj)
+        crashed = None
+        if crash_time is not None:
+            crashed = seed % n
+            sim.crash_at(crashed, crash_time)
+        sim.run(until=400.0)
+        correct = [p for p in range(n) if p != crashed]
+        check_directionality(sim.trace, correct).assert_unidirectional()
+
+
+class TestSRBSafetyProperty:
+    @SLOW
+    @given(
+        seed=st.integers(0, 10_000),
+        max_delay=st.floats(0.1, 4.0),
+        crash_victims=st.sets(st.integers(1, 3), max_size=1),
+    )
+    def test_trusted_log_srb_safety_any_schedule(self, seed, max_delay,
+                                                 crash_victims):
+        """Agreement/sequencing/integrity hold even on truncated runs."""
+        n = 4
+        auth = TrincAuthority(n, seed=seed)
+        procs = [
+            SRBFromTrInc(0, n, auth, trinket=auth.trinket(p) if p == 0 else None)
+            for p in range(n)
+        ]
+        sim = Simulation(procs, ReliableAsynchronous(0.0, max_delay), seed=seed)
+        sim.at(0.1, lambda: procs[0].broadcast("a"))
+        sim.at(0.2, lambda: procs[0].broadcast("b"))
+        for v in crash_victims:
+            sim.crash_at(v, 0.5)
+        # truncated horizon on purpose: safety must hold mid-flight too
+        sim.run(until=1.5)
+        correct = [p for p in range(n) if p not in crash_victims]
+        rep = check_srb(sim.trace, 0, correct, expect_complete=False)
+        assert not rep.agreement_violations
+        assert not rep.sequencing_violations
+        assert not rep.integrity_violations
+
+
+class TestBrachaSafetyProperty:
+    @SLOW
+    @given(seed=st.integers(0, 10_000), horizon=st.floats(0.2, 5.0))
+    def test_no_two_correct_commit_differently(self, seed, horizon):
+        n, f = 4, 1
+        procs = [BrachaRBC(0, n, f) for _ in range(n)]
+        sim = Simulation(procs, ReliableAsynchronous(0.0, 1.0), seed=seed)
+        sim.at(0.05, lambda: procs[0].broadcast("v"))
+        sim.run(until=horizon)
+        rep = check_reliable_broadcast(
+            sim.trace, 0, "v", range(n), sender_correct=True
+        )
+        assert not rep.agreement_violations
+        assert not rep.validity_violations or len(rep.commits) < n
+
+
+class TestVWAAgreementProperty:
+    @SLOW
+    @given(
+        seed=st.integers(0, 10_000),
+        inputs=st.lists(st.sampled_from(["a", "b"]), min_size=3, max_size=5),
+    )
+    def test_agreement_up_to_bot_any_inputs(self, seed, inputs):
+        n = len(inputs)
+        procs = [
+            VeryWeakAgreement(SharedMemoryRoundTransport(), inputs[p])
+            for p in range(n)
+        ]
+        sim = Simulation(procs, ReliableAsynchronous(0.0, 2.0), seed=seed)
+        for obj in build_objects_for("append-log", n):
+            sim.memory.register(obj)
+        sim.run(until=400.0)
+        rep = check_agreement(
+            sim.trace, VERY_WEAK, dict(enumerate(inputs)), range(n),
+            all_correct=True,
+        )
+        rep.assert_ok()
+
+
+class TestDeterminismProperty:
+    @SLOW
+    @given(seed=st.integers(0, 10_000))
+    def test_same_seed_identical_trace_views(self, seed):
+        def run():
+            n = 3
+            procs = [_Chat(SharedMemoryRoundTransport()) for _ in range(n)]
+            sim = Simulation(procs, ReliableAsynchronous(0.0, 1.0), seed=seed)
+            for obj in build_objects_for("append-log", n):
+                sim.memory.register(obj)
+            sim.run(until=100.0)
+            return tuple(sim.trace.local_view(p) for p in range(n))
+
+        assert run() == run()

@@ -1,0 +1,178 @@
+"""Property-based fuzzing of proof validators and message handlers.
+
+The validators (L2 proofs, signature chains, checkpoint certificates, UIs)
+are the security boundary: Byzantine processes feed them arbitrary bytes.
+Two families of properties:
+
+- **mutation soundness** — take a *valid* artifact, mutate any field, and
+  the validator must reject (or the mutation was a no-op);
+- **crash-freedom** — protocol handlers fed arbitrary junk must neither
+  raise nor change observable protocol outputs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.broadcast.dolev_strong import ds_domain, validate_chain
+from repro.core.srb_from_uni import (
+    copy_domain,
+    l1_domain,
+    val_domain,
+    validate_l2,
+)
+from repro.crypto import SignatureScheme
+from repro.crypto.signatures import Signature
+
+FAST = settings(max_examples=60, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+def make_valid_l2(scheme, signers, sender=0, k=1, m="value", t=1):
+    sig_s = signers[sender].sign(val_domain(sender, k, m))
+    copies = tuple((j, signers[j].sign(copy_domain(sender, k, m))) for j in (1, 2))
+    l1items = tuple(
+        (b, copies, signers[b].sign(l1_domain(sender, k, m))) for b in (1, 2)
+    )
+    return ("L2", k, m, sig_s, l1items)
+
+
+junk = st.one_of(
+    st.none(),
+    st.integers(-5, 5),
+    st.text(max_size=6),
+    st.binary(max_size=6),
+    st.tuples(st.integers(), st.text(max_size=3)),
+)
+
+
+class TestL2ProofMutation:
+    @given(field=st.integers(0, 4), replacement=junk)
+    @FAST
+    def test_top_level_field_mutation_rejected(self, field, replacement):
+        scheme = SignatureScheme(4, seed=31)
+        signers = [scheme.signer(p) for p in range(4)]
+        proof = make_valid_l2(scheme, signers)
+        assert validate_l2(scheme, 0, proof, 1) == (1, "value")
+        mutated = list(proof)
+        mutated[field] = replacement
+        mutated = tuple(mutated)
+        result = validate_l2(scheme, 0, mutated, 1)
+        if mutated == proof:
+            assert result == (1, "value")
+        else:
+            assert result is None
+
+    @given(builder_idx=st.integers(0, 1), part=st.integers(0, 2),
+           replacement=junk)
+    @FAST
+    def test_l1_item_mutation_rejected(self, builder_idx, part, replacement):
+        scheme = SignatureScheme(4, seed=32)
+        signers = [scheme.signer(p) for p in range(4)]
+        proof = make_valid_l2(scheme, signers)
+        l1items = list(proof[4])
+        item = list(l1items[builder_idx])
+        item[part] = replacement
+        l1items[builder_idx] = tuple(item)
+        mutated = (*proof[:4], tuple(l1items))
+        if mutated == proof:
+            return
+        # with one corrupted builder only ONE valid builder remains (< t+1)
+        assert validate_l2(scheme, 0, mutated, 1) is None
+
+    @given(sig_bytes=st.binary(min_size=32, max_size=32))
+    @FAST
+    def test_random_sender_signature_rejected(self, sig_bytes):
+        scheme = SignatureScheme(4, seed=33)
+        signers = [scheme.signer(p) for p in range(4)]
+        proof = make_valid_l2(scheme, signers)
+        forged = (*proof[:3], Signature(signer=0, tag=sig_bytes), proof[4])
+        if forged == proof:
+            return
+        assert validate_l2(scheme, 0, forged, 1) is None
+
+
+class TestChainMutation:
+    @given(link=st.integers(0, 1), replacement=junk)
+    @FAST
+    def test_link_mutation_rejected(self, link, replacement):
+        scheme = SignatureScheme(3, seed=34)
+        signers = [scheme.signer(p) for p in range(3)]
+        s0 = signers[0].sign(ds_domain(0, "v", ()))
+        s1 = signers[1].sign(ds_domain(0, "v", (0,)))
+        chain = ("v", ((0, s0), (1, s1)))
+        assert validate_chain(scheme, 0, chain) == ("v", (0, 1))
+        links = list(chain[1])
+        pair = list(links[link])
+        pair[1] = replacement
+        links[link] = tuple(pair)
+        mutated = ("v", tuple(links))
+        if mutated == chain:
+            return
+        assert validate_chain(scheme, 0, mutated) is None
+
+    @given(value=junk)
+    @FAST
+    def test_value_swap_rejected(self, value):
+        scheme = SignatureScheme(3, seed=35)
+        signers = [scheme.signer(p) for p in range(3)]
+        s0 = signers[0].sign(ds_domain(0, "real", ()))
+        mutated = (value, ((0, s0),))
+        if value == "real":
+            return
+        assert validate_chain(scheme, 0, mutated) is None
+
+
+protocol_junk = st.one_of(
+    junk,
+    st.tuples(st.sampled_from(
+        ["USIG", "REQUEST", "PREPARE", "COMMIT", "CHECKPOINT",
+         "VIEW-CHANGE", "NEW-VIEW", "REQ-VIEW-CHANGE", "SRB-TL",
+         "__round__", "SEND", "ECHO", "READY"]
+    ), junk, junk),
+    st.tuples(st.text(max_size=4), junk, junk, junk, junk),
+)
+
+
+class TestHandlerCrashFreedom:
+    @given(msgs=st.lists(protocol_junk, max_size=12))
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_minbft_replica_survives_junk(self, msgs):
+        from repro.consensus import build_minbft_system, check_replication
+
+        sim, reps, clients = build_minbft_system(
+            f=1, n_clients=1, ops_per_client=2, seed=40,
+        )
+        # spray junk at every replica from the client's (outsider) pid
+        sim.at(0.05, lambda: [
+            sim.processes[len(reps)].ctx.send(r, m)
+            for m in msgs for r in range(len(reps))
+        ])
+        sim.run(until=2000.0)
+        n = len(reps)
+        rep = check_replication(sim.trace, range(n), expected_ops={n: 2})
+        rep.assert_ok()
+
+    @given(msgs=st.lists(protocol_junk, max_size=12))
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_bracha_survives_junk(self, msgs):
+        from repro.broadcast import BrachaRBC, check_reliable_broadcast
+        from repro.sim import Process, ReliableAsynchronous, Simulation
+
+        class Junker(Process):
+            def on_start(self):
+                for m in msgs:
+                    self.ctx.broadcast(m, include_self=False)
+
+        procs = [BrachaRBC(0, 4, 1) for _ in range(4)] + [Junker()]
+        sim = Simulation(procs, ReliableAsynchronous(0.01, 0.3), seed=41)
+        sim.declare_byzantine(4)
+        sim.at(0.1, lambda: procs[0].broadcast("v"))
+        sim.run(until=200.0)
+        rep = check_reliable_broadcast(sim.trace, 0, "v", range(4), True)
+        rep.assert_ok()

@@ -1,0 +1,228 @@
+"""Tests for the round engine and all four transports."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.core.rounds import (
+    LockStepRoundTransport,
+    MessagePassingRoundTransport,
+    POST,
+    RoundProcess,
+    SharedMemoryRoundTransport,
+    TimedRoundTransport,
+)
+from repro.core.uni_from_sm import build_objects_for
+from repro.sim import LockStepSynchronous, ReliableAsynchronous, Simulation
+
+
+class Recorder(RoundProcess):
+    """Begins rounds on demand; records everything it sees."""
+
+    def __init__(self, transport, labels=()):
+        super().__init__(transport)
+        self.labels = list(labels)
+        self.received = []
+        self.completed = []
+
+    def on_round_start(self):
+        if self.labels:
+            self.rounds.begin_round(("payload", self.pid), self.labels[0])
+
+    def on_round_message(self, label, src, payload):
+        self.received.append((label, src, payload))
+
+    def on_round_complete(self, label):
+        self.completed.append(label)
+        idx = self.labels.index(label) if label in self.labels else -1
+        if 0 <= idx < len(self.labels) - 1:
+            self.rounds.begin_round(("payload", self.pid), self.labels[idx + 1])
+
+
+def run_sm(n=3, labels=("r1",), seed=0, until=200.0, cls=SharedMemoryRoundTransport,
+           objects_name="append-log"):
+    procs = [Recorder(cls(), labels) for _ in range(n)]
+    sim = Simulation(procs, ReliableAsynchronous(0.01, 0.5), seed=seed)
+    for obj in build_objects_for(objects_name, n):
+        sim.memory.register(obj)
+    sim.run(until=until)
+    return sim, procs
+
+
+class TestEngineContract:
+    def test_labels_unique_per_process(self):
+        sim, procs = run_sm(n=1, labels=("r1",))
+        with pytest.raises(SimulationError, match="reused"):
+            procs[0].rounds._begin(("x",), "r1")
+
+    def test_concurrent_begin_rejected(self):
+        sim, procs = run_sm(n=1, labels=())
+        p = procs[0]
+        p.rounds.begin_round("a", "l1")
+        with pytest.raises(SimulationError, match="still"):
+            p.rounds.begin_round("b", "l2")
+
+    def test_begin_round_queued_defers(self):
+        procs = [Recorder(SharedMemoryRoundTransport(), ()) for _ in range(2)]
+        sim = Simulation(procs, ReliableAsynchronous(0.01, 0.2), seed=1)
+        for obj in build_objects_for("append-log", 2):
+            sim.memory.register(obj)
+
+        def kickoff():
+            procs[0].rounds.begin_round_queued("a", "l1")
+            procs[0].rounds.begin_round_queued("b", "l2")
+            procs[1].rounds.begin_round_queued("c", "l1")
+            procs[1].rounds.begin_round_queued("d", "l2")
+
+        sim.at(0.1, kickoff)
+        sim.run(until=200.0)
+        assert procs[0].completed == ["l1", "l2"]
+        assert ("l2", 0, "b") in procs[1].received
+
+    def test_auto_labels_are_counters(self):
+        procs = [Recorder(MessagePassingRoundTransport(f=0), ()) for _ in range(2)]
+        sim = Simulation(procs, seed=2)
+        sim.at(0.1, lambda: [p.rounds.begin_round("x") for p in procs])
+        sim.run(until=50.0)
+        assert procs[0].completed == [1]
+
+    def test_duplicate_payload_delivered_once(self):
+        sim, procs = run_sm(n=2, labels=("r1",))
+        keys = [(l, s) for (l, s, _p) in procs[0].received if l == "r1"]
+        assert len(keys) == len(set(keys))
+
+    def test_transport_attach_once(self):
+        t = SharedMemoryRoundTransport()
+        p1 = Recorder(t, ())
+        t.attach(p1)
+        with pytest.raises(ConfigurationError):
+            t.attach(p1)
+
+
+class TestSharedMemoryTransport:
+    def test_round_completes_and_delivers_all(self):
+        sim, procs = run_sm(n=4, labels=("r1",))
+        for p in procs:
+            assert p.completed == ["r1"]
+            srcs = {s for (l, s, _pl) in p.received if l == "r1"}
+            assert srcs == set(range(4))  # includes own entry via scan
+
+    def test_post_reaches_everyone(self):
+        procs = [Recorder(SharedMemoryRoundTransport(), ()) for _ in range(3)]
+        sim = Simulation(procs, ReliableAsynchronous(0.01, 0.3), seed=4)
+        for obj in build_objects_for("append-log", 3):
+            sim.memory.register(obj)
+        sim.at(0.1, lambda: procs[0].rounds.post("news"))
+        sim.run(until=120.0)
+        for p in procs:
+            assert (POST, 0, "news") in p.received
+
+    def test_scan_backoff_reduces_idle_work(self):
+        sim, procs = run_sm(n=2, labels=("r1",), until=500.0)
+        # with exponential backoff, half a thousand time units of idleness
+        # must not mean thousands of scans
+        assert procs[0].rounds.scans_completed < 60
+
+    def test_late_round_still_delivered(self):
+        """Process 1 begins its round long after process 0 finished."""
+
+        class Late(Recorder):
+            def on_round_start(self):
+                if self.pid == 1:
+                    self.ctx.set_timer(60.0, "late")
+                else:
+                    self.rounds.begin_round(("early", self.pid), "r1")
+
+            def on_timer(self, tag):
+                if tag == "late":
+                    self.rounds.begin_round(("late", self.pid), "r1")
+                else:
+                    super().on_timer(tag)
+
+        procs = [Late(SharedMemoryRoundTransport(), ["r1"]) for _ in range(2)]
+        sim = Simulation(procs, ReliableAsynchronous(0.01, 0.3), seed=5)
+        for obj in build_objects_for("append-log", 2):
+            sim.memory.register(obj)
+        sim.run(until=400.0)
+        assert ("r1", 1, ("late", 1)) in procs[0].received
+        assert ("r1", 0, ("early", 0)) in procs[1].received
+
+
+class TestMessagePassingTransport:
+    def test_completes_at_n_minus_f(self):
+        procs = [Recorder(MessagePassingRoundTransport(f=1), ["r1"]) for _ in range(3)]
+        sim = Simulation(procs, ReliableAsynchronous(0.01, 0.3), seed=6)
+        sim.crash(2)  # one silent process: rounds still complete
+        sim.run(until=60.0)
+        assert procs[0].completed == ["r1"] and procs[1].completed == ["r1"]
+
+    def test_blocks_below_quorum(self):
+        procs = [Recorder(MessagePassingRoundTransport(f=0), ["r1"]) for _ in range(3)]
+        sim = Simulation(procs, ReliableAsynchronous(0.01, 0.3), seed=7)
+        sim.crash(2)
+        sim.run(until=60.0)
+        assert procs[0].completed == []
+
+    def test_malformed_round_message_ignored(self):
+        from repro.sim import Process
+
+        class Junker(Process):
+            def on_start(self):
+                self.ctx.broadcast(("__round__", [1, 2], "junk"), include_self=False)
+
+        r = Recorder(MessagePassingRoundTransport(f=1), [])
+        sim = Simulation([Junker(), r, Recorder(MessagePassingRoundTransport(f=1), [])], seed=8)
+        sim.run(until=30.0)
+        assert r.received == []
+
+    def test_negative_f_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MessagePassingRoundTransport(f=-1)
+
+
+class TestLockStepTransport:
+    def test_rounds_advance_on_boundaries(self):
+        procs = [Recorder(LockStepRoundTransport(period=2.0), ()) for _ in range(2)]
+        sim = Simulation(procs, LockStepSynchronous(delta=1.0), seed=9)
+        sim.at(0.5, lambda: procs[0].rounds.begin_round("x"))
+        sim.at(0.5, lambda: procs[1].rounds.begin_round("y"))
+        sim.run(until=10.0)
+        # queued at 0.5 -> sent at boundary 1 (t=2) -> completes at boundary 2
+        assert procs[0].completed == [1]
+        assert ("x") in [p for (_l, _s, p) in procs[1].received]
+
+    def test_custom_labels_rejected(self):
+        t = LockStepRoundTransport()
+        p = Recorder(t, ())
+        sim = Simulation([p], LockStepSynchronous(), seed=10)
+        sim.run(until=1.0)
+        with pytest.raises(ConfigurationError):
+            t.begin_round("x", label="custom")
+
+    def test_invalid_period(self):
+        with pytest.raises(ConfigurationError):
+            LockStepRoundTransport(period=0)
+
+
+class TestTimedTransport:
+    def test_round_ends_after_wait(self):
+        procs = [Recorder(TimedRoundTransport(wait=3.0), ()) for _ in range(2)]
+        sim = Simulation(procs, ReliableAsynchronous(0.1, 0.5), seed=11)
+        sim.at(1.0, lambda: procs[0].rounds.begin_round("x", "L"))
+        sim.run(until=20.0)
+        ends = sim.trace.events("round_end", pid=0)
+        assert len(ends) == 1 and ends[0].time == 4.0
+
+    def test_early_messages_buffered(self):
+        """A message arriving before the receiver starts its round counts."""
+        procs = [Recorder(TimedRoundTransport(wait=2.0), ()) for _ in range(2)]
+        sim = Simulation(procs, ReliableAsynchronous(0.1, 0.5), seed=12)
+        sim.at(0.5, lambda: procs[0].rounds.begin_round(("v", 0), "L"))
+        sim.at(10.0, lambda: procs[1].rounds.begin_round(("v", 1), "L"))
+        sim.run(until=30.0)
+        assert ("L", 0, ("v", 0)) in procs[1].received
+
+    def test_invalid_wait(self):
+        with pytest.raises(ConfigurationError):
+            TimedRoundTransport(wait=0)

@@ -1,0 +1,143 @@
+"""Tests for the discrete-event scheduler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import Callback
+from repro.sim.scheduler import Scheduler
+
+
+def make_scheduler(log):
+    s = Scheduler()
+    s.dispatch = lambda ev: log.append((ev.time, ev.payload.label))
+    return s
+
+
+class TestOrdering:
+    def test_time_order(self):
+        log = []
+        s = make_scheduler(log)
+        s.schedule(2.0, Callback(fn=lambda: None, label="b"))
+        s.schedule(1.0, Callback(fn=lambda: None, label="a"))
+        s.run()
+        assert [l for _, l in log] == ["a", "b"]
+
+    def test_fifo_tiebreak_at_same_time(self):
+        log = []
+        s = make_scheduler(log)
+        for i in range(5):
+            s.schedule(1.0, Callback(fn=lambda: None, label=f"e{i}"))
+        s.run()
+        assert [l for _, l in log] == [f"e{i}" for i in range(5)]
+
+    def test_clock_advances_to_event_times(self):
+        s = Scheduler()
+        times = []
+        s.dispatch = lambda ev: times.append(s.now)
+        s.schedule(3.5, Callback(fn=lambda: None))
+        s.schedule(1.25, Callback(fn=lambda: None))
+        s.run()
+        assert times == [1.25, 3.5]
+
+    def test_schedule_at_absolute(self):
+        s = Scheduler()
+        s.dispatch = lambda ev: None
+        s.schedule_at(10.0, Callback(fn=lambda: None))
+        stats = s.run()
+        assert stats.end_time == 10.0
+
+
+class TestLimits:
+    def test_until_leaves_future_events(self):
+        log = []
+        s = make_scheduler(log)
+        s.schedule(1.0, Callback(fn=lambda: None, label="early"))
+        s.schedule(5.0, Callback(fn=lambda: None, label="late"))
+        stats = s.run(until=2.0)
+        assert [l for _, l in log] == ["early"]
+        assert not stats.exhausted
+        assert s.pending == 1
+        s.run()
+        assert [l for _, l in log] == ["early", "late"]
+
+    def test_until_advances_clock_when_quiescent(self):
+        s = Scheduler()
+        s.dispatch = lambda ev: None
+        stats = s.run(until=42.0)
+        assert stats.exhausted and s.now == 42.0
+
+    def test_max_events(self):
+        log = []
+        s = make_scheduler(log)
+        for i in range(10):
+            s.schedule(float(i), Callback(fn=lambda: None, label=str(i)))
+        stats = s.run(max_events=3)
+        assert stats.events_processed == 3
+        assert len(log) == 3
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        log = []
+        s = make_scheduler(log)
+        ev = s.schedule(1.0, Callback(fn=lambda: None, label="cancel-me"))
+        s.schedule(2.0, Callback(fn=lambda: None, label="keep"))
+        Scheduler.cancel(ev)
+        s.run()
+        assert [l for _, l in log] == ["keep"]
+
+    def test_pending_ignores_cancelled(self):
+        s = Scheduler()
+        s.dispatch = lambda ev: None
+        ev = s.schedule(1.0, Callback(fn=lambda: None))
+        assert s.pending == 1
+        Scheduler.cancel(ev)
+        assert s.pending == 0
+
+
+class TestMisuse:
+    def test_negative_delay(self):
+        s = Scheduler()
+        s.dispatch = lambda ev: None
+        with pytest.raises(SimulationError):
+            s.schedule(-1.0, Callback(fn=lambda: None))
+
+    def test_schedule_in_past(self):
+        s = Scheduler()
+        s.dispatch = lambda ev: None
+        s.schedule(5.0, Callback(fn=lambda: None))
+        s.run()
+        with pytest.raises(SimulationError):
+            s.schedule_at(1.0, Callback(fn=lambda: None))
+
+    def test_no_dispatch_installed(self):
+        s = Scheduler()
+        with pytest.raises(SimulationError):
+            s.run()
+
+    def test_reentrant_run_rejected(self):
+        s = Scheduler()
+
+        def dispatch(ev):
+            with pytest.raises(SimulationError):
+                s.run()
+
+        s.dispatch = dispatch
+        s.schedule(1.0, Callback(fn=lambda: None))
+        s.run()
+
+    def test_events_scheduled_during_dispatch_run(self):
+        log = []
+        s = Scheduler()
+
+        def dispatch(ev):
+            log.append(ev.payload.label)
+            if ev.payload.label == "first":
+                s.schedule(1.0, Callback(fn=lambda: None, label="second"))
+
+        s.dispatch = dispatch
+        s.schedule(1.0, Callback(fn=lambda: None, label="first"))
+        s.run()
+        assert log == ["first", "second"]

@@ -1,0 +1,89 @@
+"""Tests for the §4.1 separation scenarios and the classification lattice."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.classification import ARROWS, render_figure, run_classification
+from repro.core.separations import run_srb_separation
+from repro.errors import ConfigurationError
+from repro.sim.partition import srb_separation_sets, split, weak_agreement_sets
+
+
+class TestPartitionHelpers:
+    def test_split_consecutive(self):
+        sets = split(4, [2, 1, 1], ["Q", "C1", "C2"])
+        assert tuple(sets["Q"]) == (0, 1)
+        assert tuple(sets["C1"]) == (2,)
+        assert tuple(sets["C2"]) == (3,)
+
+    def test_split_validation(self):
+        with pytest.raises(ConfigurationError):
+            split(4, [2, 1], ["A", "B", "C"])
+        with pytest.raises(ConfigurationError):
+            split(4, [2, 1], ["A", "B"])
+        with pytest.raises(ConfigurationError):
+            split(4, [5, -1], ["A", "B"])
+
+    def test_srb_separation_sets_bounds(self):
+        sets = srb_separation_sets(6, 2)
+        assert len(sets["Q"]) == 4 and len(sets["C1"]) == 1 and len(sets["C2"]) == 1
+        with pytest.raises(ConfigurationError, match="f > 1"):
+            srb_separation_sets(4, 1)
+        with pytest.raises(ConfigurationError, match="n > 2f"):
+            srb_separation_sets(4, 2)
+
+    def test_weak_agreement_sets(self):
+        sets = weak_agreement_sets(4, 2)
+        assert [len(sets[k]) for k in ("P", "Q", "R", "S")] == [1, 1, 1, 1]
+        with pytest.raises(ConfigurationError):
+            weak_agreement_sets(5, 2)
+
+
+class TestSRBSeparation:
+    @pytest.mark.parametrize("n,f", [(6, 2), (7, 2), (9, 3)])
+    def test_separation_holds(self, n, f):
+        out = run_srb_separation(n=n, f=f, seed=0)
+        out.assert_holds()
+
+    def test_scenario_obligations(self):
+        out = run_srb_separation(n=6, f=2, seed=1)
+        q = set(out.sets["Q"])
+        c1, c2 = set(out.sets["C1"]), set(out.sets["C2"])
+        # scenario 1: Q and C2 finish; scenario 2: Q and C1 finish
+        assert q <= out.scenario1.finished and c2 <= out.scenario1.finished
+        assert q <= out.scenario2.finished and c1 <= out.scenario2.finished
+        # scenario 3: everyone finishes (all correct)
+        assert out.scenario3.finished == frozenset(range(6))
+
+    def test_violating_pair_is_c1_c2(self):
+        out = run_srb_separation(n=6, f=2, seed=2)
+        v = out.directionality3.unidirectional_violations[0]
+        pair = {v.p, v.q}
+        assert pair & set(out.sets["C1"]) and pair & set(out.sets["C2"])
+
+    def test_deterministic_across_repeats(self):
+        a = run_srb_separation(n=6, f=2, seed=3)
+        b = run_srb_separation(n=6, f=2, seed=3)
+        assert a.scenario3.view(0) == b.scenario3.view(0)
+
+
+class TestClassification:
+    def test_every_arrow_verifies(self):
+        result = run_classification(seed=0)
+        assert result.all_ok, result.failures()
+
+    def test_subset_selection(self):
+        result = run_classification(seed=0, arrow_ids=["TRINC->A2M"])
+        assert set(result.evidence) == {"TRINC->A2M"}
+
+    def test_render_contains_every_arrow(self):
+        result = run_classification(seed=0, arrow_ids=["TRINC->A2M", "UNI->ASYNC"])
+        text = render_figure(result)
+        assert "TRINC->A2M" in text and "UNI->ASYNC" in text
+        assert "Figure 1" in text
+
+    def test_arrow_metadata_complete(self):
+        for arrow in ARROWS:
+            assert arrow.claim and arrow.paper_ref
+            assert arrow.kind in ("implements", "cannot-implement", "implements-iff")

@@ -1,0 +1,197 @@
+"""Tests for SWMR registers, sticky bits, PEATS, and ACLs (direct execution).
+
+These test the objects' linearization-point semantics directly via
+``execute``; their in-simulation behavior is covered by the shared-memory
+and round-transport tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AccessDeniedError, ConfigurationError
+from repro.hardware.acl import AccessControlList, EVERYONE, Policy
+from repro.hardware.peats import PEATS, WILDCARD, matches, remove_only_own, single_inserter_per_slot
+from repro.hardware.registers import AppendOnlyRegister, SWMRRegister, append_log_array, swmr_array
+from repro.hardware.sticky import StickyBit, StickyRegister, UNSET, sticky_array
+
+
+class TestACL:
+    def test_single_writer_pattern(self):
+        acl = AccessControlList.single_writer(owner=2)
+        assert acl.allows(2, "write") and not acl.allows(1, "write")
+        assert acl.allows(0, "read") and acl.allows(2, "read")
+
+    def test_deny_by_default(self):
+        acl = AccessControlList({"read": EVERYONE})
+        assert not acl.allows(0, "unknown_op")
+
+    def test_enforce_raises_with_details(self):
+        acl = AccessControlList({"write": (0,)})
+        with pytest.raises(AccessDeniedError) as err:
+            acl.enforce(3, "obj", "write")
+        assert err.value.pid == 3 and err.value.operation == "write"
+
+    def test_writers_introspection(self):
+        acl = AccessControlList({"write": (0, 1), "read": EVERYONE})
+        assert acl.writers("write") == frozenset({0, 1})
+        assert acl.writers("read") is None
+        assert acl.writers("nope") == frozenset()
+
+    def test_bad_rule_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AccessControlList({"write": 42})
+
+
+class TestSWMRRegister:
+    def test_owner_writes_all_read(self):
+        r = SWMRRegister("r", owner=1)
+        r.execute(1, "write", ("v",))
+        assert r.execute(0, "read", ()) == "v"
+
+    def test_non_owner_write_denied(self):
+        r = SWMRRegister("r", owner=1)
+        with pytest.raises(AccessDeniedError):
+            r.execute(0, "write", ("v",))
+
+    def test_array_builder(self):
+        regs = swmr_array(3)
+        assert [r.owner for r in regs] == [0, 1, 2]
+        assert regs[1].name == "reg1"
+
+
+class TestAppendOnlyRegister:
+    def test_append_returns_index(self):
+        log = AppendOnlyRegister("l", owner=0)
+        assert log.execute(0, "append", ("a",)) == 0
+        assert log.execute(0, "append", ("b",)) == 1
+
+    def test_read_full_and_suffix(self):
+        log = AppendOnlyRegister("l", owner=0)
+        for v in "abc":
+            log.execute(0, "append", (v,))
+        assert log.execute(1, "read", ()) == ("a", "b", "c")
+        assert log.execute(1, "read_from", (1,)) == ("b", "c")
+        assert log.execute(1, "read_from", (-5,)) == ("a", "b", "c")
+        assert log.execute(1, "length", ()) == 3
+
+    def test_append_denied_for_non_owner(self):
+        log = AppendOnlyRegister("l", owner=0)
+        with pytest.raises(AccessDeniedError):
+            log.execute(1, "append", ("x",))
+
+    def test_array_builder(self):
+        logs = append_log_array(2, prefix="L")
+        assert logs[0].name == "L0" and logs[1].owner == 1
+
+
+class TestSticky:
+    def test_first_write_wins(self):
+        s = StickyRegister("s")
+        assert s.execute(0, "write", ("first",)) is True
+        assert s.execute(1, "write", ("second",)) is False
+        assert s.execute(2, "read", ()) == "first"
+        assert s.first_writer == 0
+
+    def test_unset_sentinel(self):
+        s = StickyRegister("s")
+        assert s.execute(0, "read", ()) is UNSET
+        assert not s.execute(0, "is_set", ())
+        assert not UNSET  # falsy
+        assert repr(UNSET) == "UNSET"
+
+    def test_owned_sticky_acl(self):
+        s = StickyRegister("s", owner=1)
+        with pytest.raises(AccessDeniedError):
+            s.execute(0, "write", ("x",))
+        assert s.execute(1, "write", ("x",)) is True
+
+    def test_sticky_bit_domain(self):
+        b = StickyBit("b")
+        with pytest.raises(ConfigurationError):
+            b.execute(0, "write", (2,))
+        assert b.execute(0, "write", (1,)) is True
+        assert b.execute(0, "read", ()) == 1
+
+    def test_sticky_array(self):
+        arr = sticky_array(3)
+        assert [s.owner for s in arr] == [0, 1, 2]
+
+    @given(st.lists(st.tuples(st.integers(0, 3), st.integers(0, 1)), min_size=1))
+    @settings(max_examples=50)
+    def test_sticky_never_changes_after_first(self, writes):
+        s = StickyRegister("s")
+        first = writes[0][1]
+        for pid, v in writes:
+            s.execute(pid, "write", (v,))
+        assert s.execute(0, "read", ()) == first
+
+
+class TestPEATS:
+    def test_out_rdp_inp(self):
+        space = PEATS("t")
+        space.execute(0, "out", (("job", 1),))
+        space.execute(1, "out", (("job", 2),))
+        assert space.execute(2, "rdp", ((("job", 1))[0:0] + ("job", WILDCARD),)) == ("job", 1)
+        assert space.execute(2, "inp", (("job", WILDCARD),)) == ("job", 1)
+        assert space.execute(2, "inp", (("job", WILDCARD),)) == ("job", 2)
+        assert space.execute(2, "inp", (("job", WILDCARD),)) is None
+
+    def test_count_and_rdall(self):
+        space = PEATS("t")
+        for i in range(3):
+            space.execute(0, "out", (("x", i),))
+        space.execute(0, "out", (("y", 0),))
+        assert space.execute(1, "count", (("x", WILDCARD),)) == 3
+        assert space.execute(1, "rdall", (("x", WILDCARD),)) == (
+            ("x", 0), ("x", 1), ("x", 2)
+        )
+
+    def test_pattern_matching(self):
+        assert matches((WILDCARD, 2), ("a", 2))
+        assert not matches((WILDCARD, 2), ("a", 3))
+        assert not matches((WILDCARD,), ("a", 2))  # arity mismatch
+
+    def test_arity_enforced(self):
+        space = PEATS("t", arity=2)
+        with pytest.raises(ConfigurationError):
+            space.execute(0, "out", (("too", "many", "fields"),))
+        with pytest.raises(ConfigurationError):
+            space.execute(0, "rdp", (("one",),))
+
+    def test_non_tuple_rejected(self):
+        space = PEATS("t")
+        with pytest.raises(ConfigurationError):
+            space.execute(0, "out", ("not-a-tuple",))
+
+    def test_single_inserter_policy(self):
+        space = PEATS("t", policy=single_inserter_per_slot(0))
+        space.execute(1, "out", ((1, "mine"),))
+        with pytest.raises(AccessDeniedError):
+            space.execute(1, "out", ((2, "spoofed"),))
+        with pytest.raises(AccessDeniedError):
+            space.execute(1, "inp", ((1, WILDCARD),))
+        assert space.execute(2, "rdp", ((1, WILDCARD),)) == (1, "mine")
+
+    def test_remove_only_own_policy(self):
+        space = PEATS("t", policy=remove_only_own())
+        space.execute(0, "out", (("doc", "a"),))
+        with pytest.raises(AccessDeniedError):
+            space.execute(1, "inp", (("doc", WILDCARD),))
+        assert space.execute(0, "inp", (("doc", WILDCARD),)) == ("doc", "a")
+
+    def test_state_aware_policy(self):
+        """A policy that caps the space at 2 entries (PEATS 'augmented' power)."""
+
+        def cap(state, pid, op, args):
+            if op != "out":
+                return True
+            return len(state.entries) < 2
+
+        space = PEATS("t", policy=Policy(cap))
+        space.execute(0, "out", (("e", 1),))
+        space.execute(0, "out", (("e", 2),))
+        with pytest.raises(AccessDeniedError):
+            space.execute(0, "out", (("e", 3),))

@@ -1,0 +1,149 @@
+"""Tests for the Simulation façade: lifecycle, faults, timers, determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim import Process, ReliableAsynchronous, Simulation
+
+
+class Echo(Process):
+    def on_start(self):
+        self.ctx.broadcast(("HELLO", self.pid), include_self=False)
+
+    def on_message(self, src, msg):
+        if msg[0] == "HELLO":
+            self.ctx.send(src, ("ACK", self.pid))
+        elif msg[0] == "ACK":
+            self.ctx.record("custom", event="acked", by=src)
+
+
+class TimerProc(Process):
+    def __init__(self):
+        super().__init__()
+        self.fired = []
+
+    def on_start(self):
+        self.t1 = self.ctx.set_timer(1.0, "one")
+        self.t2 = self.ctx.set_timer(2.0, "two")
+        self.ctx.cancel_timer(self.t2)
+
+    def on_timer(self, tag):
+        self.fired.append(tag)
+
+
+class TestLifecycle:
+    def test_ping_pong_counts(self):
+        n = 3
+        sim = Simulation([Echo() for _ in range(n)], seed=1)
+        sim.run_to_quiescence()
+        acks = sim.trace.events("custom")
+        assert len(acks) == n * (n - 1)
+
+    def test_empty_process_list_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Simulation([])
+
+    def test_process_reuse_rejected(self):
+        p = Echo()
+        Simulation([p], seed=0)
+        with pytest.raises(SimulationError):
+            Simulation([p], seed=0)
+
+    def test_run_after_quiescence_is_fine(self):
+        sim = Simulation([Echo(), Echo()], seed=2)
+        sim.run_to_quiescence()
+        stats = sim.run_to_quiescence()
+        assert stats.events_processed == 0
+
+    def test_event_cap_raises(self):
+        class Livelock(Process):
+            def on_start(self):
+                self.ctx.set_timer(0.1, "t")
+
+            def on_timer(self, tag):
+                self.ctx.set_timer(0.1, "t")
+
+        sim = Simulation([Livelock()], seed=0)
+        old = Simulation.DEFAULT_MAX_EVENTS
+        Simulation.DEFAULT_MAX_EVENTS = 100
+        try:
+            with pytest.raises(SimulationError, match="event cap"):
+                sim.run()
+        finally:
+            Simulation.DEFAULT_MAX_EVENTS = old
+
+
+class TestDeterminism:
+    def _trace(self, seed):
+        sim = Simulation([Echo() for _ in range(4)],
+                         ReliableAsynchronous(0.01, 1.0), seed=seed)
+        sim.run_to_quiescence()
+        return sim.trace
+
+    def test_same_seed_same_views(self):
+        t1, t2 = self._trace(7), self._trace(7)
+        for pid in range(4):
+            assert t1.local_view(pid) == t2.local_view(pid)
+
+    def test_different_seed_differs(self):
+        t1, t2 = self._trace(7), self._trace(8)
+        assert any(
+            t1.local_view(p) != t2.local_view(p) for p in range(4)
+        )
+
+
+class TestCrash:
+    def test_crashed_process_stops_sending_and_receiving(self):
+        sim = Simulation([Echo() for _ in range(3)],
+                         ReliableAsynchronous(1.0, 2.0), seed=3)
+        sim.crash_at(0, 0.5)  # before any delivery arrives
+        sim.run_to_quiescence()
+        # 0's HELLOs were already submitted at time 0 (sends precede crash),
+        # but 0 must never record receiving an ACK
+        acks_at_0 = sim.trace.events(
+            "custom", pid=0, predicate=lambda e: e.field("event") == "acked"
+        )
+        assert acks_at_0 == []
+
+    def test_crash_is_idempotent(self):
+        sim = Simulation([Echo(), Echo()], seed=4)
+        sim.crash(0)
+        sim.crash(0)
+        assert sim.crashed_pids == frozenset({0})
+
+    def test_correct_pids_excludes_crashed_and_byzantine(self):
+        sim = Simulation([Echo() for _ in range(4)], seed=5)
+        sim.declare_byzantine(1)
+        sim.crash(2)
+        assert sim.correct_pids == (0, 3)
+
+    def test_crash_out_of_range(self):
+        sim = Simulation([Echo()], seed=6)
+        with pytest.raises(ConfigurationError):
+            sim.crash(5)
+
+
+class TestTimers:
+    def test_cancelled_timer_never_fires(self):
+        p = TimerProc()
+        sim = Simulation([p], seed=0)
+        sim.run_to_quiescence()
+        assert p.fired == ["one"]
+
+    def test_timer_not_delivered_to_crashed(self):
+        p = TimerProc()
+        sim = Simulation([p], seed=0)
+        sim.crash_at(0, 0.5)
+        sim.run_to_quiescence()
+        assert p.fired == []
+
+
+class TestScripting:
+    def test_at_callback_runs_at_time(self):
+        sim = Simulation([Echo()], seed=0)
+        seen = []
+        sim.at(5.0, lambda: seen.append(sim.now))
+        sim.run_to_quiescence()
+        assert seen == [5.0]

@@ -1,0 +1,98 @@
+"""Tests for the idealized SRB oracle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.srb import check_srb
+from repro.core.srb_oracle import SRBOracle
+from repro.errors import ConfigurationError
+from repro.sim import Process, Simulation
+
+
+class Sink(Process):
+    def __init__(self):
+        super().__init__()
+        self.got = []
+
+
+def build(n, seed=0, policy=None):
+    procs = [Sink() for _ in range(n)]
+    oracle = SRBOracle(policy=policy, seed=seed)
+    sim = Simulation(procs, seed=seed)
+    oracle.bind(sim)
+    for p in range(n):
+        oracle.subscribe(p, lambda s, k, v, p=p: procs[p].got.append((s, k, v)))
+    return sim, procs, oracle
+
+
+class TestProperties:
+    def test_all_four_srb_properties_on_trace(self):
+        sim, procs, oracle = build(3, seed=1)
+        h = oracle.sender_handle(0)
+        sim.at(0.1, lambda: [h.broadcast("a"), h.broadcast("b"), h.broadcast("c")])
+        sim.run_to_quiescence()
+        check_srb(sim.trace, 0, range(3)).assert_ok()
+
+    def test_in_order_per_receiver_even_with_adverse_delays(self):
+        # seq 1 gets a huge delay; seq 2 a tiny one — delivery stays ordered
+        delays = {1: 10.0, 2: 0.1}
+        sim, procs, oracle = build(2, seed=2,
+                                   policy=lambda s, r, k, now: delays[k])
+        h = oracle.sender_handle(0)
+        sim.at(0.0, lambda: [h.broadcast("first"), h.broadcast("second")])
+        sim.run_to_quiescence()
+        assert procs[1].got == [(0, 1, "first"), (0, 2, "second")]
+
+    def test_independent_streams(self):
+        sim, procs, oracle = build(3, seed=3)
+        h0, h1 = oracle.sender_handle(0), oracle.sender_handle(1)
+        sim.at(0.1, lambda: [h0.broadcast("x"), h1.broadcast("y")])
+        sim.run_to_quiescence()
+        seqs = {(s, k) for (s, k, _v) in procs[2].got}
+        assert seqs == {(0, 1), (1, 1)}
+
+    def test_withheld_ledger(self):
+        sim, procs, oracle = build(2, seed=4,
+                                   policy=lambda s, r, k, now: None if r == 1 else 0.1)
+        h = oracle.sender_handle(0)
+        sim.at(0.1, lambda: h.broadcast("partial"))
+        sim.run_to_quiescence()
+        assert procs[1].got == []
+        assert len(oracle.withheld) == 1
+        assert oracle.withheld[0].receiver == 1
+
+    def test_crashed_receiver_skipped(self):
+        sim, procs, oracle = build(2, seed=5)
+        h = oracle.sender_handle(0)
+        sim.crash(1)
+        sim.at(0.1, lambda: h.broadcast("m"))
+        sim.run_to_quiescence()
+        assert procs[1].got == []
+
+
+class TestWiring:
+    def test_handle_issued_once(self):
+        _, _, oracle = build(2, seed=6)
+        oracle.sender_handle(0)
+        with pytest.raises(ConfigurationError):
+            oracle.sender_handle(0)
+
+    def test_subscribe_once(self):
+        _, _, oracle = build(2, seed=7)
+        with pytest.raises(ConfigurationError):
+            oracle.subscribe(0, lambda s, k, v: None)
+
+    def test_unbound_oracle_rejects_broadcast(self):
+        oracle = SRBOracle(seed=8)
+        h = oracle.sender_handle(0)
+        with pytest.raises(ConfigurationError, match="bind"):
+            h.broadcast("m")
+
+    def test_double_bind_rejected(self):
+        sim1 = Simulation([Sink()], seed=9)
+        sim2 = Simulation([Sink()], seed=10)
+        oracle = SRBOracle(sim1)
+        with pytest.raises(ConfigurationError):
+            oracle.bind(sim2)
+        oracle.bind(sim1)  # re-binding to the same sim is fine

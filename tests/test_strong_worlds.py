@@ -1,0 +1,57 @@
+"""Tests for the strong-validity upper separation (uni ⊀ synchrony)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agreement import run_strong_validity_impossibility
+from repro.errors import PropertyViolation
+
+
+class TestStrongValidityWorlds:
+    def test_demonstration_holds(self):
+        out = run_strong_validity_impossibility(seed=0)
+        out.assert_holds()
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_deterministic_across_seeds(self, seed):
+        out = run_strong_validity_impossibility(seed=seed)
+        out.assert_holds()
+
+    def test_forced_world_decisions(self):
+        out = run_strong_validity_impossibility(seed=4)
+        # world 1: correct {p0, p2} share input 0 -> both commit 0
+        assert out.world1.commits == {0: 0, 2: 0}
+        # world 2: correct {p1, p2} share input 1 -> both commit 1
+        assert out.world2.commits == {1: 1, 2: 1}
+
+    def test_world3_is_the_contradiction(self):
+        out = run_strong_validity_impossibility(seed=5)
+        assert out.world3.commits[0] == 0 and out.world3.commits[1] == 1
+        assert out.world3.agreement_violations
+
+    def test_world3_satisfies_unidirectionality(self):
+        """The violation is NOT an artifact of breaking the round contract."""
+        out = run_strong_validity_impossibility(seed=6)
+        assert out.directionality3.is_unidirectional
+        assert not out.directionality3.is_bidirectional  # p0->p1 withheld
+
+    def test_indistinguishability(self):
+        out = run_strong_validity_impossibility(seed=7)
+        assert out.p0_view_matches_w1 and out.p1_view_matches_w2
+
+
+class TestContrastWithSynchrony:
+    def test_same_problem_solved_under_lockstep(self):
+        """Bidirectional rounds solve what unidirectional cannot — the pair
+        of results is the top edge of the lattice."""
+        from repro.agreement import STRONG, build_strong_agreement_system, check_agreement
+
+        sim, procs = build_strong_agreement_system(3, 1, [0, 1, 0], seed=8)
+        sim.declare_byzantine(1)
+        sim.crash(1)  # worst correct-set shape: {p0, p2} share input 0
+        sim.run(until=60.0)
+        rep = check_agreement(sim.trace, STRONG, {0: 0, 1: 1, 2: 0},
+                              [0, 2], all_correct=False)
+        rep.assert_ok()
+        assert all(v == 0 for v in rep.commits.values())

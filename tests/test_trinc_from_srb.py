@@ -1,0 +1,139 @@
+"""Tests for Theorem 1: the TrInc interface implemented over SRB."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.srb_oracle import SRBOracle
+from repro.core.trinc_from_srb import SRBAttestation, SRBTrincVerifier, SRBTrinket
+from repro.errors import AttestationError
+from repro.sim import Process, Simulation
+
+
+class Node(Process):
+    def __init__(self, n):
+        super().__init__()
+        self.verifier = SRBTrincVerifier(n)
+
+
+def build(n, seed, policy=None):
+    procs = [Node(n) for _ in range(n)]
+    oracle = SRBOracle(policy=policy, seed=seed)
+    sim = Simulation(procs, seed=seed)
+    oracle.bind(sim)
+    for p in range(n):
+        oracle.subscribe(p, procs[p].verifier.on_deliver)
+    trinkets = [SRBTrinket(oracle.sender_handle(p)) for p in range(n)]
+    return sim, procs, trinkets
+
+
+class TestCompleteness:
+    def test_correct_attestation_validates_everywhere(self):
+        sim, procs, trinkets = build(4, seed=1)
+        box = {}
+        sim.at(0.1, lambda: box.setdefault("a", trinkets[2].attest(3, "msg")))
+        sim.run_to_quiescence()
+        for p in procs:
+            assert p.verifier.check_attestation(box["a"], 2)
+
+    def test_monotone_stream_all_validate(self):
+        sim, procs, trinkets = build(3, seed=2)
+        box = []
+        def drive():
+            for c in (1, 2, 10, 11):
+                box.append(trinkets[0].attest(c, f"m{c}"))
+        sim.at(0.1, drive)
+        sim.run_to_quiescence()
+        for a in box:
+            assert all(p.verifier.check_attestation(a, 0) for p in procs)
+
+    def test_local_monotonicity_enforced(self):
+        sim, procs, trinkets = build(2, seed=3)
+        results = {}
+        def drive():
+            results["first"] = trinkets[0].attest(5, "x")
+            results["stale"] = trinkets[0].attest(5, "y")
+            results["lower"] = trinkets[0].attest(3, "z")
+        sim.at(0.1, drive)
+        sim.run_to_quiescence()
+        assert results["first"] is not None
+        assert results["stale"] is None and results["lower"] is None
+        assert trinkets[0].attest_refusals == 2
+
+
+class TestSoundness:
+    def test_duplicate_counter_rejected_everywhere(self):
+        """The theorem's key case: a Byzantine host re-uses a counter value.
+
+        All correct verifiers deliver the stream in the same order, store the
+        first claim for c, and reject the second — no process ever validates
+        both."""
+        sim, procs, trinkets = build(4, seed=4)
+        box = {}
+        def drive():
+            box["good"] = trinkets[1].attest(7, "honest")
+            box["dup"] = trinkets[1].attest_unchecked(7, "conflicting")
+            box["lower"] = trinkets[1].attest_unchecked(2, "rollback")
+        sim.at(0.1, drive)
+        sim.run_to_quiescence()
+        for p in procs:
+            assert p.verifier.check_attestation(box["good"], 1)
+            assert not p.verifier.check_attestation(box["dup"], 1)
+            assert not p.verifier.check_attestation(box["lower"], 1)
+
+    def test_wrong_trinket_id(self):
+        sim, procs, trinkets = build(3, seed=5)
+        box = {}
+        sim.at(0.1, lambda: box.setdefault("a", trinkets[0].attest(1, "m")))
+        sim.run_to_quiescence()
+        assert not procs[1].verifier.check_attestation(box["a"], 2)
+
+    def test_fabricated_attestation_fails(self):
+        sim, procs, trinkets = build(3, seed=6)
+        sim.run_to_quiescence()
+        fake = SRBAttestation(attester=0, broadcast_seq=1, counter=1, message="m")
+        assert not procs[1].verifier.check_attestation(fake, 0)
+
+    def test_tampered_message_fails(self):
+        sim, procs, trinkets = build(3, seed=7)
+        box = {}
+        sim.at(0.1, lambda: box.setdefault("a", trinkets[0].attest(1, "real")))
+        sim.run_to_quiescence()
+        a = box["a"]
+        forged = SRBAttestation(a.attester, a.broadcast_seq, a.counter, "forged")
+        assert not procs[1].verifier.check_attestation(forged, 0)
+
+    def test_junk_shapes(self):
+        v = SRBTrincVerifier(2)
+        assert not v.check_attestation("junk", 0)
+        assert not v.check_attestation(None, 1)
+        v.on_deliver(0, 1, "not-a-pair")  # must not crash
+        v.on_deliver(0, 2, ("notint", "m"))
+        assert v.highest_counter(0) == 0
+
+
+class TestInputValidation:
+    def test_bad_counter_values(self):
+        sim, procs, trinkets = build(2, seed=8)
+        sim.run(until=0.1)
+        with pytest.raises(AttestationError):
+            trinkets[0].attest(0, "m")
+        with pytest.raises(AttestationError):
+            trinkets[0].attest("one", "m")
+
+
+class TestEventualVisibility:
+    def test_check_becomes_true_after_delivery(self):
+        """CheckAttestation may say False before delivery — and must flip."""
+        sim, procs, trinkets = build(2, seed=9)
+        observations = []
+        box = {}
+
+        def attest_then_check():
+            box["a"] = trinkets[0].attest(1, "m")
+            observations.append(procs[1].verifier.check_attestation(box["a"], 0))
+
+        sim.at(0.1, attest_then_check)
+        sim.run_to_quiescence()
+        observations.append(procs[1].verifier.check_attestation(box["a"], 0))
+        assert observations == [False, True]

@@ -1,0 +1,141 @@
+"""Tests for §3.2 over every shared-memory primitive (SWMR/PEATS/sticky)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.directionality import check_directionality
+from repro.core.rounds import RoundProcess
+from repro.core.uni_from_sm import (
+    ALL_SM_TRANSPORTS,
+    PEATSRoundTransport,
+    StickyChainRoundTransport,
+    SWMRRoundTransport,
+    build_objects_for,
+)
+from repro.errors import ConfigurationError
+from repro.sim import ReliableAsynchronous, Simulation
+
+TRANSPORT_NAMES = sorted(ALL_SM_TRANSPORTS)
+
+
+class Chat(RoundProcess):
+    def __init__(self, transport, nrounds=2):
+        super().__init__(transport)
+        self.nrounds = nrounds
+
+    def on_round_start(self):
+        self.rounds.begin_round(("m", self.pid, 1), label=("r", 1))
+
+    def on_round_complete(self, label):
+        r = label[1]
+        if r < self.nrounds:
+            self.rounds.begin_round(("m", self.pid, r + 1), label=("r", r + 1))
+
+
+def run(name, n=4, seed=0, nrounds=2, min_d=0.01, max_d=1.5, until=300.0):
+    cls = ALL_SM_TRANSPORTS[name]
+    procs = [Chat(cls(), nrounds) for _ in range(n)]
+    sim = Simulation(procs, ReliableAsynchronous(min_d, max_d), seed=seed)
+    for obj in build_objects_for(name, n):
+        sim.memory.register(obj)
+    sim.run(until=until)
+    return sim, procs
+
+
+class TestUnidirectionality:
+    @pytest.mark.parametrize("name", TRANSPORT_NAMES)
+    def test_transport_is_unidirectional(self, name):
+        sim, procs = run(name, seed=1)
+        rep = check_directionality(sim.trace, range(4))
+        assert rep.is_unidirectional
+        assert rep.pairs_checked > 0
+        assert len(sim.trace.events("round_end")) == 4 * 2
+
+    @pytest.mark.parametrize("name", TRANSPORT_NAMES)
+    @pytest.mark.parametrize("seed", [3, 4])
+    def test_adversarial_op_interleavings(self, name, seed):
+        """Wide delay ranges produce wild interleavings; the guarantee must hold."""
+        sim, procs = run(name, seed=seed, min_d=0.0, max_d=5.0, until=600.0)
+        rep = check_directionality(sim.trace, range(4))
+        rep.assert_unidirectional()
+
+    @pytest.mark.parametrize("name", TRANSPORT_NAMES)
+    def test_crashed_process_excluded(self, name):
+        cls = ALL_SM_TRANSPORTS[name]
+        procs = [Chat(cls(), 1) for _ in range(4)]
+        sim = Simulation(procs, ReliableAsynchronous(0.01, 1.0), seed=5)
+        for obj in build_objects_for(name, 4):
+            sim.memory.register(obj)
+        sim.crash_at(3, 0.2)
+        sim.run(until=300.0)
+        rep = check_directionality(sim.trace, [0, 1, 2])
+        assert rep.is_unidirectional
+        # the survivors still finish their rounds (reads don't block on 3)
+        ends = {e.pid for e in sim.trace.events("round_end")}
+        assert {0, 1, 2} <= ends
+
+
+class TestObjectSpecifics:
+    def test_swmr_register_carries_history(self):
+        sim, procs = run("swmr", nrounds=3, seed=6)
+        reg0 = sim.memory.get("swmr0")
+        history = reg0.execute(1, "read", ())
+        assert len(history) == 3  # all three round entries retained
+
+    def test_peats_single_space(self):
+        objs = build_objects_for("peats", 5)
+        assert len(objs) == 1
+
+    def test_peats_policy_blocks_spoofing(self):
+        from repro.errors import AccessDeniedError
+
+        objs = build_objects_for("peats", 2)
+        space = objs[0]
+        with pytest.raises(AccessDeniedError):
+            space.execute(0, "out", ((1, 1, ("r", 1), "spoof"),))
+
+    def test_sticky_capacity_enforced(self):
+        t = StickyChainRoundTransport(capacity=1)
+        procs = [Chat(t, 1), Chat(StickyChainRoundTransport(capacity=1), 1)]
+        sim = Simulation(procs, ReliableAsynchronous(0.01, 0.2), seed=7)
+        for obj in StickyChainRoundTransport.build_objects(2, capacity=1):
+            sim.memory.register(obj)
+        sim.run(until=100.0)
+        with pytest.raises(ConfigurationError, match="capacity"):
+            procs[0].rounds.post("overflow")
+
+    def test_sticky_capacity_validation(self):
+        with pytest.raises(ConfigurationError):
+            StickyChainRoundTransport(capacity=0)
+
+    def test_unknown_transport_name(self):
+        with pytest.raises(ConfigurationError):
+            build_objects_for("nope", 3)
+
+
+class TestAlgorithmOneOverOtherObjects:
+    """Composition: Algorithm 1 (SRB) runs unchanged over the SWMR and PEATS
+    transports — the paper's 'all shared memory objects' claim, end to end."""
+
+    @pytest.mark.parametrize("name", ["swmr", "peats"])
+    def test_srb_over_variant(self, name):
+        from repro.core.srb import check_srb
+        from repro.core.srb_from_uni import SRBFromUnidirectional
+        from repro.crypto import SignatureScheme
+
+        n, t = 3, 1
+        cls = ALL_SM_TRANSPORTS[name]
+        scheme = SignatureScheme(n, seed=8)
+        procs = [
+            SRBFromUnidirectional(cls(), 0, t, scheme, scheme.signer(p))
+            for p in range(n)
+        ]
+        sim = Simulation(procs, ReliableAsynchronous(0.01, 0.5), seed=8)
+        for obj in build_objects_for(name, n):
+            sim.memory.register(obj)
+        sim.at(0.5, lambda: procs[0].broadcast("portable"))
+        sim.run(until=500.0)
+        rep = check_srb(sim.trace, 0, range(n))
+        rep.assert_ok()
+        assert len(rep.deliveries) == n
