@@ -15,6 +15,9 @@ The library simulates the trusted-hardware landscape the paper classifies:
   classification is measured against.
 - ``repro.consensus`` — MinBFT (trusted-hardware BFT, n ≥ 2f+1) and a
   PBFT baseline (n ≥ 3f+1), with clients and safety checkers.
+- ``repro.faults`` — fault injection: lossy/chaotic adversaries, the
+  reliable-channel retransmission layer, crash-recovery scripts, and the
+  seeded chaos harness.
 
 Quickstart: see ``examples/quickstart.py``.
 """
@@ -34,18 +37,22 @@ from .core import (  # noqa: E402
     run_srb_separation,
 )
 from .consensus import build_minbft_system, build_pbft_system, check_replication  # noqa: E402
+from .faults import ChaosAdversary, chaos_sweep, run_chaos, wrap_reliable  # noqa: E402
 from .sim import Simulation  # noqa: E402
 
 __all__ = [
+    "ChaosAdversary",
     "Simulation",
     "__version__",
     "build_minbft_system",
     "build_pbft_system",
     "build_sm_srb_system",
+    "chaos_sweep",
     "check_directionality",
     "check_replication",
     "check_srb",
     "render_figure",
+    "run_chaos",
     "run_classification",
     "run_srb_separation",
 ]

@@ -44,12 +44,19 @@ def build_minbft_system(
     retry_timeout: float = 150.0,
     replica_factory: Optional[Callable[..., Process]] = None,
     workloads: Optional[Sequence[Sequence[tuple]]] = None,
+    reliable: bool | dict = False,
 ) -> tuple[Simulation, list[MinBFTReplica], list[BFTClient]]:
     """A ready-to-run MinBFT deployment: n = 2f+1 replicas + clients.
 
     ``replica_factory(pid, **kwargs)`` substitutes custom (e.g. Byzantine)
     replicas for chosen pids; it receives the same keyword arguments as
     :class:`~repro.consensus.minbft.MinBFTReplica`.
+
+    ``reliable`` hosts every replica and client behind a
+    :class:`~repro.faults.channel.ReliableProcess` retransmission layer
+    (pass a dict to forward ReliableChannel options) — required for
+    liveness under the lossy/chaos adversaries in :mod:`repro.faults`. The
+    returned lists always hold the inner replica/client objects.
     """
     if f < 1:
         raise ConfigurationError(f"f must be >= 1, got {f}")
@@ -92,8 +99,14 @@ def build_minbft_system(
         client.signer = scheme.signer(n + c)
         clients.append(client)
 
+    hosted: list[Process] = [*replicas, *clients]
+    if reliable:
+        from ..faults.channel import wrap_reliable  # lazy: faults builds on sim
+
+        kwargs = reliable if isinstance(reliable, dict) else {}
+        hosted = wrap_reliable(hosted, **kwargs)
     adversary = adversary if adversary is not None else ReliableAsynchronous(0.01, 0.5)
-    sim = Simulation([*replicas, *clients], adversary, seed=seed)
+    sim = Simulation(hosted, adversary, seed=seed)
     return sim, replicas, clients
 
 

@@ -48,7 +48,12 @@ from .separations import (
 )
 from .srb import SRBReport, SRBroadcast, check_srb, deliveries_by_process
 from .srb_from_trinc import SRBFromA2M, SRBFromTrInc
-from .srb_from_uni import SRBFromUnidirectional, build_sm_srb_system, validate_l2
+from .srb_from_uni import (
+    SRBFromUnidirectional,
+    build_mp_srb_system,
+    build_sm_srb_system,
+    validate_l2,
+)
 from .srb_oracle import SRBOracle, SRBSenderHandle
 from .trinc_from_srb import SRBAttestation, SRBTrincVerifier, SRBTrinket
 from .uni_from_rb_corner import CornerCaseRoundTransport
@@ -96,6 +101,7 @@ __all__ = [
     "UNIDIRECTIONAL",
     "ZERO_DIRECTIONAL",
     "build_objects_for",
+    "build_mp_srb_system",
     "build_sm_srb_system",
     "check_directionality",
     "check_srb",

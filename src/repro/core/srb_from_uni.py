@@ -49,7 +49,14 @@ from ..errors import ConfigurationError
 from ..sim.adversary import Adversary, ReliableAsynchronous
 from ..sim.runner import Simulation
 from ..types import ProcessId, SeqNum
-from .rounds import Label, POST, RoundProcess, RoundTransport, SharedMemoryRoundTransport
+from .rounds import (
+    Label,
+    MessagePassingRoundTransport,
+    POST,
+    RoundProcess,
+    RoundTransport,
+    SharedMemoryRoundTransport,
+)
 
 WAIT_SENDER = "WaitForSender"
 WAIT_L1 = "WaitForL1Proof"
@@ -395,4 +402,51 @@ def build_sm_srb_system(
     sim = Simulation(processes, adversary, seed=seed)
     for log in SharedMemoryRoundTransport.build_logs(n):
         sim.memory.register(log)
+    return sim, processes, scheme
+
+
+def build_mp_srb_system(
+    n: int,
+    t: int,
+    sender: ProcessId = 0,
+    seed: int = 0,
+    adversary: Adversary | None = None,
+    reliable: bool | dict = False,
+    process_factory=None,
+) -> tuple[Simulation, list[SRBFromUnidirectional], SignatureScheme]:
+    """An Algorithm-1 SRB system over message-passing rounds.
+
+    Message-passing rounds are only zero-directional under full asynchrony
+    (see :mod:`repro.core.rounds`), so this deployment does not carry the
+    construction's Byzantine-sender guarantee — it is the crash/loss-fault
+    configuration the chaos harness exercises. ``reliable`` wraps every
+    process in a :class:`~repro.faults.channel.ReliableProcess` (pass a
+    dict to forward ReliableChannel options) so the protocol stays live on
+    lossy links; the returned process list always holds the *inner* SRB
+    instances.
+    """
+    if n < 2 * t + 1:
+        raise ConfigurationError(
+            f"Algorithm 1 requires n >= 2t+1 (got n={n}, t={t})"
+        )
+    if not (0 <= sender < n):
+        raise ConfigurationError(f"sender {sender} out of range (n={n})")
+    scheme = SignatureScheme(n, seed=seed)
+    processes: list[Any] = []
+    for pid in range(n):
+        transport = MessagePassingRoundTransport(f=t)
+        signer = scheme.signer(pid)
+        if process_factory is not None:
+            proc = process_factory(pid, transport, scheme, signer)
+        else:
+            proc = SRBFromUnidirectional(transport, sender, t, scheme, signer)
+        processes.append(proc)
+    hosted: list[Any] = processes
+    if reliable:
+        from ..faults.channel import wrap_reliable  # lazy: faults builds on sim
+
+        kwargs = reliable if isinstance(reliable, dict) else {}
+        hosted = wrap_reliable(processes, **kwargs)
+    adversary = adversary if adversary is not None else ReliableAsynchronous(0.01, 1.0)
+    sim = Simulation(hosted, adversary, seed=seed)
     return sim, processes, scheme

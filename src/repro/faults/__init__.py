@@ -1,0 +1,56 @@
+"""Fault injection: lossy/chaotic adversaries, reliable channels, chaos sweeps.
+
+Three layers, composable with every protocol in the library:
+
+- :mod:`~repro.faults.adversaries` — network faults (loss, bursts,
+  partitions, duplication, stragglers) as drop-in adversaries;
+- :mod:`~repro.faults.channel` — the retransmission layer that restores
+  the eventual-delivery assumption protocols were written against;
+- :mod:`~repro.faults.chaos` — seeded protocol × fault-schedule sweeps
+  with deterministic failure reproduction, plus crash-recovery scripts
+  that exercise the durable-hardware/volatile-host split.
+"""
+
+from .adversaries import (
+    BurstWindow,
+    ChaosAdversary,
+    LossyAsynchronous,
+    PartitionBurst,
+)
+from .channel import ReliableChannel, ReliableProcess, wrap_reliable
+from .chaos import (
+    ChaosResult,
+    CrashEvent,
+    EagerBrokenSRB,
+    FaultSchedule,
+    assert_all_ok,
+    chaos_sweep,
+    format_failures,
+    make_schedule,
+    replay,
+    run_chaos,
+    run_minbft_chaos,
+    run_srb_chaos,
+)
+
+__all__ = [
+    "BurstWindow",
+    "ChaosAdversary",
+    "ChaosResult",
+    "CrashEvent",
+    "EagerBrokenSRB",
+    "FaultSchedule",
+    "LossyAsynchronous",
+    "PartitionBurst",
+    "ReliableChannel",
+    "ReliableProcess",
+    "assert_all_ok",
+    "chaos_sweep",
+    "format_failures",
+    "make_schedule",
+    "replay",
+    "run_chaos",
+    "run_minbft_chaos",
+    "run_srb_chaos",
+    "wrap_reliable",
+]

@@ -1,0 +1,280 @@
+"""Lossy and chaotic network adversaries.
+
+The base adversary zoo (:mod:`repro.sim.adversary`) models *polite*
+misbehavior: delays, scripted withholding, duplication. Real deployments
+lose messages — independently per link, and in correlated bursts — and
+suffer several fault kinds at once. This module adds:
+
+- :class:`LossyAsynchronous` — per-link drop probability plus burst-loss
+  windows during which matching links drop (almost) everything;
+- :class:`ChaosAdversary` — a single-seed composition of drop, duplicate,
+  reorder (straggler delays), and partition-burst faults, with a
+  deterministic, printable schedule for failure reproduction.
+
+A dropped message is recorded in the network's withheld ledger (a drop *is*
+"never delivered this run"); protocols that must stay live on lossy links
+run over :class:`~repro.faults.channel.ReliableChannel`, whose
+retransmissions give every message fresh drop coin-flips. Fairness audits
+(``assert_fair_for``) are meaningless under a lossy adversary and must not
+be called — loss is the fault being injected.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping
+
+from ..errors import ConfigurationError
+from ..sim.adversary import Adversary, ReliableAsynchronous, WITHHELD, Delay
+from ..types import ProcessId, Time
+
+
+def _check_probability(name: str, p: float) -> float:
+    if not 0.0 <= p <= 1.0:
+        raise ConfigurationError(f"{name} must be in [0, 1], got {p}")
+    return p
+
+
+class LossyAsynchronous(ReliableAsynchronous):
+    """Asynchrony with message loss: per-link drop rates and burst windows.
+
+    ``drop_probability`` is the baseline per-message loss; ``link_drop``
+    overrides it for chosen directed links (``{(src, dst): p}``). During a
+    burst window every message (on every link, or on the window's chosen
+    links) is dropped with ``burst_drop`` probability instead — modeling
+    correlated outages (a flapping switch, a congested uplink) rather than
+    independent bit errors.
+    """
+
+    def __init__(
+        self,
+        drop_probability: float = 0.1,
+        link_drop: Mapping[tuple[ProcessId, ProcessId], float] | None = None,
+        bursts: Iterable["BurstWindow"] = (),
+        min_delay: float = 0.1,
+        max_delay: float = 1.0,
+    ) -> None:
+        super().__init__(min_delay, max_delay)
+        self.drop_probability = _check_probability(
+            "drop_probability", drop_probability
+        )
+        self.link_drop = {
+            link: _check_probability(f"link_drop[{link}]", p)
+            for link, p in dict(link_drop or {}).items()
+        }
+        self.bursts = tuple(bursts)
+        self.messages_dropped = 0
+
+    def _drop_probability(
+        self, src: ProcessId, dst: ProcessId, now: Time
+    ) -> float:
+        p = self.link_drop.get((src, dst), self.drop_probability)
+        for burst in self.bursts:
+            if burst.covers(src, dst, now):
+                p = max(p, burst.drop)
+        return p
+
+    def message_delay(self, src, dst, msg, now) -> Delay:
+        if self._rng.random() < self._drop_probability(src, dst, now):
+            self.messages_dropped += 1
+            return WITHHELD
+        return super().message_delay(src, dst, msg, now)
+
+
+@dataclass(frozen=True, slots=True)
+class BurstWindow:
+    """A correlated-loss interval ``[start, end)``.
+
+    ``links`` restricts the burst to specific directed links; ``None``
+    means the whole network. ``drop`` is the in-window loss probability.
+    """
+
+    start: Time
+    end: Time
+    drop: float = 1.0
+    links: frozenset[tuple[ProcessId, ProcessId]] | None = None
+
+    def covers(self, src: ProcessId, dst: ProcessId, now: Time) -> bool:
+        if not self.start <= now < self.end:
+            return False
+        return self.links is None or (src, dst) in self.links
+
+
+@dataclass(frozen=True, slots=True)
+class PartitionBurst:
+    """A transient two-way split: cross-group messages drop in the window."""
+
+    start: Time
+    end: Time
+    group: frozenset[ProcessId]
+    """One side of the split; everyone else is the other side."""
+
+    def severs(self, src: ProcessId, dst: ProcessId, now: Time) -> bool:
+        if not self.start <= now < self.end:
+            return False
+        return (src in self.group) != (dst in self.group)
+
+
+class ChaosAdversary(Adversary):
+    """Drop + duplicate + reorder + partition-burst faults from one seed.
+
+    All randomness comes from the RNG the simulation binds (derived from
+    the simulation seed), so the full fault schedule — including the burst
+    and partition windows, which are generated at :meth:`bind` time — is a
+    pure function of ``(constructor arguments, seed)``. :meth:`describe`
+    renders the generated schedule so a failing run can be reported and
+    replayed exactly.
+
+    Fault axes (each individually disabled by passing 0 / 0.0):
+
+    - ``drop_probability`` — independent per-message loss;
+    - ``dup_probability`` / ``max_copies`` — at-least-once extra copies;
+    - ``straggler_probability`` / ``straggler_delay`` — occasional
+      messages delayed far beyond the normal band (aggressive reordering);
+    - ``n_bursts`` × ``burst_len`` — whole-network loss windows at
+      ``burst_drop``;
+    - ``n_partitions`` × ``partition_len`` — transient splits isolating a
+      random nonempty proper subset of the ``n`` processes.
+
+    Windows are placed uniformly in ``[0, active_until)``; keep
+    ``active_until`` comfortably below the run horizon so retransmission
+    layers have calm time to drain after the last scheduled fault.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        active_until: Time = 200.0,
+        drop_probability: float = 0.05,
+        dup_probability: float = 0.1,
+        max_copies: int = 2,
+        straggler_probability: float = 0.03,
+        straggler_delay: float = 20.0,
+        n_bursts: int = 2,
+        burst_len: float = 8.0,
+        burst_drop: float = 0.9,
+        n_partitions: int = 1,
+        partition_len: float = 15.0,
+        min_delay: float = 0.05,
+        max_delay: float = 1.0,
+    ) -> None:
+        super().__init__(min_delay, max_delay)
+        if n < 2:
+            raise ConfigurationError(f"chaos needs at least 2 processes, got {n}")
+        if active_until <= 0:
+            raise ConfigurationError(
+                f"active_until must be positive, got {active_until}"
+            )
+        self.n = n
+        self.active_until = active_until
+        self.drop_probability = _check_probability(
+            "drop_probability", drop_probability
+        )
+        self.dup_probability = _check_probability("dup_probability", dup_probability)
+        if max_copies < 1:
+            raise ConfigurationError(f"max_copies must be >= 1, got {max_copies}")
+        self.max_copies = max_copies
+        self.straggler_probability = _check_probability(
+            "straggler_probability", straggler_probability
+        )
+        self.straggler_delay = straggler_delay
+        self.n_bursts = n_bursts
+        self.burst_len = burst_len
+        self.burst_drop = _check_probability("burst_drop", burst_drop)
+        self.n_partitions = n_partitions
+        self.partition_len = partition_len
+        self.bursts: tuple[BurstWindow, ...] = ()
+        self.partitions: tuple[PartitionBurst, ...] = ()
+        self._generate_windows()
+        # stats
+        self.messages_dropped = 0
+        self.duplicates_injected = 0
+        self.stragglers_injected = 0
+
+    # -- schedule generation ---------------------------------------------------
+
+    def bind(self, rng: random.Random) -> None:
+        super().bind(rng)
+        self._generate_windows()
+
+    def _generate_windows(self) -> None:
+        """(Re)derive burst/partition windows from the current RNG.
+
+        Runs once at construction (seed 0 placeholder) and again at
+        :meth:`bind`; only the post-bind schedule is ever used by a
+        simulation, and it is deterministic in the simulation seed.
+        """
+        rng = self._rng
+        bursts = []
+        for _ in range(self.n_bursts):
+            start = rng.uniform(0.0, max(self.active_until - self.burst_len, 0.0))
+            bursts.append(
+                BurstWindow(start=start, end=start + self.burst_len,
+                            drop=self.burst_drop)
+            )
+        partitions = []
+        for _ in range(self.n_partitions):
+            start = rng.uniform(
+                0.0, max(self.active_until - self.partition_len, 0.0)
+            )
+            size = rng.randrange(1, self.n)  # nonempty proper subset
+            group = frozenset(rng.sample(range(self.n), size))
+            partitions.append(
+                PartitionBurst(start=start, end=start + self.partition_len,
+                               group=group)
+            )
+        self.bursts = tuple(sorted(bursts, key=lambda b: b.start))
+        self.partitions = tuple(sorted(partitions, key=lambda p: p.start))
+
+    def describe(self) -> str:
+        """Human-readable schedule for failure reports / replay notes."""
+        lines = [
+            f"ChaosAdversary(n={self.n}, drop={self.drop_probability}, "
+            f"dup={self.dup_probability}, straggler={self.straggler_probability}"
+            f"@{self.straggler_delay})"
+        ]
+        for b in self.bursts:
+            lines.append(
+                f"  burst  [{b.start:8.2f}, {b.end:8.2f})  drop={b.drop}"
+            )
+        for p in self.partitions:
+            lines.append(
+                f"  split  [{p.start:8.2f}, {p.end:8.2f})  "
+                f"group={sorted(p.group)} | rest"
+            )
+        return "\n".join(lines)
+
+    # -- per-message decisions ---------------------------------------------------
+
+    def message_delay(self, src, dst, msg, now) -> Delay:
+        for p in self.partitions:
+            if p.severs(src, dst, now):
+                self.messages_dropped += 1
+                return WITHHELD
+        drop = self.drop_probability
+        for b in self.bursts:
+            if b.covers(src, dst, now):
+                drop = max(drop, b.drop)
+        if self._rng.random() < drop:
+            self.messages_dropped += 1
+            return WITHHELD
+        if (
+            self.straggler_probability
+            and self._rng.random() < self.straggler_probability
+        ):
+            self.stragglers_injected += 1
+            return self._rng.uniform(self.max_delay, self.straggler_delay)
+        return self._rng.uniform(self.min_delay, self.max_delay)
+
+    def extra_deliveries(
+        self, src: ProcessId, dst: ProcessId, msg: Any, now: Time
+    ) -> list[float]:
+        extras: list[float] = []
+        while (
+            len(extras) < self.max_copies - 1
+            and self._rng.random() < self.dup_probability
+        ):
+            extras.append(self._rng.uniform(self.min_delay, self.max_delay * 3))
+            self.duplicates_injected += 1
+        return extras

@@ -1,0 +1,307 @@
+"""Reliable delivery over lossy links: ack / retransmit / dedup.
+
+Every protocol in this library was written against an asynchronous network
+that *eventually delivers* — the model's fairness assumption. A lossy link
+breaks that assumption, so running those protocols unchanged under
+:class:`~repro.faults.adversaries.LossyAsynchronous` loses liveness (and,
+for broken protocols, safety — see the chaos harness). The fix mirrors
+real deployments: a retransmission layer that turns a fair-lossy link back
+into an eventually-delivering one.
+
+:class:`ReliableChannel` frames each payload as ``(DATA, id, payload)``,
+expects ``(ACK, id)`` back, retransmits with exponential backoff plus
+jitter, deduplicates received frames by ``(src, id)``, re-acks duplicates
+(the ack may have been the lost copy), and gives up after ``max_retries``
+attempts via the ``give_up`` hook. Because every retransmission gets fresh
+adversary coin-flips, a message survives any per-message drop probability
+below 1 with overwhelmingly high probability within the retry budget.
+
+:class:`ReliableProcess` wraps an *unmodified* protocol process behind the
+channel, the same interposition pattern as
+:class:`~repro.sim.byzantine.ByzantineWrapper`: the inner process keeps
+calling ``ctx.send`` / ``ctx.broadcast`` and never learns the network is
+lossy. Unframed messages from unwrapped peers pass straight through, so
+mixed deployments work.
+
+Crash-recovery note: the channel's buffers are volatile. A crash kills all
+pending retransmissions; after a restart the fresh channel's dedup table
+is empty, so late retransmissions from peers may be delivered to the new
+incarnation again — at-least-once across reboots, exactly like real
+systems without durable dedup logs. Protocols must already be idempotent
+under duplication (the library-wide rule), so this is safe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from ..errors import ConfigurationError
+from ..sim.process import Context, Process
+from ..types import ProcessId
+
+RC_DATA = "__rc_data__"
+RC_ACK = "__rc_ack__"
+RETX_TAG = "__rc_retx__"
+
+GiveUpHook = Callable[[ProcessId, Any, int], None]
+"""``(dst, payload, attempts)`` — called when a send exhausts its retries."""
+
+
+@dataclass(slots=True)
+class _Pending:
+    dst: ProcessId
+    payload: Any
+    attempt: int
+    timer_id: Optional[int]
+
+
+class ReliableChannel:
+    """Per-process retransmission endpoint (see module docstring).
+
+    One channel serves one process; it uses the process's context for
+    sending, timers, and its deterministic RNG stream (jitter). Stats:
+    ``sent`` (distinct payloads), ``retransmissions``, ``acked``,
+    ``delivered`` (fresh frames handed to the host), ``duplicates_suppressed``,
+    ``gave_up``.
+    """
+
+    def __init__(
+        self,
+        ctx: Context,
+        base_timeout: float = 2.0,
+        backoff: float = 2.0,
+        max_timeout: float = 30.0,
+        jitter: float = 0.25,
+        max_retries: int = 20,
+        give_up: GiveUpHook | None = None,
+    ) -> None:
+        if base_timeout <= 0 or max_timeout < base_timeout:
+            raise ConfigurationError(
+                f"invalid timeout range [{base_timeout}, {max_timeout}]"
+            )
+        if backoff < 1.0:
+            raise ConfigurationError(f"backoff must be >= 1, got {backoff}")
+        if not 0.0 <= jitter <= 1.0:
+            raise ConfigurationError(f"jitter must be in [0, 1], got {jitter}")
+        if max_retries < 0:
+            raise ConfigurationError(f"max_retries must be >= 0, got {max_retries}")
+        self.ctx = ctx
+        self.base_timeout = base_timeout
+        self.backoff = backoff
+        self.max_timeout = max_timeout
+        self.jitter = jitter
+        self.max_retries = max_retries
+        self.give_up = give_up
+        self._next_id = 0
+        self._pending: dict[int, _Pending] = {}
+        self._seen: set[tuple[ProcessId, int]] = set()
+        self.sent = 0
+        self.retransmissions = 0
+        self.acked = 0
+        self.delivered = 0
+        self.duplicates_suppressed = 0
+        self.gave_up = 0
+
+    # -- sending ----------------------------------------------------------------
+
+    def send(self, dst: ProcessId, payload: Any) -> None:
+        """Send ``payload`` to ``dst`` with at-least-once delivery effort."""
+        msg_id = self._next_id
+        self._next_id += 1
+        self.sent += 1
+        entry = _Pending(dst=dst, payload=payload, attempt=0, timer_id=None)
+        self._pending[msg_id] = entry
+        self._transmit(msg_id, entry)
+
+    def broadcast(self, payload: Any, include_self: bool = True) -> None:
+        """Reliable send to every process (each destination tracked alone)."""
+        for dst in range(self.ctx.n):
+            if dst == self.ctx.pid and not include_self:
+                continue
+            self.send(dst, payload)
+
+    def _transmit(self, msg_id: int, entry: _Pending) -> None:
+        self.ctx.send(entry.dst, (RC_DATA, msg_id, entry.payload))
+        timeout = min(
+            self.base_timeout * (self.backoff ** entry.attempt), self.max_timeout
+        )
+        timeout *= 1.0 + self.jitter * self.ctx.rng.random()
+        entry.timer_id = self.ctx.set_timer(timeout, (RETX_TAG, msg_id))
+
+    # -- receiving ----------------------------------------------------------------
+
+    def handle_message(
+        self,
+        src: ProcessId,
+        msg: Any,
+        deliver: Callable[[ProcessId, Any], None],
+    ) -> bool:
+        """Consume channel frames; returns True when ``msg`` was one.
+
+        Fresh DATA frames are acked and handed to ``deliver(src, payload)``;
+        duplicate DATA is re-acked and suppressed. Non-frame messages return
+        False so the host can process them directly.
+        """
+        if not (isinstance(msg, tuple) and len(msg) == 3 and msg[0] == RC_DATA):
+            if isinstance(msg, tuple) and len(msg) == 2 and msg[0] == RC_ACK:
+                self._handle_ack(msg[1])
+                return True
+            return False
+        _, msg_id, payload = msg
+        if not isinstance(msg_id, int):
+            return True  # malformed frame: drop
+        self.ctx.send(src, (RC_ACK, msg_id))  # always re-ack: acks get lost too
+        key = (src, msg_id)
+        if key in self._seen:
+            self.duplicates_suppressed += 1
+            return True
+        self._seen.add(key)
+        self.delivered += 1
+        deliver(src, payload)
+        return True
+
+    def _handle_ack(self, msg_id: Any) -> None:
+        entry = self._pending.pop(msg_id, None)
+        if entry is None:
+            return  # duplicate ack, or ack for a given-up send
+        self.acked += 1
+        if entry.timer_id is not None:
+            self.ctx.cancel_timer(entry.timer_id)
+
+    # -- timers -------------------------------------------------------------------
+
+    def handle_timer(self, tag: Any) -> bool:
+        """Consume retransmission timers; returns True when ``tag`` was one."""
+        if not (isinstance(tag, tuple) and len(tag) == 2 and tag[0] == RETX_TAG):
+            return False
+        msg_id = tag[1]
+        entry = self._pending.get(msg_id)
+        if entry is None:
+            return True  # acked meanwhile
+        entry.attempt += 1
+        if entry.attempt > self.max_retries:
+            del self._pending[msg_id]
+            self.gave_up += 1
+            self.ctx.record(
+                "custom", event="rc_give_up", dst=entry.dst,
+                attempts=entry.attempt,
+            )
+            if self.give_up is not None:
+                self.give_up(entry.dst, entry.payload, entry.attempt)
+            return True
+        self.retransmissions += 1
+        self._transmit(msg_id, entry)
+        return True
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._pending)
+
+
+class _ReliableContext:
+    """Duck-typed Context routing sends through a :class:`ReliableChannel`.
+
+    Everything except ``send``/``broadcast`` passes through to the real
+    context, so timers, shared memory, and trace records are unchanged.
+    """
+
+    def __init__(self, real: Context, channel: ReliableChannel) -> None:
+        self._real = real
+        self._channel = channel
+
+    # pass-throughs -----------------------------------------------------------
+    @property
+    def pid(self) -> ProcessId:
+        return self._real.pid
+
+    @property
+    def n(self) -> int:
+        return self._real.n
+
+    @property
+    def now(self):
+        return self._real.now
+
+    @property
+    def alive(self) -> bool:
+        return self._real.alive
+
+    @property
+    def incarnation(self) -> int:
+        return self._real.incarnation
+
+    @property
+    def rng(self):
+        return self._real.rng
+
+    def set_timer(self, delay: float, tag: Any):
+        return self._real.set_timer(delay, tag)
+
+    def cancel_timer(self, timer_id: int) -> None:
+        self._real.cancel_timer(timer_id)
+
+    def invoke(self, object_name: str, op: str, *args: Any):
+        return self._real.invoke(object_name, op, *args)
+
+    def decide(self, value: Any) -> None:
+        self._real.decide(value)
+
+    def record(self, kind: str, **fields: Any) -> None:
+        self._real.record(kind, **fields)
+
+    # routed through the channel ------------------------------------------------
+
+    def send(self, dst: ProcessId, msg: Any) -> None:
+        if not self._real.alive:
+            return
+        self._channel.send(dst, msg)
+
+    def broadcast(self, msg: Any, include_self: bool = True) -> None:
+        if not self._real.alive:
+            return
+        self._channel.broadcast(msg, include_self=include_self)
+
+
+class ReliableProcess(Process):
+    """Host an unmodified protocol process behind a :class:`ReliableChannel`.
+
+    The inner process's sends are framed and retransmitted; its receives
+    are deduplicated. Channel keyword arguments are forwarded to
+    :class:`ReliableChannel`. The channel is created at attach time (it
+    needs the context) and is reachable as ``self.channel`` for stats.
+    """
+
+    def __init__(self, inner: Process, **channel_kwargs: Any) -> None:
+        super().__init__()
+        self.inner = inner
+        self._channel_kwargs = channel_kwargs
+        self.channel: Optional[ReliableChannel] = None
+
+    def _attach(self, ctx: Context) -> None:
+        super()._attach(ctx)
+        self.channel = ReliableChannel(ctx, **self._channel_kwargs)
+        self.inner._ctx = _ReliableContext(ctx, self.channel)  # type: ignore[assignment]
+
+    def on_start(self) -> None:
+        self.inner.on_start()
+
+    def on_message(self, src: ProcessId, msg: Any) -> None:
+        assert self.channel is not None
+        if not self.channel.handle_message(src, msg, self.inner.on_message):
+            self.inner.on_message(src, msg)  # unframed: unwrapped peer
+
+    def on_timer(self, tag: Any) -> None:
+        assert self.channel is not None
+        if not self.channel.handle_timer(tag):
+            self.inner.on_timer(tag)
+
+    def on_op_result(self, object_name: str, op: str, handle: int, result: Any) -> None:
+        self.inner.on_op_result(object_name, op, handle, result)
+
+
+def wrap_reliable(
+    processes: "list[Process]", **channel_kwargs: Any
+) -> list[ReliableProcess]:
+    """Wrap every process in a deployment with its own reliable channel."""
+    return [ReliableProcess(p, **channel_kwargs) for p in processes]

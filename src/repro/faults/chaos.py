@@ -1,0 +1,453 @@
+"""Seeded chaos harness: protocol × fault-schedule × seed sweeps.
+
+The acceptance bar for every robustness claim in this library: run the
+real protocol stacks (Algorithm-1 SRB over message-passing rounds, MinBFT
+replication) under *composed* faults — message loss, duplication,
+reordering, burst outages, transient partitions, and crash-recovery
+restarts where volatile state dies but trusted hardware survives — and
+assert the existing safety checkers on every run.
+
+Everything is a pure function of the seed: :func:`make_schedule` derives
+the fault schedule (adversary knobs + crash/restart times) from it, the
+simulation derives the adversary's per-message coin flips from it, so a
+failing ``(protocol, seed)`` pair is a complete, replayable bug report.
+:func:`replay` re-runs one; :func:`assert_all_ok` raises with the failing
+seeds and schedules rendered.
+
+The harness also ships a deliberately broken protocol,
+:class:`EagerBrokenSRB`, which delivers sender values on first sight —
+skipping the proof pipeline and the sequencing gate. Under reordering it
+produces real safety violations, which is how we test that the harness
+*detects and reproduces* bugs rather than vacuously passing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+from ..consensus.apps import make_app
+from ..consensus.harness import build_minbft_system
+from ..consensus.minbft import MinBFTReplica
+from ..consensus.safety import check_replication
+from ..core.rounds import MessagePassingRoundTransport
+from ..core.srb import check_srb
+from ..core.srb_from_uni import SRBFromUnidirectional, build_mp_srb_system
+from ..errors import ConfigurationError, PropertyViolation
+from ..types import ProcessId, Time
+from .adversaries import ChaosAdversary
+from .channel import ReliableProcess
+
+DEFAULT_CHANNEL = dict(base_timeout=2.0, backoff=2.0, max_timeout=20.0,
+                       max_retries=25)
+"""Retry budget used by the harness: generous enough that per-message loss
+below 1.0 cannot realistically exhaust it within a run."""
+
+
+# ---------------------------------------------------------------------------
+# Fault schedules
+# ---------------------------------------------------------------------------
+
+
+def _schedule_rng(seed: int) -> random.Random:
+    digest = hashlib.sha256(f"chaos-schedule|{seed}".encode()).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))
+
+
+@dataclass(frozen=True, slots=True)
+class CrashEvent:
+    """Crash ``pid`` at ``at``; reboot at ``restart_at`` (None = permanent)."""
+
+    pid: ProcessId
+    at: Time
+    restart_at: Optional[Time]
+
+
+@dataclass(frozen=True, slots=True)
+class FaultSchedule:
+    """One seeded fault scenario: adversary knobs + crash/restart script."""
+
+    seed: int
+    horizon: Time
+    active_until: Time
+    drop_probability: float
+    dup_probability: float
+    straggler_probability: float
+    n_bursts: int
+    n_partitions: int
+    crashes: tuple[CrashEvent, ...]
+
+    def describe(self) -> str:
+        parts = [
+            f"seed={self.seed} horizon={self.horizon:g} "
+            f"faults-active-until={self.active_until:g}",
+            f"  drop={self.drop_probability:.3f} dup={self.dup_probability:.3f} "
+            f"straggler={self.straggler_probability:.3f} "
+            f"bursts={self.n_bursts} partitions={self.n_partitions}",
+        ]
+        for c in self.crashes:
+            fate = (
+                f"restart at {c.restart_at:.1f}"
+                if c.restart_at is not None
+                else "never restarted"
+            )
+            parts.append(f"  crash pid {c.pid} at {c.at:.1f}, {fate}")
+        if not self.crashes:
+            parts.append("  no crashes")
+        return "\n".join(parts)
+
+    def make_adversary(self, n: int) -> ChaosAdversary:
+        """The chaos adversary realizing this schedule for ``n`` processes."""
+        return ChaosAdversary(
+            n=n,
+            active_until=self.active_until,
+            drop_probability=self.drop_probability,
+            dup_probability=self.dup_probability,
+            straggler_probability=self.straggler_probability,
+            n_bursts=self.n_bursts,
+            n_partitions=self.n_partitions,
+        )
+
+
+def make_schedule(
+    seed: int,
+    crashable: Sequence[ProcessId],
+    horizon: Time = 600.0,
+    crash_recovery: bool = True,
+) -> FaultSchedule:
+    """Derive a fault schedule deterministically from ``seed``.
+
+    ``crashable`` lists the pids eligible for crash faults (protocol
+    runners protect the SRB sender and the clients). At most one process is
+    down at any moment — the crash-fault budget the protocols are deployed
+    for (t = f = 1 in the default configurations) — but a restarted
+    process may crash again, and with probability ~0.2 the (single)
+    crashed process never comes back.
+    """
+    rng = _schedule_rng(seed)
+    active_until = horizon * 0.4
+    crashes: list[CrashEvent] = []
+    if crashable and crash_recovery and rng.random() < 0.85:
+        pid = rng.choice(list(crashable))
+        at = rng.uniform(10.0, active_until * 0.5)
+        if rng.random() < 0.8:
+            restart_at = at + rng.uniform(20.0, 80.0)
+            crashes.append(CrashEvent(pid=pid, at=at, restart_at=restart_at))
+            if rng.random() < 0.3:  # a second outage after recovery
+                pid2 = rng.choice(list(crashable))
+                at2 = restart_at + rng.uniform(15.0, 40.0)
+                restart2 = at2 + rng.uniform(20.0, 60.0)
+                crashes.append(
+                    CrashEvent(pid=pid2, at=at2, restart_at=restart2)
+                )
+        else:
+            crashes.append(CrashEvent(pid=pid, at=at, restart_at=None))
+    return FaultSchedule(
+        seed=seed,
+        horizon=horizon,
+        active_until=active_until,
+        drop_probability=rng.uniform(0.0, 0.12),
+        dup_probability=rng.uniform(0.0, 0.25),
+        straggler_probability=rng.uniform(0.0, 0.05),
+        n_bursts=rng.randrange(0, 3),
+        n_partitions=rng.randrange(0, 2),
+        crashes=tuple(crashes),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Broken-protocol fixture
+# ---------------------------------------------------------------------------
+
+
+class EagerBrokenSRB(SRBFromUnidirectional):
+    """DELIBERATELY BROKEN SRB: deliver on first sight of a signed value.
+
+    Skips the L1/L2 proof pipeline and the in-order delivery gate: the
+    first validly sender-signed ``(k, m)`` this process sees — in a VAL,
+    or embedded in anyone's COPY/L1 — is delivered immediately, in arrival
+    order. Under reordering (stragglers, retransmissions) arrival order
+    differs from sequence order, so the SRB sequencing property breaks —
+    which is exactly what the chaos harness must detect and pin to a seed.
+    """
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self._eagerly_delivered: set[int] = set()
+
+    def _note_val(self, k, m, sig_s) -> bool:
+        ok = super()._note_val(k, m, sig_s)
+        if ok and k not in self._eagerly_delivered:
+            self._eagerly_delivered.add(k)
+            self.ctx.record("bcast_deliver", sender=self.sender, seq=k, value=m)
+            self.on_deliver(self.sender, k, m)
+        return ok
+
+    def _maybe_deliver(self) -> None:
+        # the broken variant's ONLY delivery path is the eager one above
+        pass
+
+
+# ---------------------------------------------------------------------------
+# Protocol runners
+# ---------------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class ChaosResult:
+    """Outcome of one protocol run under one seeded fault schedule."""
+
+    protocol: str
+    seed: int
+    ok: bool
+    violations: list[str]
+    schedule: str
+    stats: dict[str, Any] = field(default_factory=dict)
+
+    def replay_hint(self) -> str:
+        return (
+            f"replay with: repro.faults.chaos.replay({self.protocol!r}, "
+            f"{self.seed})"
+        )
+
+
+def run_srb_chaos(
+    schedule: FaultSchedule,
+    n: int = 4,
+    t: int = 1,
+    n_messages: int = 4,
+    broken: bool = False,
+    reliable: bool = True,
+) -> ChaosResult:
+    """Algorithm-1 SRB (message-passing rounds) under one fault schedule.
+
+    The sender (pid 0) broadcasts ``n_messages`` values early in the run;
+    crashes/restarts follow the schedule (the sender is protected — a
+    crashed sender makes validity unfalsifiable). Safety and completion are
+    checked over the processes that never crashed.
+    """
+    adversary = schedule.make_adversary(n)
+    channel_kwargs = dict(DEFAULT_CHANNEL)
+
+    def factory(pid, transport, scheme, signer):
+        cls = EagerBrokenSRB if broken else SRBFromUnidirectional
+        return cls(transport, 0, t, scheme, signer)
+
+    sim, procs, scheme = build_mp_srb_system(
+        n=n,
+        t=t,
+        sender=0,
+        seed=schedule.seed,
+        adversary=adversary,
+        reliable=channel_kwargs if reliable else False,
+        process_factory=factory,
+    )
+    for i in range(n_messages):
+        sim.at(1.0 + 0.8 * i, lambda i=i: procs[0].broadcast(f"chaos-{i}"),
+               label=f"bcast-{i}")
+    _apply_crashes(
+        sim, schedule,
+        restart_factory=lambda pid: _srb_restart_factory(
+            procs, pid, t, broken, channel_kwargs if reliable else None
+        ),
+    )
+    sim.run(until=schedule.horizon)
+    report = check_srb(sim.trace, 0, sim.fault_free_pids, expect_complete=True)
+    violations = report.all_violations()
+    return ChaosResult(
+        protocol="srb-uni-broken" if broken else "srb-uni",
+        seed=schedule.seed,
+        ok=not violations,
+        violations=violations,
+        schedule=schedule.describe() + "\n" + adversary.describe(),
+        stats={
+            "deliveries": len(report.deliveries),
+            "messages_sent": sim.network.messages_sent,
+            "dropped": adversary.messages_dropped,
+            "duplicates": adversary.duplicates_injected,
+            "restarts": len(sim.restarted_pids),
+        },
+    )
+
+
+def _srb_restart_factory(procs, pid, t, broken, channel_kwargs):
+    old = procs[pid]
+    transport = MessagePassingRoundTransport(f=t)
+    cls = EagerBrokenSRB if broken else SRBFromUnidirectional
+    fresh = cls(transport, old.sender, t, old.scheme, old.signer)
+    procs[pid] = fresh
+    if channel_kwargs is None:
+        return fresh
+    return ReliableProcess(fresh, **channel_kwargs)
+
+
+def run_minbft_chaos(
+    schedule: FaultSchedule,
+    f: int = 1,
+    n_clients: int = 2,
+    ops_per_client: int = 3,
+    app: str = "counter",
+) -> ChaosResult:
+    """MinBFT replication under one fault schedule.
+
+    Replicas (including the primary) are crashable; a restarted replica
+    gets a fresh app and protocol state but re-wires its original USIG —
+    the trusted counter state is the durable part, so the recovered
+    replica's message stream continues gap-free where the network last saw
+    it and *cannot* reuse counter values from before the crash (the
+    paper's non-equivocation-across-restarts claim, exercised for real).
+    Clients are protected. Safety (order, no-duplicates, determinism) is
+    checked over replicas that never crashed; liveness over all clients.
+    """
+    n = 2 * f + 1
+    adversary = schedule.make_adversary(n + n_clients)
+    channel_kwargs = dict(DEFAULT_CHANNEL)
+    sim, replicas, clients = build_minbft_system(
+        f=f,
+        n_clients=n_clients,
+        ops_per_client=ops_per_client,
+        app=app,
+        seed=schedule.seed,
+        adversary=adversary,
+        req_timeout=25.0,
+        retry_timeout=40.0,
+        reliable=channel_kwargs,
+    )
+    _apply_crashes(
+        sim, schedule,
+        restart_factory=lambda pid: _minbft_restart_factory(
+            replicas, pid, app, channel_kwargs
+        ),
+    )
+    sim.run(until=schedule.horizon)
+    correct_replicas = [p for p in sim.fault_free_pids if p < n]
+    report = check_replication(
+        sim.trace,
+        correct_replicas,
+        clients=range(n, n + n_clients),
+        expected_ops={n + c: len(clients[c].ops) for c in range(n_clients)},
+    )
+    violations = report.violations + report.liveness_violations
+    return ChaosResult(
+        protocol="minbft",
+        seed=schedule.seed,
+        ok=not violations,
+        violations=violations,
+        schedule=schedule.describe() + "\n" + adversary.describe(),
+        stats={
+            "executions": len(report.executions),
+            "messages_sent": sim.network.messages_sent,
+            "dropped": adversary.messages_dropped,
+            "duplicates": adversary.duplicates_injected,
+            "restarts": len(sim.restarted_pids),
+            "view_changes": max(
+                (r.view_changes_completed for r in replicas), default=0
+            ),
+        },
+    )
+
+
+def _minbft_restart_factory(replicas, pid, app_name, channel_kwargs):
+    old = replicas[pid]
+    fresh = MinBFTReplica(
+        n=old.n,
+        usig=old.usig,  # the trusted hardware survives the reboot
+        verifier=old.verifier,
+        scheme=old.scheme,
+        signer=old.signer,
+        app=make_app(app_name),  # the application state was volatile
+        req_timeout=old.req_timeout,
+    )
+    replicas[pid] = fresh
+    return ReliableProcess(fresh, **channel_kwargs)
+
+
+def _apply_crashes(sim, schedule: FaultSchedule, restart_factory) -> None:
+    for c in schedule.crashes:
+        sim.crash_at(c.pid, c.at)
+        if c.restart_at is not None:
+            sim.restart_at(
+                c.pid, c.restart_at, factory=lambda pid=c.pid: restart_factory(pid)
+            )
+
+
+# ---------------------------------------------------------------------------
+# Sweeps
+# ---------------------------------------------------------------------------
+
+PROTOCOLS: dict[str, Callable[..., ChaosResult]] = {
+    "srb-uni": run_srb_chaos,
+    "srb-uni-broken": lambda schedule, **kw: run_srb_chaos(
+        schedule, broken=True, **kw
+    ),
+    "minbft": run_minbft_chaos,
+}
+
+_CRASHABLE = {
+    # SRB: pid 0 is the protected sender; MinBFT: replicas 0..2f are fair
+    # game (clients live above and are protected).
+    "srb-uni": lambda: range(1, 4),
+    "srb-uni-broken": lambda: range(1, 4),
+    "minbft": lambda: range(0, 3),
+}
+
+
+def run_chaos(protocol: str, seed: int, horizon: Time = 600.0, **kwargs) -> ChaosResult:
+    """Run one protocol under the seed's derived fault schedule."""
+    if protocol not in PROTOCOLS:
+        raise ConfigurationError(
+            f"unknown chaos protocol {protocol!r}; have {sorted(PROTOCOLS)}"
+        )
+    schedule = make_schedule(
+        seed, crashable=list(_CRASHABLE[protocol]()), horizon=horizon
+    )
+    return PROTOCOLS[protocol](schedule, **kwargs)
+
+
+def replay(protocol: str, seed: int, horizon: Time = 600.0, **kwargs) -> ChaosResult:
+    """Re-run a reported failure; bit-identical to the original run."""
+    return run_chaos(protocol, seed, horizon=horizon, **kwargs)
+
+
+def chaos_sweep(
+    protocols: Iterable[str] = ("srb-uni", "minbft"),
+    seeds: Iterable[int] = range(10),
+    horizon: Time = 600.0,
+    **kwargs,
+) -> list[ChaosResult]:
+    """The protocol × seed grid; every cell is an independent seeded run."""
+    return [
+        run_chaos(protocol, seed, horizon=horizon, **kwargs)
+        for protocol in protocols
+        for seed in seeds
+    ]
+
+
+def format_failures(results: Iterable[ChaosResult]) -> str:
+    """Render failing runs with their seed, schedule, and replay hint."""
+    blocks = []
+    for r in results:
+        if r.ok:
+            continue
+        lines = [f"[{r.protocol} seed={r.seed}] {len(r.violations)} violation(s):"]
+        lines += [f"  - {v}" for v in r.violations[:5]]
+        if len(r.violations) > 5:
+            lines.append(f"  ... and {len(r.violations) - 5} more")
+        lines.append("  schedule:")
+        lines += [f"    {l}" for l in r.schedule.splitlines()]
+        lines.append(f"  {r.replay_hint()}")
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks) if blocks else "all chaos runs clean"
+
+
+def assert_all_ok(results: Iterable[ChaosResult]) -> None:
+    results = list(results)
+    bad = [r for r in results if not r.ok]
+    if bad:
+        raise PropertyViolation(
+            "chaos",
+            f"{len(bad)}/{len(results)} chaos runs violated safety:\n"
+            + format_failures(bad),
+        )

@@ -93,12 +93,38 @@ class TrincAuthority:
         return self._n
 
     def trinket(self, pid: ProcessId) -> "Trinket":
-        """Issue the (single) trinket for process ``pid``."""
+        """Issue the (single) trinket for process ``pid``.
+
+        A trinket is issued once and is expected to *outlive its host*:
+        crash-recovery restarts must re-wire the same instance, which is
+        what carries the counter state across reboots (the property the
+        paper's classification rests on). A second issue is refused.
+        """
         if pid not in self._keys:
             raise ConfigurationError(f"no trinket for pid {pid} (n={self._n})")
         if pid in self._issued:
             raise ConfigurationError(f"trinket for pid {pid} already issued")
         self._issued.add(pid)
+        return Trinket(self, pid)
+
+    def reissue_volatile(self, pid: ProcessId) -> "Trinket":
+        """DELIBERATELY BROKEN: reissue ``pid``'s trinket with counters reset.
+
+        Models a deployment whose "trusted" counter is *not* durable — the
+        device state was lost with the host. The fresh trinket will happily
+        re-attest counter values the old one already bound, so two valid
+        attestations for the same ``(trinket, counter)`` with different
+        messages can exist: exactly the post-restart equivocation the
+        hardware is supposed to make impossible. For fault-injection
+        experiments and negative tests only; correct recovery paths re-wire
+        the original :meth:`trinket` instance instead.
+        """
+        if pid not in self._keys:
+            raise ConfigurationError(f"no trinket for pid {pid} (n={self._n})")
+        if pid not in self._issued:
+            raise ConfigurationError(
+                f"trinket for pid {pid} was never issued; nothing to lose"
+            )
         return Trinket(self, pid)
 
     def _tag(self, pid: ProcessId, counter_id: int, prev: SeqNum, seq: SeqNum,

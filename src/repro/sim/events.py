@@ -17,12 +17,18 @@ from ..types import ProcessId, Time
 
 @dataclass(frozen=True, slots=True)
 class MessageDeliver:
-    """Deliver ``msg`` from ``src`` to ``dst`` (calls ``dst.on_message``)."""
+    """Deliver ``msg`` from ``src`` to ``dst`` (calls ``dst.on_message``).
+
+    ``duplicate`` marks adversary-injected extra copies of an already
+    scheduled delivery; the network counts them separately so delivery
+    ratios stay meaningful under at-least-once adversaries.
+    """
 
     src: ProcessId
     dst: ProcessId
     msg: Any
     send_time: Time
+    duplicate: bool = False
 
 
 @dataclass(frozen=True, slots=True)

@@ -50,6 +50,10 @@ class Network:
         self.withheld: list[WithheldMessage] = []
         self.messages_sent = 0
         self.messages_delivered = 0
+        self.duplicates_delivered = 0
+        """Adversary-injected extra copies, counted apart from
+        ``messages_delivered`` so ``delivery_ratio`` cannot exceed 1.0 under
+        a :class:`~repro.sim.adversary.DuplicatingAsynchronous` adversary."""
 
     def submit(self, src: ProcessId, dst: ProcessId, msg: Any) -> None:
         """Accept a message from ``src`` addressed to ``dst``."""
@@ -72,11 +76,23 @@ class Network:
             for extra_delay in extra(src, dst, msg, now):
                 sim.scheduler.schedule(
                     max(extra_delay, 0.0),
-                    MessageDeliver(src=src, dst=dst, msg=msg, send_time=now),
+                    MessageDeliver(
+                        src=src, dst=dst, msg=msg, send_time=now, duplicate=True
+                    ),
                 )
 
-    def note_delivered(self) -> None:
-        self.messages_delivered += 1
+    def note_delivered(self, duplicate: bool = False) -> None:
+        if duplicate:
+            self.duplicates_delivered += 1
+        else:
+            self.messages_delivered += 1
+
+    @property
+    def delivery_ratio(self) -> float:
+        """First-copy deliveries over submissions (1.0 = lossless so far)."""
+        if self.messages_sent == 0:
+            return 1.0
+        return self.messages_delivered / self.messages_sent
 
     # -- audits ---------------------------------------------------------------
 
@@ -100,8 +116,11 @@ class Network:
         bad = self.withheld_between(correct_set, correct_set)
         if bad:
             w = bad[0]
+            shown = repr(w.msg)
+            if len(shown) > 120:
+                shown = shown[:117] + "..."
             raise PropertyViolation(
                 "network-fairness",
                 f"{len(bad)} correct-to-correct messages withheld, e.g. "
-                f"{w.src}->{w.dst} at t={w.send_time}: {w.msg!r}",
+                f"{w.src}->{w.dst} at t={w.send_time}: {shown}",
             )

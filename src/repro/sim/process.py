@@ -28,19 +28,35 @@ class Context:
     crashed machine whose queued instructions have no external effect.
     """
 
-    __slots__ = ("_sim", "_pid", "_alive", "rng")
+    __slots__ = ("_sim", "_pid", "_alive", "rng", "_incarnation")
 
-    def __init__(self, sim: "Simulation", pid: ProcessId, rng: random.Random) -> None:
+    def __init__(
+        self,
+        sim: "Simulation",
+        pid: ProcessId,
+        rng: random.Random,
+        incarnation: int = 0,
+    ) -> None:
         self._sim = sim
         self._pid = pid
         self._alive = True
         self.rng = rng
+        self._incarnation = incarnation
 
     # -- identity ----------------------------------------------------------
 
     @property
     def pid(self) -> ProcessId:
         return self._pid
+
+    @property
+    def incarnation(self) -> int:
+        """0 for the original boot, k after the k-th crash-recovery restart.
+
+        Protocols normally ignore this; recovery-aware code (and tests) can
+        use it to tell reboots apart in traces.
+        """
+        return self._incarnation
 
     @property
     def n(self) -> int:
@@ -153,6 +169,23 @@ class Process:
                 f"{type(self).__name__} attached to two simulations"
             )
         self._ctx = ctx
+
+    # -- crash recovery ------------------------------------------------------
+
+    def remake(self) -> "Process":
+        """Build the replacement instance for a crash-recovery restart.
+
+        Called by :meth:`~repro.sim.runner.Simulation.restart` when no
+        explicit factory is given. The replacement starts with fresh
+        *volatile* state; durable state (trusted hardware, shared-memory
+        objects) lives outside the process and is re-wired by the override.
+        The default refuses: most protocols need constructor arguments the
+        simulation cannot guess.
+        """
+        raise SimulationError(
+            f"{type(self).__name__} does not implement remake(); pass a "
+            "factory to Simulation.restart"
+        )
 
     # -- event hooks ------------------------------------------------------------
 

@@ -5,8 +5,9 @@ Typical usage::
     sim = Simulation(processes=[P0(), P1(), P2()], adversary=ReliableAsynchronous(), seed=7)
     sim.declare_byzantine(2)
     sim.crash_at(1, time=5.0)
+    sim.restart_at(1, time=25.0, factory=lambda: P1())  # crash-recovery
     sim.run(until=100.0)
-    checker.check(sim.trace, correct=sim.correct_pids)
+    checker.check(sim.trace, correct=sim.fault_free_pids)
 
 Determinism contract: a simulation is fully determined by (process code,
 adversary, seed). Per-process RNG streams and the adversary stream are
@@ -72,6 +73,8 @@ class Simulation:
         self._contexts: list[Context] = []
         self._byzantine: set[ProcessId] = set()
         self._crashed: set[ProcessId] = set()
+        self._ever_crashed: set[ProcessId] = set()
+        self._incarnations: dict[ProcessId, int] = {}
         self._timers: dict[int, Event] = {}
         self._next_timer_id = 0
         self._started = False
@@ -117,13 +120,45 @@ class Simulation:
             p for p in range(self.n) if p not in self._byzantine and p not in self._crashed
         )
 
+    @property
+    def fault_free_pids(self) -> tuple[ProcessId, ...]:
+        """Processes that were never Byzantine and never crashed, whole run.
+
+        The right "correct" set for whole-trace safety/liveness checkers in
+        crash-recovery executions: a restarted process is live again but its
+        pre-crash trace prefix belongs to a lost incarnation, so per-process
+        stream checks (sequencing, executed-log contiguity) only apply to
+        processes that stayed up throughout.
+        """
+        return tuple(
+            p
+            for p in range(self.n)
+            if p not in self._byzantine and p not in self._ever_crashed
+        )
+
+    @property
+    def restarted_pids(self) -> frozenset[ProcessId]:
+        """Processes that crashed and were restarted at least once."""
+        return frozenset(self._incarnations)
+
+    def incarnation_of(self, pid: ProcessId) -> int:
+        """How many times ``pid`` was restarted (0 = original boot)."""
+        return self._incarnations.get(pid, 0)
+
     def crash(self, pid: ProcessId) -> None:
-        """Crash ``pid`` now: no further events reach it, its sends stop."""
+        """Crash ``pid`` now: no further events reach it, its sends stop.
+
+        The crashed process's pending timers are purged — volatile state
+        (and that includes armed timers) does not survive a crash, and long
+        chaos runs must not accumulate dead timer entries.
+        """
         self._check_pid(pid)
         if pid in self._crashed:
             return
         self._crashed.add(pid)
+        self._ever_crashed.add(pid)
         self._contexts[pid]._kill()
+        self._purge_timers(pid)
         self.trace.record(self.now, "custom", pid, event="crash")
 
     def crash_at(self, pid: ProcessId, time: Time) -> None:
@@ -132,6 +167,79 @@ class Simulation:
         self.scheduler.schedule_at(
             time, Callback(fn=lambda: self.crash(pid), label=f"crash-{pid}")
         )
+
+    def restart(
+        self, pid: ProcessId, factory: Callable[[], Process] | None = None
+    ) -> Process:
+        """Reboot a crashed process with fresh volatile state.
+
+        ``factory`` builds the replacement instance (falling back to the old
+        instance's :meth:`~repro.sim.process.Process.remake`). The
+        replacement loses everything the old incarnation held in memory —
+        protocol state, timers, unacked channel buffers — but *durable*
+        state survives by construction: trusted-hardware objects (TrInc
+        trinkets, A2M logs, USIGs) and registered shared-memory objects live
+        outside the process, so a factory that re-wires the same hardware
+        models exactly the paper's setting where the trusted component's
+        state is what outlasts the host. Messages still in flight when the
+        reboot completes are delivered to the new incarnation; messages that
+        arrived during the outage were dropped.
+
+        Returns the new process instance (also reachable via
+        :meth:`process`).
+        """
+        self._check_pid(pid)
+        if pid not in self._crashed:
+            raise ConfigurationError(
+                f"pid {pid} is not crashed; restart must follow a crash"
+            )
+        old = self._processes[pid]
+        fresh = factory() if factory is not None else old.remake()
+        if fresh is old:
+            raise ConfigurationError(
+                f"restart of pid {pid} must build a new instance; the old "
+                "incarnation's volatile state is gone"
+            )
+        incarnation = self._incarnations.get(pid, 0) + 1
+        self._incarnations[pid] = incarnation
+        ctx = Context(
+            self,
+            pid,
+            _derive_rng(self.seed, "proc", pid, "incarnation", incarnation),
+            incarnation=incarnation,
+        )
+        fresh._attach(ctx)
+        self._processes[pid] = fresh
+        self._contexts[pid] = ctx
+        self._crashed.discard(pid)
+        self.trace.record(
+            self.now, "custom", pid, event="restart", incarnation=incarnation
+        )
+        if self._started:
+            fresh.on_start()
+        return fresh
+
+    def restart_at(
+        self,
+        pid: ProcessId,
+        time: Time,
+        factory: Callable[[], Process] | None = None,
+    ) -> None:
+        """Schedule a restart of ``pid`` at virtual ``time``."""
+        self._check_pid(pid)
+        self.scheduler.schedule_at(
+            time,
+            Callback(fn=lambda: self.restart(pid, factory), label=f"restart-{pid}"),
+        )
+
+    def _purge_timers(self, pid: ProcessId) -> None:
+        stale = [
+            timer_id
+            for timer_id, ev in self._timers.items()
+            if ev.payload.pid == pid
+        ]
+        for timer_id in stale:
+            Scheduler.cancel(self._timers.pop(timer_id))
 
     def _check_pid(self, pid: ProcessId) -> None:
         if not (0 <= pid < self.n):
@@ -205,7 +313,7 @@ class Simulation:
         if isinstance(payload, MessageDeliver):
             if payload.dst in self._crashed:
                 return
-            self.network.note_delivered()
+            self.network.note_delivered(payload.duplicate)
             self.trace.record(
                 self.now, "deliver", payload.dst, src=payload.src, msg=payload.msg
             )

@@ -5,7 +5,9 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import ConfigurationError, PropertyViolation
+from repro.faults import BurstWindow, ChaosAdversary, LossyAsynchronous
 from repro.sim import (
+    DuplicatingAsynchronous,
     LinkRule,
     LockStepSynchronous,
     PartiallySynchronous,
@@ -161,3 +163,126 @@ class TestPartition:
     def test_single_group_rejected(self):
         with pytest.raises(ConfigurationError):
             PartitionAdversary([[0, 1]])
+
+    def test_no_messages_lost_across_heal(self):
+        """Every pre-heal cross-partition message is delivered, exactly once,
+        at the heal time — healing releases, it does not drop or duplicate."""
+        adv = PartitionAdversary([[0, 1], [2, 3]], heal_at=30.0)
+        procs = [Sender() for _ in range(4)]
+        sim = Simulation(procs, adv, seed=21)
+        sim.run_to_quiescence()
+        assert sim.network.messages_delivered == 12
+        assert not sim.network.withheld
+        by_link = {}
+        for ev in sim.trace.message_deliveries():
+            by_link.setdefault((ev.field("src"), ev.pid), []).append(ev.time)
+        assert all(len(times) == 1 for times in by_link.values())
+        sim.network.assert_fair_for(range(4))
+
+
+class TestDeliveryStats:
+    def test_duplicates_counted_separately(self):
+        adv = DuplicatingAsynchronous(dup_probability=1.0, max_copies=2)
+        procs = [Sender() for _ in range(3)]
+        sim = Simulation(procs, adv, seed=11)
+        sim.run_to_quiescence()
+        assert sim.network.messages_sent == 6
+        assert sim.network.messages_delivered == 6
+        assert sim.network.duplicates_delivered == 6
+        assert sim.network.delivery_ratio == 1.0
+
+    def test_delivery_ratio_reflects_loss(self):
+        adv = LossyAsynchronous(drop_probability=1.0)
+        procs = [Sender() for _ in range(3)]
+        sim = Simulation(procs, adv, seed=12)
+        sim.run_to_quiescence()
+        assert sim.network.messages_delivered == 0
+        assert sim.network.delivery_ratio == 0.0
+        assert len(sim.network.withheld) == 6
+
+    def test_fairness_violation_truncates_long_messages(self):
+        class BigSender(Sender):
+            def on_start(self):
+                self.ctx.broadcast(("blob", "x" * 500), include_self=False)
+
+        adv = ScriptedAdversary().withhold([0], [1])
+        sim = Simulation([BigSender() for _ in range(2)], adv, seed=13)
+        sim.run_to_quiescence()
+        with pytest.raises(PropertyViolation) as exc:
+            sim.network.assert_fair_for(range(2))
+        assert "..." in str(exc.value)
+        assert len(str(exc.value)) < 300
+
+
+class TestLossyAsynchronous:
+    def test_link_drop_overrides_baseline(self):
+        adv = LossyAsynchronous(drop_probability=0.0, link_drop={(0, 1): 1.0})
+        procs = [Sender() for _ in range(3)]
+        sim = Simulation(procs, adv, seed=14)
+        sim.run_to_quiescence()
+        assert adv.messages_dropped == 1
+        assert [w.dst for w in sim.network.withheld] == [1]
+        assert sim.network.messages_delivered == 5
+
+    def test_burst_window_only_drops_inside(self):
+        class TwoPhase(Sender):
+            def on_start(self):
+                self.ctx.broadcast(("early", self.pid), include_self=False)
+                self.ctx.set_timer(50.0, "late")
+
+            def on_timer(self, tag):
+                self.ctx.broadcast(("late", self.pid), include_self=False)
+
+        adv = LossyAsynchronous(
+            drop_probability=0.0,
+            bursts=[BurstWindow(start=0.0, end=10.0, drop=1.0)],
+        )
+        procs = [TwoPhase() for _ in range(3)]
+        sim = Simulation(procs, adv, seed=15)
+        sim.run_to_quiescence()
+        delivered = [ev.field("msg")[0] for ev in sim.trace.message_deliveries()]
+        assert delivered == ["late"] * 6
+        assert adv.messages_dropped == 6
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LossyAsynchronous(drop_probability=1.5)
+        with pytest.raises(ConfigurationError):
+            LossyAsynchronous(link_drop={(0, 1): -0.1})
+
+
+def _delivery_schedule(sim):
+    return [
+        (ev.time, ev.field("src"), ev.pid, ev.field("msg"))
+        for ev in sim.trace.message_deliveries()
+    ]
+
+
+class TestAdversaryDeterminism:
+    def test_duplicating_same_seed_same_schedule(self):
+        runs = []
+        for _ in range(2):
+            adv = DuplicatingAsynchronous(dup_probability=0.5, max_copies=3)
+            sim = Simulation([Sender() for _ in range(4)], adv, seed=16)
+            sim.run_to_quiescence()
+            runs.append(_delivery_schedule(sim))
+        assert runs[0] == runs[1]
+
+    def test_chaos_same_seed_same_windows_and_schedule(self):
+        runs, windows = [], []
+        for _ in range(2):
+            adv = ChaosAdversary(n=4, active_until=50.0)
+            sim = Simulation([Sender() for _ in range(4)], adv, seed=17)
+            sim.run_to_quiescence()
+            runs.append(_delivery_schedule(sim))
+            windows.append((adv.bursts, adv.partitions))
+        assert runs[0] == runs[1]
+        assert windows[0] == windows[1]
+
+    def test_chaos_different_seed_different_windows(self):
+        def windows(seed):
+            adv = ChaosAdversary(n=4, active_until=50.0)
+            Simulation([Sender() for _ in range(4)], adv, seed=seed)
+            return (adv.bursts, adv.partitions)
+
+        assert windows(1) != windows(2)

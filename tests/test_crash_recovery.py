@@ -1,0 +1,207 @@
+"""Tests for crash-recovery: restart semantics, timer purge, durable hardware."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import build_sm_srb_system, check_srb
+from repro.core.rounds import SharedMemoryRoundTransport
+from repro.core.srb_from_uni import SRBFromUnidirectional
+from repro.errors import ConfigurationError, SimulationError
+from repro.hardware.trinc import TrincAuthority
+from repro.sim import Process, ReliableAsynchronous, Simulation
+
+
+class Ticker(Process):
+    """Re-arms a 1s timer forever; crash must stop (and purge) it."""
+
+    def __init__(self):
+        super().__init__()
+        self.fired = 0
+
+    def on_start(self):
+        self.ctx.set_timer(1.0, "tick")
+
+    def on_timer(self, tag):
+        self.fired += 1
+        self.ctx.set_timer(1.0, "tick")
+
+
+class Recv(Process):
+    def __init__(self):
+        super().__init__()
+        self.received = []
+
+    def on_message(self, src, msg):
+        self.received.append((self.ctx.now, msg))
+
+    def remake(self):
+        return Recv()
+
+
+class Pinger(Process):
+    """Sends ("ping", i) to process 1 at times 1, 2, ..., count."""
+
+    def __init__(self, count):
+        super().__init__()
+        self.count = count
+
+    def on_start(self):
+        self.ctx.set_timer(1.0, 1)
+
+    def on_timer(self, i):
+        self.ctx.send(1, ("ping", i))
+        if i < self.count:
+            self.ctx.set_timer(1.0, i + 1)
+
+
+class TestCrashPurgesTimers:
+    def test_crash_stops_and_purges_repeating_timer(self):
+        procs = [Ticker(), Ticker()]
+        sim = Simulation(procs, ReliableAsynchronous(), seed=0)
+        sim.crash_at(0, 5.5)
+        sim.run(until=20.0)
+        assert procs[0].fired == 5
+        assert procs[1].fired == 20
+        # regression: the crashed process's pending timer used to sit in
+        # sim._timers forever
+        assert all(ev.payload.pid != 0 for ev in sim._timers.values())
+
+
+class TestRestartAPI:
+    def _sim(self):
+        procs = [Pinger(6), Recv()]
+        sim = Simulation(procs, ReliableAsynchronous(0.1, 0.2), seed=1)
+        return sim, procs
+
+    def test_restart_requires_crashed(self):
+        sim, _ = self._sim()
+        with pytest.raises(ConfigurationError, match="not crashed"):
+            sim.restart(1)
+
+    def test_restart_without_factory_needs_remake(self):
+        procs = [Pinger(1), Recv()]
+        sim = Simulation(procs, ReliableAsynchronous(), seed=2)
+        sim.crash_at(0, 1.5)
+        sim.run(until=2.0)
+        with pytest.raises(SimulationError, match="remake"):
+            sim.restart(0)  # Pinger has no remake()
+
+    def test_factory_must_build_fresh_instance(self):
+        sim, procs = self._sim()
+        sim.crash_at(1, 1.0)
+        sim.run(until=2.0)
+        with pytest.raises(ConfigurationError, match="new instance"):
+            sim.restart(1, factory=lambda: procs[1])
+
+    def test_volatile_state_lost_messages_during_outage_dropped(self):
+        sim, procs = self._sim()
+        incarnations = []
+        sim.crash_at(1, 1.5)
+
+        def factory():
+            fresh = Recv()
+            incarnations.append(fresh)
+            return fresh
+
+        sim.restart_at(1, 3.5, factory=factory)
+        sim.run(until=30.0)
+        fresh = incarnations[0]
+        # pings 2 and 3 fell in the outage window [1.5, 3.5): dropped.
+        old_msgs = [m for _, m in procs[1].received]
+        new_msgs = [m for _, m in fresh.received]
+        assert old_msgs == [("ping", 1)]  # volatile state did not transfer
+        assert new_msgs == [("ping", i) for i in (4, 5, 6)]
+        assert sim.incarnation_of(1) == 1
+        assert sim.restarted_pids == frozenset({1})
+        assert sim.fault_free_pids == (0,)
+        assert fresh.ctx.incarnation == 1
+        restarts = [
+            ev for ev in sim.trace.events("custom", pid=1)
+            if ev.field("event") == "restart"
+        ]
+        assert len(restarts) == 1 and restarts[0].field("incarnation") == 1
+
+    def test_remake_used_when_no_factory(self):
+        sim, procs = self._sim()
+        sim.crash_at(1, 1.5)
+        sim.restart_at(1, 3.5)  # Recv.remake()
+        sim.run(until=30.0)
+        assert isinstance(sim.processes[1], Recv)
+        assert sim.processes[1] is not procs[1]
+        assert [m for _, m in sim.processes[1].received] == [
+            ("ping", i) for i in (4, 5, 6)
+        ]
+
+    def test_double_restart_counts_incarnations(self):
+        sim, _ = self._sim()
+        sim.crash_at(1, 1.5)
+        sim.restart_at(1, 2.5)
+        sim.crash_at(1, 3.5)
+        sim.restart_at(1, 4.5)
+        sim.run(until=30.0)
+        assert sim.incarnation_of(1) == 2
+        assert sim.processes[1].ctx.incarnation == 2
+
+
+class TestDurableHardware:
+    def test_trinket_survives_restart_and_refuses_replay(self):
+        auth = TrincAuthority(2, seed=0)
+        trinket = auth.trinket(0)
+        assert trinket.attest(1, "A") is not None
+        assert trinket.attest(2, "B") is not None
+        # host reboots; the correct recovery path re-wires the same trinket,
+        # which refuses to re-bind already-used counter values
+        assert trinket.attest(1, "A'") is None
+        assert trinket.attest(2, "B'") is None
+        assert trinket.attest(3, "C") is not None
+        assert trinket.last_seq() == 3
+
+    def test_second_issue_refused(self):
+        auth = TrincAuthority(2, seed=0)
+        auth.trinket(0)
+        with pytest.raises(ConfigurationError, match="already issued"):
+            auth.trinket(0)
+
+    def test_volatile_trinket_enables_post_restart_equivocation(self):
+        """Negative model: a non-durable counter breaks non-equivocation."""
+        auth = TrincAuthority(2, seed=0)
+        trinket = auth.trinket(0)
+        a1 = trinket.attest(1, "A")
+        lossy = auth.reissue_volatile(0)  # counters reset with the host
+        a2 = lossy.attest(1, "B")
+        assert a1 is not None and a2 is not None
+        assert auth.check(a1, 0) and auth.check(a2, 0)
+        assert a1.seq == a2.seq == 1 and a1.message != a2.message
+
+    def test_reissue_volatile_requires_prior_issue(self):
+        auth = TrincAuthority(2, seed=0)
+        with pytest.raises(ConfigurationError, match="never issued"):
+            auth.reissue_volatile(0)
+
+
+class TestSharedMemorySRBRecovery:
+    def test_restarted_process_recovers_stream_from_persistent_logs(self):
+        """The paper's durability point: with SWMR logs as the round medium,
+        a rebooted process recovers every delivery by rescanning memory —
+        no peer help, no retransmission protocol."""
+        sim, procs, scheme = build_sm_srb_system(n=4, t=1, seed=5)
+        for i in range(3):
+            sim.at(1.0 + i, lambda i=i: procs[0].broadcast(f"m{i}"))
+        sim.crash_at(2, 2.0)
+        signer = procs[2].signer
+
+        def factory():
+            return SRBFromUnidirectional(
+                SharedMemoryRoundTransport(), 0, 1, scheme, signer
+            )
+
+        sim.restart_at(2, 12.0, factory=factory)
+        sim.run(until=150.0)
+        check_srb(sim.trace, 0, sim.fault_free_pids).assert_ok()
+        post_restart = [
+            (ev.field("seq"), ev.field("value"))
+            for ev in sim.trace.events("bcast_deliver", pid=2)
+            if ev.time >= 12.0
+        ]
+        assert post_restart == [(1, "m0"), (2, "m1"), (3, "m2")]

@@ -32,7 +32,10 @@ class TestAdversary:
         sim = Simulation([Talker(), Process()], adv, seed=1)
         sim.run_to_quiescence()
         assert adv.duplicates_injected > 0
-        assert sim.network.messages_delivered > sim.network.messages_sent
+        # extra copies are tracked separately so delivery_ratio stays <= 1
+        assert sim.network.duplicates_delivered == adv.duplicates_injected
+        assert sim.network.messages_delivered == sim.network.messages_sent
+        assert sim.network.delivery_ratio == 1.0
 
     def test_parameter_validation(self):
         with pytest.raises(ConfigurationError):

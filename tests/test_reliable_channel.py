@@ -1,0 +1,249 @@
+"""Tests for the retransmission layer (repro.faults.channel)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import build_mp_srb_system, check_srb
+from repro.errors import ConfigurationError
+from repro.faults import (
+    ChaosAdversary,
+    LossyAsynchronous,
+    ReliableChannel,
+    ReliableProcess,
+    wrap_reliable,
+)
+from repro.sim import (
+    DuplicatingAsynchronous,
+    Process,
+    ReliableAsynchronous,
+    Simulation,
+)
+
+
+class Chatter(Process):
+    """Sends a numbered message to every peer at start; collects receipts."""
+
+    def __init__(self, n_messages: int = 1):
+        super().__init__()
+        self.n_messages = n_messages
+        self.received: list[tuple[int, object]] = []
+
+    def on_start(self):
+        for i in range(self.n_messages):
+            self.ctx.broadcast(("chat", self.pid, i), include_self=False)
+
+    def on_message(self, src, msg):
+        self.received.append((src, msg))
+
+
+def build(n, adversary, seed, n_messages=1, **channel_kwargs):
+    inner = [Chatter(n_messages) for _ in range(n)]
+    sim = Simulation(wrap_reliable(inner, **channel_kwargs), adversary, seed=seed)
+    return sim, inner
+
+
+def channel_of(sim, pid) -> ReliableChannel:
+    return sim.processes[pid].channel
+
+
+class TestReliableDelivery:
+    def test_lossless_delivers_once_no_retransmit(self):
+        sim, inner = build(3, ReliableAsynchronous(0.1, 0.5), seed=1)
+        sim.run_to_quiescence()
+        for p in inner:
+            assert sorted(m for _, m in p.received) == sorted(
+                ("chat", q, 0) for q in range(3) if q != p.pid
+            )
+        for pid in range(3):
+            ch = channel_of(sim, pid)
+            assert ch.retransmissions == 0
+            assert ch.acked == ch.sent == 2
+            assert ch.in_flight == 0
+
+    def test_heavy_loss_still_delivers_exactly_once(self):
+        sim, inner = build(
+            3, LossyAsynchronous(drop_probability=0.6, min_delay=0.05,
+                                 max_delay=0.3),
+            seed=2, n_messages=3, base_timeout=1.0,
+        )
+        sim.run(until=400.0)
+        for p in inner:
+            got = sorted(m for _, m in p.received)
+            assert got == sorted(
+                ("chat", q, i) for q in range(3) if q != p.pid for i in range(3)
+            )
+        assert sum(channel_of(sim, pid).retransmissions for pid in range(3)) > 0
+        assert all(channel_of(sim, pid).gave_up == 0 for pid in range(3))
+
+    def test_network_duplication_suppressed(self):
+        sim, inner = build(
+            3, DuplicatingAsynchronous(dup_probability=1.0, max_copies=3), seed=3
+        )
+        sim.run_to_quiescence()
+        for p in inner:
+            assert len(p.received) == 2  # one per peer, duplicates suppressed
+        assert sum(
+            channel_of(sim, pid).duplicates_suppressed for pid in range(3)
+        ) > 0
+
+    def test_chaos_composite_faults(self):
+        sim, inner = build(
+            4, ChaosAdversary(n=4, active_until=60.0), seed=4, n_messages=4,
+        )
+        sim.run(until=300.0)
+        for p in inner:
+            got = sorted(m for _, m in p.received)
+            assert got == sorted(
+                ("chat", q, i) for q in range(4) if q != p.pid for i in range(4)
+            )
+
+
+class TestGiveUp:
+    def test_give_up_after_max_retries(self):
+        hook_calls = []
+        inner = [Chatter(), Chatter()]
+        wrapped = [
+            ReliableProcess(
+                p, base_timeout=0.5, max_retries=3,
+                give_up=lambda dst, payload, attempts: hook_calls.append(
+                    (dst, payload, attempts)
+                ),
+            )
+            for p in inner
+        ]
+        sim = Simulation(
+            wrapped, LossyAsynchronous(drop_probability=1.0), seed=5
+        )
+        sim.run(until=200.0)
+        assert inner[0].received == [] and inner[1].received == []
+        assert sorted(hook_calls) == [(0, ("chat", 1, 0), 4), (1, ("chat", 0, 0), 4)]
+        assert channel_of(sim, 0).gave_up == 1
+        give_ups = [
+            ev for ev in sim.trace.events("custom")
+            if ev.field("event") == "rc_give_up"
+        ]
+        assert len(give_ups) == 2
+
+    def test_retransmission_backoff_grows(self):
+        inner = [Chatter(), Chatter()]
+        wrapped = [
+            ReliableProcess(p, base_timeout=1.0, backoff=2.0, jitter=0.0,
+                            max_retries=4)
+            for p in inner
+        ]
+        sim = Simulation(wrapped, LossyAsynchronous(drop_probability=1.0), seed=6)
+        sim.run(until=200.0)
+        sends = [
+            ev.time for ev in sim.trace.events("send", pid=0)
+            if ev.field("msg")[0] == "__rc_data__"
+        ]
+        gaps = [b - a for a, b in zip(sends, sends[1:])]
+        assert gaps == sorted(gaps)
+        assert gaps == pytest.approx([1.0, 2.0, 4.0, 8.0])
+
+
+class TestInterop:
+    def test_unframed_messages_pass_through(self):
+        class RawSender(Process):
+            def __init__(self):
+                super().__init__()
+                self.received = []
+
+            def on_start(self):
+                self.ctx.send(1, ("raw", 99))
+
+            def on_message(self, src, msg):
+                self.received.append(msg)
+
+        inner = Chatter()
+        sim = Simulation(
+            [RawSender(), ReliableProcess(inner)],
+            ReliableAsynchronous(0.1, 0.2),
+            seed=7,
+        )
+        sim.run(until=50.0)
+        assert (0, ("raw", 99)) in inner.received
+
+    def test_inner_timers_still_fire(self):
+        class TimerUser(Process):
+            def __init__(self):
+                super().__init__()
+                self.fired = []
+
+            def on_start(self):
+                self.ctx.set_timer(1.0, "tick")
+
+            def on_timer(self, tag):
+                self.fired.append((self.ctx.now, tag))
+
+        inner = TimerUser()
+        sim = Simulation(
+            [ReliableProcess(inner), ReliableProcess(Chatter())],
+            ReliableAsynchronous(0.1, 0.2),
+            seed=8,
+        )
+        sim.run_to_quiescence()
+        assert inner.fired == [(1.0, "tick")]
+
+    def test_crashed_host_sends_nothing(self):
+        class LateChatter(Chatter):
+            def on_start(self):
+                self.ctx.set_timer(10.0, "go")
+
+            def on_timer(self, tag):
+                super().on_start()  # broadcast now
+
+        inner = [LateChatter(), LateChatter()]
+        sim = Simulation(
+            wrap_reliable(inner, max_retries=3), ReliableAsynchronous(0.5, 0.9),
+            seed=9,
+        )
+        sim.crash_at(0, 5.0)
+        sim.run_to_quiescence()
+        assert inner[1].received == []  # pid 0 crashed before its send
+        assert inner[0].received == []  # deliveries to a crashed host drop
+        assert channel_of(sim, 1).gave_up == 1  # retries at the dead peer end
+
+
+class TestChannelConfig:
+    def test_invalid_parameters_rejected(self):
+        sim, _ = build(2, ReliableAsynchronous(), seed=0)
+        ctx = sim.processes[0].channel.ctx
+        with pytest.raises(ConfigurationError):
+            ReliableChannel(ctx, base_timeout=0.0)
+        with pytest.raises(ConfigurationError):
+            ReliableChannel(ctx, base_timeout=5.0, max_timeout=1.0)
+        with pytest.raises(ConfigurationError):
+            ReliableChannel(ctx, backoff=0.5)
+        with pytest.raises(ConfigurationError):
+            ReliableChannel(ctx, jitter=2.0)
+        with pytest.raises(ConfigurationError):
+            ReliableChannel(ctx, max_retries=-1)
+
+
+class TestSRBOverLossyLinks:
+    """The channel is load-bearing: SRB loses liveness without it."""
+
+    ADVERSARY = dict(drop_probability=0.25, min_delay=0.05, max_delay=0.5)
+
+    def _run(self, reliable):
+        sim, procs, _scheme = build_mp_srb_system(
+            n=4, t=1, seed=42,
+            adversary=LossyAsynchronous(**self.ADVERSARY),
+            reliable=reliable,
+        )
+        for i in range(3):
+            sim.at(1.0 + i, lambda i=i: procs[0].broadcast(f"m{i}"))
+        sim.run(until=300.0)
+        return check_srb(sim.trace, 0, range(4), expect_complete=True)
+
+    def test_reliable_channel_restores_liveness(self):
+        report = self._run(reliable=True)
+        report.assert_ok()
+        assert len(report.deliveries) == 12
+
+    def test_without_channel_loss_kills_liveness(self):
+        report = self._run(reliable=False)
+        assert not report.ok
+        assert report.validity_violations
