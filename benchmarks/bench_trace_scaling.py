@@ -1,0 +1,216 @@
+"""R2 — trace scaling: indexed store vs the pre-refactor linear scan.
+
+Synthesizes traces where an SRB broadcast stream (the events a checker
+actually wants) is buried in simulation noise — the realistic shape of a
+chaos run, where retransmissions, timers, and channel chatter outnumber
+protocol events by orders of magnitude. Three measurements per size:
+
+- **record throughput** — events/s into the indexed :class:`TraceStore`
+  (index maintenance is on the simulation hot path);
+- **batch checker time** — the same :class:`SRBStreamChecker` audit fed by
+  the index-backed ``events()`` queries vs by a faithful reimplementation
+  of the pre-refactor store (one list, every query scans everything);
+- **streaming** — recording with a live fail-fast checker attached, i.e.
+  the cost of auditing *during* the run instead of after it.
+
+The acceptance bar asserted here: >= 5x batch-checker speedup at 100k
+events (>= 3x in ``--quick`` mode, which uses smaller traces for CI).
+
+Runs two ways::
+
+    python -m pytest benchmarks/bench_trace_scaling.py --benchmark-only
+    python benchmarks/bench_trace_scaling.py --quick   # CI smoke, no pytest
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Any, Callable, Optional, Sequence
+
+from repro.analysis import format_table
+from repro.core.srb import SRBStreamChecker
+from repro.sim.trace import _LOCAL_VIEW_KINDS, TraceEvent, TraceStore
+
+RECEIVERS = (1, 2, 3, 4)
+# Few protocol events in a lot of noise: the audit over collected state is
+# identical in both modes, so the measured difference is where the ISSUE
+# aimed — finding the relevant events (index walk vs full-trace scan).
+N_MSGS = 20
+N_PIDS = 8
+FULL_SIZES = (10_000, 30_000, 100_000)
+QUICK_SIZES = (5_000, 30_000)
+FULL_SPEEDUP_BAR = 5.0  # the ISSUE's acceptance threshold at 100k events
+QUICK_SPEEDUP_BAR = 3.0
+
+_NOISE_KINDS = ("send", "deliver", "timer_set", "timer_fire", "custom")
+
+
+class LinearScanTrace:
+    """Faithful stand-in for the pre-refactor store: one append-only list;
+    ``events()`` and ``local_view()`` scan the full trace every call."""
+
+    def __init__(self) -> None:
+        self._events: list[TraceEvent] = []
+
+    def record(self, t: float, kind: str, pid: int, **fields: Any) -> None:
+        self._events.append(
+            TraceEvent(index=len(self._events), time=t, kind=kind, pid=pid,
+                       fields=fields)
+        )
+
+    def events(self, kind=None, pid=None, predicate=None) -> list[TraceEvent]:
+        return [
+            ev for ev in self._events
+            if (kind is None or ev.kind == kind)
+            and (pid is None or ev.pid == pid)
+            and (predicate is None or predicate(ev))
+        ]
+
+    def local_view(self, pid: int) -> tuple:
+        return tuple(
+            ev.view_key() for ev in self._events
+            if ev.pid == pid and ev.kind in _LOCAL_VIEW_KINDS
+        )
+
+
+def make_events(n_events: int, seed: int = 0) -> list[tuple]:
+    """A broadcast stream (in delivery order) interleaved with noise."""
+    rng = random.Random(seed)
+    proto: list[tuple] = []
+    for k in range(1, N_MSGS + 1):
+        proto.append(("bcast", 0, {"seq": k, "value": f"m{k}"}))
+        for p in RECEIVERS:
+            proto.append(
+                ("bcast_deliver", p, {"sender": 0, "seq": k, "value": f"m{k}"})
+            )
+    if len(proto) > n_events:
+        raise ValueError(f"n_events={n_events} too small for {len(proto)} "
+                         "protocol events")
+    events = []
+    qi = 0
+    for i in range(n_events):
+        left = len(proto) - qi
+        remaining = n_events - i
+        if left and (left >= remaining or rng.random() < left / remaining):
+            kind, pid, fields = proto[qi]
+            qi += 1
+        else:
+            kind = rng.choice(_NOISE_KINDS)
+            pid = rng.randrange(N_PIDS)
+            fields = {"tag": rng.randrange(16)}
+        events.append((float(i), kind, pid, fields))
+    return events
+
+
+def _feed(store, events) -> float:
+    t0 = time.perf_counter()
+    for t, kind, pid, fields in events:
+        store.record(t, kind, pid, **fields)
+    return time.perf_counter() - t0
+
+
+def _best_of(fn: Callable[[], Any], repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _check(trace) -> None:
+    # the batch audit as chaos runs it: index-backed on TraceStore, full
+    # scans on the linear baseline — the checker core is identical
+    report = SRBStreamChecker(0, RECEIVERS).consume(trace).finish()
+    assert report.ok, report.all_violations()[:3]
+
+
+def _views(trace) -> None:
+    for p in range(N_PIDS):
+        trace.local_view(p)
+
+
+def measure(n_events: int, seed: int = 0) -> dict[str, Any]:
+    events = make_events(n_events, seed=seed)
+
+    indexed = TraceStore()
+    record_s = _feed(indexed, events)
+    linear = LinearScanTrace()
+    _feed(linear, events)
+
+    check_indexed = _best_of(lambda: _check(indexed))
+    check_linear = _best_of(lambda: _check(linear))
+    views_indexed = _best_of(lambda: _views(indexed))
+    views_linear = _best_of(lambda: _views(linear))
+
+    streamed = TraceStore()
+    streamed.subscribe(SRBStreamChecker(0, RECEIVERS, fail_fast=True))
+    stream_s = _feed(streamed, events)
+
+    return {
+        "events": n_events,
+        "record_kevs": n_events / record_s / 1e3,
+        "check_indexed_ms": check_indexed * 1e3,
+        "check_linear_ms": check_linear * 1e3,
+        "check_speedup": check_linear / check_indexed,
+        "views_indexed_ms": views_indexed * 1e3,
+        "views_linear_ms": views_linear * 1e3,
+        "stream_kevs": n_events / stream_s / 1e3,
+    }
+
+
+def run_scaling(sizes: Sequence[int], speedup_bar: float) -> list[dict]:
+    rows = [measure(n) for n in sizes]
+    top = rows[-1]
+    assert top["check_speedup"] >= speedup_bar, (
+        f"indexed batch checker only {top['check_speedup']:.1f}x faster than "
+        f"the linear-scan baseline at {top['events']} events "
+        f"(bar: {speedup_bar}x)"
+    )
+    return rows
+
+
+def render(rows: list[dict], title: str) -> str:
+    return format_table(
+        ["events", "record kev/s", "batch idx ms", "batch linear ms",
+         "speedup", "views idx ms", "views linear ms", "stream kev/s"],
+        [[r["events"], f"{r['record_kevs']:.0f}",
+          f"{r['check_indexed_ms']:.2f}", f"{r['check_linear_ms']:.2f}",
+          f"{r['check_speedup']:.1f}x", f"{r['views_indexed_ms']:.2f}",
+          f"{r['views_linear_ms']:.2f}", f"{r['stream_kevs']:.0f}"]
+         for r in rows],
+        title=title,
+    )
+
+
+def test_trace_scaling(once):
+    from _bench_util import report
+
+    rows = once(run_scaling, FULL_SIZES, FULL_SPEEDUP_BAR)
+    report(render(
+        rows,
+        title="R2: trace store scaling — indexed queries vs pre-refactor "
+              f"linear scan ({N_MSGS} broadcasts to {len(RECEIVERS)} "
+              "receivers buried in noise)",
+    ))
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller traces and a lower speedup bar (CI)")
+    args = parser.parse_args(argv)
+    sizes = QUICK_SIZES if args.quick else FULL_SIZES
+    bar = QUICK_SPEEDUP_BAR if args.quick else FULL_SPEEDUP_BAR
+    rows = run_scaling(sizes, bar)
+    print(render(rows, title="trace store scaling"
+                             + (" (quick)" if args.quick else "")))
+    print(f"speedup bar {bar}x met at {rows[-1]['events']} events: "
+          f"{rows[-1]['check_speedup']:.1f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -14,6 +14,7 @@ agreement              (:mod:`strong_sync`)
 
 from .definitions import (
     AgreementReport,
+    AgreementStreamChecker,
     STRONG,
     VERY_WEAK,
     WEAK,
@@ -35,6 +36,7 @@ from .worlds import (
 
 __all__ = [
     "AgreementReport",
+    "AgreementStreamChecker",
     "MajorityCandidate",
     "QuorumVWA",
     "StrongWorldsOutcome",

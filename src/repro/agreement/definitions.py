@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping
 
 from ..errors import PropertyViolation
-from ..sim.trace import Trace
+from ..sim.trace import DECIDE, Trace, TraceEvent, TraceObserver
 from ..types import ProcessId
 from ..broadcast.definitions import BOT
 
@@ -62,13 +62,130 @@ class AgreementReport:
             raise PropertyViolation(self.variant, "; ".join(self.all_violations()[:3]))
 
 
-def _first_commits(trace: Trace, correct: Iterable[ProcessId]) -> dict[ProcessId, Any]:
-    commits: dict[ProcessId, Any] = {}
-    correct_set = set(correct)
-    for d in trace.decisions():
-        if d.pid in correct_set and d.pid not in commits:
-            commits[d.pid] = d.value
-    return commits
+class AgreementStreamChecker(TraceObserver):
+    """Incremental single-shot-agreement state shared by batch and streaming.
+
+    Collects the first commit of every correct process from ``decide``
+    events. Pairwise disagreement is *permanent* the moment a second,
+    conflicting commit arrives, so with ``fail_fast=True`` the checker
+    raises at that exact event; validity and termination resolve at end of
+    run in :meth:`finish`, which reproduces the pre-refactor batch report
+    exactly.
+    """
+
+    def __init__(
+        self,
+        variant: str,
+        inputs: Mapping[ProcessId, Any],
+        correct: Iterable[ProcessId],
+        all_correct: bool,
+        expect_termination: bool = True,
+        fail_fast: bool = False,
+    ) -> None:
+        if variant not in (VERY_WEAK, WEAK, STRONG):
+            raise PropertyViolation(
+                "agreement-checker", f"unknown variant {variant!r}"
+            )
+        self.variant = variant
+        self.inputs = dict(inputs)
+        self.correct = sorted(set(correct))
+        self._correct_set = set(self.correct)
+        self.all_correct = all_correct
+        self.expect_termination = expect_termination
+        self.fail_fast = fail_fast
+        self.commits: dict[ProcessId, Any] = {}
+        self.online_violations: list[tuple[int, str]] = []
+
+    # -- streaming ---------------------------------------------------------
+
+    def on_event(self, ev: TraceEvent) -> None:
+        if ev.kind != DECIDE or ev.pid not in self._correct_set:
+            return
+        if ev.pid in self.commits:
+            return  # only the first commit counts
+        v = ev.field("value")
+        self.commits[ev.pid] = v
+        if not self.fail_fast:
+            return
+        up_to_bot = self.variant == VERY_WEAK
+        for q, w in self.commits.items():
+            if q == ev.pid:
+                continue
+            if up_to_bot and (v is BOT or w is BOT):
+                continue
+            if v != w:
+                msg = (
+                    f"process {q} committed {w!r} but process {ev.pid} "
+                    f"committed {v!r}"
+                )
+                self.online_violations.append((ev.index, msg))
+                raise PropertyViolation(
+                    f"{self.variant}-stream",
+                    f"event #{ev.index} (t={ev.time:g}): {msg}",
+                )
+
+    # -- batch feeding -----------------------------------------------------
+
+    def consume(self, trace: Trace) -> "AgreementStreamChecker":
+        """Feed a finished trace's ``decide`` events (index-backed)."""
+        for ev in trace.events(DECIDE):
+            self.on_event(ev)
+        return self
+
+    # -- final audit -------------------------------------------------------
+
+    def finish(self) -> AgreementReport:
+        """Audit the collected commits; identical to the pre-refactor scan."""
+        report = AgreementReport(variant=self.variant)
+        report.commits = dict(self.commits)
+        committed = sorted(report.commits.items())
+        inputs = self.inputs
+        correct = self.correct
+
+        # --- agreement ---------------------------------------------------------
+        up_to_bot = self.variant == VERY_WEAK
+        for i in range(len(committed)):
+            for j in range(i + 1, len(committed)):
+                p, v = committed[i]
+                q, w = committed[j]
+                if up_to_bot and (v is BOT or w is BOT):
+                    continue
+                if v != w:
+                    report.agreement_violations.append(
+                        f"process {p} committed {v!r} but process {q} committed {w!r}"
+                    )
+
+        # --- termination --------------------------------------------------------
+        if self.expect_termination:
+            for p in correct:
+                if p not in report.commits:
+                    report.termination_violations.append(
+                        f"process {p} never committed"
+                    )
+
+        # --- validity ------------------------------------------------------------
+        if self.variant in (VERY_WEAK, WEAK):
+            same = len({repr(v) for v in inputs.values()}) == 1
+            if self.all_correct and same and inputs:
+                v = next(iter(inputs.values()))
+                for p in correct:
+                    if p in report.commits and report.commits[p] != v:
+                        report.validity_violations.append(
+                            f"all processes correct with input {v!r} but process {p} "
+                            f"committed {report.commits[p]!r}"
+                        )
+        elif self.variant == STRONG:
+            correct_inputs = [inputs[p] for p in correct if p in inputs]
+            same = len({repr(v) for v in correct_inputs}) == 1
+            if same and correct_inputs:
+                v = correct_inputs[0]
+                for p in correct:
+                    if p in report.commits and report.commits[p] != v:
+                        report.validity_violations.append(
+                            f"all correct processes have input {v!r} but process {p} "
+                            f"committed {report.commits[p]!r}"
+                        )
+        return report
 
 
 def check_agreement(
@@ -85,54 +202,14 @@ def check_agreement(
     ``all_correct`` states whether *every* process followed the protocol
     (needed for weak validity, whose premise mentions all processes).
     """
-    correct = sorted(set(correct))
-    report = AgreementReport(variant=variant)
-    report.commits = _first_commits(trace, correct)
-    committed = sorted(report.commits.items())
-
-    # --- agreement -------------------------------------------------------------
-    up_to_bot = variant == VERY_WEAK
-    for i in range(len(committed)):
-        for j in range(i + 1, len(committed)):
-            p, v = committed[i]
-            q, w = committed[j]
-            if up_to_bot and (v is BOT or w is BOT):
-                continue
-            if v != w:
-                report.agreement_violations.append(
-                    f"process {p} committed {v!r} but process {q} committed {w!r}"
-                )
-
-    # --- termination ------------------------------------------------------------
-    if expect_termination:
-        for p in correct:
-            if p not in report.commits:
-                report.termination_violations.append(
-                    f"process {p} never committed"
-                )
-
-    # --- validity ----------------------------------------------------------------
-    if variant in (VERY_WEAK, WEAK):
-        same = len({repr(v) for v in inputs.values()}) == 1
-        if all_correct and same and inputs:
-            v = next(iter(inputs.values()))
-            for p in correct:
-                if p in report.commits and report.commits[p] != v:
-                    report.validity_violations.append(
-                        f"all processes correct with input {v!r} but process {p} "
-                        f"committed {report.commits[p]!r}"
-                    )
-    elif variant == STRONG:
-        correct_inputs = [inputs[p] for p in correct if p in inputs]
-        same = len({repr(v) for v in correct_inputs}) == 1
-        if same and correct_inputs:
-            v = correct_inputs[0]
-            for p in correct:
-                if p in report.commits and report.commits[p] != v:
-                    report.validity_violations.append(
-                        f"all correct processes have input {v!r} but process {p} "
-                        f"committed {report.commits[p]!r}"
-                    )
-    else:
-        raise PropertyViolation("agreement-checker", f"unknown variant {variant!r}")
-    return report
+    return (
+        AgreementStreamChecker(
+            variant,
+            inputs,
+            correct,
+            all_correct,
+            expect_termination=expect_termination,
+        )
+        .consume(trace)
+        .finish()
+    )

@@ -2,6 +2,12 @@
 
 from .report import format_kv, format_table
 from .stats import RunMetrics, Summary, collect_metrics, percentile, summarize
+from .tracefile import (
+    format_trace_summary,
+    load_trace,
+    replay_observers,
+    trace_summary,
+)
 
 __all__ = [
     "RunMetrics",
@@ -9,6 +15,10 @@ __all__ = [
     "collect_metrics",
     "format_kv",
     "format_table",
+    "format_trace_summary",
+    "load_trace",
     "percentile",
+    "replay_observers",
     "summarize",
+    "trace_summary",
 ]

@@ -1,0 +1,79 @@
+"""Offline analysis of exported JSONL traces.
+
+A run exported with :meth:`~repro.sim.trace.TraceStore.export_jsonl` is a
+complete, deterministic artifact: this module loads it back, replays it
+through streaming checkers (the same :class:`~repro.sim.trace.TraceObserver`
+classes that run online), and renders summaries — without re-executing the
+simulation. Typical post-mortem::
+
+    from repro.analysis.tracefile import load_trace, replay_observers
+    from repro.core.srb import SRBStreamChecker
+
+    trace = load_trace("failing-run.jsonl")
+    checker = SRBStreamChecker(0, correct=[1, 2, 3])
+    replay_observers(trace, checker)
+    print(checker.finish().all_violations())
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..sim.trace import TraceObserver, TraceStore
+from .report import format_kv, format_table
+
+
+def load_trace(path: str) -> TraceStore:
+    """Load a JSONL trace file into an indexed :class:`TraceStore`."""
+    return TraceStore.load_jsonl(path)
+
+
+def replay_observers(trace: TraceStore, *observers: TraceObserver) -> None:
+    """Feed a loaded trace's events to streaming observers, in trace order.
+
+    Thin alias of :meth:`TraceStore.replay_into`, named for the offline
+    workflow: the exact checker classes that run online during a simulation
+    re-audit an imported trace event by event.
+    """
+    trace.replay_into(*observers)
+
+
+def trace_summary(trace: TraceStore) -> dict[str, Any]:
+    """Structured overview of one trace: span, volume, per-kind/pid counts."""
+    events = trace.events()
+    return {
+        "retained": len(events),
+        "total_recorded": trace.total_recorded,
+        "evicted": trace.evicted,
+        "t_first": events[0].time if events else None,
+        "t_last": events[-1].time if events else None,
+        "kinds": trace.kind_counts(),
+        "pids": trace.pid_counts(),
+        "decisions": len(trace.decisions()),
+    }
+
+
+def format_trace_summary(trace: TraceStore, title: str = "trace") -> str:
+    """Render :func:`trace_summary` as the benches' fixed-width tables."""
+    s = trace_summary(trace)
+    head = format_kv(
+        title,
+        [
+            ("events retained", s["retained"]),
+            ("total recorded", s["total_recorded"]),
+            ("evicted", s["evicted"]),
+            ("virtual time span", f"{s['t_first']} .. {s['t_last']}"),
+            ("decide events", s["decisions"]),
+        ],
+    )
+    kinds = format_table(
+        ["kind", "count"],
+        [(k, n) for k, n in sorted(s["kinds"].items())],
+        title="events by kind",
+    )
+    pids = format_table(
+        ["pid", "count"],
+        [(p, n) for p, n in sorted(s["pids"].items())],
+        title="events by pid",
+    )
+    return "\n\n".join([head, kinds, pids])

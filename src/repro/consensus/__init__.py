@@ -19,7 +19,12 @@ from .enclave_usig import EnclaveUI, EnclaveUSIG, EnclaveUSIGVerifier, usig_prog
 from .harness import build_minbft_system, build_pbft_system, default_workload
 from .minbft import MinBFTReplica
 from .pbft import PBFTReplica
-from .safety import Execution, ReplicationReport, check_replication
+from .safety import (
+    Execution,
+    ReplicationReport,
+    ReplicationStreamChecker,
+    check_replication,
+)
 from .usig import UI, UIOrderEnforcer, USIG, USIGVerifier
 from .viewchange import LogEntry, SlotCandidate, compute_reproposals, verify_log
 
@@ -37,6 +42,7 @@ __all__ = [
     "MinBFTReplica",
     "PBFTReplica",
     "ReplicationReport",
+    "ReplicationStreamChecker",
     "SlotCandidate",
     "StateMachine",
     "UI",

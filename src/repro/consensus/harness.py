@@ -45,12 +45,19 @@ def build_minbft_system(
     replica_factory: Optional[Callable[..., Process]] = None,
     workloads: Optional[Sequence[Sequence[tuple]]] = None,
     reliable: bool | dict = False,
+    trace_retention: Optional[int] = None,
+    observers: Sequence[Any] = (),
 ) -> tuple[Simulation, list[MinBFTReplica], list[BFTClient]]:
     """A ready-to-run MinBFT deployment: n = 2f+1 replicas + clients.
 
     ``replica_factory(pid, **kwargs)`` substitutes custom (e.g. Byzantine)
     replicas for chosen pids; it receives the same keyword arguments as
     :class:`~repro.consensus.minbft.MinBFTReplica`.
+
+    ``trace_retention`` / ``observers`` pass through to
+    :class:`~repro.sim.runner.Simulation`: a bounded trace ring buffer and
+    streaming :class:`~repro.sim.trace.TraceObserver` checkers for long
+    runs.
 
     ``reliable`` hosts every replica and client behind a
     :class:`~repro.faults.channel.ReliableProcess` retransmission layer
@@ -106,7 +113,8 @@ def build_minbft_system(
         kwargs = reliable if isinstance(reliable, dict) else {}
         hosted = wrap_reliable(hosted, **kwargs)
     adversary = adversary if adversary is not None else ReliableAsynchronous(0.01, 0.5)
-    sim = Simulation(hosted, adversary, seed=seed)
+    sim = Simulation(hosted, adversary, seed=seed,
+                     trace_retention=trace_retention, observers=observers)
     return sim, replicas, clients
 
 
@@ -121,6 +129,8 @@ def build_pbft_system(
     retry_timeout: float = 150.0,
     replica_factory: Optional[Callable[..., Process]] = None,
     workloads: Optional[Sequence[Sequence[tuple]]] = None,
+    trace_retention: Optional[int] = None,
+    observers: Sequence[Any] = (),
 ) -> tuple[Simulation, list[PBFTReplica], list[BFTClient]]:
     """A ready-to-run PBFT deployment: n = 3f+1 replicas + clients."""
     if f < 1:
@@ -161,5 +171,6 @@ def build_pbft_system(
         clients.append(client)
 
     adversary = adversary if adversary is not None else ReliableAsynchronous(0.01, 0.5)
-    sim = Simulation([*replicas, *clients], adversary, seed=seed)
+    sim = Simulation([*replicas, *clients], adversary, seed=seed,
+                     trace_retention=trace_retention, observers=observers)
     return sim, replicas, clients

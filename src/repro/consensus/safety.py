@@ -13,6 +13,14 @@ Checked properties:
   result (exercises the app's determinism end to end);
 - **client liveness** — every client finished its workload (optional, for
   runs expected to complete).
+
+Both checking modes share one incremental core
+(:class:`ReplicationStreamChecker`): batch :func:`check_replication` feeds
+the finished trace's ``custom`` events through the kind index; attached as
+a live :class:`~repro.sim.trace.TraceObserver` with ``fail_fast=True`` the
+same core flags *permanent* violations online — a duplicate execution or
+a slot whose batch prefix diverges between two replicas can never be
+undone by later events, so the run aborts at that exact event.
 """
 
 from __future__ import annotations
@@ -21,7 +29,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable
 
 from ..errors import PropertyViolation
-from ..sim.trace import Trace
+from ..sim.trace import CUSTOM, Trace, TraceEvent, TraceObserver
 from ..types import ProcessId
 
 
@@ -63,6 +71,134 @@ class ReplicationReport:
         )
 
 
+class ReplicationStreamChecker(TraceObserver):
+    """Incremental replication-audit state shared by batch and streaming modes.
+
+    Collects executions, checkpoint transfers, and client completions from
+    ``custom`` trace events as they arrive. :meth:`finish` runs the full
+    audit over the accumulated state and produces the exact report the
+    pre-refactor whole-trace scan did.
+
+    Online detection (``fail_fast=True``): two violation classes are
+    permanent the moment they occur and raise at the violating event —
+
+    - a replica executing the same ``(client, req_id)`` twice;
+    - slot divergence visible in batch *prefixes*: if replica A's k-th
+      execution of slot s disagrees with replica B's k-th execution of
+      slot s, their final slot signatures cannot match either.
+
+    Order-safety gaps are *not* flagged online (a gap may still be covered
+    by a later checkpoint-transfer record); :meth:`finish` audits those.
+    """
+
+    def __init__(
+        self,
+        correct_replicas: Iterable[ProcessId],
+        fail_fast: bool = False,
+    ) -> None:
+        self.correct = sorted(set(correct_replicas))
+        self._correct_set = set(self.correct)
+        self.fail_fast = fail_fast
+        self.executions: list[Execution] = []
+        self.clients_done: dict[ProcessId, int] = {}
+        self.transfers: dict[ProcessId, set[int]] = {}
+        self.by_slot: dict[int, dict[ProcessId, list[Execution]]] = {}
+        self._seen_requests: dict[ProcessId, set[tuple]] = {}
+        self.online_violations: list[tuple[int, str]] = []
+        self.events_consumed = 0
+
+    # -- streaming ---------------------------------------------------------
+
+    def on_event(self, ev: TraceEvent) -> None:
+        if ev.kind != CUSTOM:
+            return
+        tag = ev.field("event")
+        if tag == "execute" and ev.pid in self._correct_set:
+            self.events_consumed += 1
+            e = Execution(
+                replica=ev.pid,
+                seq=ev.field("seq"),
+                client=ev.field("client"),
+                req_id=ev.field("req_id"),
+                op=ev.field("op"),
+                result=ev.field("result"),
+            )
+            self.executions.append(e)
+            slot = self.by_slot.setdefault(e.seq, {})
+            mine = slot.setdefault(e.replica, [])
+            mine.append(e)
+            if self.fail_fast:
+                self._check_online(ev, e, slot, mine)
+        elif tag == "client_done":
+            self.events_consumed += 1
+            self.clients_done[ev.pid] = ev.field("ops")
+        elif tag == "state_transfer" and ev.pid in self._correct_set:
+            self.events_consumed += 1
+            self.transfers.setdefault(ev.pid, set()).add(ev.field("stable_seq"))
+
+    def _check_online(
+        self,
+        ev: TraceEvent,
+        e: Execution,
+        slot: dict[ProcessId, list[Execution]],
+        mine: list[Execution],
+    ) -> None:
+        seen = self._seen_requests.setdefault(e.replica, set())
+        key = (e.client, e.req_id)
+        if key in seen:
+            self._flag(
+                ev,
+                f"replica {e.replica} executed request {key} twice",
+            )
+        seen.add(key)
+        # prefix divergence: compare this batch position against every other
+        # replica that has already executed this position of the slot
+        pos = len(mine) - 1
+        sig = (e.client, e.req_id, repr(e.result))
+        for other, theirs in slot.items():
+            if other == e.replica or len(theirs) <= pos:
+                continue
+            o = theirs[pos]
+            if (o.client, o.req_id, repr(o.result)) != sig:
+                self._flag(
+                    ev,
+                    f"slot {e.seq} position {pos} diverges: replica "
+                    f"{e.replica} executed {sig} but replica {other} "
+                    f"executed {(o.client, o.req_id, repr(o.result))}",
+                )
+
+    def _flag(self, ev: TraceEvent, message: str) -> None:
+        self.online_violations.append((ev.index, message))
+        if self.fail_fast:
+            raise PropertyViolation(
+                "replication-stream",
+                f"event #{ev.index} (t={ev.time:g}): {message}",
+            )
+
+    # -- batch feeding -----------------------------------------------------
+
+    def consume(self, trace: Trace) -> "ReplicationStreamChecker":
+        """Feed a finished trace's ``custom`` events (index-backed)."""
+        for ev in trace.events(CUSTOM):
+            self.on_event(ev)
+        return self
+
+    # -- final audit -------------------------------------------------------
+
+    def finish(
+        self, expected_ops: dict[ProcessId, int] | None = None
+    ) -> ReplicationReport:
+        """Audit the accumulated state; identical to the pre-refactor scan."""
+        return _audit(
+            self.correct,
+            self.executions,
+            self.clients_done,
+            self.transfers,
+            self.by_slot,
+            expected_ops,
+        )
+
+
 def check_replication(
     trace: Trace,
     correct_replicas: Iterable[ProcessId],
@@ -70,33 +206,29 @@ def check_replication(
     expected_ops: dict[ProcessId, int] | None = None,
 ) -> ReplicationReport:
     """Audit executed logs across the correct replicas (and client liveness)."""
-    correct = sorted(set(correct_replicas))
+    return (
+        ReplicationStreamChecker(correct_replicas)
+        .consume(trace)
+        .finish(expected_ops=expected_ops)
+    )
+
+
+def _audit(
+    correct: list[ProcessId],
+    executions: list[Execution],
+    clients_done: dict[ProcessId, int],
+    transfers: dict[ProcessId, set[int]],
+    by_slot: dict[int, dict[ProcessId, list[Execution]]],
+    expected_ops: dict[ProcessId, int] | None,
+) -> ReplicationReport:
     report = ReplicationReport()
-    for ev in trace.events("custom"):
-        if ev.field("event") == "execute" and ev.pid in correct:
-            report.executions.append(
-                Execution(
-                    replica=ev.pid,
-                    seq=ev.field("seq"),
-                    client=ev.field("client"),
-                    req_id=ev.field("req_id"),
-                    op=ev.field("op"),
-                    result=ev.field("result"),
-                )
-            )
-        elif ev.field("event") == "client_done":
-            report.clients_done[ev.pid] = ev.field("ops")
-        elif ev.field("event") == "state_transfer" and ev.pid in correct:
-            report.transfers.setdefault(ev.pid, set()).add(
-                ev.field("stable_seq")
-            )
+    report.executions = list(executions)
+    report.clients_done = dict(clients_done)
+    report.transfers = {p: set(s) for p, s in transfers.items()}
 
     # order safety + result determinism, slot by slot. A slot may carry a
     # *batch* of requests; every replica must execute the same ordered batch
     # with the same results.
-    by_slot: dict[int, dict[ProcessId, list[Execution]]] = {}
-    for e in report.executions:
-        by_slot.setdefault(e.seq, {}).setdefault(e.replica, []).append(e)
     for seq, execs in sorted(by_slot.items()):
         signatures = {
             r: tuple((e.client, e.req_id, repr(e.result)) for e in es)

@@ -27,6 +27,7 @@ from .classification import (
 from .directionality import (
     BIDIRECTIONAL,
     DirectionalityReport,
+    DirectionalityStreamChecker,
     UNIDIRECTIONAL,
     ZERO_DIRECTIONAL,
     check_directionality,
@@ -46,7 +47,13 @@ from .separations import (
     SeparationOutcome,
     run_srb_separation,
 )
-from .srb import SRBReport, SRBroadcast, check_srb, deliveries_by_process
+from .srb import (
+    SRBReport,
+    SRBStreamChecker,
+    SRBroadcast,
+    check_srb,
+    deliveries_by_process,
+)
 from .srb_from_trinc import SRBFromA2M, SRBFromTrInc
 from .srb_from_uni import (
     SRBFromUnidirectional,
@@ -103,6 +110,8 @@ __all__ = [
     "build_objects_for",
     "build_mp_srb_system",
     "build_sm_srb_system",
+    "DirectionalityStreamChecker",
+    "SRBStreamChecker",
     "check_directionality",
     "check_srb",
     "deliveries_by_process",

@@ -14,6 +14,14 @@ These are properties of *systems* (all schedules), so a single trace can
 refute a level but never prove it. The checker therefore reports, per
 trace: which levels were *violated*, and the strongest level *consistent
 with* the trace. Benches run many adversarial schedules and aggregate.
+
+Both checking modes share one incremental core
+(:class:`DirectionalityStreamChecker`): batch :func:`check_directionality`
+feeds a finished trace through the per-kind indexes; attached as a live
+:class:`~repro.sim.trace.TraceObserver` with ``fail_fast=True`` the same
+core detects violations online — a directionality violation is permanent
+the moment the relevant ``round_end`` passes without the required receipt,
+so the run aborts at that exact event.
 """
 
 from __future__ import annotations
@@ -22,7 +30,14 @@ from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
 from ..errors import PropertyViolation
-from ..sim.trace import Trace
+from ..sim.trace import (
+    ROUND_END,
+    ROUND_RECV,
+    ROUND_SENT,
+    Trace,
+    TraceEvent,
+    TraceObserver,
+)
 from ..types import ProcessId, RoundId
 
 BIDIRECTIONAL = "bidirectional"
@@ -85,31 +100,219 @@ class _RoundView:
     received_from: dict[ProcessId, int]  # src -> first receive index for this round
 
 
-def _collect(trace: Trace, pids: Iterable[ProcessId]) -> dict[ProcessId, dict[RoundId, _RoundView]]:
-    pidset = set(pids)
-    sent: dict[tuple[ProcessId, RoundId], int] = {}
-    ended: dict[tuple[ProcessId, RoundId], int] = {}
-    received: dict[tuple[ProcessId, RoundId], dict[ProcessId, int]] = {}
-    for ev in trace:
-        if ev.pid not in pidset:
-            continue
-        if ev.kind == "round_sent":
-            sent.setdefault((ev.pid, ev.field("round")), ev.index)
-        elif ev.kind == "round_end":
-            ended.setdefault((ev.pid, ev.field("round")), ev.index)
-        elif ev.kind == "round_recv":
+class DirectionalityStreamChecker(TraceObserver):
+    """Incremental round-view collection shared by batch and streaming modes.
+
+    Maintains first-occurrence ``round_sent`` / ``round_end`` /
+    ``round_recv`` indexes per ``(pid, round)`` as events arrive —
+    equivalent state to the pre-refactor whole-trace ``_collect`` scan.
+    :meth:`finish` then runs the pair/round audit over the collected views
+    and produces the exact same report as the old batch checker.
+
+    With ``fail_fast=True`` the checker also evaluates obligations online,
+    at the events where they become *definite*: a ``round_end`` that passes
+    without the required receipt (later receives carry higher trace
+    indexes, so they cannot retroactively satisfy the obligation), or a
+    straggling ``round_sent`` arriving after the peer's round already
+    ended. :meth:`finish` remains authoritative for the full report.
+    """
+
+    def __init__(
+        self, correct: Iterable[ProcessId], fail_fast: bool = False
+    ) -> None:
+        self.correct = sorted(set(correct))
+        self._pidset = set(self.correct)
+        self.fail_fast = fail_fast
+        self.sent: dict[tuple[ProcessId, RoundId], int] = {}
+        self.ended: dict[tuple[ProcessId, RoundId], int] = {}
+        self.received: dict[tuple[ProcessId, RoundId], dict[ProcessId, int]] = {}
+        self.round_order: dict[RoundId, None] = {}
+        self.online_violations: list[tuple[int, PairViolation]] = []
+
+    # -- streaming ---------------------------------------------------------
+
+    def on_event(self, ev: TraceEvent) -> None:
+        if ev.pid not in self._pidset:
+            return
+        if ev.kind == ROUND_SENT:
             r = ev.field("round")
+            self.round_order.setdefault(r, None)
+            if (ev.pid, r) not in self.sent:
+                self.sent[(ev.pid, r)] = ev.index
+                if self.fail_fast:
+                    self._check_late_send(ev, ev.pid, r)
+        elif ev.kind == ROUND_END:
+            r = ev.field("round")
+            self.round_order.setdefault(r, None)
+            if (ev.pid, r) not in self.ended:
+                self.ended[(ev.pid, r)] = ev.index
+                if self.fail_fast:
+                    self._check_round_end(ev, ev.pid, r)
+        elif ev.kind == ROUND_RECV:
+            r = ev.field("round")
+            self.round_order.setdefault(r, None)
             src = ev.field("src")
-            received.setdefault((ev.pid, r), {}).setdefault(src, ev.index)
-    out: dict[ProcessId, dict[RoundId, _RoundView]] = {p: {} for p in pidset}
-    keys = set(sent) | set(ended) | set(received)
-    for p, r in keys:
-        out[p][r] = _RoundView(
-            sent_index=sent.get((p, r)),
-            end_index=ended.get((p, r)),
-            received_from=received.get((p, r), {}),
+            self.received.setdefault((ev.pid, r), {}).setdefault(src, ev.index)
+
+    def _got_in_round(self, p: ProcessId, r: RoundId, src: ProcessId) -> bool:
+        got = self.received.get((p, r), {}).get(src)
+        if got is None:
+            return False
+        end = self.ended.get((p, r))
+        return end is None or got <= end
+
+    def _check_round_end(self, ev: TraceEvent, p: ProcessId, r: RoundId) -> None:
+        # p's round r just ended; any sender already on record whose message
+        # p has not received in-round is now a definite bidirectional miss.
+        for s in self.correct:
+            if s == p or (s, r) not in self.sent:
+                continue
+            if not self._got_in_round(p, r, s):
+                self._flag(
+                    ev,
+                    PairViolation(
+                        s, p, r, f"{p} ended round {r} without {s}'s message"
+                    ),
+                    bidirectional=True,
+                )
+        # unidirectional: pairs where both sent and both have now ended with
+        # neither having heard the other in-round.
+        if (p, r) not in self.sent:
+            return
+        for q in self.correct:
+            if q == p or (q, r) not in self.sent or (q, r) not in self.ended:
+                continue
+            if not self._got_in_round(p, r, q) and not self._got_in_round(q, r, p):
+                a, b = (p, q) if p < q else (q, p)
+                self._flag(
+                    ev,
+                    PairViolation(
+                        a,
+                        b,
+                        r,
+                        "neither process received the other's round "
+                        f"{r} message before its round ended",
+                    ),
+                    bidirectional=False,
+                )
+
+    def _check_late_send(self, ev: TraceEvent, s: ProcessId, r: RoundId) -> None:
+        # s's first round-r send arrived after some peers already ended round
+        # r — those peers can no longer have received it in-round.
+        for p in self.correct:
+            if p == s or (p, r) not in self.ended:
+                continue
+            if not self._got_in_round(p, r, s):
+                self._flag(
+                    ev,
+                    PairViolation(
+                        s, p, r, f"{p} ended round {r} without {s}'s message"
+                    ),
+                    bidirectional=True,
+                )
+
+    def _flag(
+        self, ev: TraceEvent, violation: PairViolation, bidirectional: bool
+    ) -> None:
+        self.online_violations.append((ev.index, violation))
+        if self.fail_fast and not bidirectional:
+            raise PropertyViolation(
+                "unidirectionality-stream",
+                f"event #{ev.index} (t={ev.time:g}): pair "
+                f"({violation.p}, {violation.q}) round {violation.round}: "
+                f"{violation.detail}",
+            )
+
+    # -- batch feeding -----------------------------------------------------
+
+    def consume(self, trace: Trace) -> "DirectionalityStreamChecker":
+        """Feed a finished trace through the per-kind indexes.
+
+        First-occurrence indexes are insensitive to interleaving across
+        kinds, so feeding kind by kind reproduces the chronological scan's
+        state exactly (online checks are skipped — they assume event
+        order — and :meth:`finish` does the full audit).
+        """
+        online, self.fail_fast = self.fail_fast, False
+        try:
+            for kind in (ROUND_SENT, ROUND_END, ROUND_RECV):
+                for ev in trace.events(kind):
+                    self.on_event(ev)
+        finally:
+            self.fail_fast = online
+        return self
+
+    # -- final audit -------------------------------------------------------
+
+    def views(self) -> dict[ProcessId, dict[RoundId, _RoundView]]:
+        out: dict[ProcessId, dict[RoundId, _RoundView]] = {
+            p: {} for p in self.correct
+        }
+        keys = set(self.sent) | set(self.ended) | set(self.received)
+        for p, r in keys:
+            out[p][r] = _RoundView(
+                sent_index=self.sent.get((p, r)),
+                end_index=self.ended.get((p, r)),
+                received_from=self.received.get((p, r), {}),
+            )
+        return out
+
+    def finish(self) -> DirectionalityReport:
+        """Audit the collected views; identical to the pre-refactor scan."""
+        correct = self.correct
+        views = self.views()
+        report = DirectionalityReport()
+        # labels may be any hashable; preserve first-appearance order
+        all_rounds = list(
+            dict.fromkeys(
+                r for r in self.round_order
+                if any(r in views[p] for p in correct)
+            )
         )
-    return out
+        report.rounds_checked = len(all_rounds)
+
+        for i, p in enumerate(correct):
+            for q in correct[i + 1 :]:
+                for r in all_rounds:
+                    vp = views[p].get(r)
+                    vq = views[q].get(r)
+                    # --- bidirectional obligations (one-sided) ---
+                    for sender, receiver, vs, vr in ((p, q, vp, vq), (q, p, vq, vp)):
+                        if vs is None or vs.sent_index is None:
+                            continue
+                        if vr is None or vr.end_index is None:
+                            continue
+                        got = vr.received_from.get(sender)
+                        if got is None or got > vr.end_index:
+                            report.bidirectional_violations.append(
+                                PairViolation(
+                                    sender,
+                                    receiver,
+                                    r,
+                                    f"{receiver} ended round {r} without {sender}'s message",
+                                )
+                            )
+                    # --- unidirectional obligation (both sent) ---
+                    if vp is None or vq is None:
+                        continue
+                    if vp.sent_index is None or vq.sent_index is None:
+                        continue
+                    report.pairs_checked += 1
+                    p_ok = _received_in_round(vp, q)
+                    q_ok = _received_in_round(vq, p)
+                    if not p_ok and not q_ok:
+                        # obligation only binds if both rounds actually ended
+                        if vp.end_index is not None and vq.end_index is not None:
+                            report.unidirectional_violations.append(
+                                PairViolation(
+                                    p,
+                                    q,
+                                    r,
+                                    "neither process received the other's round "
+                                    f"{r} message before its round ended",
+                                )
+                            )
+        return report
 
 
 def check_directionality(
@@ -126,55 +329,7 @@ def check_directionality(
     Rounds that a process never completed (trace ended first) impose no
     obligation on that process but still witness receipt for the other side.
     """
-    correct = sorted(set(correct))
-    views = _collect(trace, correct)
-    report = DirectionalityReport()
-    # labels may be any hashable; preserve first-appearance order
-    all_rounds = list(dict.fromkeys(r for p in correct for r in views[p]))
-    report.rounds_checked = len(all_rounds)
-
-    for i, p in enumerate(correct):
-        for q in correct[i + 1 :]:
-            for r in all_rounds:
-                vp = views[p].get(r)
-                vq = views[q].get(r)
-                # --- bidirectional obligations (one-sided) ---
-                for sender, receiver, vs, vr in ((p, q, vp, vq), (q, p, vq, vp)):
-                    if vs is None or vs.sent_index is None:
-                        continue
-                    if vr is None or vr.end_index is None:
-                        continue
-                    got = vr.received_from.get(sender)
-                    if got is None or got > vr.end_index:
-                        report.bidirectional_violations.append(
-                            PairViolation(
-                                sender,
-                                receiver,
-                                r,
-                                f"{receiver} ended round {r} without {sender}'s message",
-                            )
-                        )
-                # --- unidirectional obligation (both sent) ---
-                if vp is None or vq is None:
-                    continue
-                if vp.sent_index is None or vq.sent_index is None:
-                    continue
-                report.pairs_checked += 1
-                p_ok = _received_in_round(vp, q)
-                q_ok = _received_in_round(vq, p)
-                if not p_ok and not q_ok:
-                    # obligation only binds if both rounds actually ended
-                    if vp.end_index is not None and vq.end_index is not None:
-                        report.unidirectional_violations.append(
-                            PairViolation(
-                                p,
-                                q,
-                                r,
-                                "neither process received the other's round "
-                                f"{r} message before its round ended",
-                            )
-                        )
-    return report
+    return DirectionalityStreamChecker(correct).consume(trace).finish()
 
 
 def _received_in_round(view: _RoundView, src: ProcessId) -> bool:

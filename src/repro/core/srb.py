@@ -13,9 +13,19 @@ consecutive sequence numbers (1, 2, …); the primitive guarantees:
 4. **integrity** — a delivered message was actually broadcast by ``p``.
 
 Implementations record ``bcast`` events when the sender broadcasts and
-``bcast_deliver`` events on delivery; :func:`check_srb` audits a finished
-trace. "Eventually" is interpreted as *by the end of the run* — callers
-are responsible for running long enough past quiescence (the benches use
+``bcast_deliver`` events on delivery. Two checking modes share one
+incremental core (:class:`SRBStreamChecker`):
+
+- **batch** — :func:`check_srb` audits a finished trace (index-backed: it
+  walks only the ``bcast``/``bcast_deliver`` events, not the whole trace);
+- **streaming** — attach an :class:`SRBStreamChecker` as a
+  :class:`~repro.sim.trace.TraceObserver` and it maintains the same state
+  online; with ``fail_fast=True`` a *permanent* safety violation
+  (sequencing gap, agreement conflict) raises at the exact violating
+  event instead of after the run.
+
+"Eventually" is interpreted as *by the end of the run* — callers are
+responsible for running long enough past quiescence (the benches use
 generous horizons and verify network fairness separately).
 """
 
@@ -26,7 +36,7 @@ from typing import Any, Iterable, Optional
 
 from ..errors import PropertyViolation
 from ..sim.process import Process
-from ..sim.trace import Trace
+from ..sim.trace import BCAST, BCAST_DELIVER, Trace, TraceEvent, TraceObserver
 from ..types import Delivery, ProcessId, SeqNum
 
 
@@ -94,6 +104,184 @@ class SRBReport:
             )
 
 
+class SRBStreamChecker(TraceObserver):
+    """Incremental SRB state shared by the batch and streaming checkers.
+
+    Feed it ``bcast`` / ``bcast_deliver`` events (any other kinds are
+    ignored) — as a live :class:`~repro.sim.trace.TraceObserver`, through
+    :meth:`~repro.sim.trace.TraceStore.replay_into`, or via
+    :func:`check_srb`'s batch scan. :meth:`finish` then audits the four
+    properties over the accumulated state; its report is identical to the
+    pre-refactor whole-trace scan by construction.
+
+    Online detection: sequencing gaps and agreement conflicts are
+    *permanent* the moment they happen (no later event can undo them), so
+    they are flagged on arrival in :attr:`online_violations` with the
+    violating event's trace index; ``fail_fast=True`` additionally raises
+    :class:`~repro.errors.PropertyViolation` right there, aborting the
+    simulation step that recorded the event. Liveness properties
+    (validity, agreement relay) only resolve at end of run and are checked
+    in :meth:`finish`.
+    """
+
+    def __init__(
+        self,
+        sender: ProcessId,
+        correct: Iterable[ProcessId],
+        sender_correct: bool = True,
+        expect_complete: bool = True,
+        fail_fast: bool = False,
+    ) -> None:
+        self.sender = sender
+        self.correct_set = sorted(set(correct))
+        self.sender_correct = sender_correct
+        self.expect_complete = expect_complete
+        self.fail_fast = fail_fast
+        self.broadcasts: list[tuple[SeqNum, Any]] = []
+        self.deliveries: list[Delivery] = []
+        self.by_receiver: dict[ProcessId, list[Delivery]] = {
+            p: [] for p in self.correct_set
+        }
+        self.value_of: dict[SeqNum, tuple[ProcessId, Any]] = {}
+        self.online_violations: list[tuple[int, str]] = []
+        self.events_consumed = 0
+
+    # -- streaming ---------------------------------------------------------
+
+    def on_event(self, ev: TraceEvent) -> None:
+        if ev.kind == BCAST:
+            if ev.pid == self.sender:
+                self.events_consumed += 1
+                self.broadcasts.append((ev.field("seq"), ev.field("value")))
+        elif ev.kind == BCAST_DELIVER:
+            if ev.field("sender") != self.sender:
+                return
+            self.events_consumed += 1
+            d = Delivery(
+                receiver=ev.pid,
+                sender=self.sender,
+                seq=ev.field("seq"),
+                value=ev.field("value"),
+                time=ev.time,
+            )
+            self.deliveries.append(d)
+            deliveries = self.by_receiver.get(d.receiver)
+            if deliveries is None:
+                return  # not a correct process; its stream is unconstrained
+            deliveries.append(d)
+            # sequencing: the i-th delivery must carry seq i+1 — a mismatch
+            # can never be fixed by later events
+            if d.seq != len(deliveries):
+                self._flag(
+                    ev,
+                    f"sequencing: process {d.receiver} delivery "
+                    f"#{len(deliveries)} has seq {d.seq}",
+                )
+            # agreement conflict: two correct processes, same seq,
+            # different value — permanent
+            known = self.value_of.get(d.seq)
+            if known is None:
+                self.value_of[d.seq] = (d.receiver, d.value)
+            elif known[1] != d.value:
+                self._flag(
+                    ev,
+                    f"agreement: seq {d.seq}: process {known[0]} delivered "
+                    f"{known[1]!r} but process {d.receiver} delivered "
+                    f"{d.value!r}",
+                )
+
+    def _flag(self, ev: TraceEvent, message: str) -> None:
+        self.online_violations.append((ev.index, message))
+        if self.fail_fast:
+            raise PropertyViolation(
+                "SRB-stream", f"event #{ev.index} (t={ev.time:g}): {message}"
+            )
+
+    # -- batch feeding -----------------------------------------------------
+
+    def consume(self, trace: Trace) -> "SRBStreamChecker":
+        """Feed a finished trace through the index-backed event queries."""
+        for ev in trace.events(BCAST, pid=self.sender):
+            self.on_event(ev)
+        for ev in trace.events(BCAST_DELIVER):
+            self.on_event(ev)
+        return self
+
+    # -- final audit -------------------------------------------------------
+
+    def finish(self) -> SRBReport:
+        """Audit the four SRB properties over the accumulated state."""
+        correct_set = self.correct_set
+        by_receiver = self.by_receiver
+        report = SRBReport(sender=self.sender)
+        report.broadcasts = list(self.broadcasts)
+        report.deliveries = list(self.deliveries)
+
+        # --- sequencing (property 3): in-order, gap-free, no duplicates --------
+        for p in correct_set:
+            seqs = [d.seq for d in by_receiver[p]]
+            for i, s in enumerate(seqs):
+                if s != i + 1:
+                    report.sequencing_violations.append(
+                        f"process {p} delivery #{i + 1} has seq {s} "
+                        f"(full order: {seqs})"
+                    )
+                    break
+
+        # --- agreement part 1: no two correct processes disagree on a seq ------
+        value_of: dict[SeqNum, tuple[ProcessId, Any]] = {}
+        for p in correct_set:
+            for d in by_receiver[p]:
+                if d.seq in value_of:
+                    q, v = value_of[d.seq]
+                    if v != d.value:
+                        report.agreement_violations.append(
+                            f"seq {d.seq}: process {q} delivered {v!r} but "
+                            f"process {p} delivered {d.value!r}"
+                        )
+                else:
+                    value_of[d.seq] = (p, d.value)
+
+        # --- agreement part 2 (relay, liveness): all-or-nothing per seq --------
+        if self.expect_complete:
+            for seq, (q, v) in sorted(value_of.items()):
+                for p in correct_set:
+                    if not any(d.seq == seq for d in by_receiver[p]):
+                        report.agreement_violations.append(
+                            f"seq {seq}: delivered by process {q} but never by "
+                            f"process {p}"
+                        )
+
+        # --- validity (property 1) -----------------------------------------------
+        if self.sender_correct and self.expect_complete:
+            for seq, value in report.broadcasts:
+                for p in correct_set:
+                    if not any(
+                        d.seq == seq and d.value == value for d in by_receiver[p]
+                    ):
+                        report.validity_violations.append(
+                            f"sender broadcast ({seq}, {value!r}) but process {p} "
+                            "did not deliver it"
+                        )
+
+        # --- integrity (property 4) ------------------------------------------------
+        broadcast_set = set(report.broadcasts)
+        for p in correct_set:
+            for d in by_receiver[p]:
+                if (d.seq, d.value) not in broadcast_set:
+                    if self.sender_correct:
+                        report.integrity_violations.append(
+                            f"process {p} delivered ({d.seq}, {d.value!r}) which the "
+                            "correct sender never broadcast"
+                        )
+                    elif not any(v == d.value for (_s, v) in report.broadcasts):
+                        report.integrity_violations.append(
+                            f"process {p} delivered ({d.seq}, {d.value!r}); the "
+                            "Byzantine sender never even produced that value"
+                        )
+        return report
+
+
 def check_srb(
     trace: Trace,
     sender: ProcessId,
@@ -101,7 +289,7 @@ def check_srb(
     sender_correct: bool = True,
     expect_complete: bool = True,
 ) -> SRBReport:
-    """Audit the four SRB properties for ``sender``'s stream.
+    """Audit the four SRB properties for ``sender``'s stream (batch mode).
 
     ``expect_complete=True`` treats the run as long enough that every
     "eventually" should have resolved; set it False for truncated runs
@@ -114,84 +302,16 @@ def check_srb(
     whatever they send; a value delivered that was never even recorded
     means forged provenance — always a violation).
     """
-    correct_set = sorted(set(correct))
-    report = SRBReport(sender=sender)
-
-    report.broadcasts = [
-        (ev.field("seq"), ev.field("value"))
-        for ev in trace.events("bcast", pid=sender)
-    ]
-    report.deliveries = [
-        d for d in trace.broadcast_deliveries() if d.sender == sender
-    ]
-    by_receiver: dict[ProcessId, list[Delivery]] = {p: [] for p in correct_set}
-    for d in report.deliveries:
-        if d.receiver in by_receiver:
-            by_receiver[d.receiver].append(d)
-
-    # --- sequencing (property 3): in-order, gap-free, no duplicates ------------
-    for p in correct_set:
-        seqs = [d.seq for d in by_receiver[p]]
-        for i, s in enumerate(seqs):
-            if s != i + 1:
-                report.sequencing_violations.append(
-                    f"process {p} delivery #{i + 1} has seq {s} "
-                    f"(full order: {seqs})"
-                )
-                break
-
-    # --- agreement part 1: no two correct processes disagree on a seq ----------
-    value_of: dict[SeqNum, tuple[ProcessId, Any]] = {}
-    for p in correct_set:
-        for d in by_receiver[p]:
-            if d.seq in value_of:
-                q, v = value_of[d.seq]
-                if v != d.value:
-                    report.agreement_violations.append(
-                        f"seq {d.seq}: process {q} delivered {v!r} but "
-                        f"process {p} delivered {d.value!r}"
-                    )
-            else:
-                value_of[d.seq] = (p, d.value)
-
-    # --- agreement part 2 (relay, liveness): all-or-nothing per seq ------------
-    if expect_complete:
-        for seq, (q, v) in sorted(value_of.items()):
-            for p in correct_set:
-                if not any(d.seq == seq for d in by_receiver[p]):
-                    report.agreement_violations.append(
-                        f"seq {seq}: delivered by process {q} but never by "
-                        f"process {p}"
-                    )
-
-    # --- validity (property 1) ---------------------------------------------------
-    if sender_correct and expect_complete:
-        for seq, value in report.broadcasts:
-            for p in correct_set:
-                if not any(
-                    d.seq == seq and d.value == value for d in by_receiver[p]
-                ):
-                    report.validity_violations.append(
-                        f"sender broadcast ({seq}, {value!r}) but process {p} "
-                        "did not deliver it"
-                    )
-
-    # --- integrity (property 4) ----------------------------------------------------
-    broadcast_set = set(report.broadcasts)
-    for p in correct_set:
-        for d in by_receiver[p]:
-            if (d.seq, d.value) not in broadcast_set:
-                if sender_correct:
-                    report.integrity_violations.append(
-                        f"process {p} delivered ({d.seq}, {d.value!r}) which the "
-                        "correct sender never broadcast"
-                    )
-                elif not any(v == d.value for (_s, v) in report.broadcasts):
-                    report.integrity_violations.append(
-                        f"process {p} delivered ({d.seq}, {d.value!r}); the "
-                        "Byzantine sender never even produced that value"
-                    )
-    return report
+    return (
+        SRBStreamChecker(
+            sender,
+            correct,
+            sender_correct=sender_correct,
+            expect_complete=expect_complete,
+        )
+        .consume(trace)
+        .finish()
+    )
 
 
 def deliveries_by_process(

@@ -413,6 +413,8 @@ def build_mp_srb_system(
     adversary: Adversary | None = None,
     reliable: bool | dict = False,
     process_factory=None,
+    trace_retention: int | None = None,
+    observers: tuple = (),
 ) -> tuple[Simulation, list[SRBFromUnidirectional], SignatureScheme]:
     """An Algorithm-1 SRB system over message-passing rounds.
 
@@ -448,5 +450,6 @@ def build_mp_srb_system(
         kwargs = reliable if isinstance(reliable, dict) else {}
         hosted = wrap_reliable(processes, **kwargs)
     adversary = adversary if adversary is not None else ReliableAsynchronous(0.01, 1.0)
-    sim = Simulation(hosted, adversary, seed=seed)
+    sim = Simulation(hosted, adversary, seed=seed,
+                     trace_retention=trace_retention, observers=observers)
     return sim, processes, scheme

@@ -31,9 +31,9 @@ from typing import Any, Callable, Iterable, Optional, Sequence
 from ..consensus.apps import make_app
 from ..consensus.harness import build_minbft_system
 from ..consensus.minbft import MinBFTReplica
-from ..consensus.safety import check_replication
+from ..consensus.safety import ReplicationStreamChecker, check_replication
 from ..core.rounds import MessagePassingRoundTransport
-from ..core.srb import check_srb
+from ..core.srb import SRBStreamChecker, check_srb
 from ..core.srb_from_uni import SRBFromUnidirectional, build_mp_srb_system
 from ..errors import ConfigurationError, PropertyViolation
 from ..types import ProcessId, Time
@@ -109,6 +109,16 @@ class FaultSchedule:
             n_bursts=self.n_bursts,
             n_partitions=self.n_partitions,
         )
+
+    def fault_free_pids(self, n: int) -> tuple[ProcessId, ...]:
+        """Pids that never crash under this schedule (known before the run).
+
+        Crashes are scripted, so the whole-run "correct" set is available
+        up front — which is what lets streaming checkers audit online
+        instead of waiting for ``sim.fault_free_pids`` at the end.
+        """
+        ever_crashed = {c.pid for c in self.crashes}
+        return tuple(p for p in range(n) if p not in ever_crashed)
 
 
 def make_schedule(
@@ -197,7 +207,12 @@ class EagerBrokenSRB(SRBFromUnidirectional):
 
 @dataclass(slots=True)
 class ChaosResult:
-    """Outcome of one protocol run under one seeded fault schedule."""
+    """Outcome of one protocol run under one seeded fault schedule.
+
+    ``abort_index`` is the trace index of the first violating event when a
+    streaming checker stopped the run early (None for clean runs and for
+    batch-mode audits, which always run to the horizon).
+    """
 
     protocol: str
     seed: int
@@ -205,6 +220,7 @@ class ChaosResult:
     violations: list[str]
     schedule: str
     stats: dict[str, Any] = field(default_factory=dict)
+    abort_index: Optional[int] = None
 
     def replay_hint(self) -> str:
         return (
@@ -220,6 +236,7 @@ def run_srb_chaos(
     n_messages: int = 4,
     broken: bool = False,
     reliable: bool = True,
+    streaming: bool = True,
 ) -> ChaosResult:
     """Algorithm-1 SRB (message-passing rounds) under one fault schedule.
 
@@ -227,6 +244,14 @@ def run_srb_chaos(
     crashes/restarts follow the schedule (the sender is protected — a
     crashed sender makes validity unfalsifiable). Safety and completion are
     checked over the processes that never crashed.
+
+    With ``streaming=True`` (the default) a fail-fast
+    :class:`~repro.core.srb.SRBStreamChecker` rides along as a trace
+    observer: a permanent safety violation (sequencing gap, agreement
+    conflict) aborts the run at the violating event — the result carries
+    its trace index in ``abort_index``. ``streaming=False`` keeps the
+    pre-refactor batch audit; verdicts are identical, only *when* the run
+    stops differs.
     """
     adversary = schedule.make_adversary(n)
     channel_kwargs = dict(DEFAULT_CHANNEL)
@@ -253,22 +278,53 @@ def run_srb_chaos(
             procs, pid, t, broken, channel_kwargs if reliable else None
         ),
     )
-    sim.run(until=schedule.horizon)
-    report = check_srb(sim.trace, 0, sim.fault_free_pids, expect_complete=True)
-    violations = report.all_violations()
-    return ChaosResult(
-        protocol="srb-uni-broken" if broken else "srb-uni",
-        seed=schedule.seed,
-        ok=not violations,
-        violations=violations,
-        schedule=schedule.describe() + "\n" + adversary.describe(),
-        stats={
-            "deliveries": len(report.deliveries),
+
+    checker: Optional[SRBStreamChecker] = None
+    if streaming:
+        # Crashes are scripted, so the whole-run correct set is known now.
+        checker = SRBStreamChecker(
+            0, schedule.fault_free_pids(n), expect_complete=True, fail_fast=True
+        )
+        sim.attach_observer(checker)
+
+    def stats(deliveries: int) -> dict[str, Any]:
+        return {
+            "deliveries": deliveries,
             "messages_sent": sim.network.messages_sent,
             "dropped": adversary.messages_dropped,
             "duplicates": adversary.duplicates_injected,
             "restarts": len(sim.restarted_pids),
-        },
+        }
+
+    protocol = "srb-uni-broken" if broken else "srb-uni"
+    described = schedule.describe() + "\n" + adversary.describe()
+    try:
+        sim.run(until=schedule.horizon)
+    except PropertyViolation:
+        abort_index, _ = checker.online_violations[0]
+        return ChaosResult(
+            protocol=protocol,
+            seed=schedule.seed,
+            ok=False,
+            violations=[f"event #{i}: {m}"
+                        for i, m in checker.online_violations],
+            schedule=described,
+            stats=stats(len(checker.deliveries)),
+            abort_index=abort_index,
+        )
+    if streaming:
+        report = checker.finish()
+    else:
+        report = check_srb(sim.trace, 0, sim.fault_free_pids,
+                           expect_complete=True)
+    violations = report.all_violations()
+    return ChaosResult(
+        protocol=protocol,
+        seed=schedule.seed,
+        ok=not violations,
+        violations=violations,
+        schedule=described,
+        stats=stats(len(report.deliveries)),
     )
 
 
@@ -289,6 +345,7 @@ def run_minbft_chaos(
     n_clients: int = 2,
     ops_per_client: int = 3,
     app: str = "counter",
+    streaming: bool = True,
 ) -> ChaosResult:
     """MinBFT replication under one fault schedule.
 
@@ -300,6 +357,12 @@ def run_minbft_chaos(
     paper's non-equivocation-across-restarts claim, exercised for real).
     Clients are protected. Safety (order, no-duplicates, determinism) is
     checked over replicas that never crashed; liveness over all clients.
+
+    With ``streaming=True`` (the default) a fail-fast
+    :class:`~repro.consensus.safety.ReplicationStreamChecker` rides along
+    as a trace observer: a duplicate execution or a diverging slot prefix
+    aborts the run at the violating event (``abort_index`` carries its
+    trace index). ``streaming=False`` keeps the pre-refactor batch audit.
     """
     n = 2 * f + 1
     adversary = schedule.make_adversary(n + n_clients)
@@ -321,23 +384,17 @@ def run_minbft_chaos(
             replicas, pid, app, channel_kwargs
         ),
     )
-    sim.run(until=schedule.horizon)
-    correct_replicas = [p for p in sim.fault_free_pids if p < n]
-    report = check_replication(
-        sim.trace,
-        correct_replicas,
-        clients=range(n, n + n_clients),
-        expected_ops={n + c: len(clients[c].ops) for c in range(n_clients)},
-    )
-    violations = report.violations + report.liveness_violations
-    return ChaosResult(
-        protocol="minbft",
-        seed=schedule.seed,
-        ok=not violations,
-        violations=violations,
-        schedule=schedule.describe() + "\n" + adversary.describe(),
-        stats={
-            "executions": len(report.executions),
+
+    checker: Optional[ReplicationStreamChecker] = None
+    correct_replicas = [p for p in schedule.fault_free_pids(n + n_clients)
+                        if p < n]
+    if streaming:
+        checker = ReplicationStreamChecker(correct_replicas, fail_fast=True)
+        sim.attach_observer(checker)
+
+    def stats(executions: int) -> dict[str, Any]:
+        return {
+            "executions": executions,
             "messages_sent": sim.network.messages_sent,
             "dropped": adversary.messages_dropped,
             "duplicates": adversary.duplicates_injected,
@@ -345,7 +402,41 @@ def run_minbft_chaos(
             "view_changes": max(
                 (r.view_changes_completed for r in replicas), default=0
             ),
-        },
+        }
+
+    described = schedule.describe() + "\n" + adversary.describe()
+    try:
+        sim.run(until=schedule.horizon)
+    except PropertyViolation:
+        abort_index, _ = checker.online_violations[0]
+        return ChaosResult(
+            protocol="minbft",
+            seed=schedule.seed,
+            ok=False,
+            violations=[f"event #{i}: {m}"
+                        for i, m in checker.online_violations],
+            schedule=described,
+            stats=stats(len(checker.executions)),
+            abort_index=abort_index,
+        )
+    expected_ops = {n + c: len(clients[c].ops) for c in range(n_clients)}
+    if streaming:
+        report = checker.finish(expected_ops=expected_ops)
+    else:
+        report = check_replication(
+            sim.trace,
+            correct_replicas,
+            clients=range(n, n + n_clients),
+            expected_ops=expected_ops,
+        )
+    violations = report.violations + report.liveness_violations
+    return ChaosResult(
+        protocol="minbft",
+        seed=schedule.seed,
+        ok=not violations,
+        violations=violations,
+        schedule=described,
+        stats=stats(len(report.executions)),
     )
 
 

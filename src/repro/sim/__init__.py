@@ -37,7 +37,7 @@ from .process import Context, Process
 from .runner import Simulation
 from .scheduler import RunStats, Scheduler
 from .shared_memory import Op, SharedMemorySystem, SharedObject, Sleep, SMProgram
-from .trace import Trace, TraceEvent
+from .trace import Trace, TraceEvent, TraceObserver, TraceStore
 
 __all__ = [
     "Adversary",
@@ -63,6 +63,8 @@ __all__ = [
     "SMProgram",
     "Trace",
     "TraceEvent",
+    "TraceObserver",
+    "TraceStore",
     "WITHHELD",
     "drop_to",
     "equivocate_by_destination",

@@ -22,6 +22,7 @@ from ..errors import PropertyViolation
 from ..types import ProcessId, Time
 from .adversary import Adversary, WITHHELD
 from .events import MessageDeliver
+from .trace import SEND
 
 if TYPE_CHECKING:  # pragma: no cover
     from .runner import Simulation
@@ -59,7 +60,7 @@ class Network:
         """Accept a message from ``src`` addressed to ``dst``."""
         sim = self._sim
         now = sim.now
-        sim.trace.record(now, "send", src, dst=dst, msg=msg)
+        sim.trace.record(now, SEND, src, dst=dst, msg=msg)
         self.messages_sent += 1
         delay = self.adversary.message_delay(src, dst, msg, now)
         if delay is WITHHELD:

@@ -15,6 +15,7 @@ from typing import Any, Optional, TYPE_CHECKING
 
 from ..errors import SimulationError
 from ..types import ProcessId, Time
+from .trace import DECIDE
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from .runner import Simulation
@@ -124,7 +125,7 @@ class Context:
         """Record that this process commits/decides ``value``."""
         if not self._alive:
             return
-        self._sim.trace.record(self._sim.now, "decide", self._pid, value=value)
+        self._sim.trace.record(self._sim.now, DECIDE, self._pid, value=value)
 
     def record(self, kind: str, **fields: Any) -> None:
         """Record a protocol-defined trace event attributed to this process."""

@@ -36,7 +36,15 @@ from .network import Network
 from .process import Context, Process
 from .scheduler import RunStats, Scheduler
 from .shared_memory import SharedMemorySystem
-from .trace import Trace
+from .trace import (
+    CUSTOM,
+    DELIVER,
+    OP_RESPOND,
+    TIMER_FIRE,
+    TIMER_SET,
+    TraceObserver,
+    TraceStore,
+)
 
 
 def _derive_rng(seed: int, *labels: Any) -> random.Random:
@@ -56,6 +64,8 @@ class Simulation:
         adversary: Adversary | None = None,
         seed: int = 0,
         horizon: Time = float("inf"),
+        trace_retention: int | None = None,
+        observers: Iterable[TraceObserver] = (),
     ) -> None:
         if not processes:
             raise ConfigurationError("a simulation needs at least one process")
@@ -64,7 +74,9 @@ class Simulation:
         self.horizon = horizon
         self.scheduler = Scheduler()
         self.scheduler.dispatch = self._dispatch
-        self.trace = Trace()
+        self.trace = TraceStore(retention=trace_retention)
+        for obs in observers:
+            self.trace.subscribe(obs)
         adversary = adversary if adversary is not None else ReliableAsynchronous()
         adversary.bind(_derive_rng(seed, "adversary"))
         self.network = Network(self, adversary)
@@ -76,6 +88,7 @@ class Simulation:
         self._ever_crashed: set[ProcessId] = set()
         self._incarnations: dict[ProcessId, int] = {}
         self._timers: dict[int, Event] = {}
+        self._timers_by_pid: dict[ProcessId, set[int]] = {}
         self._next_timer_id = 0
         self._started = False
         for pid, proc in enumerate(self._processes):
@@ -95,6 +108,20 @@ class Simulation:
     @property
     def processes(self) -> Sequence[Process]:
         return tuple(self._processes)
+
+    # -- observer bus ---------------------------------------------------------
+
+    def attach_observer(self, observer: TraceObserver) -> TraceObserver:
+        """Subscribe a streaming :class:`TraceObserver` to this run's trace.
+
+        Online checkers attached here see every event as it is recorded and
+        may raise (e.g. :class:`~repro.errors.PropertyViolation`) to abort
+        the run at the exact violating event.
+        """
+        return self.trace.subscribe(observer)
+
+    def detach_observer(self, observer: TraceObserver) -> None:
+        self.trace.unsubscribe(observer)
 
     # -- fault management -----------------------------------------------------
 
@@ -159,7 +186,7 @@ class Simulation:
         self._ever_crashed.add(pid)
         self._contexts[pid]._kill()
         self._purge_timers(pid)
-        self.trace.record(self.now, "custom", pid, event="crash")
+        self.trace.record(self.now, CUSTOM, pid, event="crash")
 
     def crash_at(self, pid: ProcessId, time: Time) -> None:
         """Schedule a crash of ``pid`` at virtual ``time``."""
@@ -213,7 +240,7 @@ class Simulation:
         self._contexts[pid] = ctx
         self._crashed.discard(pid)
         self.trace.record(
-            self.now, "custom", pid, event="restart", incarnation=incarnation
+            self.now, CUSTOM, pid, event="restart", incarnation=incarnation
         )
         if self._started:
             fresh.on_start()
@@ -233,13 +260,10 @@ class Simulation:
         )
 
     def _purge_timers(self, pid: ProcessId) -> None:
-        stale = [
-            timer_id
-            for timer_id, ev in self._timers.items()
-            if ev.payload.pid == pid
-        ]
-        for timer_id in stale:
-            Scheduler.cancel(self._timers.pop(timer_id))
+        # Indexed by pid: a crash purges exactly the crashed process's armed
+        # timers without scanning every pending timer in the simulation.
+        for timer_id in self._timers_by_pid.pop(pid, ()):
+            self.scheduler.cancel(self._timers.pop(timer_id))
 
     def _check_pid(self, pid: ProcessId) -> None:
         if not (0 <= pid < self.n):
@@ -252,13 +276,15 @@ class Simulation:
         self._next_timer_id += 1
         ev = self.scheduler.schedule(delay, TimerFire(pid=pid, tag=tag, timer_id=timer_id))
         self._timers[timer_id] = ev
-        self.trace.record(self.now, "timer_set", pid, tag=tag, timer_id=timer_id)
+        self._timers_by_pid.setdefault(pid, set()).add(timer_id)
+        self.trace.record(self.now, TIMER_SET, pid, tag=tag, timer_id=timer_id)
         return timer_id
 
     def cancel_timer(self, timer_id: int) -> None:
         ev = self._timers.pop(timer_id, None)
         if ev is not None:
-            Scheduler.cancel(ev)
+            self._timers_by_pid.get(ev.payload.pid, set()).discard(timer_id)
+            self.scheduler.cancel(ev)
 
     # -- scenario scripting ----------------------------------------------------------
 
@@ -315,16 +341,17 @@ class Simulation:
                 return
             self.network.note_delivered(payload.duplicate)
             self.trace.record(
-                self.now, "deliver", payload.dst, src=payload.src, msg=payload.msg
+                self.now, DELIVER, payload.dst, src=payload.src, msg=payload.msg
             )
             self._processes[payload.dst].on_message(payload.src, payload.msg)
         elif isinstance(payload, TimerFire):
             if payload.timer_id not in self._timers:
                 return  # cancelled
             del self._timers[payload.timer_id]
+            self._timers_by_pid.get(payload.pid, set()).discard(payload.timer_id)
             if payload.pid in self._crashed:
                 return
-            self.trace.record(self.now, "timer_fire", payload.pid, tag=payload.tag)
+            self.trace.record(self.now, TIMER_FIRE, payload.pid, tag=payload.tag)
             self._processes[payload.pid].on_timer(payload.tag)
         elif isinstance(payload, OpLinearize):
             self.memory.linearize(payload)
@@ -334,7 +361,7 @@ class Simulation:
                 return
             self.trace.record(
                 self.now,
-                "op_respond",
+                OP_RESPOND,
                 payload.pid,
                 handle=payload.handle,
                 object=payload.object_name,

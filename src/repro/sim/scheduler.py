@@ -41,6 +41,7 @@ class Scheduler:
         self._heap: list[Event] = []
         self._seq = 0
         self._now: Time = 0.0
+        self._live = 0
         self._running = False
         self.dispatch: Optional[Callable[[Event], None]] = None
 
@@ -50,8 +51,12 @@ class Scheduler:
 
     @property
     def pending(self) -> int:
-        """Number of not-yet-dispatched, not-cancelled events."""
-        return sum(1 for ev in self._heap if not ev.cancelled)
+        """Number of not-yet-dispatched, not-cancelled events.
+
+        A live counter maintained by ``schedule``/``cancel``/``run`` — O(1),
+        never a heap recount (long chaos runs poll this in hot loops).
+        """
+        return self._live
 
     def schedule(self, delay: float, payload: Payload) -> Event:
         """Enqueue ``payload`` to occur ``delay`` time units from now."""
@@ -60,6 +65,7 @@ class Scheduler:
         ev = Event(time=self._now + delay, seq=self._seq, payload=payload)
         self._seq += 1
         heapq.heappush(self._heap, ev)
+        self._live += 1
         return ev
 
     def schedule_at(self, time: Time, payload: Payload) -> Event:
@@ -71,12 +77,15 @@ class Scheduler:
         ev = Event(time=time, seq=self._seq, payload=payload)
         self._seq += 1
         heapq.heappush(self._heap, ev)
+        self._live += 1
         return ev
 
-    @staticmethod
-    def cancel(event: Event) -> None:
+    def cancel(self, event: Event) -> None:
         """Mark an event so it is skipped when popped (O(1) cancellation)."""
+        if event.cancelled:
+            return
         event.cancelled = True
+        self._live -= 1
 
     def run(
         self,
@@ -105,6 +114,7 @@ class Scheduler:
                 if until is not None and ev.time > until:
                     break
                 heapq.heappop(self._heap)
+                self._live -= 1
                 self._now = ev.time
                 self.dispatch(ev)
                 stats.events_processed += 1

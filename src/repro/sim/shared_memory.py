@@ -26,6 +26,7 @@ from ..errors import AccessDeniedError, ConfigurationError, SimulationError
 from ..types import ProcessId
 from .events import OpLinearize, OpRespond
 from .process import Process
+from .trace import OP_INVOKE, OP_LINEARIZE
 
 if TYPE_CHECKING:  # pragma: no cover
     from .runner import Simulation
@@ -121,7 +122,7 @@ class SharedMemorySystem:
         self._pending[handle] = PendingOp(handle, pid, object_name, op, args)
         self.ops_invoked += 1
         sim.trace.record(
-            sim.now, "op_invoke", pid, handle=handle, object=object_name, op=op, args=args
+            sim.now, OP_INVOKE, pid, handle=handle, object=object_name, op=op, args=args
         )
         d_lin, d_resp = sim.network.adversary.op_delays(pid, object_name, op, sim.now)
         payload = OpLinearize(pid=pid, handle=handle, object_name=object_name, op=op, args=args)
@@ -150,7 +151,7 @@ class SharedMemorySystem:
         self.ops_linearized += 1
         sim.trace.record(
             sim.now,
-            "op_linearize",
+            OP_LINEARIZE,
             payload.pid,
             handle=payload.handle,
             object=payload.object_name,

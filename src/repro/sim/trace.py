@@ -1,23 +1,44 @@
-"""Structured execution traces.
+"""Structured execution traces: indexed store, observer bus, JSONL replay.
 
-A :class:`Trace` is an append-only log of everything observable that happened
-in a run. Property checkers (`repro.core.directionality`, `repro.core.srb`,
-`repro.agreement.checkers`, `repro.consensus.safety`) consume traces rather
-than protocol internals, so the same checker validates any implementation of
-a primitive.
+A :class:`TraceStore` (aliased ``Trace`` for compatibility) is an
+append-only log of everything observable that happened in a run. Property
+checkers (`repro.core.directionality`, `repro.core.srb`,
+`repro.agreement.definitions`, `repro.consensus.safety`) consume traces
+rather than protocol internals, so the same checker validates any
+implementation of a primitive.
+
+Three capabilities beyond a plain list:
+
+- **Indexes.** Per-kind and per-pid indexes are maintained incrementally on
+  :meth:`TraceStore.record`, so ``events(kind=...)``, ``events(pid=...)``,
+  ``decisions()`` and ``local_view()`` cost O(matching events) instead of
+  O(full trace). On chaos sweeps and 100k-event benches this is the hot
+  path.
+- **Observer bus.** :class:`TraceObserver` subscribers receive every event
+  as it is recorded, enabling *online* checkers that maintain incremental
+  state and fail at the violating event instead of rescanning the finished
+  trace.
+- **Bounded memory + JSONL.** A ``retention`` limit turns the store into a
+  ring buffer (evicted events stay counted in per-kind/per-pid summaries),
+  and :meth:`to_jsonl` / :meth:`from_jsonl` round-trip a trace through a
+  line-oriented text format for offline analysis and deterministic replay.
 
 Indistinguishability arguments (the separation scenarios) compare the
 *local view* of a process between two executions: the ordered sequence of
 events that process can observe (its own sends, its deliveries, timers, op
-responses, and its protocol-level records). :meth:`Trace.local_view`
+responses, and its protocol-level records). :meth:`TraceStore.local_view`
 extracts exactly that.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Iterator, Optional
+import dataclasses
+import json
+from collections import Counter, deque
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator, Optional, TextIO
 
+from ..errors import ConfigurationError
 from ..types import Delivery, Decision, ProcessId, Time
 
 # Event kind constants — string tags keep the trace easy to filter and dump.
@@ -88,26 +109,243 @@ class TraceEvent:
         return (self.kind, tuple(sorted(self.fields.items(), key=lambda kv: kv[0])))
 
 
-class Trace:
-    """Append-only event log with query helpers."""
+class TraceObserver:
+    """Streaming consumer of trace events.
 
-    def __init__(self) -> None:
-        self._events: list[TraceEvent] = []
+    Subscribe with :meth:`TraceStore.subscribe`; :meth:`on_event` then runs
+    synchronously inside every ``record`` call, in subscription order. An
+    observer that raises aborts the recording call (and hence the
+    simulation step that produced the event) — this is how fail-fast
+    online checkers stop a run at the exact violating event.
+    """
+
+    def on_event(self, ev: TraceEvent) -> None:
+        """Called once per recorded event, in trace order."""
+
+    def on_evict(self, ev: TraceEvent) -> None:
+        """Called when ``ev`` falls out of a bounded store's retention window."""
+
+
+# ---------------------------------------------------------------------------
+# JSONL value codec
+# ---------------------------------------------------------------------------
+#
+# Trace fields carry the closed domain of protocol values (see
+# repro.crypto.serialize): primitives, tuples/lists, bytes, frozensets,
+# dicts. JSON cannot represent all of those natively, so non-native values
+# are wrapped in single-key tag objects ("%t" tuple, "%b" bytes hex,
+# "%s" frozenset, "%m" mapping, "%o" opaque repr). Plain dicts are always
+# encoded as "%m" so a field value can never collide with a tag.
+
+
+@dataclass(frozen=True, slots=True)
+class OpaqueValue:
+    """Placeholder for a value JSONL could not encode losslessly.
+
+    Carries the original ``repr``; round-tripping an :class:`OpaqueValue`
+    is stable (it re-encodes to the same line), but the original object is
+    not reconstructed.
+    """
+
+    text: str
+
+    def __repr__(self) -> str:  # keep dumps readable
+        return f"<opaque {self.text}>"
+
+
+def _encode_value(v: Any) -> Any:
+    if v is None or isinstance(v, (bool, int, float, str)):
+        return v
+    if isinstance(v, (bytes, bytearray)):
+        return {"%b": bytes(v).hex()}
+    if isinstance(v, tuple):
+        return {"%t": [_encode_value(x) for x in v]}
+    if isinstance(v, list):
+        return [_encode_value(x) for x in v]
+    if isinstance(v, (frozenset, set)):
+        items = [_encode_value(x) for x in v]
+        items.sort(key=lambda e: json.dumps(e, sort_keys=True))
+        return {"%s": items}
+    if isinstance(v, dict):
+        pairs = [[_encode_value(k), _encode_value(val)] for k, val in v.items()]
+        pairs.sort(key=lambda kv: json.dumps(kv[0], sort_keys=True))
+        return {"%m": pairs}
+    if isinstance(v, OpaqueValue):
+        return {"%o": v.text}
+    if isinstance(v, DataclassValue):
+        # decoded stand-in: re-encode to the original tag, not as a
+        # dataclass named "DataclassValue" — keeps round-trips stable
+        return {"%d": v.qualname, "f": [_encode_value(x) for x in v.values]}
+    if dataclasses.is_dataclass(v) and not isinstance(v, type):
+        return {
+            "%d": type(v).__qualname__,
+            "f": [_encode_value(getattr(v, f.name)) for f in dataclasses.fields(v)],
+        }
+    return {"%o": repr(v)}
+
+
+@dataclass(frozen=True, slots=True)
+class DataclassValue:
+    """Decoded stand-in for a dataclass field value from a JSONL trace.
+
+    Offline analysis does not need the live class, just the name and field
+    values; re-encoding a :class:`DataclassValue` is stable.
+    """
+
+    qualname: str
+    values: tuple
+
+
+def _decode_value(v: Any) -> Any:
+    if isinstance(v, list):
+        return [_decode_value(x) for x in v]
+    if isinstance(v, dict):
+        if "%b" in v:
+            return bytes.fromhex(v["%b"])
+        if "%t" in v:
+            return tuple(_decode_value(x) for x in v["%t"])
+        if "%s" in v:
+            return frozenset(_decode_value(x) for x in v["%s"])
+        if "%m" in v:
+            return {_decode_value(k): _decode_value(val) for k, val in v["%m"]}
+        if "%o" in v:
+            return OpaqueValue(v["%o"])
+        if "%d" in v:
+            return DataclassValue(
+                qualname=v["%d"], values=tuple(_decode_value(x) for x in v["f"])
+            )
+        raise ConfigurationError(f"unrecognized JSONL value tag in {v!r}")
+    return v
+
+
+def _encode_event(ev: TraceEvent) -> str:
+    obj = {
+        "i": ev.index,
+        "t": ev.time,
+        "k": ev.kind,
+        "p": ev.pid,
+        "f": {name: _encode_value(val) for name, val in ev.fields.items()},
+    }
+    return json.dumps(obj, separators=(",", ":"))
+
+
+def _decode_event(line: str) -> TraceEvent:
+    obj = json.loads(line)
+    return TraceEvent(
+        index=obj["i"],
+        time=obj["t"],
+        kind=obj["k"],
+        pid=obj["p"],
+        fields={name: _decode_value(val) for name, val in obj["f"].items()},
+    )
+
+
+# ---------------------------------------------------------------------------
+# The store
+# ---------------------------------------------------------------------------
+
+
+class TraceStore:
+    """Append-only event log with incremental indexes and an observer bus.
+
+    ``retention`` bounds the number of events kept in memory: ``None``
+    (default) keeps everything; ``N`` keeps the most recent ``N`` events in
+    a ring buffer while :meth:`kind_counts` / :meth:`pid_counts` continue to
+    cover the evicted prefix. Observers always see every event regardless
+    of retention — streaming checkers are the intended consumer for runs
+    too long to hold in full.
+    """
+
+    def __init__(self, retention: int | None = None) -> None:
+        if retention is not None and retention < 1:
+            raise ConfigurationError(f"retention must be >= 1, got {retention}")
+        self.retention = retention
+        self._events: deque[TraceEvent] = deque()
+        self._by_kind: dict[str, deque[TraceEvent]] = {}
+        self._by_pid: dict[ProcessId, deque[TraceEvent]] = {}
+        self._observers: list[TraceObserver] = []
+        self._next_index = 0
+        self._evicted = 0
+        self._evicted_by_kind: Counter[str] = Counter()
+        self._evicted_by_pid: Counter[ProcessId] = Counter()
 
     # -- recording -------------------------------------------------------
 
     def record(self, time: Time, kind: str, pid: ProcessId, **fields: Any) -> None:
-        self._events.append(
-            TraceEvent(index=len(self._events), time=time, kind=kind, pid=pid, fields=fields)
+        ev = TraceEvent(
+            index=self._next_index, time=time, kind=kind, pid=pid, fields=fields
         )
+        self._next_index += 1
+        self._append(ev)
+        for obs in self._observers:
+            obs.on_event(ev)
+
+    def _append(self, ev: TraceEvent) -> None:
+        self._events.append(ev)
+        kind_dq = self._by_kind.get(ev.kind)
+        if kind_dq is None:
+            kind_dq = self._by_kind[ev.kind] = deque()
+        kind_dq.append(ev)
+        pid_dq = self._by_pid.get(ev.pid)
+        if pid_dq is None:
+            pid_dq = self._by_pid[ev.pid] = deque()
+        pid_dq.append(ev)
+        if self.retention is not None and len(self._events) > self.retention:
+            self._evict_oldest()
+
+    def _evict_oldest(self) -> None:
+        old = self._events.popleft()
+        # The globally oldest retained event is necessarily at the front of
+        # its own kind and pid index deques (indexes are in trace order).
+        self._by_kind[old.kind].popleft()
+        self._by_pid[old.pid].popleft()
+        self._evicted += 1
+        self._evicted_by_kind[old.kind] += 1
+        self._evicted_by_pid[old.pid] += 1
+        for obs in self._observers:
+            obs.on_evict(old)
+
+    # -- observer bus -----------------------------------------------------
+
+    def subscribe(self, observer: TraceObserver) -> TraceObserver:
+        """Attach a streaming observer; returns it for chaining."""
+        self._observers.append(observer)
+        return observer
+
+    def unsubscribe(self, observer: TraceObserver) -> None:
+        self._observers.remove(observer)
+
+    @property
+    def observers(self) -> tuple[TraceObserver, ...]:
+        return tuple(self._observers)
+
+    def replay_into(self, *observers: TraceObserver) -> None:
+        """Feed the retained events to ``observers`` in trace order.
+
+        Offline streaming: run an online checker over a finished or
+        imported trace without re-executing the simulation.
+        """
+        for ev in self._events:
+            for obs in observers:
+                obs.on_event(ev)
 
     # -- iteration / filtering -------------------------------------------
 
     def __len__(self) -> int:
+        """Number of *retained* events (equals total recorded unless bounded)."""
         return len(self._events)
 
     def __iter__(self) -> Iterator[TraceEvent]:
         return iter(self._events)
+
+    @property
+    def total_recorded(self) -> int:
+        """Events ever recorded, including any evicted by retention."""
+        return self._next_index
+
+    @property
+    def evicted(self) -> int:
+        return self._evicted
 
     def events(
         self,
@@ -115,17 +353,47 @@ class Trace:
         pid: ProcessId | None = None,
         predicate: Callable[[TraceEvent], bool] | None = None,
     ) -> list[TraceEvent]:
-        """All events matching the given filters, in trace order."""
-        out = []
-        for ev in self._events:
-            if kind is not None and ev.kind != kind:
-                continue
-            if pid is not None and ev.pid != pid:
-                continue
-            if predicate is not None and not predicate(ev):
-                continue
-            out.append(ev)
-        return out
+        """All retained events matching the given filters, in trace order.
+
+        Index-backed: filtering by ``kind`` and/or ``pid`` walks only the
+        smaller matching index, not the whole trace.
+        """
+        if kind is not None and pid is not None:
+            by_kind = self._by_kind.get(kind, ())
+            by_pid = self._by_pid.get(pid, ())
+            if len(by_kind) <= len(by_pid):
+                candidates: Iterable[TraceEvent] = (
+                    ev for ev in by_kind if ev.pid == pid
+                )
+            else:
+                candidates = (ev for ev in by_pid if ev.kind == kind)
+        elif kind is not None:
+            candidates = self._by_kind.get(kind, ())
+        elif pid is not None:
+            candidates = self._by_pid.get(pid, ())
+        else:
+            candidates = self._events
+        if predicate is None:
+            return list(candidates)
+        return [ev for ev in candidates if predicate(ev)]
+
+    # -- summaries (survive eviction) --------------------------------------
+
+    def kind_counts(self) -> dict[str, int]:
+        """Total events per kind, including evicted ones."""
+        counts = Counter(self._evicted_by_kind)
+        for kind, dq in self._by_kind.items():
+            if dq:
+                counts[kind] += len(dq)
+        return dict(counts)
+
+    def pid_counts(self) -> dict[ProcessId, int]:
+        """Total events per pid, including evicted ones."""
+        counts = Counter(self._evicted_by_pid)
+        for pid, dq in self._by_pid.items():
+            if dq:
+                counts[pid] += len(dq)
+        return dict(counts)
 
     # -- protocol-level conveniences --------------------------------------
 
@@ -138,9 +406,8 @@ class Trace:
 
     def decision_of(self, pid: ProcessId) -> Optional[Decision]:
         """The first decision of ``pid``, or ``None``."""
-        for d in self.decisions():
-            if d.pid == pid:
-                return d
+        for ev in self.events(DECIDE, pid=pid):
+            return Decision(pid=ev.pid, value=ev.field("value"), time=ev.time)
         return None
 
     def broadcast_deliveries(self) -> list[Delivery]:
@@ -165,31 +432,109 @@ class Trace:
     # -- indistinguishability ----------------------------------------------
 
     def local_view(self, pid: ProcessId) -> tuple[tuple, ...]:
-        """Ordered content of everything ``pid`` observed in this run."""
+        """Ordered content of everything ``pid`` observed in this run.
+
+        Index-backed: walks only ``pid``'s events. On a bounded store the
+        view covers the retained window only (evicted events are gone);
+        indistinguishability comparisons should use unbounded stores.
+        """
         return tuple(
             ev.view_key()
-            for ev in self._events
-            if ev.pid == pid and ev.kind in _LOCAL_VIEW_KINDS
+            for ev in self._by_pid.get(pid, ())
+            if ev.kind in _LOCAL_VIEW_KINDS
         )
 
-    def views_equal(self, other: "Trace", pids: Iterable[ProcessId]) -> bool:
+    def views_equal(self, other: "TraceStore", pids: Iterable[ProcessId]) -> bool:
         """Whether every process in ``pids`` has the same local view in both traces."""
         return all(self.local_view(p) == other.local_view(p) for p in pids)
 
     def differing_views(
-        self, other: "Trace", pids: Iterable[ProcessId]
+        self, other: "TraceStore", pids: Iterable[ProcessId]
     ) -> list[ProcessId]:
         """Processes whose local views differ between the two traces."""
         return [p for p in pids if self.local_view(p) != other.local_view(p)]
+
+    # -- JSONL export / import ---------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """Serialize the retained events, one JSON object per line."""
+        return "\n".join(_encode_event(ev) for ev in self._events)
+
+    def export_jsonl(self, path_or_file: str | TextIO) -> int:
+        """Write the retained events as JSONL; returns the event count."""
+        text = self.to_jsonl()
+        if hasattr(path_or_file, "write"):
+            path_or_file.write(text)
+            if self._events:
+                path_or_file.write("\n")
+        else:
+            with open(path_or_file, "w", encoding="utf-8") as fh:
+                fh.write(text)
+                if self._events:
+                    fh.write("\n")
+        return len(self._events)
+
+    @classmethod
+    def from_jsonl(
+        cls, text: str, observers: Iterable[TraceObserver] = ()
+    ) -> "TraceStore":
+        """Rebuild a store from :meth:`to_jsonl` output.
+
+        Events keep their original indexes and times. Fields that JSONL
+        encodes losslessly (primitives, bytes, tuples, sets, mappings)
+        decode to equal values; rich objects come back as stable
+        :class:`DataclassValue`/:class:`OpaqueValue` stand-ins — so view
+        comparisons are exact between *imported* traces, and checkers that
+        read codec-native fields (all the shipped ones) report identically
+        to the live run. ``observers`` are subscribed first and therefore
+        replay the stream event by event — deterministic offline
+        re-checking of an exported run.
+        """
+        store = cls()
+        for obs in observers:
+            store.subscribe(obs)
+        last_index = -1
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            ev = _decode_event(line)
+            if ev.index <= last_index:
+                raise ConfigurationError(
+                    f"JSONL trace indexes not increasing at event {ev.index}"
+                )
+            last_index = ev.index
+            store._next_index = ev.index + 1
+            store._append(ev)
+            for obs in store._observers:
+                obs.on_event(ev)
+        return store
+
+    @classmethod
+    def load_jsonl(
+        cls, path: str, observers: Iterable[TraceObserver] = ()
+    ) -> "TraceStore":
+        """Read a JSONL trace file exported by :meth:`export_jsonl`."""
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_jsonl(fh.read(), observers=observers)
 
     # -- debugging ---------------------------------------------------------
 
     def dump(self, limit: int | None = None) -> str:
         """Human-readable rendering of the trace (for failing-test output)."""
         lines = []
-        for ev in self._events[: limit if limit is not None else len(self._events)]:
+        shown = 0
+        for ev in self._events:
+            if limit is not None and shown >= limit:
+                break
             fields = " ".join(f"{k}={v!r}" for k, v in ev.fields.items())
             lines.append(f"[{ev.time:10.4f}] p{ev.pid:<3} {ev.kind:<14} {fields}")
+            shown += 1
         if limit is not None and len(self._events) > limit:
             lines.append(f"… {len(self._events) - limit} more events")
         return "\n".join(lines)
+
+
+# Backward-compatible name: the rest of the library (and downstream code)
+# says ``Trace``; the indexed store is a drop-in replacement.
+Trace = TraceStore

@@ -84,7 +84,7 @@ class TestCancellation:
         s = make_scheduler(log)
         ev = s.schedule(1.0, Callback(fn=lambda: None, label="cancel-me"))
         s.schedule(2.0, Callback(fn=lambda: None, label="keep"))
-        Scheduler.cancel(ev)
+        s.cancel(ev)
         s.run()
         assert [l for _, l in log] == ["keep"]
 
@@ -93,7 +93,28 @@ class TestCancellation:
         s.dispatch = lambda ev: None
         ev = s.schedule(1.0, Callback(fn=lambda: None))
         assert s.pending == 1
-        Scheduler.cancel(ev)
+        s.cancel(ev)
+        assert s.pending == 0
+
+    def test_double_cancel_counts_once(self):
+        s = Scheduler()
+        s.dispatch = lambda ev: None
+        ev = s.schedule(1.0, Callback(fn=lambda: None))
+        s.schedule(2.0, Callback(fn=lambda: None))
+        s.cancel(ev)
+        s.cancel(ev)
+        assert s.pending == 1
+
+    def test_pending_tracks_dispatch_and_cancel_through_run(self):
+        s = Scheduler()
+        s.dispatch = lambda ev: None
+        evs = [s.schedule(float(i + 1), Callback(fn=lambda: None)) for i in range(5)]
+        assert s.pending == 5
+        s.cancel(evs[3])
+        assert s.pending == 4
+        s.run(until=2.0)  # dispatches t=1 and t=2
+        assert s.pending == 2
+        s.run()
         assert s.pending == 0
 
 

@@ -1,0 +1,363 @@
+"""Trace v2 tests: indexed queries vs linear-scan semantics, observers,
+retention, and JSONL round-trips (repro.sim.trace)."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+import pytest
+
+from repro.analysis.tracefile import (
+    format_trace_summary,
+    load_trace,
+    replay_observers,
+    trace_summary,
+)
+from repro.errors import ConfigurationError
+from repro.sim.trace import (
+    _LOCAL_VIEW_KINDS,
+    DataclassValue,
+    OpaqueValue,
+    Trace,
+    TraceEvent,
+    TraceObserver,
+    TraceStore,
+)
+
+KINDS = [
+    "send", "deliver", "timer_set", "timer_fire", "op_invoke",
+    "op_linearize", "op_respond", "decide", "bcast", "bcast_deliver",
+    "round_sent", "round_recv", "round_end", "custom",
+]
+
+
+def random_events(seed: int, count: int, n_pids: int = 5):
+    rng = random.Random(seed)
+    events = []
+    for i in range(count):
+        kind = rng.choice(KINDS)
+        pid = rng.randrange(n_pids)
+        fields = {"tag": rng.randrange(8), "payload": f"v{rng.randrange(4)}"}
+        events.append((float(i), kind, pid, fields))
+    return events
+
+
+def build(events, retention=None):
+    t = TraceStore(retention=retention)
+    for time, kind, pid, fields in events:
+        t.record(time, kind, pid, **fields)
+    return t
+
+
+# --- reference implementation: the pre-refactor linear-scan semantics ------
+
+
+class LinearScanReference:
+    """The old Trace behavior: one list, every query scans all of it."""
+
+    def __init__(self):
+        self.log: list[TraceEvent] = []
+
+    def record(self, time, kind, pid, **fields):
+        self.log.append(
+            TraceEvent(index=len(self.log), time=time, kind=kind, pid=pid,
+                       fields=fields)
+        )
+
+    def events(self, kind=None, pid=None, predicate=None):
+        out = []
+        for ev in self.log:
+            if kind is not None and ev.kind != kind:
+                continue
+            if pid is not None and ev.pid != pid:
+                continue
+            if predicate is not None and not predicate(ev):
+                continue
+            out.append(ev)
+        return out
+
+    def local_view(self, pid):
+        return tuple(
+            ev.view_key() for ev in self.log
+            if ev.pid == pid and ev.kind in _LOCAL_VIEW_KINDS
+        )
+
+
+class TestIndexedQueriesMatchLinearScan:
+    """Seeded property test: the indexed store is observationally identical
+    to the pre-refactor single-list scan on random event mixes."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_events_queries_agree(self, seed):
+        events = random_events(seed, count=400)
+        store, ref = build(events), LinearScanReference()
+        for time, kind, pid, fields in events:
+            ref.record(time, kind, pid, **fields)
+        assert store.events() == ref.events()
+        for kind in KINDS:
+            assert store.events(kind) == ref.events(kind)
+        for pid in range(5):
+            assert store.events(pid=pid) == ref.events(pid=pid)
+        for kind in ("send", "decide", "custom"):
+            for pid in range(5):
+                assert store.events(kind, pid=pid) == ref.events(kind, pid=pid)
+        pred = lambda e: e.field("tag") in (0, 3)
+        assert store.events("custom", predicate=pred) == \
+            ref.events("custom", predicate=pred)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_local_views_agree(self, seed):
+        events = random_events(seed, count=400)
+        store, ref = build(events), LinearScanReference()
+        for time, kind, pid, fields in events:
+            ref.record(time, kind, pid, **fields)
+        for pid in range(5):
+            assert store.local_view(pid) == ref.local_view(pid)
+
+    def test_views_equal_matches_per_pid_comparison(self):
+        a = build(random_events(1, count=300))
+        b = build(random_events(1, count=300))
+        c = build(random_events(2, count=300))
+        assert a.views_equal(b, range(5))
+        assert not a.views_equal(c, range(5))
+        assert a.differing_views(b, range(5)) == []
+
+
+class TestObserverBus:
+    def test_observers_see_every_event_in_order(self):
+        seen = []
+
+        class Collector(TraceObserver):
+            def on_event(self, ev):
+                seen.append(ev.index)
+
+        t = TraceStore()
+        t.subscribe(Collector())
+        for i in range(20):
+            t.record(float(i), "custom", 0, event="x")
+        assert seen == list(range(20))
+
+    def test_subscription_order_is_publication_order(self):
+        calls = []
+
+        class Tagged(TraceObserver):
+            def __init__(self, tag):
+                self.tag = tag
+
+            def on_event(self, ev):
+                calls.append(self.tag)
+
+        t = TraceStore()
+        t.subscribe(Tagged("a"))
+        t.subscribe(Tagged("b"))
+        t.record(0.0, "custom", 0)
+        assert calls == ["a", "b"]
+
+    def test_unsubscribe_stops_delivery(self):
+        seen = []
+
+        class Collector(TraceObserver):
+            def on_event(self, ev):
+                seen.append(ev.index)
+
+        obs = Collector()
+        t = TraceStore()
+        t.subscribe(obs)
+        t.record(0.0, "custom", 0)
+        t.unsubscribe(obs)
+        t.record(1.0, "custom", 0)
+        assert seen == [0]
+        assert t.observers == ()
+
+    def test_raising_observer_aborts_record(self):
+        class Tripwire(TraceObserver):
+            def on_event(self, ev):
+                if ev.field("event") == "bad":
+                    raise ValueError("tripped")
+
+        t = TraceStore()
+        t.subscribe(Tripwire())
+        t.record(0.0, "custom", 0, event="fine")
+        with pytest.raises(ValueError, match="tripped"):
+            t.record(1.0, "custom", 0, event="bad")
+        # the event was recorded before observers ran — the trace shows it
+        assert len(t) == 2
+
+    def test_replay_into_feeds_retained_events(self):
+        seen = []
+
+        class Collector(TraceObserver):
+            def on_event(self, ev):
+                seen.append((ev.index, ev.kind))
+
+        t = build(random_events(3, count=50))
+        t.replay_into(Collector())
+        assert seen == [(ev.index, ev.kind) for ev in t.events()]
+
+
+class TestRetention:
+    def test_ring_buffer_keeps_most_recent(self):
+        t = build(random_events(4, count=100), retention=30)
+        assert len(t) == 30
+        assert t.total_recorded == 100
+        assert t.evicted == 70
+        assert [ev.index for ev in t.events()] == list(range(70, 100))
+
+    def test_counts_cover_evicted_prefix(self):
+        events = random_events(5, count=200)
+        bounded = build(events, retention=25)
+        unbounded = build(events)
+        assert bounded.kind_counts() == unbounded.kind_counts()
+        assert bounded.pid_counts() == unbounded.pid_counts()
+
+    def test_indexed_queries_consistent_after_eviction(self):
+        events = random_events(6, count=200)
+        bounded = build(events, retention=40)
+        unbounded = build(events)
+        keep = {ev.index for ev in bounded.events()}
+        for kind in KINDS:
+            expect = [ev for ev in unbounded.events(kind) if ev.index in keep]
+            assert bounded.events(kind) == expect
+        for pid in range(5):
+            expect = [ev for ev in unbounded.events(pid=pid) if ev.index in keep]
+            assert bounded.events(pid=pid) == expect
+
+    def test_on_evict_fires_with_the_evicted_event(self):
+        evicted = []
+
+        class Watcher(TraceObserver):
+            def on_evict(self, ev):
+                evicted.append(ev.index)
+
+        t = TraceStore(retention=5)
+        t.subscribe(Watcher())
+        for i in range(12):
+            t.record(float(i), "custom", 0)
+        assert evicted == list(range(7))
+
+    def test_retention_must_be_positive(self):
+        with pytest.raises(ConfigurationError, match="retention"):
+            TraceStore(retention=0)
+
+    def test_observers_see_all_despite_retention(self):
+        seen = []
+
+        class Collector(TraceObserver):
+            def on_event(self, ev):
+                seen.append(ev.index)
+
+        t = TraceStore(retention=3)
+        t.subscribe(Collector())
+        for i in range(10):
+            t.record(float(i), "custom", 0)
+        assert seen == list(range(10))
+
+
+@dataclass(frozen=True)
+class _Probe:
+    x: int
+    y: str
+
+
+class _NotSerializable:
+    def __repr__(self):
+        return "<probe object>"
+
+
+class TestJsonlRoundTrip:
+    def test_random_trace_round_trips_identically(self):
+        t = build(random_events(7, count=300))
+        back = TraceStore.from_jsonl(t.to_jsonl())
+        assert back.events() == t.events()
+        for pid in range(5):
+            assert back.local_view(pid) == t.local_view(pid)
+        assert back.views_equal(t, range(5))
+        # re-export is byte-identical: the codec is a fixed point
+        assert back.to_jsonl() == t.to_jsonl()
+
+    def test_protocol_value_types_survive(self):
+        t = TraceStore()
+        t.record(0.0, "custom", 0, sig=b"\x00\xff\x10", pair=(1, "a"),
+                 quorum=frozenset({3, 1, 2}), table={"k": (1, 2)},
+                 nested=[(1,), {"x": b"z"}])
+        back = TraceStore.from_jsonl(t.to_jsonl())
+        ev = back.events()[0]
+        assert ev.field("sig") == b"\x00\xff\x10"
+        assert ev.field("pair") == (1, "a")
+        assert ev.field("quorum") == frozenset({1, 2, 3})
+        assert ev.field("table") == {"k": (1, 2)}
+        assert ev.field("nested") == [(1,), {"x": b"z"}]
+
+    def test_dataclass_and_opaque_fallbacks(self):
+        t = TraceStore()
+        t.record(0.0, "custom", 0, probe=_Probe(1, "a"), blob=_NotSerializable())
+        back = TraceStore.from_jsonl(t.to_jsonl())
+        ev = back.events()[0]
+        assert ev.field("probe") == DataclassValue("_Probe", (1, "a"))
+        assert ev.field("blob") == OpaqueValue("<probe object>")
+        # stand-ins re-encode stably
+        assert TraceStore.from_jsonl(back.to_jsonl()).to_jsonl() == back.to_jsonl()
+
+    def test_import_preserves_indexes_and_rejects_disorder(self):
+        t = build(random_events(8, count=50), retention=20)
+        back = TraceStore.from_jsonl(t.to_jsonl())
+        assert [ev.index for ev in back.events()] == list(range(30, 50))
+        lines = t.to_jsonl().splitlines()
+        shuffled = "\n".join([lines[1], lines[0]] + lines[2:])
+        with pytest.raises(ConfigurationError, match="not increasing"):
+            TraceStore.from_jsonl(shuffled)
+
+    def test_from_jsonl_streams_through_observers(self):
+        seen = []
+
+        class Collector(TraceObserver):
+            def on_event(self, ev):
+                seen.append(ev.index)
+
+        t = build(random_events(9, count=40))
+        TraceStore.from_jsonl(t.to_jsonl(), observers=[Collector()])
+        assert seen == list(range(40))
+
+    def test_export_and_load_file(self, tmp_path):
+        t = build(random_events(10, count=60))
+        path = str(tmp_path / "run.jsonl")
+        assert t.export_jsonl(path) == 60
+        back = load_trace(path)
+        assert back.events() == t.events()
+
+
+class TestOfflineAnalysis:
+    def test_trace_summary_counts(self):
+        t = build(random_events(11, count=120))
+        s = trace_summary(t)
+        assert s["retained"] == s["total_recorded"] == 120
+        assert s["evicted"] == 0
+        assert sum(s["kinds"].values()) == 120
+        assert sum(s["pids"].values()) == 120
+        assert s["t_first"] == 0.0 and s["t_last"] == 119.0
+
+    def test_format_trace_summary_renders_tables(self):
+        t = build(random_events(12, count=50))
+        out = format_trace_summary(t, title="my run")
+        assert "my run" in out
+        assert "events by kind" in out
+        assert "events by pid" in out
+
+    def test_replay_observers_offline(self, tmp_path):
+        seen = []
+
+        class Collector(TraceObserver):
+            def on_event(self, ev):
+                seen.append(ev.index)
+
+        t = build(random_events(13, count=30))
+        path = str(tmp_path / "run.jsonl")
+        t.export_jsonl(path)
+        replay_observers(load_trace(path), Collector())
+        assert seen == list(range(30))
+
+
+class TestCompatibilityAlias:
+    def test_trace_is_the_indexed_store(self):
+        assert Trace is TraceStore
