@@ -7,6 +7,18 @@ import pytest
 from _bench_util import REPORTS
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick", action="store_true", default=False,
+        help="shrink seed grids for smoke/CI runs",
+    )
+
+
+@pytest.fixture
+def quick(request):
+    return request.config.getoption("--quick")
+
+
 @pytest.fixture
 def once(benchmark):
     """Run the experiment exactly once under pytest-benchmark timing.

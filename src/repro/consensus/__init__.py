@@ -21,9 +21,12 @@ from .minbft import MinBFTReplica
 from .pbft import PBFTReplica
 from .safety import (
     Execution,
+    LivenessReport,
+    ReplicationLivenessChecker,
     ReplicationReport,
     ReplicationStreamChecker,
     check_replication,
+    check_replication_liveness,
 )
 from .usig import UI, UIOrderEnforcer, USIG, USIGVerifier
 from .viewchange import LogEntry, SlotCandidate, compute_reproposals, verify_log
@@ -38,9 +41,11 @@ __all__ = [
     "EnclaveUSIGVerifier",
     "Execution",
     "KVStoreApp",
+    "LivenessReport",
     "LogEntry",
     "MinBFTReplica",
     "PBFTReplica",
+    "ReplicationLivenessChecker",
     "ReplicationReport",
     "ReplicationStreamChecker",
     "SlotCandidate",
@@ -52,6 +57,7 @@ __all__ = [
     "build_minbft_system",
     "build_pbft_system",
     "check_replication",
+    "check_replication_liveness",
     "compute_reproposals",
     "default_workload",
     "make_app",

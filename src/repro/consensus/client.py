@@ -35,6 +35,7 @@ class BFTClient(Process):
         ops: Sequence[tuple],
         retry_timeout: float = 150.0,
         think_time: float = 0.0,
+        timeout_policy: Any = None,
     ) -> None:
         super().__init__()
         if reply_quorum < 1:
@@ -43,6 +44,13 @@ class BFTClient(Process):
         self.reply_quorum = reply_quorum
         self.ops = list(ops)
         self.retry_timeout = retry_timeout
+        if timeout_policy is None:
+            from ..faults.timeouts import FixedTimeout  # lazy: faults builds on consensus
+
+            timeout_policy = FixedTimeout(retry_timeout)
+        elif callable(timeout_policy) and not hasattr(timeout_policy, "current"):
+            timeout_policy = timeout_policy()
+        self.timeout_policy = timeout_policy
         self.think_time = think_time
         self.signer: Optional[Signer] = None  # injected by the harness
         self.scheme: Optional[SignatureScheme] = None
@@ -72,7 +80,9 @@ class BFTClient(Process):
         self._sent_at = self.ctx.now
         self._send_request()
         self.ctx.record("custom", event="request_sent", req_id=req_id)
-        self._retry_timer = self.ctx.set_timer(self.retry_timeout, self.RETRY_TAG)
+        self._retry_timer = self.ctx.set_timer(
+            self.timeout_policy.current(), self.RETRY_TAG
+        )
 
     def _send_request(self) -> None:
         assert self.signer is not None
@@ -89,8 +99,12 @@ class BFTClient(Process):
         if tag != self.RETRY_TAG or self._current_req_id is None:
             return
         self.retransmissions += 1
+        # unproductive expiry: back off before retransmitting
+        self.timeout_policy.escalate()
         self._send_request()
-        self._retry_timer = self.ctx.set_timer(self.retry_timeout, self.RETRY_TAG)
+        self._retry_timer = self.ctx.set_timer(
+            self.timeout_policy.current(), self.RETRY_TAG
+        )
 
     def on_message(self, src: ProcessId, msg: Any) -> None:
         if not (isinstance(msg, tuple) and len(msg) == 5 and msg[0] == REPLY):
@@ -104,6 +118,8 @@ class BFTClient(Process):
             latency = self.ctx.now - self._sent_at
             self.latencies.append(latency)
             self.results.append(result)
+            self.timeout_policy.observe(latency)
+            self.timeout_policy.note_progress()
             self.ctx.record(
                 "custom", event="request_done", req_id=req_id,
                 result=result, latency=latency,

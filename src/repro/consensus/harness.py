@@ -47,12 +47,19 @@ def build_minbft_system(
     reliable: bool | dict = False,
     trace_retention: Optional[int] = None,
     observers: Sequence[Any] = (),
+    timeout_policy: Optional[Callable[[], Any]] = None,
 ) -> tuple[Simulation, list[MinBFTReplica], list[BFTClient]]:
     """A ready-to-run MinBFT deployment: n = 2f+1 replicas + clients.
 
     ``replica_factory(pid, **kwargs)`` substitutes custom (e.g. Byzantine)
     replicas for chosen pids; it receives the same keyword arguments as
     :class:`~repro.consensus.minbft.MinBFTReplica`.
+
+    ``timeout_policy`` is a zero-argument factory (see
+    :func:`~repro.faults.timeouts.make_policy_factory`); each replica and
+    client gets a **fresh** policy instance so per-process RTT state never
+    aliases. ``None`` keeps the legacy fixed ``req_timeout`` /
+    ``retry_timeout`` behaviour.
 
     ``trace_retention`` / ``observers`` pass through to
     :class:`~repro.sim.runner.Simulation`: a bounded trace ring buffer and
@@ -83,6 +90,7 @@ def build_minbft_system(
             signer=scheme.signer(pid),
             app=make_app(app),
             req_timeout=req_timeout,
+            timeout_policy=timeout_policy,
         )
         if replica_factory is not None:
             replicas.append(replica_factory(pid, **kwargs))
@@ -101,6 +109,7 @@ def build_minbft_system(
             reply_quorum=f + 1,
             ops=ops,
             retry_timeout=retry_timeout,
+            timeout_policy=timeout_policy,
         )
         client.scheme = scheme
         client.signer = scheme.signer(n + c)
@@ -131,8 +140,13 @@ def build_pbft_system(
     workloads: Optional[Sequence[Sequence[tuple]]] = None,
     trace_retention: Optional[int] = None,
     observers: Sequence[Any] = (),
+    timeout_policy: Optional[Callable[[], Any]] = None,
 ) -> tuple[Simulation, list[PBFTReplica], list[BFTClient]]:
-    """A ready-to-run PBFT deployment: n = 3f+1 replicas + clients."""
+    """A ready-to-run PBFT deployment: n = 3f+1 replicas + clients.
+
+    ``timeout_policy`` is a zero-argument factory; see
+    :func:`build_minbft_system`.
+    """
     if f < 1:
         raise ConfigurationError(f"f must be >= 1, got {f}")
     n = 3 * f + 1
@@ -147,6 +161,7 @@ def build_pbft_system(
             signer=scheme.signer(pid),
             app=make_app(app),
             req_timeout=req_timeout,
+            timeout_policy=timeout_policy,
         )
         if replica_factory is not None:
             replicas.append(replica_factory(pid, **kwargs))
@@ -165,6 +180,7 @@ def build_pbft_system(
             reply_quorum=f + 1,
             ops=ops,
             retry_timeout=retry_timeout,
+            timeout_policy=timeout_policy,
         )
         client.scheme = scheme
         client.signer = scheme.signer(n + c)

@@ -57,6 +57,8 @@ CHECKPOINT = "CHECKPOINT"
 REQ_VIEW_CHANGE = "REQ-VIEW-CHANGE"
 VIEW_CHANGE = "VIEW-CHANGE"
 NEW_VIEW = "NEW-VIEW"
+RESYNC = "RESYNC"
+RESYNC_INFO = "RESYNC-INFO"
 
 
 def request_key(request: Any) -> tuple:
@@ -73,6 +75,14 @@ def proposal_requests(proposal: Any) -> list:
 
 def rvc_domain(replica: ProcessId, new_view: int) -> tuple:
     return ("MINBFT-RVC", replica, new_view)
+
+
+def resync_domain(replica: ProcessId, nonce: int) -> tuple:
+    return ("MINBFT-RESYNC", replica, nonce)
+
+
+def resync_info_domain(replica: ProcessId, nonce: int, digest: bytes) -> tuple:
+    return ("MINBFT-RESYNC-INFO", replica, nonce, digest)
 
 
 def request_domain(client: ProcessId, req_id: int, op: Any) -> tuple:
@@ -103,6 +113,7 @@ class MinBFTReplica(Process):
         checkpoint_interval: int = 0,
         batching: bool = False,
         batch_delay: float = 0.2,
+        timeout_policy: Any = None,
     ) -> None:
         super().__init__()
         if n < 3 or n % 2 == 0:
@@ -117,6 +128,13 @@ class MinBFTReplica(Process):
         self.signer = signer
         self.app = app
         self.req_timeout = req_timeout if req_timeout is not None else self.REQ_TIMEOUT
+        if timeout_policy is None:
+            from ..faults.timeouts import FixedTimeout  # lazy: faults builds on consensus
+
+            timeout_policy = FixedTimeout(self.req_timeout)
+        elif callable(timeout_policy) and not hasattr(timeout_policy, "current"):
+            timeout_policy = timeout_policy()
+        self.timeout_policy = timeout_policy
 
         self.view = 0
         self.in_view_change: Optional[int] = None
@@ -153,10 +171,31 @@ class MinBFTReplica(Process):
         self._vcs: dict[int, dict[ProcessId, tuple]] = {}
         self._new_view_sent: set[int] = set()
         self._vc_timer: Optional[int] = None
+        # request arrival times feed the adaptive timeout's RTT estimator
+        self._pending_since: dict[tuple, float] = {}
+        # last verified NEW-VIEW (message, ui) — served to recovering peers
+        self._latest_new_view: Optional[tuple] = None
+        self._resynced: set[ProcessId] = set()
+        self._started_incarnation: Optional[int] = None
         # stats for benches
         self.commits_executed = 0
         self.view_changes_completed = 0
         self.log_entries_gced = 0
+        self.resyncs_answered = 0
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def on_start(self) -> None:
+        # Restart hygiene: a previous incarnation's timer ids must never be
+        # acted on by this one. The simulator purges a crashed pid's timers,
+        # but a recycled replica object (or a factory that pre-builds its
+        # replacement) could still carry ids across the reboot — clear them
+        # and remember which incarnation armed our timers.
+        self._vc_timer = None
+        self._batch_timer = None
+        self._started_incarnation = self.ctx.incarnation
+        if self.ctx.incarnation > 0:
+            self._request_resync()
 
     # -- identity helpers ------------------------------------------------------
 
@@ -193,6 +232,10 @@ class MinBFTReplica(Process):
             self._on_request(msg)
         elif kind == REQ_VIEW_CHANGE and len(msg) == 4:
             self._on_req_view_change(src, msg)
+        elif kind == RESYNC and len(msg) == 4:
+            self._on_resync(msg)
+        elif kind == RESYNC_INFO and len(msg) == 7:
+            self._on_resync_info(msg)
 
     # -- client requests ---------------------------------------------------------------
 
@@ -215,10 +258,13 @@ class MinBFTReplica(Process):
         if self._is_executed(key):
             return
         self._pending.setdefault(key, request)
+        self._pending_since.setdefault(key, self.ctx.now)
         if self.is_primary:
             self._propose_pending()
         if self._vc_timer is None and self._pending:
-            self._vc_timer = self.ctx.set_timer(self.req_timeout, self.VC_TIMER)
+            self._vc_timer = self.ctx.set_timer(
+                self.timeout_policy.current(), self.VC_TIMER
+            )
 
     def _propose_pending(self) -> None:
         if not self.is_primary:
@@ -349,6 +395,7 @@ class MinBFTReplica(Process):
         return cached is not None and cached[0] >= key[1]
 
     def _execute_ready(self) -> None:
+        executed_any = False
         while self.exec_next in self._certified:
             seq = self.exec_next
             proposal = self._certified[seq]
@@ -361,6 +408,12 @@ class MinBFTReplica(Process):
                 self._executed_keys.add(key)
                 self._client_cache[client] = (req_id, result)
                 self._pending.pop(key, None)
+                since = self._pending_since.pop(key, None)
+                if since is not None:
+                    # arrival-to-execution latency is the "round trip" the
+                    # view-change timer actually waits on
+                    self.timeout_policy.observe(self.ctx.now - since)
+                executed_any = True
                 self.commits_executed += 1
                 self.ctx.record(
                     "custom", event="execute", seq=seq, client=client,
@@ -374,6 +427,8 @@ class MinBFTReplica(Process):
                 and seq % self.checkpoint_interval == 0
             ):
                 self._emit_checkpoint(seq)
+        if executed_any:
+            self.timeout_policy.note_progress()
         if not self._pending and self._vc_timer is not None:
             self.ctx.cancel_timer(self._vc_timer)
             self._vc_timer = None
@@ -435,6 +490,113 @@ class MinBFTReplica(Process):
     def on_execute(self, seq: SeqNum, request: Any, result: Any) -> None:
         """Hook: called once per locally executed slot (adapters override)."""
 
+    # -- crash-recovery resync ---------------------------------------------------------------
+    #
+    # A rebooted replica keeps its trusted USIG but loses everything
+    # volatile, including the UI-order enforcer's per-peer cursors. Peers'
+    # frames acked by the dead incarnation are never retransmitted, so
+    # without help the fresh enforcer waits forever at each peer's counter 1
+    # and the recovered replica is deaf. The resync handshake repairs this:
+    # the rebooted replica announces itself (signed, tagged with its new
+    # incarnation as a nonce), and each peer answers with (a) its current
+    # USIG counter — authorizing the enforcer to skip the unrecoverable
+    # prefix of that peer's stream, which is safe because a peer can only
+    # truncate its *own* stream — (b) its latest USIG-signed NEW-VIEW, whose
+    # bundle is validated exactly like a live NEW-VIEW before the view is
+    # adopted, and (c) its stable checkpoint certificate + state blob for
+    # fast-forwarding execution. The nonce rejects replayed RESYNC-INFO from
+    # before the latest reboot (stale-incarnation guard).
+
+    def _request_resync(self) -> None:
+        nonce = self.ctx.incarnation
+        sig = self.signer.sign(resync_domain(self.pid, nonce))
+        self.ctx.broadcast((RESYNC, self.pid, nonce, sig), include_self=False)
+
+    def _on_resync(self, msg: tuple) -> None:
+        _, claimed, nonce, sig = msg
+        if not (
+            isinstance(claimed, int)
+            and 0 <= claimed < self.n
+            and claimed != self.pid
+            and isinstance(nonce, int)
+        ):
+            return
+        if not (
+            isinstance(sig, Signature)
+            and sig.signer == claimed
+            and self.scheme.verify(resync_domain(claimed, nonce), sig)
+        ):
+            return
+        counter = self.usig.counter
+        nv = self._latest_new_view
+        stable = (
+            (self.stable_seq, self._stable_cert, self._stable_state)
+            if self.stable_seq > 0
+            else None
+        )
+        digest = content_hash((counter, nv, stable))
+        info_sig = self.signer.sign(resync_info_domain(self.pid, nonce, digest))
+        self.resyncs_answered += 1
+        self.ctx.send(
+            claimed, (RESYNC_INFO, self.pid, nonce, counter, nv, stable, info_sig)
+        )
+
+    def _on_resync_info(self, msg: tuple) -> None:
+        _, peer, nonce, counter, nv, stable, sig = msg
+        if not (isinstance(peer, int) and 0 <= peer < self.n and peer != self.pid):
+            return
+        if nonce != self.ctx.incarnation:
+            return  # stale: answers a resync from a previous incarnation
+        if peer in self._resynced:
+            return
+        if not isinstance(counter, int) or counter < 0:
+            return
+        if not (
+            isinstance(sig, Signature)
+            and sig.signer == peer
+            and self.scheme.verify(
+                resync_info_domain(peer, nonce, content_hash((counter, nv, stable))),
+                sig,
+            )
+        ):
+            return
+        self._resynced.add(peer)
+        self._enforcer.resync(peer, counter)
+        # newest view first: the bundle is the primary's USIG-signed NEW-VIEW,
+        # validated exactly as if it had arrived through the live protocol
+        if isinstance(nv, tuple) and len(nv) == 2:
+            nv_msg, nv_ui = nv
+            if (
+                isinstance(nv_msg, tuple)
+                and len(nv_msg) == 3
+                and nv_msg[0] == NEW_VIEW
+                and isinstance(nv_msg[1], int)
+                and nv_msg[1] > self.view
+                and ui_like(nv_ui)
+                and self.verifier.verify_ui(
+                    nv_ui, nv_msg, self.primary_of(nv_msg[1])
+                )
+            ):
+                validated = self._validate_new_view_bundle(nv_msg[2])
+                if validated is not None:
+                    self._adopt_view(nv_msg[1], *validated)
+        # then certified checkpoint state, which may be newer still
+        if isinstance(stable, tuple) and len(stable) == 3:
+            s_seq, cert, blob = stable
+            checked = validate_checkpoint_cert(self.verifier, cert, self.f)
+            if (
+                checked is not None
+                and checked[0] == s_seq
+                and isinstance(blob, tuple)
+                and len(blob) == 4
+            ):
+                try:
+                    blob_ok = content_hash(blob) == checked[1]
+                except Exception:
+                    blob_ok = False
+                if blob_ok:
+                    self._fast_forward(s_seq, blob)
+
     # -- view change -------------------------------------------------------------------------
 
     def _flush_batch(self) -> None:
@@ -456,6 +618,11 @@ class MinBFTReplica(Process):
         self._usig_broadcast((PREPARE, self.view, seq, batch))
 
     def on_timer(self, tag: Any) -> None:
+        if (
+            self._started_incarnation is not None
+            and self.ctx.incarnation != self._started_incarnation
+        ):
+            return  # a previous incarnation armed this timer
         if tag == "minbft-batch":
             self._flush_batch()
             return
@@ -464,10 +631,14 @@ class MinBFTReplica(Process):
         self._vc_timer = None
         if not self._pending and self.in_view_change is None:
             return
+        # unproductive expiry: back the timeout off before re-arming
+        self.timeout_policy.escalate()
         target = (self.in_view_change or self.view) + 1
         self._send_req_view_change(target)
         # keep escalating while stuck
-        self._vc_timer = self.ctx.set_timer(self.req_timeout, self.VC_TIMER)
+        self._vc_timer = self.ctx.set_timer(
+            self.timeout_policy.current(), self.VC_TIMER
+        )
 
     def _send_req_view_change(self, new_view: int) -> None:
         if new_view in self._rvc_sent:
@@ -510,7 +681,9 @@ class MinBFTReplica(Process):
         ))
         if self._vc_timer is not None:
             self.ctx.cancel_timer(self._vc_timer)
-        self._vc_timer = self.ctx.set_timer(self.req_timeout, self.VC_TIMER)
+        self._vc_timer = self.ctx.set_timer(
+            self.timeout_policy.current(), self.VC_TIMER
+        )
         self._maybe_send_new_view(new_view)
 
     def _validate_vc(self, replica: ProcessId, base: Any, cert: Any,
@@ -584,39 +757,55 @@ class MinBFTReplica(Process):
             )
             self._usig_broadcast((NEW_VIEW, new_view, bundle))
 
+    def _validate_new_view_bundle(
+        self, bundle: Any
+    ) -> Optional[tuple[dict[SeqNum, Any], SeqNum, Any]]:
+        """Validate a NEW-VIEW bundle of f+1 VIEW-CHANGE bodies.
+
+        Returns ``(reproposals, best_stable, best_blob)`` or None. Shared
+        by the live NEW-VIEW path and the crash-recovery resync path — both
+        must apply identical verification before a view is adopted.
+        """
+        if not isinstance(bundle, tuple) or len(bundle) < self.f + 1:
+            return None
+        logs: dict[ProcessId, list[LogEntry]] = {}
+        best_stable: SeqNum = 0
+        best_blob: Any = None
+        for item in bundle:
+            if not (isinstance(item, tuple) and len(item) == 5):
+                return None
+            r, base, cert, state_blob, log = item
+            if not (isinstance(r, int) and isinstance(log, tuple)):
+                return None
+            end_counter = (base if isinstance(base, int) else 0) + len(log) + 1
+            record = self._validate_vc(r, base, cert, state_blob, log,
+                                       end_counter)
+            if record is None or r in logs:
+                return None
+            entries, stable_seq, blob = record
+            logs[r] = entries
+            if stable_seq > best_stable:
+                best_stable, best_blob = stable_seq, blob
+        if len(logs) < self.f + 1:
+            return None
+        reproposals = {
+            seq: cand
+            for seq, cand in compute_reproposals(logs).items()
+            if seq > best_stable
+        }
+        return reproposals, best_stable, best_blob
+
     def _on_new_view(self, replica: ProcessId, ui: UI, message: tuple) -> None:
         _, new_view, bundle = message
         if not isinstance(new_view, int) or new_view <= self.view:
             return
         if replica != self.primary_of(new_view):
             return
-        if not isinstance(bundle, tuple) or len(bundle) < self.f + 1:
+        validated = self._validate_new_view_bundle(bundle)
+        if validated is None:
             return
-        logs: dict[ProcessId, list[LogEntry]] = {}
-        best_stable: SeqNum = 0
-        best_blob: Any = None
-        for item in bundle:
-            if not (isinstance(item, tuple) and len(item) == 5):
-                return
-            r, base, cert, state_blob, log = item
-            if not (isinstance(r, int) and isinstance(log, tuple)):
-                return
-            end_counter = (base if isinstance(base, int) else 0) + len(log) + 1
-            record = self._validate_vc(r, base, cert, state_blob, log,
-                                       end_counter)
-            if record is None or r in logs:
-                return
-            entries, stable_seq, blob = record
-            logs[r] = entries
-            if stable_seq > best_stable:
-                best_stable, best_blob = stable_seq, blob
-        if len(logs) < self.f + 1:
-            return
-        reproposals = {
-            seq: cand
-            for seq, cand in compute_reproposals(logs).items()
-            if seq > best_stable
-        }
+        self._latest_new_view = (message, ui)
+        reproposals, best_stable, best_blob = validated
         self._adopt_view(new_view, reproposals, best_stable, best_blob)
 
     def _fast_forward(self, stable_seq: SeqNum, blob: Any) -> None:
@@ -632,6 +821,9 @@ class MinBFTReplica(Process):
         }
         self._pending = {
             k: r for k, r in self._pending.items() if not self._is_executed(k)
+        }
+        self._pending_since = {
+            k: t for k, t in self._pending_since.items() if k in self._pending
         }
         self.ctx.record(
             "custom", event="state_transfer", stable_seq=stable_seq,
@@ -654,11 +846,19 @@ class MinBFTReplica(Process):
         self.ctx.record("custom", event="view_adopted", view=new_view)
         max_slot = max(reproposals, default=stable_seq)
         self.next_seq = max(max_slot + 1, self.exec_next)
+        self.timeout_policy.note_progress()  # the view change delivered
         if self._vc_timer is not None:
             self.ctx.cancel_timer(self._vc_timer)
             self._vc_timer = None
+        if self._batch_timer is not None:
+            # a batch window opened under the old view must not flush into
+            # the new one with a stale timer
+            self.ctx.cancel_timer(self._batch_timer)
+            self._batch_timer = None
         if self._pending:
-            self._vc_timer = self.ctx.set_timer(self.req_timeout, self.VC_TIMER)
+            self._vc_timer = self.ctx.set_timer(
+                self.timeout_policy.current(), self.VC_TIMER
+            )
         if self.primary_of(new_view) == self.pid:
             # re-propose ALL of S in order — even slots we already executed,
             # because a lagging correct replica may still need a certificate

@@ -68,6 +68,7 @@ class PBFTReplica(Process):
         app: StateMachine,
         req_timeout: float = 60.0,
         checkpoint_interval: int = 0,
+        timeout_policy: Any = None,
     ) -> None:
         super().__init__()
         if n < 4 or (n - 1) % 3 != 0:
@@ -80,6 +81,13 @@ class PBFTReplica(Process):
         self.signer = signer
         self.app = app
         self.req_timeout = req_timeout
+        if timeout_policy is None:
+            from ..faults.timeouts import FixedTimeout  # lazy: faults builds on consensus
+
+            timeout_policy = FixedTimeout(self.req_timeout)
+        elif callable(timeout_policy) and not hasattr(timeout_policy, "current"):
+            timeout_policy = timeout_policy()
+        self.timeout_policy = timeout_policy
 
         self.view = 0
         self.in_view_change: Optional[int] = None
@@ -97,6 +105,8 @@ class PBFTReplica(Process):
         self._proposed_keys: set[tuple] = set()
         self._client_cache: dict[ProcessId, tuple[int, Any]] = {}
         self._pending: dict[tuple, Any] = {}
+        # request arrival times feed the adaptive timeout's RTT estimator
+        self._pending_since: dict[tuple, float] = {}
         self._vcs: dict[int, dict[ProcessId, Any]] = {}
         self._vc_sent: set[int] = set()
         self._new_view_sent: set[int] = set()
@@ -170,10 +180,13 @@ class PBFTReplica(Process):
         if key in self._executed_keys:
             return
         self._pending.setdefault(key, request)
+        self._pending_since.setdefault(key, self.ctx.now)
         if self.is_primary:
             self._propose_pending()
         if self._vc_timer is None and self._pending:
-            self._vc_timer = self.ctx.set_timer(self.req_timeout, self.VC_TIMER)
+            self._vc_timer = self.ctx.set_timer(
+                self.timeout_policy.current(), self.VC_TIMER
+            )
 
     def _propose_pending(self) -> None:
         if not self.is_primary:
@@ -286,6 +299,10 @@ class PBFTReplica(Process):
                 self._executed_keys.add(key)
                 self._client_cache[client] = (req_id, result)
                 self._pending.pop(key, None)
+                since = self._pending_since.pop(key, None)
+                if since is not None:
+                    self.timeout_policy.observe(self.ctx.now - since)
+                self.timeout_policy.note_progress()
                 self.commits_executed += 1
                 self.ctx.record(
                     "custom", event="execute", seq=seq, client=client,
@@ -408,9 +425,13 @@ class PBFTReplica(Process):
         self._vc_timer = None
         if not self._pending and self.in_view_change is None:
             return
+        # unproductive expiry: back the timeout off before re-arming
+        self.timeout_policy.escalate()
         target = (self.in_view_change or self.view) + 1
         self._send_view_change(target)
-        self._vc_timer = self.ctx.set_timer(self.req_timeout, self.VC_TIMER)
+        self._vc_timer = self.ctx.set_timer(
+            self.timeout_policy.current(), self.VC_TIMER
+        )
 
     def _prepared_evidence(self) -> tuple:
         """(seq, view, digest, request) for every slot this replica prepared."""
@@ -579,6 +600,10 @@ class PBFTReplica(Process):
                 if k not in self._executed_keys
                 and not (self._client_cache.get(k[0], (0,))[0] >= k[1])
             }
+            self._pending_since = {
+                k: t for k, t in self._pending_since.items()
+                if k in self._pending
+            }
             self.ctx.record(
                 "custom", event="state_transfer", stable_seq=best_stable,
                 exec_next=exec_next,
@@ -592,11 +617,14 @@ class PBFTReplica(Process):
         self.ctx.record("custom", event="view_adopted", view=new_view)
         max_slot = max((item[0] for item in reproposals), default=best_stable)
         self.next_seq = max(max_slot + 1, self.exec_next)
+        self.timeout_policy.note_progress()  # the view change delivered
         if self._vc_timer is not None:
             self.ctx.cancel_timer(self._vc_timer)
             self._vc_timer = None
         if self._pending:
-            self._vc_timer = self.ctx.set_timer(self.req_timeout, self.VC_TIMER)
+            self._vc_timer = self.ctx.set_timer(
+                self.timeout_policy.current(), self.VC_TIMER
+            )
         if self.primary_of(new_view) == self.pid:
             for seq, _view, digest, request in reproposals:
                 if self._valid_request(request):

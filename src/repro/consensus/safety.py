@@ -26,11 +26,12 @@ undone by later events, so the run aborts at that exact event.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterable
+from typing import Any, Iterable, Optional
 
-from ..errors import PropertyViolation
+from ..errors import ConfigurationError, PropertyViolation
+from ..sim.liveness import DeadlineMonitor, LivenessReport
 from ..sim.trace import CUSTOM, Trace, TraceEvent, TraceObserver
-from ..types import ProcessId
+from ..types import ProcessId, Time
 
 
 @dataclass(frozen=True, slots=True)
@@ -197,6 +198,160 @@ class ReplicationStreamChecker(TraceObserver):
             self.by_slot,
             expected_ops,
         )
+
+
+class ReplicationLivenessChecker(TraceObserver):
+    """Streaming post-GST liveness auditor for the replication layer.
+
+    Under partial synchrony nothing is owed before GST; after it, within a
+    delay-derived bound:
+
+    - every request a fault-free client *sends* must complete
+      (``request_sent`` → ``request_done``), with deadline
+      ``max(t_sent, gst) + request_bound``;
+    - every view change must *terminate* once it has enough backing to be
+      guaranteed to run: an obligation for target view ``v`` is armed only
+      when **f+1 distinct fault-free replicas** have started view changes
+      targeting ``>= v`` (a lone stuck replica whose quorum partners
+      crashed is protocol-legal and must not be flagged), and is satisfied
+      when any fault-free replica adopts a view ``>= v``.
+
+    Batch and streaming verdicts are identical: both feed the same events
+    in trace order through one :class:`~repro.sim.liveness.DeadlineMonitor`
+    (batch via :meth:`consume`, streaming via the observer bus). With
+    ``fail_fast=True`` an expired deadline raises at the first event whose
+    timestamp proves the violation — deadline expiry is permanent, the
+    missing completion cannot arrive retroactively.
+    """
+
+    def __init__(
+        self,
+        gst: Time,
+        request_bound: float,
+        fault_free_replicas: Iterable[ProcessId],
+        fault_free_clients: Iterable[ProcessId],
+        f: int,
+        vc_bound: Optional[float] = None,
+        fail_fast: bool = False,
+    ) -> None:
+        if request_bound <= 0:
+            raise ConfigurationError(
+                f"request_bound must be > 0, got {request_bound}"
+            )
+        self.gst = gst
+        self.request_bound = request_bound
+        self.vc_bound = vc_bound if vc_bound is not None else request_bound
+        self.replicas = set(fault_free_replicas)
+        self.clients = set(fault_free_clients)
+        self.f = f
+        self.fail_fast = fail_fast
+        self.monitor = DeadlineMonitor()
+        self.online_violations: list[tuple[int, str]] = []
+        self.satisfied = 0
+        self.armed = 0
+        # per fault-free replica: highest view-change target started and not
+        # yet resolved by an adoption >= target (quorum-gating state)
+        self._vc_pending: dict[ProcessId, int] = {}
+        self._vc_armed: set[int] = set()
+
+    # -- streaming ---------------------------------------------------------
+
+    def on_event(self, ev: TraceEvent) -> None:
+        if ev.kind != CUSTOM:
+            return
+        self._expire(ev)
+        tag = ev.field("event")
+        if tag == "request_sent" and ev.pid in self.clients:
+            self._arm(
+                ("req", ev.pid, ev.field("req_id")),
+                ev.time,
+                self.request_bound,
+                f"request {ev.field('req_id')} from client {ev.pid} "
+                f"(sent t={ev.time:g}) never completed",
+            )
+        elif tag == "request_done" and ev.pid in self.clients:
+            if self.monitor.satisfy(("req", ev.pid, ev.field("req_id"))):
+                self.satisfied += 1
+        elif tag == "view_change_start" and ev.pid in self.replicas:
+            target = ev.field("new_view")
+            if target > self._vc_pending.get(ev.pid, 0):
+                self._vc_pending[ev.pid] = target
+            backing = sum(1 for t in self._vc_pending.values() if t >= target)
+            if backing >= self.f + 1 and target not in self._vc_armed:
+                self._vc_armed.add(target)
+                self._arm(
+                    ("vc", target),
+                    ev.time,
+                    self.vc_bound,
+                    f"view change to view {target} (f+1 fault-free starters "
+                    f"by t={ev.time:g}) never terminated",
+                )
+        elif tag == "view_adopted" and ev.pid in self.replicas:
+            view = ev.field("view")
+            for target in sorted(t for t in self._vc_armed if t <= view):
+                self._vc_armed.discard(target)
+                if self.monitor.satisfy(("vc", target)):
+                    self.satisfied += 1
+            if self._vc_pending.get(ev.pid, 0) <= view:
+                self._vc_pending.pop(ev.pid, None)
+
+    def _arm(self, key: Any, now: Time, bound: float, message: str) -> None:
+        self.monitor.expect(key, max(now, self.gst) + bound, message)
+        self.armed += 1
+
+    def _expire(self, ev: TraceEvent) -> None:
+        for ob in self.monitor.advance(ev.time):
+            self.online_violations.append((ev.index, ob.message))
+            if self.fail_fast:
+                raise PropertyViolation(
+                    "liveness-stream",
+                    f"event #{ev.index} (t={ev.time:g}): {ob.message}",
+                )
+
+    # -- batch feeding -----------------------------------------------------
+
+    def consume(self, trace: Trace) -> "ReplicationLivenessChecker":
+        """Feed a finished trace's ``custom`` events (index-backed)."""
+        for ev in trace.events(CUSTOM):
+            self.on_event(ev)
+        return self
+
+    # -- final audit -------------------------------------------------------
+
+    def finish(self, end_time: Optional[Time] = None) -> LivenessReport:
+        report = LivenessReport(
+            obligations_armed=self.armed, obligations_satisfied=self.satisfied
+        )
+        report.violations = [m for _, m in self.online_violations]
+        violated, unresolved = self.monitor.flush(end_time)
+        report.violations += [ob.message for ob in violated]
+        report.unresolved = [ob.message for ob in unresolved]
+        return report
+
+
+def check_replication_liveness(
+    trace: Trace,
+    gst: Time,
+    request_bound: float,
+    fault_free_replicas: Iterable[ProcessId],
+    fault_free_clients: Iterable[ProcessId],
+    f: int,
+    end_time: Optional[Time] = None,
+    vc_bound: Optional[float] = None,
+) -> LivenessReport:
+    """Batch liveness audit of a finished trace (same core as streaming)."""
+    return (
+        ReplicationLivenessChecker(
+            gst=gst,
+            request_bound=request_bound,
+            fault_free_replicas=fault_free_replicas,
+            fault_free_clients=fault_free_clients,
+            f=f,
+            vc_bound=vc_bound,
+        )
+        .consume(trace)
+        .finish(end_time=end_time)
+    )
 
 
 def check_replication(

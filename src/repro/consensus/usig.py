@@ -135,9 +135,36 @@ class UIOrderEnforcer:
             return
         held[counter] = item
         self.held_max = max(self.held_max, len(held))
+        self._release_from(replica, nxt)
+
+    def _release_from(self, replica: ProcessId, nxt: SeqNum) -> None:
+        held = self._held.get(replica, {})
         while nxt in held:
             item = held.pop(nxt)
             self._next[replica] = nxt + 1
             self.released += 1
             self._on_release(replica, nxt, item)
             nxt += 1
+
+    def resync(self, replica: ProcessId, counter: SeqNum) -> None:
+        """Skip ``replica``'s stream forward: accept from ``counter + 1`` on.
+
+        Crash recovery support: a rebooted process's enforcer expects every
+        peer's stream from counter 1, but frames acked by the dead
+        incarnation are gone for good — the gap at the front would hold
+        back the peer's entire future stream forever. Once the recovering
+        process learns (authenticated, out of band) that the peer's counter
+        has reached ``counter``, it abandons the unrecoverable prefix. Only
+        ever moves forward; state missed in the skipped prefix is recovered
+        through checkpoint transfer / view-change logs, not through the
+        message stream.
+        """
+        nxt = self._next.get(replica, 1)
+        if counter + 1 <= nxt:
+            return
+        self._next[replica] = counter + 1
+        held = self._held.get(replica)
+        if held:
+            for c in [c for c in held if c <= counter]:
+                del held[c]
+        self._release_from(replica, counter + 1)

@@ -48,10 +48,12 @@ from .separations import (
     run_srb_separation,
 )
 from .srb import (
+    SRBLivenessChecker,
     SRBReport,
     SRBStreamChecker,
     SRBroadcast,
     check_srb,
+    check_srb_liveness,
     deliveries_by_process,
 )
 from .srb_from_trinc import SRBFromA2M, SRBFromTrInc
@@ -111,9 +113,11 @@ __all__ = [
     "build_mp_srb_system",
     "build_sm_srb_system",
     "DirectionalityStreamChecker",
+    "SRBLivenessChecker",
     "SRBStreamChecker",
     "check_directionality",
     "check_srb",
+    "check_srb_liveness",
     "deliveries_by_process",
     "render_figure",
     "run_classification",

@@ -34,10 +34,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Optional
 
-from ..errors import PropertyViolation
+from ..errors import ConfigurationError, PropertyViolation
+from ..sim.liveness import DeadlineMonitor, LivenessReport
 from ..sim.process import Process
 from ..sim.trace import BCAST, BCAST_DELIVER, Trace, TraceEvent, TraceObserver
-from ..types import Delivery, ProcessId, SeqNum
+from ..types import Delivery, ProcessId, SeqNum, Time
 
 
 class SRBroadcast(Process):
@@ -280,6 +281,113 @@ class SRBStreamChecker(TraceObserver):
                             "Byzantine sender never even produced that value"
                         )
         return report
+
+
+class SRBLivenessChecker(TraceObserver):
+    """Streaming post-GST delivery-liveness auditor for SRB streams.
+
+    Every ``bcast`` recorded by a fault-free process at time ``t`` owes a
+    matching ``bcast_deliver`` at every fault-free receiver by
+    ``max(t, gst) + bound`` — the timed refinement of SRB validity under
+    partial synchrony. Before GST nothing is owed; a broadcast sent in the
+    chaotic era's deadline simply starts at GST.
+
+    Batch (:meth:`consume`) and streaming verdicts agree by construction:
+    both push the same events in trace order through one
+    :class:`~repro.sim.liveness.DeadlineMonitor`. With ``fail_fast=True``
+    an expired delivery deadline raises at the first later event (expiry
+    is permanent). Obligations whose deadlines fall past the end of the
+    run come back as ``unresolved``, not violated.
+    """
+
+    def __init__(
+        self,
+        gst: Time,
+        bound: float,
+        fault_free: Iterable[ProcessId],
+        fail_fast: bool = False,
+    ) -> None:
+        if bound <= 0:
+            raise ConfigurationError(f"bound must be > 0, got {bound}")
+        self.gst = gst
+        self.bound = bound
+        self.fault_free = sorted(set(fault_free))
+        self._ff_set = set(self.fault_free)
+        self.fail_fast = fail_fast
+        self.monitor = DeadlineMonitor()
+        self.online_violations: list[tuple[int, str]] = []
+        self.armed = 0
+        self.satisfied = 0
+
+    # -- streaming ---------------------------------------------------------
+
+    def on_event(self, ev: TraceEvent) -> None:
+        if ev.kind == BCAST and ev.pid in self._ff_set:
+            self._expire(ev)
+            seq, value = ev.field("seq"), ev.field("value")
+            deadline = max(ev.time, self.gst) + self.bound
+            for receiver in self.fault_free:
+                self.monitor.expect(
+                    ("dlv", ev.pid, seq, receiver),
+                    deadline,
+                    f"broadcast #{seq} by fault-free sender {ev.pid} "
+                    f"(t={ev.time:g}, {value!r}) never delivered by "
+                    f"fault-free process {receiver}",
+                )
+                self.armed += 1
+        elif ev.kind == BCAST_DELIVER and ev.pid in self._ff_set:
+            self._expire(ev)
+            key = ("dlv", ev.field("sender"), ev.field("seq"), ev.pid)
+            if self.monitor.satisfy(key):
+                self.satisfied += 1
+
+    def _expire(self, ev: TraceEvent) -> None:
+        for ob in self.monitor.advance(ev.time):
+            self.online_violations.append((ev.index, ob.message))
+            if self.fail_fast:
+                raise PropertyViolation(
+                    "SRB-liveness-stream",
+                    f"event #{ev.index} (t={ev.time:g}): {ob.message}",
+                )
+
+    # -- batch feeding -----------------------------------------------------
+
+    def consume(self, trace: Trace) -> "SRBLivenessChecker":
+        """Feed a finished trace, merging both kinds back into trace order."""
+        merged = sorted(
+            [*trace.events(BCAST), *trace.events(BCAST_DELIVER)],
+            key=lambda ev: ev.index,
+        )
+        for ev in merged:
+            self.on_event(ev)
+        return self
+
+    # -- final audit -------------------------------------------------------
+
+    def finish(self, end_time: Optional[Time] = None) -> LivenessReport:
+        report = LivenessReport(
+            obligations_armed=self.armed, obligations_satisfied=self.satisfied
+        )
+        report.violations = [m for _, m in self.online_violations]
+        violated, unresolved = self.monitor.flush(end_time)
+        report.violations += [ob.message for ob in violated]
+        report.unresolved = [ob.message for ob in unresolved]
+        return report
+
+
+def check_srb_liveness(
+    trace: Trace,
+    gst: Time,
+    bound: float,
+    fault_free: Iterable[ProcessId],
+    end_time: Optional[Time] = None,
+) -> LivenessReport:
+    """Batch post-GST delivery-liveness audit (same core as streaming)."""
+    return (
+        SRBLivenessChecker(gst=gst, bound=bound, fault_free=fault_free)
+        .consume(trace)
+        .finish(end_time=end_time)
+    )
 
 
 def check_srb(

@@ -1,11 +1,16 @@
 """Fault injection: lossy/chaotic adversaries, reliable channels, chaos sweeps.
 
-Three layers, composable with every protocol in the library:
+Five layers, composable with every protocol in the library:
 
 - :mod:`~repro.faults.adversaries` — network faults (loss, bursts,
-  partitions, duplication, stragglers) as drop-in adversaries;
+  partitions, duplication, stragglers) as drop-in adversaries, including
+  the partial-synchrony :class:`~repro.faults.adversaries.GSTAdversary`;
 - :mod:`~repro.faults.channel` — the retransmission layer that restores
   the eventual-delivery assumption protocols were written against;
+- :mod:`~repro.faults.timeouts` — Jacobson/Karels adaptive timeout
+  policies shared by the channel and the consensus timers;
+- :mod:`~repro.faults.detector` — phi-accrual failure detection and
+  supervised crash recovery;
 - :mod:`~repro.faults.chaos` — seeded protocol × fault-schedule sweeps
   with deterministic failure reproduction, plus crash-recovery scripts
   that exercise the durable-hardware/volatile-host split.
@@ -14,6 +19,7 @@ Three layers, composable with every protocol in the library:
 from .adversaries import (
     BurstWindow,
     ChaosAdversary,
+    GSTAdversary,
     LossyAsynchronous,
     PartitionBurst,
 )
@@ -23,6 +29,7 @@ from .chaos import (
     CrashEvent,
     EagerBrokenSRB,
     FaultSchedule,
+    StallingPrimary,
     assert_all_ok,
     chaos_sweep,
     format_failures,
@@ -32,21 +39,39 @@ from .chaos import (
     run_minbft_chaos,
     run_srb_chaos,
 )
+from .detector import AccrualFailureDetector, HeartbeatProcess, RecoverySupervisor
+from .timeouts import (
+    AdaptiveTimeout,
+    FixedTimeout,
+    RttEstimator,
+    TimeoutPolicy,
+    make_policy_factory,
+)
 
 __all__ = [
+    "AccrualFailureDetector",
+    "AdaptiveTimeout",
     "BurstWindow",
     "ChaosAdversary",
     "ChaosResult",
     "CrashEvent",
     "EagerBrokenSRB",
     "FaultSchedule",
+    "FixedTimeout",
+    "GSTAdversary",
+    "HeartbeatProcess",
     "LossyAsynchronous",
     "PartitionBurst",
+    "RecoverySupervisor",
     "ReliableChannel",
     "ReliableProcess",
+    "RttEstimator",
+    "StallingPrimary",
+    "TimeoutPolicy",
     "assert_all_ok",
     "chaos_sweep",
     "format_failures",
+    "make_policy_factory",
     "make_schedule",
     "replay",
     "run_chaos",

@@ -278,3 +278,71 @@ class ChaosAdversary(Adversary):
             extras.append(self._rng.uniform(self.min_delay, self.max_delay * 3))
             self.duplicates_injected += 1
         return extras
+
+
+class GSTAdversary(ChaosAdversary):
+    """Partial synchrony over a chaotic prefix: chaos before GST, bounded after.
+
+    The partially synchronous model (Dwork–Lynch–Stockmeyer) that the
+    paper's liveness arguments assume: there is an unknown Global
+    Stabilization Time after which every message between live processes is
+    delivered within a bound ``delta``. Before ``gst`` this adversary is a
+    full :class:`ChaosAdversary` — drops, duplicates, stragglers, bursts,
+    partitions; at and after ``gst`` it delivers every message exactly once
+    with delay in ``[min_delay, delta]``.
+
+    Messages *sent* just before GST may still arrive late (their delay was
+    drawn under chaos rules), which matches the model: the bound applies to
+    messages sent at or after GST. Burst/partition windows are clipped to
+    ``[0, gst)`` by forcing ``active_until <= gst``.
+
+    Protocol timers calibrated against ``delta`` (see
+    :mod:`repro.faults.timeouts`) stop misfiring shortly after GST, which
+    is exactly the property the liveness auditors key their post-GST
+    deadlines on.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        gst: Time,
+        delta: float = 1.0,
+        **chaos_kwargs: Any,
+    ) -> None:
+        if gst < 0:
+            raise ConfigurationError(f"gst must be >= 0, got {gst}")
+        if delta <= 0:
+            raise ConfigurationError(f"delta must be > 0, got {delta}")
+        chaos_kwargs.setdefault("active_until", max(gst, 1e-9))
+        if chaos_kwargs["active_until"] > gst:
+            raise ConfigurationError(
+                f"chaos windows (active_until="
+                f"{chaos_kwargs['active_until']}) must not extend past "
+                f"gst={gst}"
+            )
+        super().__init__(n, **chaos_kwargs)
+        self.gst = gst
+        self.delta = delta
+        if self.max_delay > delta:
+            # keep the post-GST band inside the promised bound
+            self.post_gst_min = min(self.min_delay, delta)
+        else:
+            self.post_gst_min = self.min_delay
+
+    def message_delay(self, src, dst, msg, now) -> Delay:
+        if now >= self.gst:
+            return self._rng.uniform(self.post_gst_min, self.delta)
+        return super().message_delay(src, dst, msg, now)
+
+    def extra_deliveries(
+        self, src: ProcessId, dst: ProcessId, msg: Any, now: Time
+    ) -> list[float]:
+        if now >= self.gst:
+            return []
+        return super().extra_deliveries(src, dst, msg, now)
+
+    def describe(self) -> str:
+        return (
+            super().describe().replace("ChaosAdversary(", "GSTAdversary(", 1)
+            + f"\n  gst    {self.gst:8.2f}  delta={self.delta}"
+        )

@@ -31,14 +31,19 @@ from typing import Any, Callable, Iterable, Optional, Sequence
 from ..consensus.apps import make_app
 from ..consensus.harness import build_minbft_system
 from ..consensus.minbft import MinBFTReplica
-from ..consensus.safety import ReplicationStreamChecker, check_replication
+from ..consensus.safety import (
+    ReplicationLivenessChecker,
+    ReplicationStreamChecker,
+    check_replication,
+)
 from ..core.rounds import MessagePassingRoundTransport
-from ..core.srb import SRBStreamChecker, check_srb
+from ..core.srb import SRBLivenessChecker, SRBStreamChecker, check_srb
 from ..core.srb_from_uni import SRBFromUnidirectional, build_mp_srb_system
 from ..errors import ConfigurationError, PropertyViolation
 from ..types import ProcessId, Time
-from .adversaries import ChaosAdversary
+from .adversaries import ChaosAdversary, GSTAdversary
 from .channel import ReliableProcess
+from .timeouts import make_policy_factory
 
 DEFAULT_CHANNEL = dict(base_timeout=2.0, backoff=2.0, max_timeout=20.0,
                        max_retries=25)
@@ -78,11 +83,14 @@ class FaultSchedule:
     n_bursts: int
     n_partitions: int
     crashes: tuple[CrashEvent, ...]
+    gst: Time = 240.0
+    delta: float = 1.0
 
     def describe(self) -> str:
         parts = [
             f"seed={self.seed} horizon={self.horizon:g} "
-            f"faults-active-until={self.active_until:g}",
+            f"faults-active-until={self.active_until:g} "
+            f"gst={self.gst:g} delta={self.delta:.2f}",
             f"  drop={self.drop_probability:.3f} dup={self.dup_probability:.3f} "
             f"straggler={self.straggler_probability:.3f} "
             f"bursts={self.n_bursts} partitions={self.n_partitions}",
@@ -99,9 +107,16 @@ class FaultSchedule:
         return "\n".join(parts)
 
     def make_adversary(self, n: int) -> ChaosAdversary:
-        """The chaos adversary realizing this schedule for ``n`` processes."""
-        return ChaosAdversary(
+        """The GST adversary realizing this schedule for ``n`` processes.
+
+        Every chaos seed now carries a GST: the full chaos repertoire runs
+        before ``gst`` and message delay drops to ``<= delta`` after it —
+        the partial-synchrony model the liveness checkers audit against.
+        """
+        return GSTAdversary(
             n=n,
+            gst=self.gst,
+            delta=self.delta,
             active_until=self.active_until,
             drop_probability=self.drop_probability,
             dup_probability=self.dup_probability,
@@ -164,12 +179,39 @@ def make_schedule(
         n_bursts=rng.randrange(0, 3),
         n_partitions=rng.randrange(0, 2),
         crashes=tuple(crashes),
+        # GST coincides with the end of injected faults; the post-GST delay
+        # bound is itself seed-derived (drawn last to keep the knobs above
+        # bit-identical with pre-GST schedules for the same seed)
+        gst=active_until,
+        delta=rng.uniform(0.5, 1.5),
     )
 
 
 # ---------------------------------------------------------------------------
 # Broken-protocol fixture
 # ---------------------------------------------------------------------------
+
+
+class StallingPrimary(MinBFTReplica):
+    """DELIBERATELY STALLED MinBFT: never proposes, never changes view.
+
+    Deployed on *every* replica (modeling a same-codebase liveness bug
+    shipped fleet-wide, which a single honest quorum cannot route around):
+    the primary sits on client requests forever, and the view-change
+    trigger is disabled everywhere so no replica ever gives up on it.
+    Safety is untouched — nothing executes, so nothing can diverge — which
+    is exactly the failure mode only a *liveness* auditor can flag: every
+    post-GST request deadline expires while every safety checker stays
+    green.
+    """
+
+    def _propose_pending(self) -> None:
+        pass  # the primary hoards its queue
+
+    def on_timer(self, tag: Any) -> None:
+        if tag == self.VC_TIMER:
+            return  # never give up on the (stalled) primary
+        super().on_timer(tag)
 
 
 class EagerBrokenSRB(SRBFromUnidirectional):
@@ -221,6 +263,9 @@ class ChaosResult:
     schedule: str
     stats: dict[str, Any] = field(default_factory=dict)
     abort_index: Optional[int] = None
+    liveness_violations: list[str] = field(default_factory=list)
+    """Post-GST deadline misses from the streaming liveness auditors
+    (separate from ``violations`` — those are safety / whole-run checks)."""
 
     def replay_hint(self) -> str:
         return (
@@ -237,6 +282,7 @@ def run_srb_chaos(
     broken: bool = False,
     reliable: bool = True,
     streaming: bool = True,
+    liveness_bound: float = 200.0,
 ) -> ChaosResult:
     """Algorithm-1 SRB (message-passing rounds) under one fault schedule.
 
@@ -286,6 +332,14 @@ def run_srb_chaos(
             0, schedule.fault_free_pids(n), expect_complete=True, fail_fast=True
         )
         sim.attach_observer(checker)
+    # the liveness auditor streams alongside but never aborts the run: a
+    # missed deadline is permanent, so collecting every miss costs nothing
+    live = SRBLivenessChecker(
+        gst=schedule.gst,
+        bound=liveness_bound,
+        fault_free=schedule.fault_free_pids(n),
+    )
+    sim.attach_observer(live)
 
     def stats(deliveries: int) -> dict[str, Any]:
         return {
@@ -318,13 +372,15 @@ def run_srb_chaos(
         report = check_srb(sim.trace, 0, sim.fault_free_pids,
                            expect_complete=True)
     violations = report.all_violations()
+    live_report = live.finish(end_time=schedule.horizon)
     return ChaosResult(
         protocol=protocol,
         seed=schedule.seed,
-        ok=not violations,
+        ok=not violations and live_report.ok,
         violations=violations,
         schedule=described,
         stats=stats(len(report.deliveries)),
+        liveness_violations=live_report.violations,
     )
 
 
@@ -346,6 +402,9 @@ def run_minbft_chaos(
     ops_per_client: int = 3,
     app: str = "counter",
     streaming: bool = True,
+    timeouts: str = "fixed",
+    stalling: bool = False,
+    liveness_bound: float = 300.0,
 ) -> ChaosResult:
     """MinBFT replication under one fault schedule.
 
@@ -364,9 +423,24 @@ def run_minbft_chaos(
     aborts the run at the violating event (``abort_index`` carries its
     trace index). ``streaming=False`` keeps the pre-refactor batch audit.
     """
+    if timeouts not in ("fixed", "adaptive"):
+        raise ConfigurationError(
+            f"timeouts must be 'fixed' or 'adaptive', got {timeouts!r}"
+        )
     n = 2 * f + 1
     adversary = schedule.make_adversary(n + n_clients)
     channel_kwargs = dict(DEFAULT_CHANNEL)
+    # "fixed" = None keeps the builders' legacy constant timers bit-exact;
+    # "adaptive" hands every replica and client a fresh Jacobson/Karels
+    # policy seeded at the legacy view-change timeout
+    policy_factory = (
+        make_policy_factory(
+            "adaptive", base=25.0, min_timeout=2.0, max_timeout=120.0
+        )
+        if timeouts == "adaptive"
+        else None
+    )
+    replica_cls = StallingPrimary if stalling else MinBFTReplica
     sim, replicas, clients = build_minbft_system(
         f=f,
         n_clients=n_clients,
@@ -377,11 +451,16 @@ def run_minbft_chaos(
         req_timeout=25.0,
         retry_timeout=40.0,
         reliable=channel_kwargs,
+        replica_factory=(lambda pid, **kw: StallingPrimary(**kw))
+        if stalling
+        else None,
+        timeout_policy=policy_factory,
     )
     _apply_crashes(
         sim, schedule,
         restart_factory=lambda pid: _minbft_restart_factory(
-            replicas, pid, app, channel_kwargs
+            replicas, pid, app, channel_kwargs,
+            cls=replica_cls, timeout_policy=policy_factory,
         ),
     )
 
@@ -391,6 +470,17 @@ def run_minbft_chaos(
     if streaming:
         checker = ReplicationStreamChecker(correct_replicas, fail_fast=True)
         sim.attach_observer(checker)
+    # clients are never crashable, so every client is fault-free; the
+    # auditor streams alongside without aborting (deadline misses are
+    # permanent and all of them are worth reporting)
+    live = ReplicationLivenessChecker(
+        gst=schedule.gst,
+        request_bound=liveness_bound,
+        fault_free_replicas=correct_replicas,
+        fault_free_clients=range(n, n + n_clients),
+        f=f,
+    )
+    sim.attach_observer(live)
 
     def stats(executions: int) -> dict[str, Any]:
         return {
@@ -399,18 +489,20 @@ def run_minbft_chaos(
             "dropped": adversary.messages_dropped,
             "duplicates": adversary.duplicates_injected,
             "restarts": len(sim.restarted_pids),
+            "timeouts": timeouts,
             "view_changes": max(
                 (r.view_changes_completed for r in replicas), default=0
             ),
         }
 
+    protocol = "minbft-stalling" if stalling else "minbft"
     described = schedule.describe() + "\n" + adversary.describe()
     try:
         sim.run(until=schedule.horizon)
     except PropertyViolation:
         abort_index, _ = checker.online_violations[0]
         return ChaosResult(
-            protocol="minbft",
+            protocol=protocol,
             seed=schedule.seed,
             ok=False,
             violations=[f"event #{i}: {m}"
@@ -430,19 +522,24 @@ def run_minbft_chaos(
             expected_ops=expected_ops,
         )
     violations = report.violations + report.liveness_violations
+    live_report = live.finish(end_time=schedule.horizon)
     return ChaosResult(
-        protocol="minbft",
+        protocol=protocol,
         seed=schedule.seed,
-        ok=not violations,
+        ok=not violations and live_report.ok,
         violations=violations,
         schedule=described,
         stats=stats(len(report.executions)),
+        liveness_violations=live_report.violations,
     )
 
 
-def _minbft_restart_factory(replicas, pid, app_name, channel_kwargs):
+def _minbft_restart_factory(
+    replicas, pid, app_name, channel_kwargs,
+    cls=MinBFTReplica, timeout_policy=None,
+):
     old = replicas[pid]
-    fresh = MinBFTReplica(
+    fresh = cls(
         n=old.n,
         usig=old.usig,  # the trusted hardware survives the reboot
         verifier=old.verifier,
@@ -450,6 +547,7 @@ def _minbft_restart_factory(replicas, pid, app_name, channel_kwargs):
         signer=old.signer,
         app=make_app(app_name),  # the application state was volatile
         req_timeout=old.req_timeout,
+        timeout_policy=timeout_policy,
     )
     replicas[pid] = fresh
     return ReliableProcess(fresh, **channel_kwargs)
@@ -474,6 +572,9 @@ PROTOCOLS: dict[str, Callable[..., ChaosResult]] = {
         schedule, broken=True, **kw
     ),
     "minbft": run_minbft_chaos,
+    "minbft-stalling": lambda schedule, **kw: run_minbft_chaos(
+        schedule, stalling=True, **kw
+    ),
 }
 
 _CRASHABLE = {
@@ -482,6 +583,7 @@ _CRASHABLE = {
     "srb-uni": lambda: range(1, 4),
     "srb-uni-broken": lambda: range(1, 4),
     "minbft": lambda: range(0, 3),
+    "minbft-stalling": lambda: range(0, 3),
 }
 
 
@@ -522,10 +624,16 @@ def format_failures(results: Iterable[ChaosResult]) -> str:
     for r in results:
         if r.ok:
             continue
-        lines = [f"[{r.protocol} seed={r.seed}] {len(r.violations)} violation(s):"]
+        total = len(r.violations) + len(r.liveness_violations)
+        lines = [f"[{r.protocol} seed={r.seed}] {total} violation(s):"]
         lines += [f"  - {v}" for v in r.violations[:5]]
         if len(r.violations) > 5:
             lines.append(f"  ... and {len(r.violations) - 5} more")
+        lines += [f"  - liveness: {v}" for v in r.liveness_violations[:5]]
+        if len(r.liveness_violations) > 5:
+            lines.append(
+                f"  ... and {len(r.liveness_violations) - 5} more liveness"
+            )
         lines.append("  schedule:")
         lines += [f"    {l}" for l in r.schedule.splitlines()]
         lines.append(f"  {r.replay_hint()}")

@@ -32,6 +32,7 @@ from .byzantine import (
     equivocate_by_destination,
     mutate_kind,
 )
+from .liveness import DeadlineMonitor, LivenessReport, Obligation
 from .partition import split, srb_separation_sets, weak_agreement_sets
 from .process import Context, Process
 from .runner import Simulation
@@ -44,9 +45,12 @@ __all__ = [
     "BabblerProcess",
     "ByzantineWrapper",
     "Context",
+    "DeadlineMonitor",
     "DuplicatingAsynchronous",
     "LinkRule",
+    "LivenessReport",
     "LockStepSynchronous",
+    "Obligation",
     "Op",
     "PartiallySynchronous",
     "PartitionAdversary",

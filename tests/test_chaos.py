@@ -58,7 +58,7 @@ class TestBrokenProtocolDetection:
         bad = next(r for r in results if not r.ok)
         assert f"seed={bad.seed}" in text
         assert "replay with" in text
-        assert "ChaosAdversary" in text  # the generated schedule is shown
+        assert "GSTAdversary" in text  # the generated schedule is shown
 
     def test_assert_all_ok_raises_with_details(self):
         results = [run_chaos("srb-uni-broken", s) for s in range(20)]

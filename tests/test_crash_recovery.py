@@ -180,6 +180,53 @@ class TestDurableHardware:
             auth.reissue_volatile(0)
 
 
+class TestMinBFTResync:
+    def test_rebooted_backup_resyncs_and_catches_up_via_checkpoint(self):
+        """No view change here — the primary stays up — so recovery must
+        come entirely from the RESYNC handshake: peers authorize the UI
+        enforcer to skip the unrecoverable prefix and hand over the stable
+        checkpoint, which fast-forwards the reborn replica's state."""
+        from repro.consensus import build_minbft_system, check_replication
+        from repro.consensus.apps import make_app
+        from repro.consensus.minbft import MinBFTReplica
+
+        sim, reps, clients = build_minbft_system(
+            f=1, n_clients=1, ops_per_client=6, seed=21,
+            req_timeout=20.0, retry_timeout=60.0,
+            replica_factory=lambda pid, **kw: MinBFTReplica(
+                checkpoint_interval=2, **kw
+            ),
+        )
+        sim.crash_at(2, 1.0)
+
+        def factory():
+            old = reps[2]
+            fresh = MinBFTReplica(
+                n=old.n, usig=old.usig, verifier=old.verifier,
+                scheme=old.scheme, signer=old.signer,
+                app=make_app("counter"), req_timeout=old.req_timeout,
+                checkpoint_interval=2,
+            )
+            reps[2] = fresh
+            return fresh
+
+        sim.restart_at(2, 60.0, factory=factory)  # well after quiescence
+        sim.run(until=4000.0)
+        check_replication(sim.trace, [0, 1], expected_ops={3: 6}).assert_ok()
+        fresh = reps[2]
+        assert fresh.ctx.incarnation == 1
+        assert len(fresh._resynced) == 2  # both peers answered
+        assert sum(r.resyncs_answered for r in (reps[0], reps[1])) == 2
+        # checkpoint transfer fast-forwarded the reborn replica's state
+        transfers = [
+            ev for ev in sim.trace.events("custom", pid=2)
+            if ev.field("event") == "state_transfer"
+        ]
+        assert transfers and transfers[0].field("stable_seq") == 6
+        assert fresh.exec_next == 7  # all six committed ops covered
+        assert fresh.app.digest() == reps[0].app.digest()
+
+
 class TestSharedMemorySRBRecovery:
     def test_restarted_process_recovers_stream_from_persistent_logs(self):
         """The paper's durability point: with SWMR logs as the round medium,

@@ -1,0 +1,88 @@
+"""Tests for the partial-synchrony GST adversary."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.adversaries import ChaosAdversary, GSTAdversary
+from repro.sim import Process, Simulation
+
+
+def make_gst(gst=50.0, delta=1.0, **kw):
+    adv = GSTAdversary(
+        n=4, gst=gst, delta=delta,
+        drop_probability=0.3, dup_probability=0.2,
+        straggler_probability=0.1, n_bursts=1, n_partitions=1,
+        **kw,
+    )
+    adv.bind(random.Random(7))
+    return adv
+
+
+class TestGSTAdversary:
+    def test_post_gst_delay_bounded_by_delta(self):
+        adv = make_gst(gst=50.0, delta=1.5)
+        for i in range(500):
+            d = adv.message_delay(0, 1, ("m", i), now=50.0 + i * 0.1)
+            assert d is not None, "post-GST drops are forbidden"
+            assert 0 < d <= 1.5
+
+    def test_exactly_at_gst_is_already_synchronous(self):
+        adv = make_gst(gst=50.0, delta=1.0)
+        d = adv.message_delay(0, 1, "m", now=50.0)
+        assert d is not None and d <= 1.0
+
+    def test_pre_gst_still_chaotic(self):
+        adv = make_gst(gst=1000.0, delta=1.0)
+        outcomes = [adv.message_delay(0, 1, ("m", i), now=5.0) for i in range(500)]
+        assert any(d is None for d in outcomes), "expected pre-GST drops"
+        assert any(d is not None and d > 1.0 for d in outcomes)
+
+    def test_no_post_gst_duplicates(self):
+        adv = make_gst(gst=50.0, delta=1.0)
+        extras = [adv.extra_deliveries(0, 1, ("m", i), now=60.0)
+                  for i in range(200)]
+        assert all(not e for e in extras)
+
+    def test_chaos_windows_clip_to_gst(self):
+        adv = make_gst(gst=50.0)
+        text = adv.describe()
+        assert "GSTAdversary(" in text
+        assert "50.00" in text and "delta=1.0" in text
+
+    def test_active_until_beyond_gst_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GSTAdversary(n=4, gst=10.0, delta=1.0, active_until=20.0)
+
+    def test_nonpositive_delta_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GSTAdversary(n=4, gst=10.0, delta=0.0)
+
+    def test_is_a_chaos_adversary(self):
+        assert isinstance(make_gst(), ChaosAdversary)
+
+
+class _Echo(Process):
+    def __init__(self):
+        super().__init__()
+        self.got = []
+
+    def on_message(self, src, msg):
+        self.got.append((self.ctx.now, msg))
+
+
+class TestGSTEndToEnd:
+    def test_post_gst_sends_arrive_within_delta(self):
+        procs = [_Echo() for _ in range(3)]
+        adv = GSTAdversary(n=3, gst=10.0, delta=0.5, drop_probability=0.9)
+        sim = Simulation(procs, adv, seed=3)
+        for i in range(20):
+            sim.at(20.0 + i, lambda i=i: procs[0].ctx.send(1, ("post", i)))
+        sim.run(until=60.0)
+        got = [t for t, m in procs[1].got if m[0] == "post"]
+        assert len(got) == 20  # nothing dropped after GST
+        for i, t in enumerate(sorted(got)):
+            assert t - (20.0 + i) <= 0.5 + 1e-9

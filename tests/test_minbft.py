@@ -92,6 +92,40 @@ class TestFaults:
         rep.assert_ok()
         assert all(r.view >= 2 for r in reps[2:])
 
+    def test_primary_restart_mid_view_change(self):
+        """The old primary reboots while the view change it caused is still
+        in flight; it must rejoin in the new view and re-execute the
+        committed prefix instead of wedging the group."""
+        from repro.consensus.apps import make_app
+
+        sim, reps, clients = build_minbft_system(
+            f=1, n_clients=1, ops_per_client=5, seed=20,
+            req_timeout=20.0, retry_timeout=60.0,
+        )
+        sim.crash_at(0, 2.0)
+
+        def factory():
+            old = reps[0]
+            fresh = MinBFTReplica(
+                n=old.n, usig=old.usig,  # trusted hardware survives
+                verifier=old.verifier, scheme=old.scheme, signer=old.signer,
+                app=make_app("counter"),  # volatile state does not
+                req_timeout=old.req_timeout,
+            )
+            reps[0] = fresh
+            return fresh
+
+        # with these timeouts the backups' VC-TIMER fires around t=22, so
+        # the reboot lands in the middle of the view change window
+        sim.restart_at(0, 22.0, factory=factory)
+        sim.run(until=6000.0)
+        rep = check_replication(sim.trace, [1, 2], expected_ops={3: 5})
+        rep.assert_ok()
+        assert sim.incarnation_of(0) == 1
+        assert all(r.view >= 1 for r in reps)  # reborn primary included
+        # the committed prefix reached the reborn replica
+        assert reps[0].app.digest() == reps[1].app.digest()
+
     def test_partial_synchrony_pre_gst_chaos(self):
         sim, reps, clients = build_minbft_system(
             f=1, n_clients=1, ops_per_client=3, seed=9,

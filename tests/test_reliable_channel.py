@@ -7,12 +7,14 @@ import pytest
 from repro.core import build_mp_srb_system, check_srb
 from repro.errors import ConfigurationError
 from repro.faults import (
+    AdaptiveTimeout,
     ChaosAdversary,
     LossyAsynchronous,
     ReliableChannel,
     ReliableProcess,
     wrap_reliable,
 )
+from repro.faults.channel import RETX_TAG, _DedupWindow
 from repro.sim import (
     DuplicatingAsynchronous,
     Process,
@@ -220,6 +222,209 @@ class TestChannelConfig:
             ReliableChannel(ctx, jitter=2.0)
         with pytest.raises(ConfigurationError):
             ReliableChannel(ctx, max_retries=-1)
+
+
+class TestDedupWindow:
+    def test_in_order_stream_keeps_only_the_watermark(self):
+        w = _DedupWindow(max_window=16)
+        for i in range(1000):
+            assert not w.seen(i)
+        assert w.low == 999
+        assert len(w) == 0
+
+    def test_out_of_order_gap_compacts_when_filled(self):
+        w = _DedupWindow(max_window=16)
+        assert not w.seen(0)
+        assert not w.seen(2)
+        assert not w.seen(3)
+        assert len(w) == 2  # {2, 3} parked above the watermark
+        assert not w.seen(1)  # gap fills
+        assert w.low == 3
+        assert len(w) == 0
+
+    def test_duplicates_reported_below_and_above_watermark(self):
+        w = _DedupWindow(max_window=16)
+        for i in (0, 1, 5):
+            w.seen(i)
+        assert w.seen(0)  # below watermark
+        assert w.seen(5)  # in the window
+        assert not w.seen(4)
+
+    def test_overflow_jumps_watermark_over_a_permanent_hole(self):
+        w = _DedupWindow(max_window=2)
+        for i in (5, 7, 9):  # id<5 never arrives: a peer gave up
+            assert not w.seen(i)
+        assert w.low == 5
+        assert len(w) <= 2
+        # the hole is written off as seen: a straggler is now suppressed
+        assert w.seen(3)
+
+
+class TestDedupStateBounded:
+    def test_single_peer_stream_compacts_to_the_watermark(self):
+        # with one destination the sender's ids are contiguous per stream,
+        # so the receiver's window drains completely
+        sim, inner = build(
+            2, LossyAsynchronous(drop_probability=0.4, min_delay=0.05,
+                                 max_delay=0.3),
+            seed=12, n_messages=20, base_timeout=1.0,
+        )
+        sim.run(until=600.0)
+        for pid in range(2):
+            ch = channel_of(sim, pid)
+            assert ch.gave_up == 0
+            assert ch.dedup_state_size == len(ch._streams) == 1
+
+    def test_multi_peer_state_stays_within_the_window_cap(self):
+        # ids are per-channel, not per-destination: a receiver's stream has
+        # permanent holes for ids addressed to the other peer, so state is
+        # bounded by max_window rather than fully compacted
+        sim, inner = build(
+            3, LossyAsynchronous(drop_probability=0.4, min_delay=0.05,
+                                 max_delay=0.3),
+            seed=12, n_messages=20, base_timeout=1.0, max_window=8,
+        )
+        sim.run(until=600.0)
+        for pid in range(3):
+            ch = channel_of(sim, pid)
+            assert all(len(w) <= 8 for w in ch._streams.values())
+            assert ch.dedup_state_size <= len(ch._streams) * 9
+        # watermark jumps may write off an in-flight id (the documented
+        # straggler tradeoff) so exactly-once weakens to at-most-once
+        for p in inner:
+            got = [m for _, m in p.received]
+            assert len(got) == len(set(got))
+
+    def test_window_cap_is_respected_under_permanent_holes(self):
+        sim, _ = build(2, ReliableAsynchronous(), seed=0)
+        ch = channel_of(sim, 0)
+        w = _DedupWindow(max_window=8)
+        for i in range(1, 1000, 2):  # all odd: every even id is a hole
+            w.seen(i)
+        assert len(w) <= 8
+        assert ch.max_window == 1024  # default plumbed through
+
+
+class TestIncarnationStreams:
+    def _restart_factory(self, store):
+        def factory():
+            p = Chatter()
+            store.append(p)
+            return ReliableProcess(p)
+        return factory
+
+    def test_restarted_sender_is_a_fresh_stream(self):
+        """Post-restart frames reuse ids from 0 but must not be swallowed."""
+        inner = [Chatter(), Chatter()]
+        sim = Simulation(
+            wrap_reliable(inner), ReliableAsynchronous(0.1, 0.5), seed=13
+        )
+        reborn: list[Chatter] = []
+        sim.crash_at(0, 5.0)
+        sim.restart_at(0, 10.0, factory=self._restart_factory(reborn))
+        sim.run(until=100.0)
+        # original incarnation's chat arrived pre-crash, and the reborn
+        # process's chat — same payload, same msg id 0, new incarnation —
+        # arrives as well instead of being deduplicated away
+        assert reborn, "restart factory never ran"
+        got = [m for _, m in inner[1].received if m == ("chat", 0, 0)]
+        assert len(got) == 2
+        ch = channel_of(sim, 1)
+        assert {inc for (_src, inc) in ch._streams} == {0, 1}
+
+    def test_stale_ack_does_not_cancel_new_incarnations_send(self):
+        sim, _ = build(2, ReliableAsynchronous(0.1, 0.5), seed=14)
+        ch = channel_of(sim, 0)
+        ch.send(1, "payload")
+        assert ch.in_flight == 1
+        ch._handle_ack(ch.incarnation - 1, 0)  # ack addressed to a prior life
+        assert ch.in_flight == 1
+        assert ch.acked == 0
+        ch._handle_ack(ch.incarnation, 0)
+        assert ch.in_flight == 0
+        assert ch.acked == 1
+
+
+class _RecordingPolicy:
+    """TimeoutPolicy double that logs observe() calls."""
+
+    def __init__(self, timeout=1.0):
+        self.timeout = timeout
+        self.observed: list[float] = []
+
+    def current(self):
+        return self.timeout
+
+    def escalate(self):
+        return self.timeout
+
+    def note_progress(self):
+        pass
+
+    def observe(self, sample):
+        self.observed.append(sample)
+
+
+class TestTimeoutPolicyIntegration:
+    def test_retransmit_timing_derives_from_policy_current(self):
+        inner = [Chatter(), Chatter()]
+        policy = _RecordingPolicy(timeout=3.0)
+        wrapped = [
+            ReliableProcess(inner[0], timeout_policy=policy, backoff=2.0,
+                            jitter=0.0, max_retries=3, max_timeout=100.0),
+            ReliableProcess(inner[1]),
+        ]
+        sim = Simulation(wrapped, LossyAsynchronous(drop_probability=1.0), seed=15)
+        sim.run(until=100.0)
+        sends = [
+            ev.time for ev in sim.trace.events("send", pid=0)
+            if ev.field("msg")[0] == "__rc_data__"
+        ]
+        gaps = [b - a for a, b in zip(sends, sends[1:])]
+        assert gaps == pytest.approx([3.0, 6.0, 12.0])  # current * backoff^k
+
+    def test_karn_only_first_attempt_acks_are_observed(self):
+        sim, _ = build(2, ReliableAsynchronous(0.1, 0.5), seed=16)
+        ch = channel_of(sim, 0)
+        rec = _RecordingPolicy()
+        ch.timeout_policy = rec
+        ch.send(1, "a")  # msg 0 — will be "retransmitted" before its ack
+        ch.send(1, "b")  # msg 1 — acked on the first attempt
+        ch.handle_timer((RETX_TAG, 0))
+        assert ch.retransmissions == 1
+        ch._handle_ack(ch.incarnation, 0)
+        assert rec.observed == []  # ambiguous RTT: skipped
+        ch._handle_ack(ch.incarnation, 1)
+        assert len(rec.observed) == 1  # unambiguous: sampled
+
+    def test_adaptive_policy_learns_rtt_end_to_end(self):
+        inner = [Chatter(5), Chatter(5)]
+        policy = AdaptiveTimeout(20.0, min_timeout=0.1, margin=2.0)
+        wrapped = [
+            ReliableProcess(inner[0], timeout_policy=policy),
+            ReliableProcess(inner[1]),
+        ]
+        sim = Simulation(wrapped, ReliableAsynchronous(0.1, 0.3), seed=17)
+        sim.run_to_quiescence()
+        # round trips are in [0.2, 0.6]: the policy converges well below
+        # the 20.0 initial guess
+        assert policy.estimator.samples == 5
+        assert policy.current() < 5.0
+
+    def test_factory_policies_are_per_channel(self):
+        made = []
+
+        def factory():
+            p = _RecordingPolicy()
+            made.append(p)
+            return p
+
+        sim, _ = build(3, ReliableAsynchronous(0.1, 0.3), seed=18,
+                       timeout_policy=factory)
+        sim.run_to_quiescence()
+        assert len(made) == 3
+        assert all(channel_of(sim, pid).timeout_policy is made[pid]
+                   for pid in range(3))
 
 
 class TestSRBOverLossyLinks:

@@ -162,3 +162,68 @@ class TestMisuse:
         s.schedule(1.0, Callback(fn=lambda: None, label="first"))
         s.run()
         assert log == ["first", "second"]
+
+
+class TestPendingUnderRestartStorms:
+    """``pending`` is an O(1) live counter; crash/restart cycles cancel
+    timers wholesale and must keep it consistent with the heap."""
+
+    def _recount(self, sim):
+        return sum(1 for ev in sim.scheduler._heap if not ev.cancelled)
+
+    def test_counter_matches_heap_after_repeated_crash_restart(self):
+        from repro.sim import Process, ReliableAsynchronous, Simulation
+
+        class Noisy(Process):
+            """Keeps several overlapping timers and chatters constantly."""
+
+            def on_start(self):
+                for k in range(1, 4):
+                    self.ctx.set_timer(float(k), ("tick", k))
+
+            def on_timer(self, tag):
+                k = tag[1]
+                self.ctx.broadcast(("noise", self.pid), include_self=False)
+                self.ctx.set_timer(float(k), tag)
+
+            def on_message(self, src, msg):
+                pass
+
+            def remake(self):
+                return Noisy()
+
+        procs = [Noisy() for _ in range(4)]
+        sim = Simulation(procs, ReliableAsynchronous(0.05, 0.4), seed=31)
+        # a storm: every process cycles through crash/restart repeatedly,
+        # with windows overlapping across processes
+        for pid in range(4):
+            for k in range(5):
+                sim.crash_at(pid, 3.0 + 7.0 * k + pid)
+                sim.restart_at(pid, 6.0 + 7.0 * k + pid)
+        sim.run(until=60.0)
+        assert sim.scheduler.pending == self._recount(sim)
+        # every process ended alive: its repeating timers must be pending
+        assert not sim.crashed_pids
+        assert sim.scheduler.pending > 0
+
+    def test_no_orphaned_timers_for_dead_incarnations(self):
+        from repro.sim import Process, ReliableAsynchronous, Simulation
+
+        class SlowTimer(Process):
+            def on_start(self):
+                self.ctx.set_timer(100.0, "slow")  # outlives every crash below
+
+            def remake(self):
+                return SlowTimer()
+
+        procs = [SlowTimer(), SlowTimer()]
+        sim = Simulation(procs, ReliableAsynchronous(), seed=32)
+        for k in range(3):
+            sim.crash_at(0, 1.0 + 2.0 * k)
+            sim.restart_at(0, 2.0 + 2.0 * k)
+        sim.run(until=10.0)
+        # pid 0's slow timer was re-armed by its 3rd incarnation only; the
+        # three dead incarnations' copies are cancelled, not pending
+        assert sim.scheduler.pending == self._recount(sim) == 2
+        live = [ev for ev in sim.scheduler._heap if not ev.cancelled]
+        assert sorted(ev.payload.pid for ev in live) == [0, 1]

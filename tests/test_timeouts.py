@@ -1,0 +1,136 @@
+"""Tests for the Jacobson/Karels timeout policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.timeouts import (
+    AdaptiveTimeout,
+    FixedTimeout,
+    RttEstimator,
+    TimeoutPolicy,
+    make_policy_factory,
+)
+
+
+class TestRttEstimator:
+    def test_first_sample_seeds_rfc6298(self):
+        est = RttEstimator()
+        assert est.rto() is None
+        est.observe(4.0)
+        # srtt = 4, rttvar = 2, rto = 4 + 4*2
+        assert est.srtt == 4.0
+        assert est.rttvar == 2.0
+        assert est.rto() == pytest.approx(12.0)
+
+    def test_converges_on_steady_rtt(self):
+        est = RttEstimator()
+        for _ in range(200):
+            est.observe(1.0)
+        assert est.srtt == pytest.approx(1.0)
+        assert est.rttvar == pytest.approx(0.0, abs=1e-6)
+        assert est.rto() == pytest.approx(1.0, abs=1e-3)
+
+    def test_variance_widens_rto_under_jitter(self):
+        steady, jittery = RttEstimator(), RttEstimator()
+        for i in range(100):
+            steady.observe(1.0)
+            jittery.observe(1.0 if i % 2 == 0 else 3.0)
+        assert jittery.rto() > steady.rto()
+
+    def test_rejects_negative_sample_and_bad_gains(self):
+        with pytest.raises(ConfigurationError):
+            RttEstimator().observe(-0.1)
+        with pytest.raises(ConfigurationError):
+            RttEstimator(alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            RttEstimator(beta=1.5)
+
+
+class TestFixedTimeout:
+    def test_default_is_constant_legacy_timer(self):
+        p = FixedTimeout(25.0)
+        assert p.current() == 25.0
+        p.escalate()
+        p.escalate()
+        assert p.current() == 25.0  # backoff=1.0: exactly the legacy re-arm
+
+    def test_backoff_variant_grows_and_resets(self):
+        p = FixedTimeout(2.0, backoff=2.0, max_timeout=10.0)
+        assert p.current() == 2.0
+        assert p.escalate() == 4.0
+        assert p.escalate() == 8.0
+        assert p.escalate() == 10.0  # clamped
+        p.note_progress()
+        assert p.current() == 2.0
+
+    def test_observe_is_a_noop(self):
+        p = FixedTimeout(5.0)
+        p.observe(0.001)
+        assert p.current() == 5.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FixedTimeout(0.0)
+        with pytest.raises(ConfigurationError):
+            FixedTimeout(1.0, backoff=0.5)
+
+
+class TestAdaptiveTimeout:
+    def test_falls_back_to_initial_before_samples(self):
+        p = AdaptiveTimeout(25.0)
+        assert p.current() == 25.0
+
+    def test_tracks_measured_rtt_down(self):
+        p = AdaptiveTimeout(25.0, min_timeout=0.5, margin=2.0)
+        for _ in range(100):
+            p.observe(1.0)
+        # rto -> ~1.0, margin 2 -> ~2.0: far below the 25.0 initial
+        assert p.current() < 5.0
+        assert p.current() >= 0.5
+
+    def test_clamps_to_min_and_max(self):
+        p = AdaptiveTimeout(10.0, min_timeout=3.0, max_timeout=20.0)
+        for _ in range(50):
+            p.observe(0.001)
+        assert p.current() == 3.0
+        q = AdaptiveTimeout(10.0, min_timeout=1.0, max_timeout=20.0)
+        for _ in range(50):
+            q.observe(100.0)
+        assert q.current() == 20.0
+
+    def test_escalation_backs_off_then_progress_resets(self):
+        p = AdaptiveTimeout(25.0, min_timeout=1.0, margin=2.0)
+        for _ in range(50):
+            p.observe(1.0)
+        base = p.current()
+        assert p.escalate() == pytest.approx(2 * base)
+        p.note_progress()
+        assert p.current() == pytest.approx(base)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveTimeout(0.0)
+        with pytest.raises(ConfigurationError):
+            AdaptiveTimeout(1.0, min_timeout=5.0, max_timeout=2.0)
+        with pytest.raises(ConfigurationError):
+            AdaptiveTimeout(1.0, margin=0.5)
+
+
+class TestPolicyFactory:
+    def test_factories_yield_fresh_instances(self):
+        factory = make_policy_factory("adaptive", base=10.0)
+        a, b = factory(), factory()
+        assert a is not b
+        a.observe(0.1)
+        assert b.estimator.samples == 0  # no shared estimator state
+
+    def test_both_kinds_satisfy_the_protocol(self):
+        for kind in ("fixed", "adaptive"):
+            p = make_policy_factory(kind, base=5.0)()
+            assert isinstance(p, TimeoutPolicy)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_policy_factory("magic", base=1.0)
