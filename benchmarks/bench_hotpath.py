@@ -1,0 +1,262 @@
+"""R4 — crypto hot path: digest caching, proof memoization, parallel sweeps.
+
+Two workloads, both run cached (the shipped configuration) and uncached
+(``caching_disabled()``, the pre-optimization reference behavior — every
+call re-serializes and re-HMACs from scratch):
+
+- **signed-SRB burst** — an n=7, t=3 Algorithm-1 broadcast burst on a
+  clean network. Algorithm 1 relays signed proofs by reference, so the
+  same copier signatures get re-checked O(n·t²) times per broadcast; the
+  verification cache and the L1/L2 proof memos collapse that to one HMAC
+  per unique signature. Measured: wall time and :class:`CryptoStats`
+  HMAC counts, with a byte-for-byte delivery-equality check between the
+  cached and uncached runs.
+- **chaos sweep** — ``chaos_sweep`` over srb-uni with realistic payload
+  sizes, three ways: serial-uncached (the pre-optimization baseline),
+  serial-cached, and ``workers=4`` parallel-cached. The parallel sweep
+  must return ChaosResults bit-identical to the serial one (stats and
+  all); the recorded headline speedup is baseline vs the best cached
+  configuration. Parallel wall-clock is reported relative to serial so
+  single-core CI boxes (where extra processes only add contention) stay
+  honest — the JSON records the machine's CPU count next to it.
+
+Acceptance bars asserted here: >= 3x HMAC reduction on the burst and
+>= 2x sweep wall-clock speedup (>= 1x — "never slower" — in ``--quick``
+CI mode, which uses a smaller grid).
+
+Writes ``BENCH_hotpath.json`` at the repo root (override with ``--out``).
+
+Runs two ways::
+
+    python -m pytest benchmarks/bench_hotpath.py --benchmark-only
+    python benchmarks/bench_hotpath.py --quick   # CI smoke, no pytest
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import nullcontext
+from pathlib import Path
+from typing import Any, Optional, Sequence
+
+from repro.analysis import format_table
+from repro.core.srb_from_uni import build_mp_srb_system
+from repro.crypto.serialize import (
+    caching_disabled,
+    crypto_stats,
+    reset_crypto_caches,
+)
+from repro.faults.chaos import ChaosResult, chaos_sweep
+
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_hotpath.json"
+
+BURST = dict(n=7, t=3, n_messages=8)
+HMAC_REDUCTION_BAR = 3.0  # the ISSUE's acceptance threshold for the burst
+
+FULL_SWEEP = dict(n=9, t=4, n_messages=6, value_bytes=16384,
+                  seeds=6, horizon=400.0)
+QUICK_SWEEP = dict(n=7, t=3, n_messages=6, value_bytes=4096,
+                   seeds=2, horizon=250.0)
+FULL_SWEEP_BAR = 2.0  # the ISSUE's acceptance threshold for the sweep
+QUICK_SWEEP_BAR = 1.0  # CI smoke: the cached path must never be slower
+WORKERS = 4
+
+
+# ---------------------------------------------------------------------------
+# Burst: one broadcast burst, cached vs uncached
+# ---------------------------------------------------------------------------
+
+
+def run_burst(cached: bool, n: int, t: int, n_messages: int) -> dict[str, Any]:
+    """One signed-SRB burst; returns wall time, crypto stats, deliveries."""
+    ctx = nullcontext() if cached else caching_disabled()
+    with ctx:
+        reset_crypto_caches()
+        t0 = time.perf_counter()
+        sim, procs, _scheme = build_mp_srb_system(n=n, t=t, sender=0, seed=0)
+        for i in range(n_messages):
+            sim.at(1.0 + 0.5 * i,
+                   lambda i=i: procs[0].broadcast(f"burst-{i}"),
+                   label=f"bcast-{i}")
+        sim.run(until=120.0)
+        wall = time.perf_counter() - t0
+        stats = crypto_stats().as_dict()
+    deliveries = [
+        (ev.pid, ev.fields["seq"], ev.fields["value"])
+        for ev in sim.trace.events(kind="bcast_deliver")
+    ]
+    expected = n * n_messages
+    assert len(deliveries) == expected, (
+        f"burst incomplete: {len(deliveries)}/{expected} deliveries"
+    )
+    return {"wall_s": wall, "crypto": stats, "deliveries": deliveries}
+
+
+def measure_burst() -> dict[str, Any]:
+    uncached = run_burst(False, **BURST)
+    cached = run_burst(True, **BURST)
+    assert cached["deliveries"] == uncached["deliveries"], (
+        "cached burst delivered differently from the uncached reference"
+    )
+    reduction = uncached["crypto"]["hmac_ops"] / cached["crypto"]["hmac_ops"]
+    return {
+        **BURST,
+        "uncached": {"wall_s": uncached["wall_s"],
+                     "crypto": uncached["crypto"]},
+        "cached": {"wall_s": cached["wall_s"], "crypto": cached["crypto"]},
+        "hmac_reduction": reduction,
+        "wall_speedup": uncached["wall_s"] / cached["wall_s"],
+        "deliveries_identical": True,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Sweep: serial-uncached vs serial-cached vs parallel-cached
+# ---------------------------------------------------------------------------
+
+
+def _verdict(r: ChaosResult) -> tuple:
+    """Everything except per-run crypto counters (absent when uncached)."""
+    stats = {k: v for k, v in r.stats.items() if k != "crypto"}
+    return (r.protocol, r.seed, r.ok, tuple(r.violations), r.schedule,
+            tuple(sorted(stats.items())), r.abort_index,
+            tuple(r.liveness_violations))
+
+
+def _full(r: ChaosResult) -> tuple:
+    return (r.protocol, r.seed, r.ok, r.violations, r.schedule, r.stats,
+            r.abort_index, r.liveness_violations)
+
+
+def measure_sweep(cfg: dict[str, Any], workers: int = WORKERS) -> dict[str, Any]:
+    kw = dict(protocols=("srb-uni",), seeds=range(cfg["seeds"]),
+              horizon=cfg["horizon"], n=cfg["n"], t=cfg["t"],
+              n_messages=cfg["n_messages"], value_bytes=cfg["value_bytes"])
+
+    t0 = time.perf_counter()
+    with caching_disabled():
+        uncached = chaos_sweep(**kw)
+    wall_uncached = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    serial = chaos_sweep(**kw)
+    wall_serial = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = chaos_sweep(workers=workers, **kw)
+    wall_parallel = time.perf_counter() - t0
+
+    assert [_verdict(r) for r in serial] == [_verdict(r) for r in uncached], (
+        "cached sweep verdicts differ from the uncached reference"
+    )
+    assert [_full(r) for r in parallel] == [_full(r) for r in serial], (
+        f"workers={workers} sweep is not bit-identical to the serial sweep"
+    )
+    best_cached = min(wall_serial, wall_parallel)
+    return {
+        **cfg,
+        "runs": len(serial),
+        "workers": workers,
+        "cpus": os.cpu_count(),
+        "uncached_serial_s": wall_uncached,
+        "cached_serial_s": wall_serial,
+        "cached_parallel_s": wall_parallel,
+        "speedup": wall_uncached / best_cached,
+        "serial_speedup": wall_uncached / wall_serial,
+        "parallel_vs_serial": wall_serial / wall_parallel,
+        "verdicts_identical": True,
+        "parallel_bit_identical": True,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Harness
+# ---------------------------------------------------------------------------
+
+
+def run_hotpath(quick: bool = False,
+                out: Optional[Path] = DEFAULT_OUT) -> dict[str, Any]:
+    burst = measure_burst()
+    sweep_bar = QUICK_SWEEP_BAR if quick else FULL_SWEEP_BAR
+    sweep = measure_sweep(QUICK_SWEEP if quick else FULL_SWEEP)
+    results = {"quick": quick, "burst": burst, "sweep": sweep,
+               "bars": {"hmac_reduction": HMAC_REDUCTION_BAR,
+                        "sweep_speedup": sweep_bar}}
+    if out is not None:
+        Path(out).write_text(json.dumps(results, indent=2) + "\n")
+    assert burst["hmac_reduction"] >= HMAC_REDUCTION_BAR, (
+        f"burst HMAC reduction {burst['hmac_reduction']:.1f}x under the "
+        f"{HMAC_REDUCTION_BAR}x bar"
+    )
+    assert burst["wall_speedup"] >= 1.0, (
+        f"cached burst slower than uncached "
+        f"({burst['wall_speedup']:.2f}x)"
+    )
+    assert sweep["speedup"] >= sweep_bar, (
+        f"sweep speedup {sweep['speedup']:.2f}x under the {sweep_bar}x bar"
+    )
+    return results
+
+
+def render(results: dict[str, Any]) -> str:
+    b, s = results["burst"], results["sweep"]
+    burst_tbl = format_table(
+        ["config", "mode", "wall ms", "hmac ops", "verify hits"],
+        [
+            [f"n={b['n']} t={b['t']} msgs={b['n_messages']}", "uncached",
+             f"{b['uncached']['wall_s'] * 1e3:.1f}",
+             b["uncached"]["crypto"]["hmac_ops"],
+             b["uncached"]["crypto"]["verify_hits"]],
+            ["", "cached", f"{b['cached']['wall_s'] * 1e3:.1f}",
+             b["cached"]["crypto"]["hmac_ops"],
+             b["cached"]["crypto"]["verify_hits"]],
+        ],
+        title=f"R4a: signed-SRB burst — {b['hmac_reduction']:.1f}x fewer "
+              f"HMACs, {b['wall_speedup']:.2f}x wall",
+    )
+    sweep_tbl = format_table(
+        ["mode", "wall s", "speedup vs uncached"],
+        [
+            ["serial uncached", f"{s['uncached_serial_s']:.2f}", "1.00x"],
+            ["serial cached", f"{s['cached_serial_s']:.2f}",
+             f"{s['serial_speedup']:.2f}x"],
+            [f"workers={s['workers']} cached",
+             f"{s['cached_parallel_s']:.2f}",
+             f"{s['uncached_serial_s'] / s['cached_parallel_s']:.2f}x"],
+        ],
+        title=f"R4b: chaos sweep ({s['runs']} runs, n={s['n']} t={s['t']} "
+              f"payload={s['value_bytes']}B, {s['cpus']} cpu) — headline "
+              f"{s['speedup']:.2f}x, parallel bit-identical",
+    )
+    return burst_tbl + "\n\n" + sweep_tbl
+
+
+def test_hotpath(once, quick):
+    from _bench_util import report
+
+    results = once(run_hotpath, quick)
+    report(render(results))
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller sweep grid and a 'never slower' bar (CI)")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                        help="where to write the JSON report")
+    args = parser.parse_args(argv)
+    results = run_hotpath(quick=args.quick, out=args.out)
+    print(render(results))
+    print(f"\nwrote {args.out}")
+    print(f"burst hmac reduction {results['burst']['hmac_reduction']:.1f}x "
+          f"(bar {HMAC_REDUCTION_BAR}x); sweep speedup "
+          f"{results['sweep']['speedup']:.2f}x "
+          f"(bar {results['bars']['sweep_speedup']}x)")
+
+
+if __name__ == "__main__":
+    main()

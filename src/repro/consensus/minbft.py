@@ -34,9 +34,9 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
-from ..crypto.serialize import content_hash
+from ..crypto.serialize import caching_enabled, canonical_bytes, content_hash
 from ..crypto.signatures import Signature, SignatureScheme, Signer
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, SignatureError
 from ..sim.process import Process
 from ..types import ProcessId, SeqNum
 from .apps import StateMachine
@@ -323,7 +323,30 @@ class MinBFTReplica(Process):
 
     def _valid_proposal(self, proposal: Any) -> bool:
         """A slot proposal: one valid request, or a non-empty BATCH of them
-        with no duplicate request keys."""
+        with no duplicate request keys.
+
+        Memoized in the scheme's protocol memo on the serialized proposal:
+        the same proposal object is re-validated once per PREPARE and once
+        per COMMIT at every replica, and validity is a deterministic pure
+        function of the content. Unserializable proposals (which can only
+        come from Byzantine code) take the uncached path.
+        """
+        key = None
+        if caching_enabled():
+            try:
+                key = ("minbft-proposal", canonical_bytes(proposal))
+            except SignatureError:
+                key = None
+            if key is not None:
+                verdict = self.scheme.memo.get(key)
+                if verdict is not None:
+                    return verdict
+        verdict = self._valid_proposal_uncached(proposal)
+        if key is not None:
+            self.scheme.memo.put(key, verdict)
+        return verdict
+
+    def _valid_proposal_uncached(self, proposal: Any) -> bool:
         requests = proposal_requests(proposal)
         if not requests:
             return False

@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
-from ..crypto.serialize import content_hash
+from ..crypto.serialize import BoundedCache, caching_enabled, canonical_bytes, content_hash
 from ..errors import ConfigurationError
 from ..hardware.trinc import Attestation, Trinket, TrincAuthority
 from ..types import ProcessId, SeqNum
@@ -76,10 +76,21 @@ class USIG:
 
 
 class USIGVerifier:
-    """Stateless UI verification (check side); any process can hold one."""
+    """Stateless UI verification (check side); any process can hold one.
+
+    One verifier is shared by every replica of a simulation, so its
+    verified-UI memo deduplicates across the whole system: a UI broadcast
+    to n replicas (and re-checked as the embedded prepare UI of every
+    COMMIT) costs one attestation HMAC in total. The memo key commits to
+    the serialized ``(ui, message, replica)`` content, verification is a
+    deterministic pure function of it, and unserializable garbage falls
+    through to the uncached check — cached and uncached verdicts are
+    identical.
+    """
 
     def __init__(self, authority: TrincAuthority) -> None:
         self._authority = authority
+        self._verified = BoundedCache(1 << 13)
 
     def verify_ui(self, ui: Any, message: Any, replica: ProcessId) -> bool:
         """Whether ``ui`` genuinely binds ``message`` to ``replica``'s counter.
@@ -89,6 +100,22 @@ class USIGVerifier:
         forces a Byzantine replica's message stream to be gap-free if it
         wants any of it accepted.
         """
+        key = None
+        if caching_enabled():
+            try:
+                key = canonical_bytes((ui, message, replica))
+            except Exception:
+                key = None
+            if key is not None:
+                verdict = self._verified.get(key)
+                if verdict is not None:
+                    return verdict
+        verdict = self._verify_ui_uncached(ui, message, replica)
+        if key is not None:
+            self._verified.put(key, verdict)
+        return verdict
+
+    def _verify_ui_uncached(self, ui: Any, message: Any, replica: ProcessId) -> bool:
         if not isinstance(ui, UI):
             return False
         if ui.replica != replica:

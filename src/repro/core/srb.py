@@ -243,11 +243,23 @@ class SRBStreamChecker(TraceObserver):
                 else:
                     value_of[d.seq] = (p, d.value)
 
+        # set-indexed views of each receiver's stream: the relay/validity
+        # audits below are membership tests, not linear rescans per seq
+        # (identical verdicts — ``(seq, value) in pairs`` is exactly
+        # ``any(d.seq == seq and d.value == value)``)
+        seqs_of = {p: {d.seq for d in by_receiver[p]} for p in correct_set}
+        try:
+            pairs_of = {
+                p: {(d.seq, d.value) for d in by_receiver[p]} for p in correct_set
+            }
+        except TypeError:  # unhashable payloads: keep the linear-scan audit
+            pairs_of = None
+
         # --- agreement part 2 (relay, liveness): all-or-nothing per seq --------
         if self.expect_complete:
             for seq, (q, v) in sorted(value_of.items()):
                 for p in correct_set:
-                    if not any(d.seq == seq for d in by_receiver[p]):
+                    if seq not in seqs_of[p]:
                         report.agreement_violations.append(
                             f"seq {seq}: delivered by process {q} but never by "
                             f"process {p}"
@@ -257,9 +269,15 @@ class SRBStreamChecker(TraceObserver):
         if self.sender_correct and self.expect_complete:
             for seq, value in report.broadcasts:
                 for p in correct_set:
-                    if not any(
-                        d.seq == seq and d.value == value for d in by_receiver[p]
-                    ):
+                    delivered = (
+                        (seq, value) in pairs_of[p]
+                        if pairs_of is not None
+                        else any(
+                            d.seq == seq and d.value == value
+                            for d in by_receiver[p]
+                        )
+                    )
+                    if not delivered:
                         report.validity_violations.append(
                             f"sender broadcast ({seq}, {value!r}) but process {p} "
                             "did not deliver it"

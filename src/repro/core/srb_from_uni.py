@@ -44,8 +44,9 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
+from ..crypto.serialize import caching_enabled, canonical_bytes
 from ..crypto.signatures import Signature, SignatureScheme, Signer
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, SignatureError
 from ..sim.adversary import Adversary, ReliableAsynchronous
 from ..sim.runner import Simulation
 from ..types import ProcessId, SeqNum
@@ -78,6 +79,30 @@ def l1_domain(sender: ProcessId, k: SeqNum, m: Any) -> tuple:
 
 
 # -- proof validation (pure functions, reused by checkers and benches) ---------------
+#
+# Every relay hop and every receiver re-validates the same proof objects:
+# an L2 proof for (k, m) embeds t+1 L1 proofs of t+1 copier signatures
+# each, and the proof tuple travels *by reference* through the simulated
+# network — an O(n * t^2) pile of redundant HMACs per broadcast without
+# memoization. The validators below memoize their verdicts in the scheme's
+# ``memo`` table keyed by the proof's canonical serialization, so a
+# structurally identical proof is fully validated once per scheme and then
+# answered from the cache. Verdicts are bit-identical to the uncached
+# path: validation is a deterministic pure function of the serialized
+# content, and anything that fails to serialize (Byzantine garbage) falls
+# through to the uncached validator.
+
+_MEMO_MISS = object()
+
+
+def _proof_memo_key(scheme: SignatureScheme, kind: str, *parts: Any):
+    """Serialization-committed memo key, or None when uncacheable."""
+    if not caching_enabled():
+        return None
+    try:
+        return (kind, canonical_bytes(parts))
+    except SignatureError:
+        return None
 
 
 def validate_copies(
@@ -104,7 +129,7 @@ def validate_copies(
     return len(seen) >= t + 1
 
 
-def validate_l1_item(
+def _validate_l1_item_uncached(
     scheme: SignatureScheme,
     sender: ProcessId,
     k: SeqNum,
@@ -112,7 +137,6 @@ def validate_l1_item(
     item: Any,
     t: int,
 ) -> Optional[ProcessId]:
-    """Validate one L1 proof ``(builder, copies, sig_builder)``; returns builder."""
     if not (isinstance(item, tuple) and len(item) == 3):
         return None
     builder, copies, sig = item
@@ -125,13 +149,35 @@ def validate_l1_item(
     return builder
 
 
-def validate_l2(
+def validate_l1_item(
+    scheme: SignatureScheme,
+    sender: ProcessId,
+    k: SeqNum,
+    m: Any,
+    item: Any,
+    t: int,
+) -> Optional[ProcessId]:
+    """Validate one L1 proof ``(builder, copies, sig_builder)``; returns builder.
+
+    Memoized per scheme on the serialized ``(sender, k, m, item, t)``
+    content — relays and L2 assembly re-validate each L1 proof for free.
+    """
+    key = _proof_memo_key(scheme, "srb-l1", sender, k, m, item, t)
+    if key is None:
+        return _validate_l1_item_uncached(scheme, sender, k, m, item, t)
+    verdict = scheme.memo.get(key, _MEMO_MISS)
+    if verdict is _MEMO_MISS:
+        verdict = _validate_l1_item_uncached(scheme, sender, k, m, item, t)
+        scheme.memo.put(key, verdict)
+    return verdict
+
+
+def _validate_l2_uncached(
     scheme: SignatureScheme,
     sender: ProcessId,
     payload: Any,
     t: int,
 ) -> Optional[tuple[SeqNum, Any]]:
-    """Validate an L2 payload; returns ``(k, m)`` when sound, else ``None``."""
     if not (isinstance(payload, tuple) and len(payload) == 5 and payload[0] == "L2"):
         return None
     _, k, m, sig_s, l1items = payload
@@ -151,6 +197,28 @@ def validate_l2(
     if len(builders) < t + 1:
         return None
     return (k, m)
+
+
+def validate_l2(
+    scheme: SignatureScheme,
+    sender: ProcessId,
+    payload: Any,
+    t: int,
+) -> Optional[tuple[SeqNum, Any]]:
+    """Validate an L2 payload; returns ``(k, m)`` when sound, else ``None``.
+
+    Memoized per scheme on the serialized payload: the L2 proof is posted
+    once and then re-checked by every receiver and forwarded by every
+    relay — with the memo the full pyramid is validated once per scheme.
+    """
+    key = _proof_memo_key(scheme, "srb-l2", sender, payload, t)
+    if key is None:
+        return _validate_l2_uncached(scheme, sender, payload, t)
+    verdict = scheme.memo.get(key, _MEMO_MISS)
+    if verdict is _MEMO_MISS:
+        verdict = _validate_l2_uncached(scheme, sender, payload, t)
+        scheme.memo.put(key, verdict)
+    return verdict
 
 
 class SRBFromUnidirectional(RoundProcess):

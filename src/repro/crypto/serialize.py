@@ -11,6 +11,31 @@ and ``dict`` (sorted by key encoding).
 The format is injective on this domain: distinct values produce distinct
 bytes, so a signature over :func:`canonical_bytes` is a commitment to the
 value itself. This property is exercised by hypothesis tests.
+
+Serialization is the floor every crypto operation stands on — one
+Algorithm-1 broadcast serializes the same proof structures at every relay
+hop — so the encoder is built for the hot path:
+
+- **iterative spine** — the encoder walks sequences and dataclasses with an
+  explicit stack instead of Python recursion (deep proof pyramids stay
+  cheap; sets and maps, whose elements must be encoded separately for
+  sorting, recurse through :func:`canonical_bytes` and so share the cache);
+- **identity-keyed memoization** — the simulator passes message objects by
+  reference, so the *same* proof tuple reaches every process; encodings of
+  deeply immutable values are kept in a bounded LRU keyed by object
+  identity (entries pin their value, which makes identity keys sound: an
+  id can only be recycled after its entry is evicted, and every hit
+  re-checks ``is``). Mutable values — lists, dicts, bytearrays, non-frozen
+  dataclasses, and anything containing one — are never cached, so caching
+  can never observe a stale encoding;
+- **digest memoization** — :func:`content_hash` keeps its own identity LRU
+  for values the encoder proved immutable.
+
+Caching changes performance only: cached and uncached encodings are
+extensionally identical (hypothesis-tested), and :func:`caching_disabled`
+restores the uncached behavior for baselines and A/B benchmarks. All cache
+and HMAC activity is counted in the module-global :data:`STATS`
+(:class:`CryptoStats`), which the chaos harness snapshots per run.
 """
 
 from __future__ import annotations
@@ -18,7 +43,10 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import struct
-from typing import Any
+from collections import OrderedDict
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Iterator, Optional
 
 from ..errors import SignatureError
 
@@ -35,70 +63,330 @@ _TAG_MAP = b"M"
 _TAG_DATACLASS = b"C"
 
 
+# ---------------------------------------------------------------------------
+# Stats and cache plumbing
+# ---------------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class CryptoStats:
+    """Counters for the crypto hot path (serialization, hashing, HMAC).
+
+    One module-global instance (:data:`STATS`) counts process-wide; the
+    chaos harness resets it at the start of each run and snapshots it into
+    ``ChaosResult.stats["crypto"]``, so per-run numbers are a pure function
+    of the run (identical between serial and parallel sweeps).
+
+    ``hmac_ops`` counts every HMAC-SHA256 actually computed — signature
+    signing and verification misses, plus TrInc attestations and checks —
+    which is the hardware-cost proxy the hot-path bench reports.
+    """
+
+    serialize_hits: int = 0
+    serialize_misses: int = 0
+    hash_hits: int = 0
+    hash_misses: int = 0
+    verify_hits: int = 0
+    verify_misses: int = 0
+    cheap_rejects: int = 0
+    hmac_ops: int = 0
+    signs: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in dataclasses.fields(self)}
+
+    def snapshot(self) -> "CryptoStats":
+        return CryptoStats(**self.as_dict())
+
+    def reset(self) -> None:
+        for f in dataclasses.fields(self):
+            setattr(self, f.name, 0)
+
+
+STATS = CryptoStats()
+"""Process-global crypto counters; see :class:`CryptoStats`."""
+
+
+class BoundedCache:
+    """A small LRU: plain dict speed on hit, bounded memory on miss floods.
+
+    Used for every memo table in the crypto stack (encodings, digests,
+    verification verdicts, protocol-level proof memos). Entries are evicted
+    least-recently-*used* first.
+    """
+
+    __slots__ = ("_data", "maxsize")
+
+    def __init__(self, maxsize: int = 1 << 14) -> None:
+        if maxsize <= 0:
+            raise ValueError(f"maxsize must be positive, got {maxsize}")
+        self._data: OrderedDict = OrderedDict()
+        self.maxsize = maxsize
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        data = self._data
+        entry = data.get(key, default)
+        if entry is not default:
+            data.move_to_end(key)
+        return entry
+
+    def put(self, key: Any, value: Any) -> None:
+        data = self._data
+        if key in data:
+            data.move_to_end(key)
+        data[key] = value
+        if len(data) > self.maxsize:
+            data.popitem(last=False)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+_ENCODING_CACHE = BoundedCache(1 << 15)  # id(value) -> (value, bytes)
+_DIGEST_CACHE = BoundedCache(1 << 15)  # id(value) -> (value, sha256)
+_caching_enabled = True
+
+
+def caching_enabled() -> bool:
+    """Whether the crypto memo layer is active (see :func:`set_caching`)."""
+    return _caching_enabled
+
+
+def set_caching(enabled: bool) -> bool:
+    """Enable/disable all crypto caches; returns the previous setting.
+
+    Disabling restores the uncached reference behavior (every call
+    serializes and HMACs from scratch) — the baseline the hot-path bench
+    measures against. Existing entries are kept but not consulted.
+    """
+    global _caching_enabled
+    previous = _caching_enabled
+    _caching_enabled = bool(enabled)
+    return previous
+
+
+@contextmanager
+def caching_disabled() -> Iterator[None]:
+    """Context manager: run a block with the uncached reference behavior."""
+    previous = set_caching(False)
+    try:
+        yield
+    finally:
+        set_caching(previous)
+
+
+def reset_crypto_caches(reset_stats: bool = True) -> None:
+    """Drop all cached encodings/digests (and by default zero :data:`STATS`).
+
+    The chaos harness calls this at the start of every run so per-run cache
+    counters — and therefore whole ``ChaosResult``s — are identical whether
+    the sweep runs serially or across worker processes.
+    """
+    _ENCODING_CACHE.clear()
+    _DIGEST_CACHE.clear()
+    if reset_stats:
+        STATS.reset()
+
+
+def crypto_stats() -> CryptoStats:
+    """A snapshot copy of the process-global :data:`STATS`."""
+    return STATS.snapshot()
+
+
+# ---------------------------------------------------------------------------
+# The encoder
+# ---------------------------------------------------------------------------
+
+
+#: strings/bytes shorter than this are cheaper to re-encode than to cache
+_SCALAR_CACHE_MIN = 64
+
+
 def _encode_length(out: bytearray, n: int) -> None:
     out += struct.pack(">Q", n)
 
 
-def _encode(value: Any, out: bytearray) -> None:
-    if value is None:
-        out += _TAG_NONE
-    elif value is True:
-        out += _TAG_TRUE
-    elif value is False:
-        out += _TAG_FALSE
-    elif isinstance(value, int):
-        body = str(value).encode("ascii")
-        out += _TAG_INT
-        _encode_length(out, len(body))
-        out += body
-    elif isinstance(value, float):
-        out += _TAG_FLOAT
-        out += struct.pack(">d", value)
-    elif isinstance(value, str):
-        body = value.encode("utf-8")
-        out += _TAG_STR
-        _encode_length(out, len(body))
-        out += body
-    elif isinstance(value, (bytes, bytearray)):
-        out += _TAG_BYTES
-        _encode_length(out, len(value))
-        out += bytes(value)
-    elif isinstance(value, (tuple, list)):
-        out += _TAG_SEQ
-        _encode_length(out, len(value))
-        for item in value:
-            _encode(item, out)
-    elif isinstance(value, frozenset):
-        encoded = sorted(canonical_bytes(item) for item in value)
-        out += _TAG_SET
-        _encode_length(out, len(encoded))
-        for item in encoded:
-            _encode_length(out, len(item))
-            out += item
-    elif isinstance(value, dict):
-        items = sorted(
-            (canonical_bytes(k), canonical_bytes(v)) for k, v in value.items()
-        )
-        out += _TAG_MAP
-        _encode_length(out, len(items))
-        for k, v in items:
-            _encode_length(out, len(k))
-            out += k
+def _dataclass_frozen(tp: type) -> bool:
+    params = getattr(tp, "__dataclass_params__", None)
+    return bool(params is not None and params.frozen)
+
+
+class _Frame:
+    """An open container during iterative encoding."""
+
+    __slots__ = ("value", "start", "immutable")
+
+    def __init__(self, value: Any, start: int, immutable: bool) -> None:
+        self.value = value
+        self.start = start
+        self.immutable = immutable
+
+
+class _End:
+    """Stack marker: the most recently opened container is complete."""
+
+    __slots__ = ()
+
+
+_END = _End()
+
+
+def _cached_encoding(value: Any) -> Optional[bytes]:
+    entry = _ENCODING_CACHE.get(id(value))
+    if entry is not None and entry[0] is value:
+        return entry[1]
+    return None
+
+
+def _encode(value: Any, out: bytearray) -> bool:
+    """Append ``value``'s canonical encoding to ``out``.
+
+    Returns True when ``value`` is *deeply immutable* — the gate for both
+    encoding and digest memoization. The walk is iterative over the
+    sequence/dataclass spine; ``frozenset`` and ``dict`` elements must be
+    encoded separately (their byte encodings are what gets sorted) and
+    reach the cache through nested :func:`canonical_bytes` calls.
+    """
+    root = _Frame(None, 0, True)
+    frames = [root]
+    stack = [value]
+    while stack:
+        v = stack.pop()
+        if v is _END:
+            frame = frames.pop()
+            if frame.immutable:
+                if _caching_enabled:
+                    _ENCODING_CACHE.put(
+                        id(frame.value), (frame.value, bytes(out[frame.start:]))
+                    )
+            else:
+                frames[-1].immutable = False
+            continue
+        if v is None:
+            out += _TAG_NONE
+        elif v is True:
+            out += _TAG_TRUE
+        elif v is False:
+            out += _TAG_FALSE
+        elif isinstance(v, int):
+            body = str(v).encode("ascii")
+            out += _TAG_INT
+            _encode_length(out, len(body))
+            out += body
+        elif isinstance(v, float):
+            out += _TAG_FLOAT
+            out += struct.pack(">d", v)
+        elif isinstance(v, str):
+            # long strings are worth an identity-cache entry of their own:
+            # payloads embedded in relayed proofs re-encode at every
+            # signature check otherwise (str is immutable, so this is sound)
+            big = len(v) >= _SCALAR_CACHE_MIN
+            if big and _caching_enabled:
+                cached = _cached_encoding(v)
+                if cached is not None:
+                    out += cached
+                    continue
+            start = len(out)
+            body = v.encode("utf-8")
+            out += _TAG_STR
+            _encode_length(out, len(body))
+            out += body
+            if big and _caching_enabled:
+                _ENCODING_CACHE.put(id(v), (v, bytes(out[start:])))
+        elif isinstance(v, (bytes, bytearray)):
+            big = len(v) >= _SCALAR_CACHE_MIN and not isinstance(v, bytearray)
+            if big and _caching_enabled:
+                cached = _cached_encoding(v)
+                if cached is not None:
+                    out += cached
+                    continue
+            start = len(out)
+            out += _TAG_BYTES
             _encode_length(out, len(v))
-            out += v
-    elif dataclasses.is_dataclass(value) and not isinstance(value, type):
-        name = type(value).__qualname__.encode("utf-8")
-        out += _TAG_DATACLASS
-        _encode_length(out, len(name))
-        out += name
-        fields = dataclasses.fields(value)
-        _encode_length(out, len(fields))
-        for f in fields:
-            _encode(getattr(value, f.name), out)
-    else:
-        raise SignatureError(
-            f"cannot canonically serialize value of type {type(value).__name__}: {value!r}"
-        )
+            out += bytes(v)
+            if big and _caching_enabled:
+                _ENCODING_CACHE.put(id(v), (v, bytes(out[start:])))
+            if isinstance(v, bytearray):
+                frames[-1].immutable = False
+        elif isinstance(v, (tuple, list)):
+            if _caching_enabled:
+                cached = _cached_encoding(v)
+                if cached is not None:
+                    out += cached
+                    continue
+            frames.append(_Frame(v, len(out), not isinstance(v, list)))
+            out += _TAG_SEQ
+            _encode_length(out, len(v))
+            stack.append(_END)
+            stack.extend(reversed(v))
+        elif isinstance(v, frozenset):
+            if _caching_enabled:
+                cached = _cached_encoding(v)
+                if cached is not None:
+                    out += cached
+                    continue
+            start = len(out)
+            immutable = True
+            encoded = []
+            for item in v:
+                body = bytearray()
+                immutable &= _encode(item, body)
+                encoded.append(bytes(body))
+            encoded.sort()
+            out += _TAG_SET
+            _encode_length(out, len(encoded))
+            for item in encoded:
+                _encode_length(out, len(item))
+                out += item
+            if immutable:
+                if _caching_enabled:
+                    _ENCODING_CACHE.put(id(v), (v, bytes(out[start:])))
+            else:
+                frames[-1].immutable = False
+        elif isinstance(v, dict):
+            # dicts are mutable: encode (through the cache for the
+            # elements) but neither store nor allow any enclosing
+            # container to be stored
+            items = []
+            for key, val in v.items():
+                kbody = bytearray()
+                _encode(key, kbody)
+                vbody = bytearray()
+                _encode(val, vbody)
+                items.append((bytes(kbody), bytes(vbody)))
+            items.sort()
+            out += _TAG_MAP
+            _encode_length(out, len(items))
+            for k, val in items:
+                _encode_length(out, len(k))
+                out += k
+                _encode_length(out, len(val))
+                out += val
+            frames[-1].immutable = False
+        elif dataclasses.is_dataclass(v) and not isinstance(v, type):
+            if _caching_enabled:
+                cached = _cached_encoding(v)
+                if cached is not None:
+                    out += cached
+                    continue
+            frames.append(_Frame(v, len(out), _dataclass_frozen(type(v))))
+            name = type(v).__qualname__.encode("utf-8")
+            out += _TAG_DATACLASS
+            _encode_length(out, len(name))
+            out += name
+            fields = dataclasses.fields(v)
+            _encode_length(out, len(fields))
+            stack.append(_END)
+            for f in reversed(fields):
+                stack.append(getattr(v, f.name))
+        else:
+            raise SignatureError(
+                f"cannot canonically serialize value of type {type(v).__name__}: {v!r}"
+            )
+    return root.immutable
 
 
 def canonical_bytes(value: Any) -> bytes:
@@ -106,14 +394,31 @@ def canonical_bytes(value: Any) -> bytes:
 
     Raises :class:`~repro.errors.SignatureError` for values outside the
     supported domain (e.g. sets of unhashable items, arbitrary objects).
+    Identical to the uncached reference encoding for every value; repeated
+    calls on the same (immutable) object are O(1) via the identity LRU.
     """
-
+    if _caching_enabled:
+        cached = _cached_encoding(value)
+        if cached is not None:
+            STATS.serialize_hits += 1
+            return cached
     out = bytearray()
     _encode(value, out)
+    STATS.serialize_misses += 1
     return bytes(out)
 
 
 def content_hash(value: Any) -> bytes:
     """SHA-256 digest of :func:`canonical_bytes`; used as a compact commitment."""
-
-    return hashlib.sha256(canonical_bytes(value)).digest()
+    if _caching_enabled:
+        entry = _DIGEST_CACHE.get(id(value))
+        if entry is not None and entry[0] is value:
+            STATS.hash_hits += 1
+            return entry[1]
+    digest = hashlib.sha256(canonical_bytes(value)).digest()
+    STATS.hash_misses += 1
+    # pin the digest only for values the encoder proved deeply immutable
+    # (their encoding is in the cache); scalars hash cheaply anyway
+    if _caching_enabled and _cached_encoding(value) is not None:
+        _DIGEST_CACHE.put(id(value), (value, digest))
+    return digest

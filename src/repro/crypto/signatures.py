@@ -13,6 +13,18 @@ the L1/L2 proof construction of Algorithm 1 in the paper relies on.
 Implementation detail: signatures are HMAC-SHA256 tags over the canonical
 serialization of the payload, keyed by a per-process key derived from the
 scheme seed. This keeps runs deterministic across platforms.
+
+Hot path: the L1/L2 proof pyramids of Algorithm 1 (and MinBFT's USIG
+certificates) carry the *same* signatures through every relay hop, so each
+scheme keeps a bounded verification cache keyed by ``(signer,
+payload_bytes, tag)`` — a signature transferred through proofs is
+HMAC-verified once per scheme, after which verification is a dict lookup.
+Correctness is unconditional: the key commits to the exact payload
+encoding and tag, verification is deterministic, and the cache stores only
+the boolean verdict, so cached and uncached verify are extensionally
+identical (hypothesis-tested). Structurally malformed tags (wrong type or
+length) are cheap-rejected before any serialization or HMAC. All activity
+is counted in :data:`repro.crypto.serialize.STATS`.
 """
 
 from __future__ import annotations
@@ -24,7 +36,10 @@ from typing import Any
 
 from ..errors import SignatureError
 from ..types import ProcessId
-from .serialize import canonical_bytes
+from .serialize import BoundedCache, STATS, caching_enabled, canonical_bytes
+
+TAG_LENGTH = hashlib.sha256().digest_size
+"""Length of every genuine signature tag (HMAC-SHA256 output, 32 bytes)."""
 
 
 @dataclass(frozen=True, slots=True)
@@ -99,6 +114,13 @@ class SignatureScheme:
             for pid in range(n)
         }
         self._issued: set[ProcessId] = set()
+        # (signer, payload_bytes, tag) -> bool; one HMAC per unique
+        # signature transferred through this scheme's proofs
+        self._verify_cache = BoundedCache(1 << 13)
+        self.memo = BoundedCache(1 << 13)
+        """Scratch memo for protocol-layer caches (verified L1/L2 proofs,
+        proposal validity, …), scoped to this scheme so every run starts
+        cold. Keys must commit to the full serialized content they cover."""
 
     @property
     def n(self) -> int:
@@ -118,6 +140,8 @@ class SignatureScheme:
         return Signer(self, pid)
 
     def _sign(self, pid: ProcessId, value: Any) -> Signature:
+        STATS.signs += 1
+        STATS.hmac_ops += 1
         tag = hmac.new(self._keys[pid], canonical_bytes(value), hashlib.sha256)
         return Signature(signer=pid, tag=tag.digest())
 
@@ -127,17 +151,39 @@ class SignatureScheme:
         Returns ``False`` (never raises) for wrong signers, tampered values,
         foreign-scheme signatures, and structurally odd tags — protocols
         treat all of these identically as "invalid signature".
+
+        Tags that are not 32-byte byte strings are rejected before any
+        serialization or HMAC work (no genuine tag has another shape), and
+        verdicts are memoized per ``(signer, payload, tag)`` so relayed
+        proofs cost one HMAC per unique signature.
         """
         if not isinstance(signature, Signature):
+            return False
+        tag = signature.tag
+        if not isinstance(tag, (bytes, bytearray)) or len(tag) != TAG_LENGTH:
+            STATS.cheap_rejects += 1
             return False
         key = self._keys.get(signature.signer)
         if key is None:
             return False
         try:
-            expected = hmac.new(key, canonical_bytes(value), hashlib.sha256).digest()
+            payload = canonical_bytes(value)
         except SignatureError:
             return False
-        return hmac.compare_digest(expected, signature.tag)
+        cache_key = None
+        if caching_enabled():
+            cache_key = (signature.signer, payload, bytes(tag))
+            verdict = self._verify_cache.get(cache_key)
+            if verdict is not None:
+                STATS.verify_hits += 1
+                return verdict
+            STATS.verify_misses += 1
+        STATS.hmac_ops += 1
+        expected = hmac.new(key, payload, hashlib.sha256).digest()
+        verdict = hmac.compare_digest(expected, tag)
+        if cache_key is not None:
+            self._verify_cache.put(cache_key, verdict)
+        return verdict
 
     def verify_signed(self, pair: Any, expected_signer: ProcessId | None = None) -> bool:
         """Verify a ``(value, Signature)`` pair as carried in protocol messages.

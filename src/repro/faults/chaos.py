@@ -25,10 +25,12 @@ from __future__ import annotations
 
 import hashlib
 import random
+import re
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Optional, Sequence
 
 from ..consensus.apps import make_app
+from ..crypto.serialize import crypto_stats, reset_crypto_caches
 from ..consensus.harness import build_minbft_system
 from ..consensus.minbft import MinBFTReplica
 from ..consensus.safety import (
@@ -283,13 +285,17 @@ def run_srb_chaos(
     reliable: bool = True,
     streaming: bool = True,
     liveness_bound: float = 200.0,
+    value_bytes: int = 0,
 ) -> ChaosResult:
     """Algorithm-1 SRB (message-passing rounds) under one fault schedule.
 
     The sender (pid 0) broadcasts ``n_messages`` values early in the run;
     crashes/restarts follow the schedule (the sender is protected — a
     crashed sender makes validity unfalsifiable). Safety and completion are
-    checked over the processes that never crashed.
+    checked over the processes that never crashed. ``value_bytes`` pads
+    each broadcast value to roughly that size — the realistic-payload
+    workload the hot-path bench sweeps, where every redundant signature
+    check re-serializes the payload it embeds.
 
     With ``streaming=True`` (the default) a fail-fast
     :class:`~repro.core.srb.SRBStreamChecker` rides along as a trace
@@ -299,6 +305,7 @@ def run_srb_chaos(
     pre-refactor batch audit; verdicts are identical, only *when* the run
     stops differs.
     """
+    reset_crypto_caches()
     adversary = schedule.make_adversary(n)
     channel_kwargs = dict(DEFAULT_CHANNEL)
 
@@ -315,8 +322,10 @@ def run_srb_chaos(
         reliable=channel_kwargs if reliable else False,
         process_factory=factory,
     )
+    pad = "x" * value_bytes
     for i in range(n_messages):
-        sim.at(1.0 + 0.8 * i, lambda i=i: procs[0].broadcast(f"chaos-{i}"),
+        sim.at(1.0 + 0.8 * i,
+               lambda i=i: procs[0].broadcast(f"chaos-{i}-{pad}"),
                label=f"bcast-{i}")
     _apply_crashes(
         sim, schedule,
@@ -348,6 +357,9 @@ def run_srb_chaos(
             "dropped": adversary.messages_dropped,
             "duplicates": adversary.duplicates_injected,
             "restarts": len(sim.restarted_pids),
+            # caches were reset at run start, so this is the run's own
+            # crypto work — comparable across serial and parallel sweeps
+            "crypto": crypto_stats().as_dict(),
         }
 
     protocol = "srb-uni-broken" if broken else "srb-uni"
@@ -427,6 +439,7 @@ def run_minbft_chaos(
         raise ConfigurationError(
             f"timeouts must be 'fixed' or 'adaptive', got {timeouts!r}"
         )
+    reset_crypto_caches()
     n = 2 * f + 1
     adversary = schedule.make_adversary(n + n_clients)
     channel_kwargs = dict(DEFAULT_CHANNEL)
@@ -493,6 +506,7 @@ def run_minbft_chaos(
             "view_changes": max(
                 (r.view_changes_completed for r in replicas), default=0
             ),
+            "crypto": crypto_stats().as_dict(),
         }
 
     protocol = "minbft-stalling" if stalling else "minbft"
@@ -604,36 +618,101 @@ def replay(protocol: str, seed: int, horizon: Time = 600.0, **kwargs) -> ChaosRe
     return run_chaos(protocol, seed, horizon=horizon, **kwargs)
 
 
+_REPLAY_HINT_RE = re.compile(
+    r"repro\.faults\.chaos\.replay\((['\"])(?P<protocol>[\w-]+)\1,\s*"
+    r"(?P<seed>\d+)\)"
+)
+
+
+def replay_from_hint(hint: str, **kwargs) -> ChaosResult:
+    """Re-run the failure a :meth:`ChaosResult.replay_hint` string points at.
+
+    Hints are copy-pasted out of CI logs and bug reports, so this accepts
+    the whole hint line (or any string containing one). Replays are always
+    serial single runs — a hint captured from a parallel sweep reproduces
+    identically because every run is a pure function of (protocol, seed)
+    and workers never share state.
+    """
+    m = _REPLAY_HINT_RE.search(hint)
+    if m is None:
+        raise ConfigurationError(
+            f"no replay hint found in {hint!r}; expected "
+            "'repro.faults.chaos.replay(<protocol>, <seed>)'"
+        )
+    return replay(m.group("protocol"), int(m.group("seed")), **kwargs)
+
+
+def _run_chaos_task(task: tuple[str, int, Time, dict]) -> ChaosResult:
+    """Picklable worker-side entry point for parallel sweeps."""
+    protocol, seed, horizon, kwargs = task
+    return run_chaos(protocol, seed, horizon=horizon, **kwargs)
+
+
 def chaos_sweep(
     protocols: Iterable[str] = ("srb-uni", "minbft"),
     seeds: Iterable[int] = range(10),
     horizon: Time = 600.0,
+    workers: Optional[int] = None,
     **kwargs,
 ) -> list[ChaosResult]:
-    """The protocol × seed grid; every cell is an independent seeded run."""
-    return [
-        run_chaos(protocol, seed, horizon=horizon, **kwargs)
+    """The protocol × seed grid; every cell is an independent seeded run.
+
+    ``workers > 1`` fans the grid out over a ``ProcessPoolExecutor``.
+    Results are collected in submission order and every run resets the
+    process-global crypto caches on entry, so the returned list — stats
+    and all — is bit-identical to the serial sweep (property-tested in
+    ``tests/test_chaos_parallel.py``).
+    """
+    tasks = [
+        (protocol, seed, horizon, kwargs)
         for protocol in protocols
         for seed in seeds
     ]
+    if workers is None or workers <= 1 or len(tasks) <= 1:
+        return [_run_chaos_task(task) for task in tasks]
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [pool.submit(_run_chaos_task, task) for task in tasks]
+        return [f.result() for f in futures]
 
 
 def format_failures(results: Iterable[ChaosResult]) -> str:
-    """Render failing runs with their seed, schedule, and replay hint."""
+    """Render failing runs with their seed, schedule, and replay hint.
+
+    Identical violation strings recurring across seeds (the usual shape of
+    a systematic bug swept over many seeds) are printed once and counted
+    thereafter, so a 40-seed sweep of one bug reads as one message, not
+    forty.
+    """
     blocks = []
+    seen: set[str] = set()
+
+    def dedup(violations: list[str], prefix: str = "") -> list[str]:
+        shown, repeats = [], 0
+        for v in violations:
+            if v in seen:
+                repeats += 1
+            else:
+                seen.add(v)
+                shown.append(v)
+        lines = [f"  - {prefix}{v}" for v in shown[:5]]
+        extra = len(shown) - 5
+        if extra > 0:
+            lines.append(f"  ... and {extra} more")
+        if repeats:
+            lines.append(
+                f"  ({repeats} identical to earlier seeds, elided)"
+            )
+        return lines
+
     for r in results:
         if r.ok:
             continue
         total = len(r.violations) + len(r.liveness_violations)
         lines = [f"[{r.protocol} seed={r.seed}] {total} violation(s):"]
-        lines += [f"  - {v}" for v in r.violations[:5]]
-        if len(r.violations) > 5:
-            lines.append(f"  ... and {len(r.violations) - 5} more")
-        lines += [f"  - liveness: {v}" for v in r.liveness_violations[:5]]
-        if len(r.liveness_violations) > 5:
-            lines.append(
-                f"  ... and {len(r.liveness_violations) - 5} more liveness"
-            )
+        lines += dedup(r.violations)
+        lines += dedup(r.liveness_violations, prefix="liveness: ")
         lines.append("  schedule:")
         lines += [f"    {l}" for l in r.schedule.splitlines()]
         lines.append(f"  {r.replay_hint()}")

@@ -29,6 +29,7 @@ import hmac
 from dataclasses import dataclass
 from typing import Any, Optional
 
+from ..crypto.serialize import STATS as _CRYPTO_STATS
 from ..crypto.serialize import canonical_bytes, content_hash
 from ..errors import AttestationError, ConfigurationError
 from ..types import ProcessId, SeqNum
@@ -132,11 +133,13 @@ class TrincAuthority:
         body = canonical_bytes(
             ("attest", pid, counter_id, prev, seq, content_hash(message))
         )
+        _CRYPTO_STATS.hmac_ops += 1
         return hmac.new(self._keys[pid], body, hashlib.sha256).digest()
 
     def _status_tag(self, pid: ProcessId, counter_id: int, value: SeqNum,
                     nonce: Any) -> bytes:
         body = canonical_bytes(("status", pid, counter_id, value, content_hash(nonce)))
+        _CRYPTO_STATS.hmac_ops += 1
         return hmac.new(self._keys[pid], body, hashlib.sha256).digest()
 
     def check_status(self, statement: Any, q: ProcessId) -> bool:

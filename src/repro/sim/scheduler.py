@@ -37,11 +37,17 @@ class Scheduler:
     shared-memory layers.
     """
 
+    #: lazily-deleted events never trigger compaction below this heap size —
+    #: small heaps drain their tombstones through normal pops for free
+    COMPACT_MIN_HEAP = 128
+
     def __init__(self) -> None:
         self._heap: list[Event] = []
         self._seq = 0
         self._now: Time = 0.0
         self._live = 0
+        self._cancelled_in_heap = 0
+        self.compactions = 0
         self._running = False
         self.dispatch: Optional[Callable[[Event], None]] = None
 
@@ -81,11 +87,35 @@ class Scheduler:
         return ev
 
     def cancel(self, event: Event) -> None:
-        """Mark an event so it is skipped when popped (O(1) cancellation)."""
+        """Mark an event so it is skipped when popped (O(1) cancellation).
+
+        Tombstones are usually drained lazily by :meth:`run`, but
+        cancel-heavy workloads (restart storms re-arming timers,
+        adaptive-timeout churn) can accumulate thousands of far-future
+        cancelled timers that never reach the top of the heap — so once
+        cancelled events outnumber live ones (and the heap is beyond
+        :data:`COMPACT_MIN_HEAP`), the heap is compacted in place: O(n)
+        rebuild, amortized O(1) per cancellation, keeping the heap within
+        2x the live event count.
+        """
         if event.cancelled:
             return
         event.cancelled = True
         self._live -= 1
+        self._cancelled_in_heap += 1
+        if (
+            len(self._heap) > self.COMPACT_MIN_HEAP
+            and self._cancelled_in_heap * 2 > len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without tombstones (event order is unaffected:
+        the surviving events carry their original (time, seq) keys)."""
+        self._heap = [ev for ev in self._heap if not ev.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled_in_heap = 0
+        self.compactions += 1
 
     def run(
         self,
@@ -110,6 +140,7 @@ class Scheduler:
                 ev = self._heap[0]
                 if ev.cancelled:
                     heapq.heappop(self._heap)
+                    self._cancelled_in_heap -= 1
                     continue
                 if until is not None and ev.time > until:
                     break

@@ -1,0 +1,175 @@
+"""The crypto cache layer: cached behavior must equal the uncached reference.
+
+The caches are identity-keyed (plus content-keyed memos higher up), so the
+property at stake is *extensional equality*: for every value, the cached
+``canonical_bytes``/``content_hash``/``verify`` return exactly what the
+uncached reference returns — including the adversarial look-alikes
+(``True`` vs ``1``, ``0`` vs ``0.0``) whose Python ``==`` would poison a
+value-keyed cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.serialize import (
+    BoundedCache,
+    caching_disabled,
+    caching_enabled,
+    canonical_bytes,
+    content_hash,
+    crypto_stats,
+    reset_crypto_caches,
+)
+from repro.crypto.signatures import TAG_LENGTH, Signature, SignatureScheme
+
+values = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers()
+    | st.floats(allow_nan=False)
+    | st.text(max_size=8)
+    | st.text(min_size=64, max_size=80)  # above the scalar-cache threshold
+    | st.binary(max_size=8),
+    lambda children: st.tuples(children, children)
+    | st.lists(children, max_size=3)
+    | st.dictionaries(st.text(max_size=4), children, max_size=3),
+    max_leaves=10,
+)
+
+# the cases a value-keyed (rather than identity-keyed) cache would conflate
+LOOKALIKES = [True, 1, 1.0, False, 0, 0.0, -0.0, (True,), (1,), (1.0,)]
+
+
+class TestCachedEqualsUncached:
+    @given(values)
+    @settings(max_examples=200)
+    def test_canonical_bytes_extensional(self, v):
+        with caching_disabled():
+            reference = canonical_bytes(v)
+        assert canonical_bytes(v) == reference
+        # and again, now that the value may sit in the cache
+        assert canonical_bytes(v) == reference
+
+    @given(values)
+    @settings(max_examples=100)
+    def test_content_hash_extensional(self, v):
+        with caching_disabled():
+            reference = content_hash(v)
+        assert content_hash(v) == reference
+        assert content_hash(v) == hashlib.sha256(canonical_bytes(v)).digest()
+
+    def test_lookalikes_stay_distinct_through_cache(self):
+        # warm the cache with every value, then re-encode: each must keep
+        # its own encoding even though many compare Python-equal
+        encodings = [canonical_bytes(v) for v in LOOKALIKES]
+        assert [canonical_bytes(v) for v in LOOKALIKES] == encodings
+        # note list.index uses ==, which is exactly the conflation at stake
+        assert canonical_bytes(True) != canonical_bytes(1)
+        assert canonical_bytes(1) != canonical_bytes(1.0)
+        assert canonical_bytes((True,)) != canonical_bytes((1,))
+
+    def test_mutated_list_reencodes(self):
+        # mutable containers must never be served from the cache
+        inner = [1, 2]
+        v = (inner, "x")
+        first = canonical_bytes(v)
+        inner.append(3)
+        assert canonical_bytes(v) != first
+        with caching_disabled():
+            assert canonical_bytes(v) == canonical_bytes(([1, 2, 3], "x"))
+
+    def test_mutated_bytearray_reencodes(self):
+        buf = bytearray(b"a" * 100)
+        v = (bytes(b"ctx"), buf)
+        first = canonical_bytes(v)
+        buf[0] = ord("b")
+        assert canonical_bytes(v) != first
+
+
+class TestStatsAndControls:
+    def test_serialize_hit_counted(self):
+        reset_crypto_caches()
+        v = ("hit", 1, 2)
+        canonical_bytes(v)
+        before = crypto_stats().serialize_hits
+        canonical_bytes(v)
+        assert crypto_stats().serialize_hits == before + 1
+
+    def test_caching_disabled_restores_flag(self):
+        assert caching_enabled()
+        with caching_disabled():
+            assert not caching_enabled()
+        assert caching_enabled()
+
+    def test_reset_zeroes_stats(self):
+        canonical_bytes(("something", 42))
+        reset_crypto_caches()
+        s = crypto_stats()
+        assert s.serialize_misses == 0 and s.hmac_ops == 0
+
+    def test_bounded_cache_evicts_oldest(self):
+        c = BoundedCache(maxsize=2)
+        c.put("a", 1)
+        c.put("b", 2)
+        c.put("c", 3)
+        assert len(c) == 2
+        assert c.get("a") is None
+        assert c.get("c") == 3
+
+
+class TestVerifyCache:
+    def test_verify_cached_equals_uncached(self, scheme4):
+        signer = scheme4.signer(1)
+        msg = ("vote", 7, "value")
+        sig = signer.sign(msg)
+        with caching_disabled():
+            reference = (
+                scheme4.verify(msg, sig),
+                scheme4.verify(("vote", 7, "other"), sig),
+                scheme4.verify(msg, Signature(signer=2, tag=sig.tag)),
+            )
+        assert reference == (True, False, False)
+        for _ in range(2):  # second pass is served from the cache
+            assert scheme4.verify(msg, sig) is True
+            assert scheme4.verify(("vote", 7, "other"), sig) is False
+            assert scheme4.verify(msg, Signature(signer=2, tag=sig.tag)) is False
+
+    def test_verify_hit_skips_hmac(self, scheme4):
+        reset_crypto_caches()
+        signer = scheme4.signer(0)
+        msg = ("m", 1)
+        sig = signer.sign(msg)
+        assert scheme4.verify(msg, sig)
+        ops = crypto_stats().hmac_ops
+        assert scheme4.verify(msg, sig)
+        assert crypto_stats().hmac_ops == ops  # hit: no new HMAC
+        assert crypto_stats().verify_hits >= 1
+
+    @given(st.binary(max_size=64).filter(lambda b: len(b) != TAG_LENGTH))
+    @settings(max_examples=50)
+    def test_malformed_tag_lengths_rejected(self, tag):
+        scheme = SignatureScheme(3, seed=5)
+        reset_crypto_caches()
+        sig = Signature(signer=0, tag=tag)
+        assert scheme.verify(("m",), sig) is False
+        assert crypto_stats().cheap_rejects >= 1
+        assert crypto_stats().hmac_ops == 0  # rejected before any HMAC
+
+    @pytest.mark.parametrize(
+        "tag", ["not-bytes", 123, None, ("t",), b"", b"short",
+                b"x" * (TAG_LENGTH + 1)]
+    )
+    def test_malformed_tags_return_false_never_raise(self, scheme4, tag):
+        assert scheme4.verify("msg", Signature(signer=0, tag=tag)) is False
+
+    def test_bytearray_tag_of_right_length_still_verifies(self, scheme4):
+        signer = scheme4.signer(3)
+        sig = signer.sign("payload")
+        assert scheme4.verify(
+            "payload", Signature(signer=3, tag=bytearray(sig.tag))
+        )

@@ -164,6 +164,73 @@ class TestMisuse:
         assert log == ["first", "second"]
 
 
+class TestHeapCompaction:
+    """Cancel-heavy load must not let tombstones pile up in the heap."""
+
+    def test_heap_bounded_under_mass_cancellation(self):
+        s = Scheduler()
+        s.dispatch = lambda ev: None
+        evs = [s.schedule(float(i + 1), Callback(fn=lambda: None))
+               for i in range(10_000)]
+        for ev in evs[100:]:  # cancel 9900 far-future events
+            s.cancel(ev)
+        # compaction keeps the heap within 2x the live count (plus the
+        # small-heap floor below which lazy deletion is cheaper)
+        assert s.pending == 100
+        assert len(s._heap) <= max(2 * s.pending, Scheduler.COMPACT_MIN_HEAP)
+        assert s.compactions >= 1
+        s.run()
+        assert s.pending == 0 and len(s._heap) == 0
+
+    def test_small_heaps_never_compact(self):
+        s = Scheduler()
+        s.dispatch = lambda ev: None
+        evs = [s.schedule(float(i + 1), Callback(fn=lambda: None))
+               for i in range(Scheduler.COMPACT_MIN_HEAP)]
+        for ev in evs:
+            s.cancel(ev)
+        assert s.compactions == 0  # drained lazily by run() instead
+        s.run()
+        assert s.pending == 0 and len(s._heap) == 0
+
+    def test_order_and_pending_survive_compaction(self):
+        log = []
+        s = Scheduler()
+        s.dispatch = lambda ev: log.append(ev.payload.label)
+        keep, drop = [], []
+        for i in range(1_000):
+            ev = s.schedule(float(i + 1), Callback(fn=lambda: None, label=i))
+            (keep if i % 10 == 0 else drop).append(ev)
+        for ev in drop:
+            s.cancel(ev)
+        assert s.compactions >= 1
+        assert s.pending == len(keep)
+        s.run()
+        assert log == sorted(ev.payload.label for ev in keep)
+
+    def test_interleaved_cancel_and_dispatch(self):
+        # compaction while run() is also draining tombstones lazily: the
+        # two bookkeeping paths must agree on the tombstone count
+        s = Scheduler()
+        cancelled = []
+        evs = {}
+
+        def dispatch(ev):
+            i = ev.payload.label
+            victim = evs.pop(i + 500, None)
+            if victim is not None and not victim.cancelled:
+                s.cancel(victim)
+                cancelled.append(victim)
+
+        s.dispatch = dispatch
+        for i in range(2_000):
+            evs[i] = s.schedule(float(i + 1), Callback(fn=lambda: None, label=i))
+        stats = s.run()
+        assert stats.exhausted
+        assert s.pending == 0 and len(s._heap) == 0
+        assert stats.events_processed == 2_000 - len(cancelled)
+
+
 class TestPendingUnderRestartStorms:
     """``pending`` is an O(1) live counter; crash/restart cycles cancel
     timers wholesale and must keep it consistent with the heap."""
