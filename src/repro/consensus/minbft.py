@@ -34,7 +34,12 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
-from ..crypto.serialize import caching_enabled, canonical_bytes, content_hash
+from ..crypto.serialize import (
+    caching_enabled,
+    canonical_bytes,
+    content_hash,
+    type_fingerprint,
+)
 from ..crypto.signatures import Signature, SignatureScheme, Signer
 from ..errors import ConfigurationError, SignatureError
 from ..sim.process import Process
@@ -325,16 +330,22 @@ class MinBFTReplica(Process):
         """A slot proposal: one valid request, or a non-empty BATCH of them
         with no duplicate request keys.
 
-        Memoized in the scheme's protocol memo on the serialized proposal:
-        the same proposal object is re-validated once per PREPARE and once
-        per COMMIT at every replica, and validity is a deterministic pure
-        function of the content. Unserializable proposals (which can only
-        come from Byzantine code) take the uncached path.
+        Memoized in the scheme's protocol memo on the serialized proposal
+        plus its exact-type fingerprint: the same proposal object is
+        re-validated once per PREPARE and once per COMMIT at every replica,
+        and validity is a deterministic pure function of (content, types).
+        The fingerprint matters because a Byzantine primary could PREPARE a
+        list-shaped copy of a request — identical serialization, rejected
+        by the tuple isinstance checks — and a content-only key would cache
+        that False for the genuine tuple proposal too, a liveness failure.
+        Unserializable proposals (which can only come from Byzantine code)
+        take the uncached path.
         """
         key = None
         if caching_enabled():
             try:
-                key = ("minbft-proposal", canonical_bytes(proposal))
+                key = ("minbft-proposal", canonical_bytes(proposal),
+                       type_fingerprint(proposal))
             except SignatureError:
                 key = None
             if key is not None:

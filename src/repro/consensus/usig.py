@@ -19,7 +19,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
-from ..crypto.serialize import BoundedCache, caching_enabled, canonical_bytes, content_hash
+from ..crypto.serialize import (
+    BoundedCache,
+    caching_enabled,
+    canonical_bytes,
+    content_hash,
+    type_fingerprint,
+)
 from ..errors import ConfigurationError
 from ..hardware.trinc import Attestation, Trinket, TrincAuthority
 from ..types import ProcessId, SeqNum
@@ -82,10 +88,12 @@ class USIGVerifier:
     verified-UI memo deduplicates across the whole system: a UI broadcast
     to n replicas (and re-checked as the embedded prepare UI of every
     COMMIT) costs one attestation HMAC in total. The memo key commits to
-    the serialized ``(ui, message, replica)`` content, verification is a
-    deterministic pure function of it, and unserializable garbage falls
-    through to the uncached check — cached and uncached verdicts are
-    identical.
+    the serialized ``(ui, message, replica)`` content *and* its exact-type
+    fingerprint — an impostor dataclass with the same qualname and fields
+    serializes identically to a genuine UI but must not share (or poison)
+    its cache entry — so verification is a deterministic pure function of
+    the key. Unserializable garbage falls through to the uncached check;
+    cached and uncached verdicts are identical.
     """
 
     def __init__(self, authority: TrincAuthority) -> None:
@@ -103,7 +111,8 @@ class USIGVerifier:
         key = None
         if caching_enabled():
             try:
-                key = canonical_bytes((ui, message, replica))
+                parts = (ui, message, replica)
+                key = (canonical_bytes(parts), type_fingerprint(parts))
             except Exception:
                 key = None
             if key is not None:

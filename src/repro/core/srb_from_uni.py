@@ -44,7 +44,7 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
-from ..crypto.serialize import caching_enabled, canonical_bytes
+from ..crypto.serialize import caching_enabled, canonical_bytes, type_fingerprint
 from ..crypto.signatures import Signature, SignatureScheme, Signer
 from ..errors import ConfigurationError, SignatureError
 from ..sim.adversary import Adversary, ReliableAsynchronous
@@ -85,22 +85,26 @@ def l1_domain(sender: ProcessId, k: SeqNum, m: Any) -> tuple:
 # each, and the proof tuple travels *by reference* through the simulated
 # network — an O(n * t^2) pile of redundant HMACs per broadcast without
 # memoization. The validators below memoize their verdicts in the scheme's
-# ``memo`` table keyed by the proof's canonical serialization, so a
-# structurally identical proof is fully validated once per scheme and then
-# answered from the cache. Verdicts are bit-identical to the uncached
-# path: validation is a deterministic pure function of the serialized
-# content, and anything that fails to serialize (Byzantine garbage) falls
-# through to the uncached validator.
+# ``memo`` table keyed by the proof's canonical serialization *and* its
+# type fingerprint: the serialization alone erases distinctions the
+# validators isinstance-check (a list-shaped copy of a proof serializes
+# identically to the genuine tuple but must be rejected, and must not
+# share — or poison — the genuine proof's cache entry). With both in the
+# key, a structurally identical proof is fully validated once per scheme
+# and then answered from the cache, and verdicts are bit-identical to the
+# uncached path: validation is a deterministic pure function of
+# (content, exact types), and anything that fails to serialize (Byzantine
+# garbage) falls through to the uncached validator.
 
 _MEMO_MISS = object()
 
 
 def _proof_memo_key(scheme: SignatureScheme, kind: str, *parts: Any):
-    """Serialization-committed memo key, or None when uncacheable."""
+    """Content- and type-committed memo key, or None when uncacheable."""
     if not caching_enabled():
         return None
     try:
-        return (kind, canonical_bytes(parts))
+        return (kind, canonical_bytes(parts), type_fingerprint(parts))
     except SignatureError:
         return None
 

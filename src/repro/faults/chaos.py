@@ -30,7 +30,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Optional, Sequence
 
 from ..consensus.apps import make_app
-from ..crypto.serialize import crypto_stats, reset_crypto_caches
+from ..crypto.serialize import caching_enabled, crypto_stats, reset_crypto_caches, set_caching
 from ..consensus.harness import build_minbft_system
 from ..consensus.minbft import MinBFTReplica
 from ..consensus.safety import (
@@ -642,9 +642,17 @@ def replay_from_hint(hint: str, **kwargs) -> ChaosResult:
     return replay(m.group("protocol"), int(m.group("seed")), **kwargs)
 
 
-def _run_chaos_task(task: tuple[str, int, Time, dict]) -> ChaosResult:
-    """Picklable worker-side entry point for parallel sweeps."""
-    protocol, seed, horizon, kwargs = task
+def _run_chaos_task(task: tuple[str, int, Time, bool, dict]) -> ChaosResult:
+    """Picklable worker-side entry point for parallel sweeps.
+
+    The parent's crypto-caching flag rides along in the task: pool workers
+    are fresh interpreters where caching defaults to on, so a sweep issued
+    under ``caching_disabled()`` would otherwise silently run cached in the
+    workers and break the serial/parallel bit-identity guarantee (cached
+    and uncached runs report different ``CryptoStats``).
+    """
+    protocol, seed, horizon, caching, kwargs = task
+    set_caching(caching)
     return run_chaos(protocol, seed, horizon=horizon, **kwargs)
 
 
@@ -664,7 +672,7 @@ def chaos_sweep(
     ``tests/test_chaos_parallel.py``).
     """
     tasks = [
-        (protocol, seed, horizon, kwargs)
+        (protocol, seed, horizon, caching_enabled(), kwargs)
         for protocol in protocols
         for seed in seeds
     ]

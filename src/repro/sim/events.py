@@ -81,3 +81,8 @@ class Event:
     seq: int
     payload: Payload = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    queued: bool = field(default=True, compare=False)
+    """Still in the scheduler's heap. Cleared on every removal — dispatch,
+    tombstone drain, compaction — so ``Scheduler.cancel`` can distinguish a
+    pending event from one that already fired and keep its live/tombstone
+    counters exact under cancel-after-fire."""

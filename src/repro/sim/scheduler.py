@@ -101,6 +101,11 @@ class Scheduler:
         if event.cancelled:
             return
         event.cancelled = True
+        if not event.queued:
+            # cancel-after-fire: the event was already popped and
+            # dispatched, so there is no tombstone in the heap to count
+            # and the pop already decremented the live counter
+            return
         self._live -= 1
         self._cancelled_in_heap += 1
         if (
@@ -112,7 +117,13 @@ class Scheduler:
     def _compact(self) -> None:
         """Rebuild the heap without tombstones (event order is unaffected:
         the surviving events carry their original (time, seq) keys)."""
-        self._heap = [ev for ev in self._heap if not ev.cancelled]
+        live = []
+        for ev in self._heap:
+            if ev.cancelled:
+                ev.queued = False
+            else:
+                live.append(ev)
+        self._heap = live
         heapq.heapify(self._heap)
         self._cancelled_in_heap = 0
         self.compactions += 1
@@ -140,11 +151,13 @@ class Scheduler:
                 ev = self._heap[0]
                 if ev.cancelled:
                     heapq.heappop(self._heap)
+                    ev.queued = False
                     self._cancelled_in_heap -= 1
                     continue
                 if until is not None and ev.time > until:
                     break
                 heapq.heappop(self._heap)
+                ev.queued = False
                 self._live -= 1
                 self._now = ev.time
                 self.dispatch(ev)

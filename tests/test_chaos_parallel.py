@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.crypto.serialize import caching_disabled
 from repro.errors import ConfigurationError
 from repro.faults.chaos import (
     ChaosResult,
@@ -48,6 +49,19 @@ class TestParallelSweep:
         assert [as_tuple(r) for r in chaos_sweep(workers=1, **kw)] == [
             as_tuple(r) for r in chaos_sweep(**kw)
         ]
+
+    def test_workers_respect_caching_disabled(self):
+        # pool workers are fresh interpreters where caching defaults to on;
+        # the sweep must ship the parent's flag along or an uncached sweep
+        # silently runs cached in parallel (different CryptoStats)
+        kw = dict(protocols=("srb-uni",), seeds=range(2), horizon=250.0)
+        with caching_disabled():
+            serial = chaos_sweep(**kw)
+            parallel = chaos_sweep(workers=2, **kw)
+        assert [as_tuple(r) for r in parallel] == [as_tuple(r) for r in serial]
+        for r in parallel:
+            assert r.stats["crypto"]["verify_hits"] == 0
+            assert r.stats["crypto"]["serialize_hits"] == 0
 
     def test_crypto_stats_reset_per_run(self):
         # back-to-back runs must report identical per-run counters: the

@@ -1,0 +1,263 @@
+"""Regression tests: verdict memos must not be poisonable by look-alikes.
+
+``canonical_bytes`` deliberately erases type distinctions — tuples and
+lists encode identically, a dataclass encoding commits only to
+``__qualname__`` and field values — while the uncached validators reject
+on ``isinstance``. A verdict memo keyed on the serialization alone would
+let a Byzantine peer submit a list-shaped (or impostor-dataclass) copy of
+a valid proof first, caching the rejection under the same key as the
+genuine value, so the genuine proof would be rejected by every later check
+on that scheme; the reverse order would get forged shapes accepted. Memo
+keys now pair the canonical bytes with
+:func:`repro.crypto.serialize.type_fingerprint`; these tests pin the
+end-to-end behavior in both submission orders at every memo site.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any
+
+import pytest
+
+from repro.consensus.apps import make_app
+from repro.consensus.minbft import MinBFTReplica, REQUEST, request_domain
+from repro.consensus.usig import UI, USIG, USIGVerifier
+from repro.core.srb_from_uni import (
+    copy_domain,
+    l1_domain,
+    val_domain,
+    validate_l1_item,
+    validate_l2,
+)
+from repro.crypto.serialize import (
+    caching_disabled,
+    canonical_bytes,
+    reset_crypto_caches,
+    type_fingerprint,
+)
+from repro.crypto.signatures import SignatureScheme
+from repro.hardware.trinc import TrincAuthority
+
+
+@pytest.fixture(autouse=True)
+def _cold_caches():
+    reset_crypto_caches()
+    yield
+    reset_crypto_caches()
+
+
+# -- Algorithm-1 proof validators ---------------------------------------------------
+
+SENDER, K, M, T = 0, 1, "payload", 1
+
+
+def make_scheme() -> tuple[SignatureScheme, list]:
+    scheme = SignatureScheme(4, seed=7)
+    return scheme, [scheme.signer(i) for i in range(4)]
+
+
+def build_l1(scheme, signers, builder, copiers) -> tuple:
+    copies = tuple(
+        (j, signers[j].sign(copy_domain(SENDER, K, M))) for j in copiers
+    )
+    return (builder, copies, signers[builder].sign(l1_domain(SENDER, K, M)))
+
+
+def build_l2(scheme, signers) -> tuple:
+    sig_s = signers[SENDER].sign(val_domain(SENDER, K, M))
+    l1items = tuple(build_l1(scheme, signers, b, (1, 2)) for b in (1, 2))
+    return ("L2", K, M, sig_s, l1items)
+
+
+class TestL1ProofMemo:
+    def test_list_shape_serializes_identically(self):
+        scheme, signers = make_scheme()
+        item = build_l1(scheme, signers, 1, (1, 2))
+        assert canonical_bytes(list(item)) == canonical_bytes(item)
+
+    def test_list_shaped_item_does_not_poison_genuine(self):
+        scheme, signers = make_scheme()
+        item = build_l1(scheme, signers, 1, (1, 2))
+        assert validate_l1_item(scheme, SENDER, K, M, list(item), T) is None
+        assert validate_l1_item(scheme, SENDER, K, M, item, T) == 1
+
+    def test_genuine_verdict_does_not_leak_to_list_shape(self):
+        scheme, signers = make_scheme()
+        item = build_l1(scheme, signers, 1, (1, 2))
+        assert validate_l1_item(scheme, SENDER, K, M, item, T) == 1
+        assert validate_l1_item(scheme, SENDER, K, M, list(item), T) is None
+
+    def test_inner_list_copies_not_accepted_after_genuine(self):
+        scheme, signers = make_scheme()
+        builder, copies, sig = build_l1(scheme, signers, 1, (1, 2))
+        item = (builder, copies, sig)
+        assert validate_l1_item(scheme, SENDER, K, M, item, T) == 1
+        assert (
+            validate_l1_item(scheme, SENDER, K, M, (builder, list(copies), sig), T)
+            is None
+        )
+
+    def test_cached_verdicts_match_uncached(self):
+        scheme, signers = make_scheme()
+        item = build_l1(scheme, signers, 1, (1, 2))
+        shapes = [item, list(item), (item[0], list(item[1]), item[2])]
+        with caching_disabled():
+            reference = [
+                validate_l1_item(scheme, SENDER, K, M, s, T) for s in shapes
+            ]
+        for order in (shapes, list(reversed(shapes))):
+            fresh, _ = make_scheme()
+            got = {id(s): validate_l1_item(fresh, SENDER, K, M, s, T) for s in order}
+            assert [got[id(s)] for s in shapes] == reference
+
+
+class TestL2ProofMemo:
+    def test_list_shaped_l1items_do_not_poison_genuine(self):
+        scheme, signers = make_scheme()
+        payload = build_l2(scheme, signers)
+        listy = payload[:4] + (list(payload[4]),)
+        assert canonical_bytes(listy) == canonical_bytes(payload)
+        assert validate_l2(scheme, SENDER, listy, T) is None
+        assert validate_l2(scheme, SENDER, payload, T) == (K, M)
+
+    def test_genuine_verdict_does_not_leak_to_list_shape(self):
+        scheme, signers = make_scheme()
+        payload = build_l2(scheme, signers)
+        listy = payload[:4] + (list(payload[4]),)
+        assert validate_l2(scheme, SENDER, payload, T) == (K, M)
+        assert validate_l2(scheme, SENDER, listy, T) is None
+
+
+# -- USIG verified-UI memo ----------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class _ImpostorUI:
+    """Byzantine look-alike: same qualname + fields as UI, different class."""
+
+    replica: int
+    counter: int
+    attestation: Any
+
+
+_ImpostorUI.__qualname__ = "UI"
+
+
+class TestUSIGMemo:
+    def _parts(self):
+        auth = TrincAuthority(2, seed=3)
+        return USIG(auth.trinket(0)), USIGVerifier(auth)
+
+    def test_impostor_serializes_identically(self):
+        usig, _ = self._parts()
+        ui = usig.create_ui("m1")
+        fake = _ImpostorUI(ui.replica, ui.counter, ui.attestation)
+        assert canonical_bytes((fake, "m1", 0)) == canonical_bytes((ui, "m1", 0))
+
+    def test_impostor_does_not_poison_genuine(self):
+        usig, verifier = self._parts()
+        ui = usig.create_ui("m1")
+        fake = _ImpostorUI(ui.replica, ui.counter, ui.attestation)
+        assert verifier.verify_ui(fake, "m1", 0) is False
+        assert verifier.verify_ui(ui, "m1", 0) is True
+
+    def test_genuine_verdict_does_not_leak_to_impostor(self):
+        usig, verifier = self._parts()
+        ui = usig.create_ui("m1")
+        fake = _ImpostorUI(ui.replica, ui.counter, ui.attestation)
+        assert verifier.verify_ui(ui, "m1", 0) is True
+        assert verifier.verify_ui(fake, "m1", 0) is False
+
+    def test_impostor_attestation_rejected_after_genuine(self):
+        @dataclass(frozen=True, slots=True)
+        class _ImpostorAttestation:
+            trinket_id: int
+            counter_id: int
+            prev: int
+            seq: int
+            message: Any
+            tag: bytes
+
+        _ImpostorAttestation.__qualname__ = "Attestation"
+        usig, verifier = self._parts()
+        ui = usig.create_ui("m1")
+        a = ui.attestation
+        fake_att = _ImpostorAttestation(
+            a.trinket_id, a.counter_id, a.prev, a.seq, a.message, a.tag
+        )
+        fake = UI(replica=ui.replica, counter=ui.counter, attestation=fake_att)
+        assert canonical_bytes(fake) == canonical_bytes(ui)
+        assert verifier.verify_ui(ui, "m1", 0) is True
+        assert verifier.verify_ui(fake, "m1", 0) is False
+
+
+# -- MinBFT proposal-validity memo --------------------------------------------------
+
+
+class TestMinBFTProposalMemo:
+    def _replica_and_request(self):
+        auth = TrincAuthority(3, seed=1)
+        scheme = SignatureScheme(4, seed=1)  # replicas 0..2, client 3
+        replica = MinBFTReplica(
+            3,
+            USIG(auth.trinket(0)),
+            USIGVerifier(auth),
+            scheme,
+            scheme.signer(0),
+            make_app("counter"),
+        )
+        op = ("add", 1)
+        sig = scheme.signer(3).sign(request_domain(3, 1, op))
+        return replica, (REQUEST, 3, 1, op, sig)
+
+    def test_list_shaped_proposal_does_not_block_genuine(self):
+        replica, request = self._replica_and_request()
+        assert canonical_bytes(list(request)) == canonical_bytes(request)
+        # a Byzantine primary prepares the list-shaped copy first; the
+        # genuine tuple proposal (e.g. a post-view-change re-proposal) must
+        # still validate, or the slot is stuck system-wide
+        assert replica._valid_proposal(list(request)) is False
+        assert replica._valid_proposal(request) is True
+
+    def test_genuine_verdict_does_not_leak_to_list_shape(self):
+        replica, request = self._replica_and_request()
+        assert replica._valid_proposal(request) is True
+        assert replica._valid_proposal(list(request)) is False
+
+
+# -- the fingerprint itself ---------------------------------------------------------
+
+
+class TestTypeFingerprint:
+    def test_distinguishes_tuple_from_list(self):
+        assert canonical_bytes((1, 2)) == canonical_bytes([1, 2])
+        assert type_fingerprint((1, 2)) != type_fingerprint([1, 2])
+
+    def test_distinguishes_nested_shapes(self):
+        assert type_fingerprint(((1,), "x")) != type_fingerprint(([1], "x"))
+
+    def test_distinguishes_impostor_dataclass(self):
+        usig = USIG(TrincAuthority(1, seed=0).trinket(0))
+        ui = usig.create_ui("m")
+        fake = _ImpostorUI(ui.replica, ui.counter, ui.attestation)
+        assert type_fingerprint(ui) != type_fingerprint(fake)
+
+    def test_distinguishes_bytes_from_bytearray(self):
+        assert canonical_bytes((b"ab",)) == canonical_bytes((bytearray(b"ab"),))
+        assert type_fingerprint((b"ab",)) != type_fingerprint((bytearray(b"ab"),))
+
+    def test_equal_values_equal_fingerprints(self):
+        a = (1, "x", (2.5, b"y"), frozenset({1, 2}))
+        b = (1, "x", (2.5, b"y"), frozenset({2, 1}))
+        assert type_fingerprint(a) == type_fingerprint(b)
+
+    def test_cached_identical_to_uncached(self):
+        value = (1, "x" * 100, (b"abc" * 40, 2.5), frozenset({1, 2}), {"k": (3,)})
+        with caching_disabled():
+            reference = type_fingerprint(value)
+        warm_miss = type_fingerprint(value)
+        warm_hit = type_fingerprint(value)
+        assert warm_miss == reference
+        assert warm_hit == reference

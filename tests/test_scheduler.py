@@ -117,6 +117,42 @@ class TestCancellation:
         s.run()
         assert s.pending == 0
 
+    def test_cancel_after_fire_is_inert(self):
+        # cancelling an already-dispatched event must not decrement the
+        # live counter again or count a tombstone that is not in the heap
+        log = []
+        s = make_scheduler(log)
+        fired = [
+            s.schedule(float(i), Callback(fn=lambda: None, label=f"e{i}"))
+            for i in range(5)
+        ]
+        s.schedule(10.0, Callback(fn=lambda: None, label="live"))
+        s.run(until=6.0)
+        assert s.pending == 1
+        for ev in fired:
+            s.cancel(ev)
+            s.cancel(ev)
+        assert s.pending == 1
+        assert s._cancelled_in_heap == 0
+        s.run()
+        assert [l for _, l in log][-1] == "live"
+
+    def test_cancel_after_fire_no_spurious_compaction(self):
+        # a storm of cancel-after-fire calls over a large heap used to
+        # inflate the tombstone count past the compaction threshold and
+        # trigger O(n) rebuilds of a heap that holds no tombstones at all
+        s = Scheduler()
+        s.dispatch = lambda ev: None
+        fired = [s.schedule(0.0, Callback(fn=lambda: None)) for _ in range(400)]
+        for _ in range(200):
+            s.schedule(5.0, Callback(fn=lambda: None))
+        s.run(until=1.0)
+        for ev in fired:
+            s.cancel(ev)
+        assert s.compactions == 0
+        assert s.pending == 200
+        assert len(s._heap) == 200
+
 
 class TestMisuse:
     def test_negative_delay(self):
