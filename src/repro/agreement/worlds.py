@@ -125,13 +125,9 @@ class VWAImpossibilityOutcome:
             )
 
 
-def _run_world(
-    world: int,
-    f: int,
-    sets: dict[str, ProcessSet],
-    seed: int,
-    horizon: float,
-) -> WorldResult:
+def _world_config(world: int, f: int, sets: dict[str, ProcessSet]):
+    """Inputs, crash set, and delay policy of one world — shared by the
+    seeded runner and the exhaustive one."""
     n = 2 * f
     p_set, q_set = sets["P"], sets["Q"]
 
@@ -143,31 +139,47 @@ def _run_world(
             return None  # "arbitrarily delayed" for the whole run
         return IMMEDIATE
 
-    if world == 1:
+    if world in (1, 2):
         inputs = {pid: 0 for pid in range(n)}
-    elif world == 2:
-        inputs = {pid: 0 for pid in range(n)}
-    elif world == 3:
-        inputs = {pid: 1 for pid in range(n)}
-    elif world == 4:
+    elif world in (3, 4):
         inputs = {pid: 1 for pid in range(n)}
     elif world == 5:
         inputs = {pid: (0 if pid in p_set else 1) for pid in range(n)}
     else:  # pragma: no cover
         raise ConfigurationError(f"no world {world}")
 
-    oracle = SRBOracle(policy=policy, seed=seed)
-    procs = [QuorumVWA(oracle, f, inputs[pid]) for pid in range(n)]
-    sim = Simulation(procs, seed=seed)
-    oracle.bind(sim)
     crashed: set[ProcessId] = set()
     if world == 1:
         crashed = set(q_set)
     elif world == 3:
         crashed = set(p_set)
+    return inputs, crashed, policy
+
+
+def _build_world(
+    world: int, f: int, sets: dict[str, ProcessSet], seed: int
+) -> tuple[Simulation, dict[ProcessId, Any], set[ProcessId]]:
+    n = 2 * f
+    inputs, crashed, policy = _world_config(world, f, sets)
+    oracle = SRBOracle(policy=policy, seed=seed)
+    procs = [QuorumVWA(oracle, f, inputs[pid]) for pid in range(n)]
+    sim = Simulation(procs, seed=seed)
+    oracle.bind(sim)
     for pid in crashed:
         sim.declare_byzantine(pid)
         sim.crash(pid)
+    return sim, inputs, crashed
+
+
+def _run_world(
+    world: int,
+    f: int,
+    sets: dict[str, ProcessSet],
+    seed: int,
+    horizon: float,
+) -> WorldResult:
+    n = 2 * f
+    sim, inputs, crashed = _build_world(world, f, sets, seed)
     sim.run(until=horizon)
     correct = [pid for pid in range(n) if pid not in crashed]
     report = check_agreement(
@@ -210,4 +222,133 @@ def run_vwa_rb_impossibility(
         ind_q_w4_w5=all(w5.view(pid) == w4.view(pid) for pid in q_set),
         ind_p_w1_w2=all(w1.view(pid) == w2.view(pid) for pid in p_set),
         ind_q_w3_w4=all(w3.view(pid) == w4.view(pid) for pid in q_set),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Exhaustive (model-checked) five-world argument
+# ---------------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class ExhaustiveVWAOutcome:
+    """The five-world contradiction checked over every delivery order.
+
+    ``explorations`` maps world number to its
+    :class:`~repro.mc.explorer.ExplorationResult`; ``problems`` lists every
+    failed obligation with the replayable schedule id of the leaf.
+    """
+
+    f: int
+    sets: dict[str, ProcessSet]
+    explorations: dict[int, Any]
+    problems: list[str]
+
+    @property
+    def schedules(self) -> int:
+        return sum(r.schedules for r in self.explorations.values())
+
+    @property
+    def complete(self) -> bool:
+        return all(r.complete for r in self.explorations.values())
+
+    @property
+    def impossibility_demonstrated(self) -> bool:
+        return not self.problems
+
+    def assert_holds(self) -> None:
+        if self.problems:
+            raise PropertyViolation(
+                "vwa-rb-impossibility-exhaustive", "; ".join(self.problems)
+            )
+
+
+def run_vwa_rb_impossibility_exhaustive(
+    f: int = 2,
+    seed: int = 0,
+    *,
+    dpor: bool = True,
+    max_schedules: Optional[int] = None,
+    max_reported: int = 4,
+) -> ExhaustiveVWAOutcome:
+    """The five worlds at ``n = 2f``, quantified over all delivery orders.
+
+    Each world is model-checked to quiescence (the candidate's deliveries
+    are the only choices; with ``dpor`` the per-receiver orders factor out,
+    e.g. 16 schedules for world 5 at ``f = 2`` instead of 2520 naive). At
+    every leaf the forced commits hold — P commits 0 wherever the proof
+    forces it, Q commits 1, world 5 violates agreement — and across worlds
+    the per-process view *sets* coincide per the indistinguishability
+    pairs (P: world 1≡2≡5, Q: world 3≡4≡5).
+    """
+    from ..mc.explorer import explore
+    from ..mc.schedule import schedule_id as _sid
+
+    if f < 1:
+        raise ConfigurationError(f"f must be >= 1, got {f}")
+    n = 2 * f
+    sets = split(n, [f, f], ["P", "Q"])
+    p_set, q_set = sets["P"], sets["Q"]
+
+    expected: dict[int, dict[ProcessId, Any]] = {
+        1: {pid: 0 for pid in p_set},
+        2: {pid: 0 for pid in range(n)},
+        3: {pid: 1 for pid in q_set},
+        4: {pid: 1 for pid in range(n)},
+        5: {pid: (0 if pid in p_set else 1) for pid in range(n)},
+    }
+    views: dict[int, dict[ProcessId, set]] = {
+        w: {p: set() for p in range(n)} for w in (1, 2, 3, 4, 5)
+    }
+    explorations: dict[int, Any] = {}
+    problems: list[str] = []
+
+    for world in (1, 2, 3, 4, 5):
+        inputs, crashed, _policy = _world_config(world, f, sets)
+        correct = [pid for pid in range(n) if pid not in crashed]
+        reported = [0]
+
+        def on_leaf(state, schedule, _w=world, _inputs=inputs,
+                    _crashed=crashed, _correct=correct, _rep=reported):
+            sim = state
+            report = check_agreement(
+                sim.trace, VERY_WEAK, _inputs, _correct,
+                all_correct=not _crashed, expect_termination=False,
+            )
+            bad = {
+                pid: report.commits.get(pid)
+                for pid, want in expected[_w].items()
+                if report.commits.get(pid) != want
+            }
+            if bad and _rep[0] < max_reported:
+                _rep[0] += 1
+                problems.append(
+                    f"world{_w}: forced commits violated ({bad}) in "
+                    f"schedule {_sid(schedule)}"
+                )
+            for pid in range(n):
+                views[_w][pid].add(sim.trace.local_view(pid))
+
+        explorations[world] = explore(
+            lambda _w=world: _build_world(_w, f, sets, seed)[0],
+            on_leaf=on_leaf,
+            dpor=dpor,
+            max_schedules=max_schedules,
+        )
+
+    if all(r.complete for r in explorations.values()):
+        # view-set comparisons need the whole space; capped runs cover
+        # different prefixes per world
+        pairs = [
+            ("P views distinguish world 2 from world 5", p_set, 2, 5),
+            ("Q views distinguish world 4 from world 5", q_set, 4, 5),
+            ("P views distinguish world 1 from world 2", p_set, 1, 2),
+            ("Q views distinguish world 3 from world 4", q_set, 3, 4),
+        ]
+        for message, members, wa, wb in pairs:
+            if not all(views[wa][pid] == views[wb][pid] for pid in members):
+                problems.append(message)
+
+    return ExhaustiveVWAOutcome(
+        f=f, sets=sets, explorations=explorations, problems=problems
     )

@@ -25,6 +25,13 @@ can wait for without risking waiting on the faulty set forever; the runner
 accepts any :class:`RoundProcess`-compatible candidate factory so stronger
 heuristics (e.g. two-phase forwarding, which rescues only ``f = 1``) can be
 plugged in and shown to fail too.
+
+:func:`run_srb_separation_exhaustive` strengthens the quantifier: instead
+of one seeded delivery order per scenario, it model-checks every order of
+the deliveries *to the corner sets* C1 ∪ C2 (the processes the argument is
+about; deliveries to Q are deterministic glue under the focus bound) and
+asserts the proof obligations at every quiescent leaf, with view-**set**
+equality replacing per-seed view equality across scenarios.
 """
 
 from __future__ import annotations
@@ -249,4 +256,175 @@ def run_srb_separation(
         indistinguishable_q=ind_q,
         indistinguishable_c1=ind_c1,
         indistinguishable_c2=ind_c2,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Exhaustive (model-checked) separation
+# ---------------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class ExhaustiveSeparationOutcome:
+    """The separation verified over *every* schedule at the configured bound.
+
+    ``explorations`` maps ``scenario1``/``scenario2``/``scenario3`` to
+    their :class:`~repro.mc.explorer.ExplorationResult`; ``problems``
+    collects every failed proof obligation (capped per category), each
+    tagged with the replayable schedule id of the offending leaf.
+    """
+
+    n: int
+    f: int
+    sets: dict[str, ProcessSet]
+    explorations: dict[str, Any]
+    problems: list[str]
+
+    @property
+    def schedules(self) -> int:
+        return sum(r.schedules for r in self.explorations.values())
+
+    @property
+    def complete(self) -> bool:
+        return all(r.complete for r in self.explorations.values())
+
+    @property
+    def separation_holds(self) -> bool:
+        return not self.problems
+
+    def assert_holds(self) -> None:
+        if self.problems:
+            raise PropertyViolation(
+                "srb-uni-separation-exhaustive", "; ".join(self.problems)
+            )
+
+
+def _scenario_factory(
+    scenario: int,
+    n: int,
+    f: int,
+    sets: dict[str, ProcessSet],
+    factory: CandidateFactory,
+    seed: int,
+) -> Callable[[], Simulation]:
+    def build() -> Simulation:
+        oracle = SRBOracle(policy=_policy_for(scenario, sets), seed=seed)
+        processes = [factory(oracle, f) for _ in range(n)]
+        sim = Simulation(processes, seed=seed)
+        oracle.bind(sim)
+        crashed = sets["C1"] if scenario == 1 else (
+            sets["C2"] if scenario == 2 else ()
+        )
+        for pid in crashed:
+            sim.declare_byzantine(pid)
+            sim.crash(pid)
+        return sim
+
+    return build
+
+
+def run_srb_separation_exhaustive(
+    n: int,
+    f: int,
+    factory: CandidateFactory = CandidateSRBRound,
+    seed: int = 0,
+    *,
+    dpor: bool = True,
+    max_steps: Optional[int] = None,
+    max_schedules: Optional[int] = None,
+    max_reported: int = 4,
+) -> ExhaustiveSeparationOutcome:
+    """§4.1 with the schedule quantifier made real: check *all* orders.
+
+    Each scenario is explored with focus ``choice_targets = C1 ∪ C2``:
+    every interleaving of the deliveries to the corner processes branches,
+    while deliveries inside Q — which the argument never reorders — drain
+    canonically. At every quiescent leaf the proof obligations hold or the
+    leaf's schedule id is recorded as a problem:
+
+    - the scenario's surviving processes all finished the round;
+    - in Scenario 3, directionality is violated (C1 and C2 both finished
+      without hearing each other);
+
+    and across scenarios, the *sets* of per-process local views must
+    coincide exactly as the indistinguishability argument demands — Q
+    cannot tell any scenario apart, C1 cannot tell 3 from 2, C2 cannot
+    tell 3 from 1. ``max_steps`` / ``max_schedules`` bound quick runs
+    (``complete`` reports whether the bound cut anything off).
+    """
+    from ..mc.explorer import explore
+    from ..mc.schedule import schedule_id as _sid
+
+    sets = srb_separation_sets(n, f)
+    q, c1, c2 = sets["Q"], sets["C1"], sets["C2"]
+    corners = tuple(sorted(set(c1) | set(c2)))
+    required = {
+        1: frozenset(q) | frozenset(c2),
+        2: frozenset(q) | frozenset(c1),
+        3: frozenset(range(n)),
+    }
+    views: dict[int, dict[ProcessId, set]] = {
+        s: {p: set() for p in range(n)} for s in (1, 2, 3)
+    }
+    explorations: dict[str, Any] = {}
+    problems: list[str] = []
+
+    for scenario in (1, 2, 3):
+        name = f"scenario{scenario}"
+        reported = [0, 0]  # [unfinished, directionality] caps per scenario
+
+        def on_leaf(state, schedule, _s=scenario, _name=name, _rep=reported):
+            sim = state
+            finished = frozenset(
+                ev.pid
+                for ev in sim.trace.events(
+                    "custom",
+                    predicate=lambda e: e.field("event") == "next_round_started",
+                )
+            )
+            missing = required[_s] - finished
+            if missing and _rep[0] < max_reported:
+                _rep[0] += 1
+                problems.append(
+                    f"{_name}: processes {sorted(missing)} never finished "
+                    f"in schedule {_sid(schedule)}"
+                )
+            for pid in range(n):
+                views[_s][pid].add(sim.trace.local_view(pid))
+            if _s == 3:
+                report = check_directionality(sim.trace, correct=range(n))
+                if report.is_unidirectional and _rep[1] < max_reported:
+                    _rep[1] += 1
+                    problems.append(
+                        "scenario3: no unidirectionality violation in "
+                        f"schedule {_sid(schedule)}"
+                    )
+
+        explorations[name] = explore(
+            _scenario_factory(scenario, n, f, sets, factory, seed),
+            on_leaf=on_leaf,
+            dpor=dpor,
+            choice_targets=corners,
+            max_steps=max_steps,
+            max_schedules=max_schedules,
+        )
+
+    if all(r.complete for r in explorations.values()):
+        # view-SET equality is a statement about the whole schedule space;
+        # capped quick runs cover different prefixes per scenario, where
+        # comparing the partial sets would only manufacture noise
+        v1, v2, v3 = views[1], views[2], views[3]
+        if not all(v3[p] == v1[p] == v2[p] for p in q):
+            problems.append("Q view sets distinguish the scenarios")
+        if not all(v3[p] == v2[p] for p in c1):
+            problems.append(
+                "C1 view sets distinguish Scenario 3 from Scenario 2"
+            )
+        if not all(v3[p] == v1[p] for p in c2):
+            problems.append(
+                "C2 view sets distinguish Scenario 3 from Scenario 1"
+            )
+
+    return ExhaustiveSeparationOutcome(
+        n=n, f=f, sets=sets, explorations=explorations, problems=problems
     )

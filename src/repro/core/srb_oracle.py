@@ -75,6 +75,9 @@ class SRBOracle:
         self._next_seq: dict[ProcessId, SeqNum] = {}
         # enforce in-order delivery per (sender, receiver)
         self._last_delivery_time: dict[tuple[ProcessId, ProcessId], Time] = {}
+        # program-order chaining for controlled-schedule mode, where
+        # timestamps do not constrain dispatch order (sequencing, property 3)
+        self._last_delivery_event: dict[tuple[ProcessId, ProcessId], Any] = {}
         self._subscribers: dict[ProcessId, Callable[[ProcessId, SeqNum, Any], None]] = {}
         self._handles: set[ProcessId] = set()
         self.withheld: list[WithheldDelivery] = []
@@ -119,7 +122,13 @@ class SRBOracle:
         now = sim.now
         if self.record_trace:
             sim.trace.record(now, "bcast", sender, seq=seq, value=value)
+        controlled = sim.scheduler.controlled
         for receiver in range(sim.n):
+            if controlled and receiver in sim.crashed_pids:
+                # no restarts in controlled mode: the delivery would be a
+                # no-op choice point, pure state-space blowup
+                self.withheld.append(WithheldDelivery(sender, receiver, seq, value))
+                continue
             if self._policy is not None:
                 delay = self._policy(sender, receiver, seq, now)
             else:
@@ -132,13 +141,19 @@ class SRBOracle:
             # in-order per stream: never deliver seq k before seq k-1
             at = max(at, self._last_delivery_time.get(key, 0.0))
             self._last_delivery_time[key] = at
-            sim.scheduler.schedule_at(
+            ev = sim.scheduler.schedule_at(
                 at,
                 Callback(
                     fn=lambda s=sender, r=receiver, k=seq, v=value: self._deliver(s, r, k, v),
                     label=f"srb-deliver-{sender}->{receiver}#{seq}",
+                    pid=receiver,
+                    choice=True,
                 ),
+                # controlled mode ignores timestamps, so sequencing is kept
+                # by chaining each stream's delivery behind its predecessor
+                after=self._last_delivery_event.get(key),
             )
+            self._last_delivery_event[key] = ev
         return seq
 
     def _deliver(self, sender: ProcessId, receiver: ProcessId,

@@ -656,13 +656,17 @@ def _run_chaos_task(task: tuple[str, int, Time, bool, dict]) -> ChaosResult:
     return run_chaos(protocol, seed, horizon=horizon, **kwargs)
 
 
+_SEEDED_DEFAULT_PROTOCOLS = ("srb-uni", "minbft")
+
+
 def chaos_sweep(
-    protocols: Iterable[str] = ("srb-uni", "minbft"),
+    protocols: Iterable[str] = _SEEDED_DEFAULT_PROTOCOLS,
     seeds: Iterable[int] = range(10),
     horizon: Time = 600.0,
     workers: Optional[int] = None,
+    mode: str = "seeded",
     **kwargs,
-) -> list[ChaosResult]:
+) -> Any:
     """The protocol × seed grid; every cell is an independent seeded run.
 
     ``workers > 1`` fans the grid out over a ``ProcessPoolExecutor``.
@@ -670,7 +674,25 @@ def chaos_sweep(
     process-global crypto caches on entry, so the returned list — stats
     and all — is bit-identical to the serial sweep (property-tested in
     ``tests/test_chaos_parallel.py``).
+
+    ``mode="exhaustive"`` swaps sampling for bounded model checking:
+    ``protocols`` then names entries of
+    :data:`repro.mc.fixtures.SYSTEMS` (all of them when left at the
+    seeded default), ``seeds``/``horizon`` are ignored (there is nothing
+    to sample — every schedule at the configured bound is explored), and
+    the return value is the ``{name: ExplorationResult}`` mapping of
+    :func:`exhaustive_sweep`.
     """
+    if mode == "exhaustive":
+        names = (
+            None if tuple(protocols) == _SEEDED_DEFAULT_PROTOCOLS
+            else protocols
+        )
+        return exhaustive_sweep(systems=names, workers=workers, **kwargs)
+    if mode != "seeded":
+        raise ConfigurationError(
+            f"mode must be 'seeded' or 'exhaustive', got {mode!r}"
+        )
     tasks = [
         (protocol, seed, horizon, caching_enabled(), kwargs)
         for protocol in protocols
@@ -683,6 +705,64 @@ def chaos_sweep(
     with ProcessPoolExecutor(max_workers=workers) as pool:
         futures = [pool.submit(_run_chaos_task, task) for task in tasks]
         return [f.result() for f in futures]
+
+
+def _run_mc_task(task: tuple[str, Optional[int], tuple[int, ...], bool]):
+    """Picklable worker entry: explore one root shard of a named system.
+
+    Workers resolve the system by *name* — factories close over live
+    simulator objects and cannot pickle — and re-derive everything else
+    locally. The crypto-caching flag rides along for the same reason it
+    does in :func:`_run_chaos_task`.
+    """
+    name, root_choice, root_sleep, caching = task
+    set_caching(caching)
+    from ..mc.explorer import Explorer
+    from ..mc.fixtures import get_system
+
+    s = get_system(name)
+    explorer = Explorer(s.factory, check=s.check, **s.options)
+    return explorer.run(root_choice=root_choice, root_sleep=root_sleep)
+
+
+def exhaustive_sweep(
+    systems: Optional[Iterable[str]] = None,
+    workers: Optional[int] = None,
+) -> dict[str, Any]:
+    """Model-check the named fixture systems; shard roots across workers.
+
+    The DFS frontier is split at the root: each task pins one root
+    transition (``root_choice``) and seeds its earlier siblings asleep
+    (``root_sleep``), so the shard union covers exactly the sequential
+    DPOR exploration — a naive split at the top, full reduction below.
+    Returns ``{system name: merged ExplorationResult}``; merged
+    ``violations`` carry replayable schedule ids exactly like a serial
+    :func:`repro.mc.explorer.explore` run.
+    """
+    from ..mc.explorer import merge_results, root_choice_count
+    from ..mc.fixtures import SYSTEMS, get_system
+
+    names = sorted(SYSTEMS) if systems is None else list(systems)
+    tasks: list[tuple[str, Optional[int], tuple[int, ...], bool]] = []
+    for name in names:
+        s = get_system(name)
+        n_roots = root_choice_count(s.factory, **s.options)
+        tasks.extend(
+            (name, i, tuple(range(i)), caching_enabled())
+            for i in range(n_roots)
+        )
+    if workers is None or workers <= 1 or len(tasks) <= 1:
+        results = [_run_mc_task(t) for t in tasks]
+    else:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(_run_mc_task, t) for t in tasks]
+            results = [f.result() for f in futures]
+    grouped: dict[str, list] = {name: [] for name in names}
+    for (name, _i, _sleep, _c), r in zip(tasks, results):
+        grouped[name].append(r)
+    return {name: merge_results(grouped[name]) for name in names}
 
 
 def format_failures(results: Iterable[ChaosResult]) -> str:

@@ -1,0 +1,96 @@
+"""Serializable schedule identities for counterexample reproduction.
+
+A schedule is the sequence of *choice* transitions the explorer dispatched,
+identified by their scheduler sequence numbers. Sequence numbers are
+deterministic — replaying the same prefix of choices against a fresh
+simulation recreates byte-identical events with the same seqs — so the seq
+list alone pins the execution. The id additionally carries a fingerprint
+hash over the per-step transition descriptions; replay verifies it, so a
+schedule id pasted against the wrong system (or a drifted codebase) fails
+loudly instead of silently exploring something else.
+
+Format: ``mc1:3-17-12-40:a91f03c2e4b7`` — version tag, dash-joined seqs,
+12 hex chars of SHA-256 over the step fingerprints.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..sim.events import (
+    Callback,
+    Event,
+    MessageDeliver,
+    OpLinearize,
+    OpRespond,
+    TimerFire,
+)
+
+_VERSION = "mc1"
+
+
+def event_fingerprint(ev: Event) -> tuple:
+    """Content identity of a transition, independent of times and seqs.
+
+    Used to hash schedules and to sanity-check replays: two executions of
+    the same prefix must present the same fingerprint at each step.
+    """
+    p = ev.payload
+    if isinstance(p, MessageDeliver):
+        return ("deliver", p.src, p.dst, p.duplicate)
+    if isinstance(p, TimerFire):
+        return ("timer", p.pid, repr(p.tag))
+    if isinstance(p, Callback):
+        return ("callback", p.pid, p.label)
+    if isinstance(p, OpLinearize):
+        return ("linearize", p.pid, p.object_name, p.op)
+    if isinstance(p, OpRespond):
+        return ("respond", p.pid, p.object_name, p.op)
+    return ("unknown", repr(p))  # pragma: no cover - exhaustive over Payload
+
+
+def fingerprint_digest(fingerprints: tuple[tuple, ...]) -> str:
+    h = hashlib.sha256("|".join(map(repr, fingerprints)).encode())
+    return h.hexdigest()[:12]
+
+
+@dataclass(frozen=True, slots=True)
+class Schedule:
+    """One explored execution: chosen seqs in order, plus a content hash."""
+
+    steps: tuple[int, ...]
+    digest: str
+
+    @classmethod
+    def from_run(cls, steps: tuple[int, ...],
+                 fingerprints: tuple[tuple, ...]) -> "Schedule":
+        return cls(steps=steps, digest=fingerprint_digest(fingerprints))
+
+    @property
+    def depth(self) -> int:
+        return len(self.steps)
+
+
+def schedule_id(schedule: Schedule) -> str:
+    """Render a schedule as a copy-pasteable id string."""
+    steps = "-".join(str(s) for s in schedule.steps)
+    return f"{_VERSION}:{steps}:{schedule.digest}"
+
+
+def parse_schedule_id(sid: str) -> Schedule:
+    """Inverse of :func:`schedule_id`; raises on malformed ids."""
+    parts = sid.strip().split(":")
+    if len(parts) != 3 or parts[0] != _VERSION:
+        raise ConfigurationError(
+            f"malformed schedule id {sid!r}; expected '{_VERSION}:<seqs>:<hash>'"
+        )
+    _, steps_str, digest = parts
+    try:
+        steps = tuple(int(s) for s in steps_str.split("-")) if steps_str else ()
+    except ValueError:
+        raise ConfigurationError(
+            f"malformed schedule id {sid!r}: non-integer step in {steps_str!r}"
+        ) from None
+    return Schedule(steps=steps, digest=digest)

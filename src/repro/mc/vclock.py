@@ -1,0 +1,58 @@
+"""Vector clocks and the independence relation for schedule exploration.
+
+Dynamic partial-order reduction needs two ingredients: *dependence* — may
+these transitions affect each other? — and *happens-before* — was one
+causally forced after the other in the executed schedule? Both are defined
+here over the simulator's transition alphabet (message deliveries, timer
+firings, choice-marked callbacks such as scripted crashes and SRB-oracle
+deliveries).
+
+**Dependence.** A transition mutates exactly one process's state: the
+delivery destination, the timer's owner, the crash target
+(:func:`repro.sim.events.choice_target`). Two transitions with different
+targets commute — delivering to ``p`` cannot change what delivering to
+``q`` does — so dependence is simply *same target* (``None``, the unknown
+target, is conservatively dependent with everything).
+
+**Happens-before.** Clocks are plain ``dict[target, int]`` mappings,
+component-joined as usual. A transition's clock joins (a) the clock of the
+dispatch that *created* its event — a message can only race ahead of its
+cause, never behind it — with (b) the clock of the last transition at the
+same target, then advances its target's component. ``leq`` between two
+executed clocks then decides "was the earlier transition a cause of the
+later one, or did the schedule merely happen to order them?" — the latter
+case is a race the explorer must backtrack on.
+"""
+
+from __future__ import annotations
+
+from ..types import ProcessId
+
+VClock = dict[ProcessId, int]
+"""Component-wise vector clock, keyed by transition target (process id)."""
+
+
+def leq(a: VClock, b: VClock) -> bool:
+    """Pointwise ``a <= b``: every component of ``a`` is covered by ``b``."""
+    return all(b.get(k, 0) >= v for k, v in a.items())
+
+
+def join(a: VClock, b: VClock) -> VClock:
+    """Component-wise maximum (a fresh dict; inputs are not mutated)."""
+    out = dict(a)
+    for k, v in b.items():
+        if out.get(k, 0) < v:
+            out[k] = v
+    return out
+
+
+def dependent(target_a: ProcessId | None, target_b: ProcessId | None) -> bool:
+    """May transitions targeting these processes affect each other?
+
+    Same target → dependent (they race on one process's state). Different
+    targets → independent. An unknown target (``None``) is dependent with
+    everything — soundness over reduction.
+    """
+    if target_a is None or target_b is None:
+        return True
+    return target_a == target_b

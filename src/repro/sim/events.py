@@ -64,13 +64,55 @@ class OpRespond:
 
 @dataclass(frozen=True, slots=True)
 class Callback:
-    """Run an arbitrary zero-argument function (used by scenario scripts)."""
+    """Run an arbitrary zero-argument function (used by scenario scripts).
+
+    ``pid`` attributes the callback to a process (the crash target, the
+    delivery receiver) so the model checker can compute independence;
+    ``choice`` marks it as a *schedulable choice* — a transition the
+    bounded model checker may reorder against other choices (oracle
+    deliveries, scripted crashes). Both are ignored by the normal
+    heap-ordered run loop.
+    """
 
     fn: Callable[[], None]
     label: str = ""
+    pid: ProcessId | None = None
+    choice: bool = False
 
 
 Payload = MessageDeliver | TimerFire | OpLinearize | OpRespond | Callback
+
+
+def is_choice(payload: Payload) -> bool:
+    """Is this payload a reorderable transition for controlled-schedule mode?
+
+    Message deliveries and timer firings are the adversary's levers in the
+    asynchronous model; callbacks opt in via ``choice=True`` (SRB-oracle
+    deliveries, scripted crashes). Linearization/response events and plain
+    scenario callbacks stay *forced*: they dispatch in deterministic
+    ``(time, seq)`` order between choices.
+    """
+    if isinstance(payload, (MessageDeliver, TimerFire)):
+        return True
+    return isinstance(payload, Callback) and payload.choice
+
+
+def choice_target(payload: Payload) -> ProcessId | None:
+    """The process whose state a transition touches (independence domain).
+
+    Two transitions with different targets commute (delivering to p cannot
+    affect q's next step); same-target transitions conflict. ``None`` means
+    "unknown — treat as dependent with everything".
+    """
+    if isinstance(payload, MessageDeliver):
+        return payload.dst
+    if isinstance(payload, TimerFire):
+        return payload.pid
+    if isinstance(payload, (OpLinearize, OpRespond)):
+        return payload.pid
+    if isinstance(payload, Callback):
+        return payload.pid
+    return None  # pragma: no cover - exhaustive over Payload union
 
 
 @dataclass(order=True, slots=True)
@@ -86,3 +128,11 @@ class Event:
     tombstone drain, compaction — so ``Scheduler.cancel`` can distinguish a
     pending event from one that already fired and keep its live/tombstone
     counters exact under cancel-after-fire."""
+    after: "Event | None" = field(default=None, compare=False)
+    """Program-order predecessor: this event must not dispatch before
+    ``after`` has. The heap run loop never needs it (producers encode order
+    in timestamps, ties break by seq), but controlled-schedule mode ignores
+    timestamps, so producers with an ordering *guarantee* — the SRB
+    oracle's per-(sender, receiver) sequencing — chain their events
+    explicitly and the model checker treats chained events as blocked until
+    the predecessor fires."""

@@ -62,6 +62,12 @@ class Network:
         now = sim.now
         sim.trace.record(now, SEND, src, dst=dst, msg=msg)
         self.messages_sent += 1
+        if sim.scheduler.controlled and dst in sim.crashed_pids:
+            # controlled mode has no restarts: a delivery to a crashed
+            # process is a guaranteed no-op, and keeping it as a choice
+            # point would multiply the explored state space for nothing
+            self.withheld.append(WithheldMessage(src, dst, msg, now))
+            return
         delay = self.adversary.message_delay(src, dst, msg, now)
         if delay is WITHHELD:
             self.withheld.append(WithheldMessage(src, dst, msg, now))
@@ -94,6 +100,23 @@ class Network:
         if self.messages_sent == 0:
             return 1.0
         return self.messages_delivered / self.messages_sent
+
+    # -- controlled-schedule mode ---------------------------------------------
+
+    def pending_deliveries(self) -> list:
+        """Co-enabled, not-yet-dispatched deliveries in canonical order.
+
+        The model checker's view of the network: every pending
+        :class:`~repro.sim.events.MessageDeliver` event, sorted by
+        ``(time, seq)`` — the same explicit tie-break the scheduler's
+        choice-set enumeration uses, so the order is bit-identical across
+        processes and Python versions.
+        """
+        return [
+            ev
+            for ev in self._sim.scheduler.co_enabled()
+            if isinstance(ev.payload, MessageDeliver)
+        ]
 
     # -- audits ---------------------------------------------------------------
 

@@ -31,6 +31,8 @@ from .events import (
     OpLinearize,
     OpRespond,
     TimerFire,
+    choice_target,
+    is_choice,
 )
 from .network import Network
 from .process import Context, Process
@@ -186,13 +188,34 @@ class Simulation:
         self._ever_crashed.add(pid)
         self._contexts[pid]._kill()
         self._purge_timers(pid)
+        if self.scheduler.controlled:
+            # Controlled mode does not support restarts, so a pending
+            # delivery to a crashed process is a no-op forever — cancel it
+            # rather than let the model checker enumerate interleavings of
+            # transitions that cannot change any state.
+            for ev in self.scheduler.co_enabled():
+                if is_choice(ev.payload) and choice_target(ev.payload) == pid:
+                    self.scheduler.cancel(ev)
         self.trace.record(self.now, CUSTOM, pid, event="crash")
 
     def crash_at(self, pid: ProcessId, time: Time) -> None:
-        """Schedule a crash of ``pid`` at virtual ``time``."""
+        """Schedule a crash of ``pid`` at virtual ``time``.
+
+        The callback is a *choice* transition targeting ``pid``: in
+        controlled-schedule mode the model checker reorders the crash
+        against deliveries and timers at the same process (crash-before vs
+        crash-after races), exactly like the deliver/timer/crash
+        independence relation in :mod:`repro.mc.vclock`.
+        """
         self._check_pid(pid)
         self.scheduler.schedule_at(
-            time, Callback(fn=lambda: self.crash(pid), label=f"crash-{pid}")
+            time,
+            Callback(
+                fn=lambda: self.crash(pid),
+                label=f"crash-{pid}",
+                pid=pid,
+                choice=True,
+            ),
         )
 
     def restart(
@@ -262,7 +285,11 @@ class Simulation:
     def _purge_timers(self, pid: ProcessId) -> None:
         # Indexed by pid: a crash purges exactly the crashed process's armed
         # timers without scanning every pending timer in the simulation.
-        for timer_id in self._timers_by_pid.pop(pid, ()):
+        # Sorted: set iteration order is an implementation detail of the
+        # interpreter, and while cancellation order cannot change the event
+        # schedule, replayed controlled schedules compare internal counters
+        # (compactions) across processes — keep every iteration canonical.
+        for timer_id in sorted(self._timers_by_pid.pop(pid, ())):
             self.scheduler.cancel(self._timers.pop(timer_id))
 
     def _check_pid(self, pid: ProcessId) -> None:
@@ -291,6 +318,75 @@ class Simulation:
     def at(self, time: Time, fn: Callable[[], None], label: str = "") -> None:
         """Run ``fn`` at virtual ``time`` (partition healing, fault injection…)."""
         self.scheduler.schedule_at(time, Callback(fn=fn, label=label))
+
+    # -- controlled-schedule mode (bounded model checking) ---------------------------
+
+    def enable_controlled(self) -> "Simulation":
+        """Switch to controlled-schedule mode: the caller picks each event.
+
+        Instead of :meth:`run` popping ``(time, seq)`` heap order, the
+        owner (normally :class:`repro.mc.explorer.Explorer`) alternates
+        :meth:`drain_forced` — deterministic glue events — with
+        :meth:`choice_events` / :meth:`step_event` — the branching
+        transitions of the schedule tree. Must be called before
+        :meth:`start`; restarts (:meth:`restart_at`) are not supported in
+        this mode (a restart script would have to race its own crash).
+        """
+        if self._started:
+            raise ConfigurationError(
+                "enable_controlled() must precede the first event"
+            )
+        self.scheduler.controlled = True
+        return self
+
+    def choice_events(self) -> list[Event]:
+        """Co-enabled *choice* transitions, in canonical ``(time, seq)`` order.
+
+        Deliveries, timer firings, and choice-marked callbacks (scripted
+        crashes, SRB-oracle deliveries) that are pending and not chained
+        behind an undispatched predecessor. Any of them may be stepped
+        next; the set is sorted so schedule enumeration is bit-identical
+        across processes and Python versions.
+        """
+        return [ev for ev in self.scheduler.co_enabled() if is_choice(ev.payload)]
+
+    def step_event(self, ev: Event) -> None:
+        """Dispatch exactly ``ev`` (controlled mode)."""
+        self.start()
+        self.scheduler.step(ev)
+
+    def drain_forced(self, limit: int = 100_000) -> int:
+        """Dispatch every pending *forced* event in ``(time, seq)`` order.
+
+        Forced events — scenario callbacks, shared-memory linearizations —
+        are deterministic glue between choices, not choice points: they
+        run eagerly so the choice set the explorer sees contains only
+        genuine scheduling freedom. Returns the number dispatched; a
+        dispatch may create new forced events, which drain too (``limit``
+        guards against a forced-event livelock).
+        """
+        self.start()
+        drained = 0
+        while True:
+            # one at a time: a dispatch may create forced events that sort
+            # before the rest, and the canonical order must reflect that
+            forced = next(
+                (
+                    ev
+                    for ev in self.scheduler.co_enabled()
+                    if not is_choice(ev.payload)
+                ),
+                None,
+            )
+            if forced is None:
+                return drained
+            self.scheduler.step(forced)
+            drained += 1
+            if drained >= limit:
+                raise SimulationError(
+                    f"drain_forced dispatched {drained} events without "
+                    "reaching a choice point; forced-event livelock?"
+                )
 
     # -- main loop -----------------------------------------------------------------
 

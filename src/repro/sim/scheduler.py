@@ -50,6 +50,13 @@ class Scheduler:
         self.compactions = 0
         self._running = False
         self.dispatch: Optional[Callable[[Event], None]] = None
+        self.controlled = False
+        """Controlled-schedule mode (bounded model checking): the owner
+        picks events with :meth:`step` instead of :meth:`run` popping heap
+        order. The clock only moves forward (``max`` over dispatched event
+        times) and :meth:`schedule_at` clamps past times to *now* — an
+        event dispatched "early" relative to its timestamp may leave the
+        clock ahead of producers that compute absolute times."""
 
     @property
     def now(self) -> Time:
@@ -64,23 +71,30 @@ class Scheduler:
         """
         return self._live
 
-    def schedule(self, delay: float, payload: Payload) -> Event:
+    def schedule(self, delay: float, payload: Payload,
+                 after: Event | None = None) -> Event:
         """Enqueue ``payload`` to occur ``delay`` time units from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        ev = Event(time=self._now + delay, seq=self._seq, payload=payload)
+        ev = Event(time=self._now + delay, seq=self._seq, payload=payload,
+                   after=after)
         self._seq += 1
         heapq.heappush(self._heap, ev)
         self._live += 1
         return ev
 
-    def schedule_at(self, time: Time, payload: Payload) -> Event:
+    def schedule_at(self, time: Time, payload: Payload,
+                    after: Event | None = None) -> Event:
         """Enqueue ``payload`` at absolute virtual time ``time``."""
         if time < self._now:
-            raise SimulationError(
-                f"cannot schedule at {time} before current time {self._now}"
-            )
-        ev = Event(time=time, seq=self._seq, payload=payload)
+            if not self.controlled:
+                raise SimulationError(
+                    f"cannot schedule at {time} before current time {self._now}"
+                )
+            # controlled mode dispatched some event "late" in virtual time;
+            # absolute-time producers are clamped to now instead of rejected
+            time = self._now
+        ev = Event(time=time, seq=self._seq, payload=payload, after=after)
         self._seq += 1
         heapq.heappush(self._heap, ev)
         self._live += 1
@@ -127,6 +141,62 @@ class Scheduler:
         heapq.heapify(self._heap)
         self._cancelled_in_heap = 0
         self.compactions += 1
+
+    # -- choice-point API (controlled-schedule mode) -----------------------
+
+    @property
+    def next_seq(self) -> int:
+        """The seq the next scheduled event will get.
+
+        The model checker snapshots this around a dispatch to identify the
+        events that dispatch created (their causal parents for the
+        happens-before relation).
+        """
+        return self._seq
+
+    def co_enabled(self) -> list[Event]:
+        """Every pending, unblocked event, sorted by ``(time, seq)``.
+
+        The *choice set* of controlled-schedule mode: any of these could be
+        dispatched next. Sorting (with the explicit seq tie-break events
+        already carry) makes the enumeration bit-identical across
+        processes and Python versions — schedule ids index into this
+        canonical order, so replay determinism depends on it. An event
+        chained behind an undispatched predecessor (``after``) is excluded
+        until the predecessor fires.
+        """
+        out = [
+            ev
+            for ev in self._heap
+            if not ev.cancelled
+            and not (
+                ev.after is not None
+                and ev.after.queued
+                and not ev.after.cancelled
+            )
+        ]
+        out.sort()
+        return out
+
+    def step(self, ev: Event) -> None:
+        """Dispatch exactly ``ev``, out of heap order (controlled mode).
+
+        The clock advances to ``max(now, ev.time)`` — never backwards —
+        because a controlled schedule may fire a logically-later event
+        before a timestamp-earlier one (that is the point: the asynchronous
+        adversary is not bound by the delays the producers happened to
+        draw).
+        """
+        if self.dispatch is None:
+            raise SimulationError("no dispatch function installed")
+        if ev.cancelled or not ev.queued:
+            raise SimulationError(f"cannot step a non-pending event {ev!r}")
+        self._heap.remove(ev)  # O(heap); controlled runs are small by design
+        heapq.heapify(self._heap)
+        ev.queued = False
+        self._live -= 1
+        self._now = max(self._now, ev.time)
+        self.dispatch(ev)
 
     def run(
         self,

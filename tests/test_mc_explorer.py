@@ -1,0 +1,242 @@
+"""Bounded model checker: DPOR soundness, schedule ids, sharding.
+
+The load-bearing property is that DPOR is *sound reduction*: on systems
+small enough to enumerate naively, ``dpor=True`` must reach exactly the
+same set of distinguishable outcomes (per-process local views, violation
+verdicts) as ``dpor=False`` — while exploring several-fold fewer
+schedules. Micro-systems here are two senders fanning out to two
+receivers: 24 naive interleavings, 4 Mazurkiewicz classes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mc import (
+    Explorer,
+    Schedule,
+    explore,
+    merge_results,
+    parse_schedule_id,
+    replay_schedule,
+    root_choice_count,
+    schedule_id,
+)
+from repro.mc.vclock import dependent, join, leq
+from repro.sim.adversary import LockStepSynchronous
+from repro.sim.process import Process
+from repro.sim.runner import Simulation
+
+
+class FanoutSender(Process):
+    """Sends one message to every listed destination on start."""
+
+    def __init__(self, dsts):
+        super().__init__()
+        self.dsts = dsts
+
+    def on_start(self):
+        for dst in self.dsts:
+            self.ctx.send(dst, ("ping", None))
+
+
+class OrderRecorder(Process):
+    """Records the arrival order of sources; the only state that matters."""
+
+    def on_message(self, src, msg):
+        self.ctx.record("custom", event="got", src=src)
+
+
+def micro_factory():
+    """2 senders × 2 receivers: 4 deliveries, 24 naive orders, 4 classes."""
+    procs = [
+        FanoutSender((2, 3)),
+        FanoutSender((2, 3)),
+        OrderRecorder(),
+        OrderRecorder(),
+    ]
+    return Simulation(procs, adversary=LockStepSynchronous(1.0), seed=0)
+
+
+def arrival_orders(sim):
+    """Per-receiver source arrival order — the Mazurkiewicz invariant."""
+    orders = {}
+    for pid in (2, 3):
+        orders[pid] = tuple(
+            ev.field("src")
+            for ev in sim.trace.events(
+                "custom", predicate=lambda e: e.field("event") == "got"
+            )
+            if ev.pid == pid
+        )
+    return (orders[2], orders[3])
+
+
+def order_dependent_check(state):
+    """Planted order bug: receiver 2 must not hear p1 before p0."""
+    o2, _ = arrival_orders(state)
+    if o2 and o2[0] == 1:
+        return "receiver 2 heard p1 first"
+    return None
+
+
+class TestDPORSoundness:
+    def collect(self, dpor):
+        leaves = set()
+        res = explore(
+            micro_factory,
+            on_leaf=lambda state, sched: leaves.add(arrival_orders(state)),
+            dpor=dpor,
+        )
+        return res, leaves
+
+    def test_identical_outcome_classes(self):
+        naive_res, naive_leaves = self.collect(dpor=False)
+        dpor_res, dpor_leaves = self.collect(dpor=True)
+        assert naive_leaves == dpor_leaves
+        # 2 orders per receiver, receivers independent
+        assert len(naive_leaves) == 4
+        assert naive_res.schedules == 24
+        assert dpor_res.schedules == 4
+
+    def test_reduction_factor_at_least_five(self):
+        naive_res, _ = self.collect(dpor=False)
+        dpor_res, _ = self.collect(dpor=True)
+        assert dpor_res.reduction_vs(naive_res) >= 5.0
+        assert dpor_res.complete and naive_res.complete
+
+    def test_identical_verdicts_on_planted_order_bug(self):
+        verdicts = {}
+        for dpor in (False, True):
+            violating_orders = set()
+            res = explore(
+                micro_factory,
+                check=order_dependent_check,
+                on_leaf=lambda state, sched: None,
+                dpor=dpor,
+            )
+            for v in res.violations:
+                rr = replay_schedule(micro_factory, v.schedule)
+                violating_orders.add(arrival_orders(rr.state))
+            verdicts[dpor] = violating_orders
+            assert res.violations, "the order bug must be found"
+        # same distinguishable counterexample classes from both modes
+        assert verdicts[True] == verdicts[False]
+
+    def test_transitions_count_work_done(self):
+        res, _ = self.collect(dpor=True)
+        assert res.transitions >= res.schedules
+        assert res.max_depth == 4
+
+
+class TestBounds:
+    def test_max_schedules_marks_incomplete(self):
+        res = explore(micro_factory, dpor=False, max_schedules=3)
+        assert res.schedules == 3
+        assert not res.complete
+
+    def test_max_steps_truncates_and_terminates(self):
+        res = explore(micro_factory, dpor=False, max_steps=2)
+        assert res.complete
+        assert res.truncated == res.schedules > 0
+        assert res.max_depth == 2
+
+    def test_stop_at_first_violation(self):
+        res = explore(
+            micro_factory,
+            check=order_dependent_check,
+            dpor=False,
+            stop_at_first_violation=True,
+        )
+        assert len(res.violations) == 1
+        assert not res.complete
+
+    def test_focus_bound_dispatches_rest_canonically(self):
+        # only receiver 2's deliveries branch: 2 schedules, not 24
+        res = explore(micro_factory, dpor=False, choice_targets=(2,))
+        assert res.schedules == 2
+
+
+class TestScheduleIds:
+    def test_roundtrip(self):
+        sched = Schedule(steps=(3, 17, 12), digest="a91f03c2e4b7")
+        assert parse_schedule_id(schedule_id(sched)) == sched
+
+    def test_malformed_ids_raise(self):
+        for bad in ("", "mc2:1-2:abc", "mc1:1-x:abc", "mc1:12"):
+            with pytest.raises(ConfigurationError):
+                parse_schedule_id(bad)
+
+    def test_replay_roundtrip_every_leaf(self):
+        schedules = []
+        explore(
+            micro_factory,
+            on_leaf=lambda state, sched: schedules.append(sched),
+            dpor=True,
+        )
+        assert schedules
+        for sched in schedules:
+            rr = replay_schedule(micro_factory, schedule_id(sched))
+            assert rr.steps_applied == sched.depth
+            assert rr.violation is None
+
+    def test_replay_digest_mismatch_raises(self):
+        schedules = []
+        explore(
+            micro_factory,
+            on_leaf=lambda state, sched: schedules.append(sched),
+            dpor=True,
+        )
+        sched = schedules[0]
+        forged = Schedule(steps=sched.steps, digest="0" * 12)
+        with pytest.raises(ConfigurationError, match="digest mismatch"):
+            replay_schedule(micro_factory, forged)
+
+    def test_replay_rejects_non_enabled_seq(self):
+        with pytest.raises(ConfigurationError, match="not co-enabled"):
+            replay_schedule(
+                micro_factory, Schedule(steps=(99999,), digest="")
+            )
+
+
+class TestSharding:
+    def test_root_shards_cover_the_whole_tree(self):
+        n_roots = root_choice_count(micro_factory)
+        assert n_roots == 4
+        leaves = set()
+        shard_results = []
+        for i in range(n_roots):
+            ex = Explorer(
+                micro_factory,
+                on_leaf=lambda state, sched: leaves.add(
+                    arrival_orders(state)
+                ),
+                dpor=False,
+            )
+            shard_results.append(
+                ex.run(root_choice=i, root_sleep=tuple(range(i)))
+            )
+        merged = merge_results(shard_results)
+        assert merged.schedules == 24  # naive split: no double counting
+        _, full_leaves = TestDPORSoundness().collect(dpor=False)
+        assert leaves == full_leaves
+
+    def test_root_choice_out_of_range(self):
+        with pytest.raises(ConfigurationError, match="out of range"):
+            Explorer(micro_factory).run(root_choice=99)
+
+
+class TestVClock:
+    def test_leq_and_join(self):
+        a, b = {1: 2, 2: 1}, {1: 1, 2: 3}
+        assert not leq(a, b) and not leq(b, a)
+        j = join(a, b)
+        assert j == {1: 2, 2: 3}
+        assert leq(a, j) and leq(b, j)
+        assert leq({}, a)
+
+    def test_dependence(self):
+        assert dependent(1, 1)
+        assert not dependent(1, 2)
+        assert dependent(None, 2) and dependent(1, None)
