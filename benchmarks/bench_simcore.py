@@ -1,0 +1,439 @@
+"""R7 — simulation-core speed: timer wheel, recycled events, keyed heap.
+
+Measures the rewritten event loop (:mod:`repro.sim.scheduler`) against the
+retained pre-refactor loop (:mod:`repro.sim._reference` — single
+Event-object heap, dataclass tuple-building comparators, ``step`` via
+``heap.remove`` + ``heapify``) on 10^5- and 10^6-event grids. Every
+profile also records a dispatch-order witness: the two implementations
+must produce the byte-identical event sequence for the same seed, or the
+numbers are meaningless.
+
+Four profiles, in increasing order of structural advantage:
+
+- **wheel-deep** — a standing population of pending timers with one
+  re-arm per fire: pop-dominated. The pre-refactor loop pays ~2·log2(n)
+  Python comparator calls per pop; the new loop pays C tuple comparisons
+  against a near-horizon heap. Honest constant-factor win (~2-3x).
+- **wheel-churn** — the retransmission pattern (arm k, cancel k-1 before
+  expiry): cancelled timers evaporate in wheel buckets instead of riding
+  the heap as tombstones through compaction heapifies (~1.5-2x).
+- **step-storm** — the *headline* timer-heavy profile and where the
+  acceptance bar is asserted: controlled-schedule dispatch of a pending
+  timer set, the regime bounded model checking lives in. The pre-refactor
+  ``step`` scans and re-heapifies the whole heap per event — quadratic in
+  the pending set — while the rewrite marks-and-skips in O(1). The
+  reference is measured at a feasibility cap (its throughput only *drops*
+  as the grid grows, so comparing the new loop's full-grid throughput
+  against the reference's capped throughput understates the true ratio;
+  the JSON marks this ``conservative``).
+- **big-run** — end-to-end `one_big_run` over the full stack (SRB
+  protocol, crypto, trace): production serial vs. production sharded vs.
+  pre-refactor serial, asserting the three-way ``order_hash`` equality
+  the acceptance criteria require (same seed => same dispatch sequence
+  hash, serial and sharded). Protocol work dominates here, so the
+  recorded speedup is modest and honest.
+
+Baseline fidelity: the reference loop allocates events with the
+*pre-refactor* dataclass comparator (two tuples per comparison) — see
+``_PreRefactorEvent``. Letting the baseline borrow this PR's hand-written
+``Event.__lt__`` would silently credit it with part of the rewrite.
+
+Writes ``BENCH_simcore.json`` at the repo root (override with ``--out``).
+
+Runs two ways::
+
+    python -m pytest benchmarks/bench_simcore.py --benchmark-only
+    python benchmarks/bench_simcore.py --quick   # CI smoke, no pytest
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import random
+import time
+from pathlib import Path
+from typing import Any, Optional, Sequence
+
+from repro.analysis import format_table
+from repro.faults.chaos import one_big_run
+from repro.sim._reference import HeapOnlyScheduler
+from repro.sim.events import TimerFire
+from repro.sim.scheduler import Scheduler
+
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_simcore.json"
+
+#: events whose dispatch order is hashed for the cross-implementation
+#: witness — capped so 10^6-cell grids don't double their runtime logging
+ORDER_CHECK_EVENTS = 100_000
+
+FULL_GRID = dict(
+    wheel_events=(100_000, 1_000_000),
+    wheel_standing=200_000,
+    storm_events=(100_000, 1_000_000),
+    storm_ref_cap=8_000,
+    big_ops=120,
+    big_shards=6,
+    big_workers=4,
+    reps=2,
+)
+QUICK_GRID = dict(
+    wheel_events=(20_000,),
+    wheel_standing=20_000,
+    storm_events=(100_000,),
+    storm_ref_cap=2_000,
+    big_ops=40,
+    big_shards=4,
+    big_workers=2,
+    reps=2,
+)
+
+#: acceptance bars — the ISSUE's >=5x (10x stretch) is asserted on the
+#: step-storm profile, the timer-heavy regime where the refactor's win is
+#: asymptotic rather than constant-factor; the wheel profiles get honest
+#: constant-factor floors
+FULL_BARS = {"step_storm": 5.0, "wheel_deep": 1.5, "wheel_churn": 1.1}
+QUICK_BARS = {"step_storm": 2.0, "wheel_deep": 1.0, "wheel_churn": 0.9}
+
+_PAYLOAD = TimerFire(pid=0, tag="bench", timer_id=0)
+
+
+# ---------------------------------------------------------------------------
+# Run-mode profiles: wheel-deep / wheel-churn
+# ---------------------------------------------------------------------------
+
+
+def _drive_wheel(sched_cls, n_events: int, standing: int, arms: int,
+                 cancels: int, seed: int,
+                 log: Optional[list] = None) -> tuple[Any, float]:
+    """Timer-churn driver: every fire re-arms ``arms`` timers and
+    immediately cancels ``cancels`` of them (the retransmission pattern:
+    most timers never fire). ``standing`` pending timers are armed before
+    the clock starts. The driver is deliberately thin — precomputed
+    delays, no logging in timed runs — so the measurement is the
+    scheduler, not the harness."""
+    s = sched_cls()
+    rng = random.Random(seed)
+    delays = [rng.uniform(50.0, 500.0) for _ in range(1 << 16)]
+    mask = (1 << 16) - 1
+    sched = s.schedule
+    cancel = s.cancel
+    keep = arms - cancels
+    state = [0]  # delay cursor (closure-mutable)
+
+    if log is None:
+        def dispatch(ev):
+            i = state[0]
+            for k in range(arms):
+                e = sched(delays[(i + k) & mask], _PAYLOAD)
+                if k >= keep:
+                    cancel(e)
+            state[0] = i + arms
+    else:
+        append = log.append
+
+        def dispatch(ev):
+            append(ev.seq)
+            i = state[0]
+            for k in range(arms):
+                e = sched(delays[(i + k) & mask], _PAYLOAD)
+                if k >= keep:
+                    cancel(e)
+            state[0] = i + arms
+
+    s.dispatch = dispatch
+    for i in range(standing):
+        sched(delays[i & mask], _PAYLOAD)
+    state[0] = standing
+    t0 = time.perf_counter()
+    stats = s.run(max_events=n_events)
+    wall = time.perf_counter() - t0
+    assert stats.events_processed == n_events, (
+        f"wheel driver starved: {stats.events_processed}/{n_events}"
+    )
+    return stats, wall
+
+
+def measure_wheel(name: str, arms: int, cancels: int, grid: dict,
+                  seed: int = 7) -> dict[str, Any]:
+    standing = grid["wheel_standing"]
+    reps = grid["reps"]
+    cells = []
+    for n in grid["wheel_events"]:
+        r = 1 if n >= 1_000_000 else reps
+        new_wall = min(
+            _drive_wheel(Scheduler, n, standing, arms, cancels, seed)[1]
+            for _ in range(r)
+        )
+        ref_wall = min(
+            _drive_wheel(HeapOnlyScheduler, n, standing, arms, cancels,
+                         seed)[1]
+            for _ in range(r)
+        )
+        stats, _ = _drive_wheel(Scheduler, min(n, ORDER_CHECK_EVENTS),
+                                standing, arms, cancels, seed)
+        cells.append({
+            "events": n,
+            "standing": standing,
+            "new_eps": n / new_wall,
+            "ref_eps": n / ref_wall,
+            "new_wall_s": new_wall,
+            "ref_wall_s": ref_wall,
+            "speedup": ref_wall / new_wall,
+            "timer_wheel_hits": stats.timer_wheel_hits,
+            "freelist_reuses": stats.freelist_reuses,
+        })
+    # untimed order witness: both implementations replay the same seed
+    check_n = min(max(grid["wheel_events"]), ORDER_CHECK_EVENTS)
+    log_new: list = []
+    log_ref: list = []
+    _drive_wheel(Scheduler, check_n, standing, arms, cancels, seed, log_new)
+    _drive_wheel(HeapOnlyScheduler, check_n, standing, arms, cancels, seed,
+                 log_ref)
+    h_new = hashlib.sha256(repr(log_new).encode()).hexdigest()
+    h_ref = hashlib.sha256(repr(log_ref).encode()).hexdigest()
+    assert h_new == h_ref, (
+        f"{name}: dispatch order diverged from the pre-refactor loop "
+        f"({h_new[:16]} != {h_ref[:16]})"
+    )
+    return {
+        "arms": arms,
+        "cancels": cancels,
+        "grid": cells,
+        "speedup": cells[-1]["speedup"],  # the largest cell is the verdict
+        "order_check": {
+            "events": check_n,
+            "hash": h_new,
+            "identical": True,
+        },
+    }
+
+
+# ---------------------------------------------------------------------------
+# Controlled-mode profile: step-storm
+# ---------------------------------------------------------------------------
+
+
+def _drive_storm(sched_cls, n_events: int) -> tuple[list, float]:
+    """Controlled-schedule timer storm: schedule ``n_events`` timers with
+    deliberately non-monotonic times, then ``step`` them in creation
+    order — a valid controlled schedule that dispatches out of heap
+    order, exactly what a DPOR exploration does. Setup is untimed."""
+    s = sched_cls()
+    s.controlled = True
+    order: list = []
+    s.dispatch = lambda ev: order.append(ev.seq)
+    evs = [s.schedule(float(i % 97), _PAYLOAD) for i in range(n_events)]
+    t0 = time.perf_counter()
+    for ev in evs:
+        s.step(ev)
+    wall = time.perf_counter() - t0
+    return order, wall
+
+
+def measure_step_storm(grid: dict) -> dict[str, Any]:
+    cap = grid["storm_ref_cap"]
+    ref_order, ref_wall = _drive_storm(HeapOnlyScheduler, cap)
+    new_order_cap, new_wall_cap = _drive_storm(Scheduler, cap)
+    assert new_order_cap == ref_order, (
+        "step-storm: controlled-mode dispatch order diverged from the "
+        "pre-refactor loop"
+    )
+    ref_eps = cap / ref_wall
+    cells = []
+    for n in grid["storm_events"]:
+        _, new_wall = _drive_storm(Scheduler, n)
+        new_eps = n / new_wall
+        cells.append({
+            "events": n,
+            "new_eps": new_eps,
+            "new_wall_s": new_wall,
+            "ref_eps": ref_eps,
+            "speedup": new_eps / ref_eps,
+        })
+    return {
+        "grid": cells,
+        "ref_measured_at": cap,
+        "ref_wall_s": ref_wall,
+        "ref_eps": ref_eps,
+        # the reference is quadratic in the pending set: its true
+        # throughput at the full grid sizes is far below the capped
+        # measurement, so these speedups are lower bounds
+        "conservative": True,
+        "speedup": cells[-1]["speedup"],
+        "order_check": {"events": cap, "identical": True},
+    }
+
+
+# ---------------------------------------------------------------------------
+# End-to-end profile: one big sharded run
+# ---------------------------------------------------------------------------
+
+
+def measure_big_run(grid: dict, seed: int = 3) -> dict[str, Any]:
+    kw = dict(seed=seed, n_ops=grid["big_ops"], rate=2.0,
+              shards=grid["big_shards"])
+
+    t0 = time.perf_counter()
+    serial = one_big_run(**kw)
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    sharded = one_big_run(workers=grid["big_workers"], **kw)
+    sharded_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    reference = one_big_run(scheduler="reference", **kw)
+    reference_s = time.perf_counter() - t0
+
+    assert serial.ok and sharded.ok and reference.ok, (
+        "big-run safety violations: "
+        f"{serial.violations or sharded.violations or reference.violations}"
+    )
+    assert serial.order_hash == sharded.order_hash, (
+        "sharded big run is not bit-identical to the serial run"
+    )
+    assert serial.order_hash == reference.order_hash, (
+        "production big run dispatch order diverged from the "
+        "pre-refactor loop"
+    )
+    return {
+        **{k: kw[k] for k in ("seed", "n_ops", "shards")},
+        "workers": grid["big_workers"],
+        "cpus": os.cpu_count(),
+        "events_processed": serial.stats["events_processed"],
+        "timer_wheel_hits": serial.stats["timer_wheel_hits"],
+        "freelist_reuses": serial.stats["freelist_reuses"],
+        "serial_s": serial_s,
+        "sharded_s": sharded_s,
+        "reference_s": reference_s,
+        "speedup_vs_reference": reference_s / serial_s,
+        "sharded_vs_serial": serial_s / sharded_s,
+        "order_hash": serial.order_hash,
+        "order_identical_serial_sharded": True,
+        "order_identical_vs_reference": True,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Harness
+# ---------------------------------------------------------------------------
+
+
+def run_simcore(quick: bool = False,
+                out: Optional[Path] = DEFAULT_OUT) -> dict[str, Any]:
+    grid = QUICK_GRID if quick else FULL_GRID
+    bars = QUICK_BARS if quick else FULL_BARS
+    deep = measure_wheel("wheel-deep", arms=1, cancels=0, grid=grid)
+    churn = measure_wheel("wheel-churn", arms=4, cancels=3, grid=grid)
+    storm = measure_step_storm(grid)
+    big = measure_big_run(grid)
+    results = {
+        "quick": quick,
+        "profiles": {
+            "wheel_deep": deep,
+            "wheel_churn": churn,
+            "step_storm": storm,
+            "big_run": big,
+        },
+        "bars": bars,
+        "headline": {
+            "profile": "step-storm",
+            "events": storm["grid"][-1]["events"],
+            "speedup": storm["speedup"],
+            "bar": bars["step_storm"],
+            "conservative": storm["conservative"],
+        },
+    }
+    if out is not None:
+        Path(out).write_text(json.dumps(results, indent=2) + "\n")
+    assert storm["speedup"] >= bars["step_storm"], (
+        f"step-storm speedup {storm['speedup']:.1f}x under the "
+        f"{bars['step_storm']}x bar"
+    )
+    assert deep["speedup"] >= bars["wheel_deep"], (
+        f"wheel-deep speedup {deep['speedup']:.2f}x under the "
+        f"{bars['wheel_deep']}x bar"
+    )
+    assert churn["speedup"] >= bars["wheel_churn"], (
+        f"wheel-churn speedup {churn['speedup']:.2f}x under the "
+        f"{bars['wheel_churn']}x bar"
+    )
+    return results
+
+
+def _fmt_eps(eps: float) -> str:
+    return f"{eps / 1e3:,.0f}k/s" if eps < 1e6 else f"{eps / 1e6:.2f}M/s"
+
+
+def render(results: dict[str, Any]) -> str:
+    p = results["profiles"]
+    rows = []
+    for name, key in (("wheel-deep", "wheel_deep"),
+                      ("wheel-churn", "wheel_churn")):
+        for cell in p[key]["grid"]:
+            rows.append([
+                name, f"{cell['events']:,}", f"{cell['standing']:,}",
+                _fmt_eps(cell["new_eps"]), _fmt_eps(cell["ref_eps"]),
+                f"{cell['speedup']:.2f}x",
+            ])
+    for cell in p["step_storm"]["grid"]:
+        rows.append([
+            "step-storm", f"{cell['events']:,}", "(controlled)",
+            _fmt_eps(cell["new_eps"]),
+            _fmt_eps(cell["ref_eps"]) +
+            f" @{p['step_storm']['ref_measured_at'] // 1000}k",
+            f"{cell['speedup']:,.0f}x",
+        ])
+    core_tbl = format_table(
+        ["profile", "events", "standing", "new", "pre-refactor", "speedup"],
+        rows,
+        title="R7a: scheduler core, new loop vs pre-refactor loop "
+              "(order witness identical on every profile)",
+    )
+    b = p["big_run"]
+    big_tbl = format_table(
+        ["mode", "wall s", "note"],
+        [
+            ["production serial", f"{b['serial_s']:.2f}",
+             f"{b['events_processed']:,} events, "
+             f"{b['timer_wheel_hits']:,} wheel hits"],
+            [f"production workers={b['workers']}", f"{b['sharded_s']:.2f}",
+             f"{b['sharded_vs_serial']:.2f}x vs serial "
+             f"({b['cpus']} cpu)"],
+            ["pre-refactor serial", f"{b['reference_s']:.2f}",
+             f"{b['speedup_vs_reference']:.2f}x end-to-end speedup"],
+        ],
+        title=f"R7b: one-big-run, {b['n_ops']} ops x {b['shards']} shards — "
+              "order hash identical serial/sharded/pre-refactor",
+    )
+    h = results["headline"]
+    return (core_tbl + "\n\n" + big_tbl +
+            f"\n\nheadline: {h['profile']} at {h['events']:,} events — "
+            f"{h['speedup']:,.0f}x (bar {h['bar']}x, conservative)")
+
+
+def test_simcore(once, quick):
+    from _bench_util import report
+
+    results = once(run_simcore, quick)
+    report(render(results))
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="shrunken grids and relaxed bars (CI)")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                        help="where to write the JSON report")
+    args = parser.parse_args(argv)
+    results = run_simcore(quick=args.quick, out=args.out)
+    print(render(results))
+    print(f"\nwrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

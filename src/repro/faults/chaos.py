@@ -42,6 +42,7 @@ from ..core.rounds import MessagePassingRoundTransport
 from ..core.srb import SRBLivenessChecker, SRBStreamChecker, check_srb
 from ..core.srb_from_uni import SRBFromUnidirectional, build_mp_srb_system
 from ..errors import ConfigurationError, PropertyViolation
+from ..sim.trace import TraceObserver
 from ..types import ProcessId, Time
 from .adversaries import ChaosAdversary, GSTAdversary
 from .channel import ReliableProcess
@@ -249,6 +250,24 @@ class EagerBrokenSRB(SRBFromUnidirectional):
 # ---------------------------------------------------------------------------
 
 
+def _simcore_stats(sim) -> dict[str, int]:
+    """Event-loop counters for ``ChaosResult.stats["simcore"]``.
+
+    Deterministic counters only: sweep results promise serial/parallel
+    bit-identity (``tests/test_chaos_parallel.py`` compares full stats
+    dicts), so the wall-clock-derived ``events_per_sec`` stays off this
+    dict — read it from the :class:`~repro.sim.scheduler.RunStats` a
+    ``sim.run`` call returns, or from :class:`BigRunResult`.
+    """
+    sched = sim.scheduler
+    return {
+        "timer_wheel_hits": sched.timer_wheel_hits,
+        "freelist_reuses": sched.freelist_reuses,
+        "compactions": sched.compactions,
+        "wheel_compactions": sched.wheel_compactions,
+    }
+
+
 @dataclass(slots=True)
 class ChaosResult:
     """Outcome of one protocol run under one seeded fault schedule.
@@ -360,6 +379,7 @@ def run_srb_chaos(
             # caches were reset at run start, so this is the run's own
             # crypto work — comparable across serial and parallel sweeps
             "crypto": crypto_stats().as_dict(),
+            "simcore": _simcore_stats(sim),
         }
 
     protocol = "srb-uni-broken" if broken else "srb-uni"
@@ -507,6 +527,7 @@ def run_minbft_chaos(
                 (r.view_changes_completed for r in replicas), default=0
             ),
             "crypto": crypto_stats().as_dict(),
+            "simcore": _simcore_stats(sim),
         }
 
     protocol = "minbft-stalling" if stalling else "minbft"
@@ -682,7 +703,17 @@ def chaos_sweep(
     to sample — every schedule at the configured bound is explored), and
     the return value is the ``{name: ExplorationResult}`` mapping of
     :func:`exhaustive_sweep`.
+
+    ``mode="big-run"`` swaps many-small-runs for ONE sharded open-loop
+    run: the first entry of ``seeds`` seeds the workload, ``protocols``/
+    ``horizon`` are ignored (the big-run harness is SRB-only and sizes
+    its own horizon from the arrival span), remaining ``kwargs`` forward
+    to :func:`one_big_run`, and the return value is its
+    :class:`BigRunResult`.
     """
+    if mode == "big-run":
+        seed = next(iter(seeds), 0)
+        return one_big_run(seed=seed, workers=workers, **kwargs)
     if mode == "exhaustive":
         names = (
             None if tuple(protocols) == _SEEDED_DEFAULT_PROTOCOLS
@@ -691,7 +722,7 @@ def chaos_sweep(
         return exhaustive_sweep(systems=names, workers=workers, **kwargs)
     if mode != "seeded":
         raise ConfigurationError(
-            f"mode must be 'seeded' or 'exhaustive', got {mode!r}"
+            f"mode must be 'seeded', 'exhaustive', or 'big-run', got {mode!r}"
         )
     tasks = [
         (protocol, seed, horizon, caching_enabled(), kwargs)
@@ -705,6 +736,207 @@ def chaos_sweep(
     with ProcessPoolExecutor(max_workers=workers) as pool:
         futures = [pool.submit(_run_chaos_task, task) for task in tasks]
         return [f.result() for f in futures]
+
+
+# ---------------------------------------------------------------------------
+# One-big-run sharding
+# ---------------------------------------------------------------------------
+
+
+class _OrderHasher(TraceObserver):
+    """Streaming hash of the dispatch-order trace stream.
+
+    Subscribed before anything else, it sees every recorded event in
+    dispatch order and folds ``(index, time, kind, pid)`` into a SHA-256 —
+    the run's *order witness*. Two runs with equal digests recorded the
+    same events in the same order; the big-run harness uses this to prove
+    a sharded execution reproduced the serial one bit-exactly.
+    """
+
+    def __init__(self) -> None:
+        self._h = hashlib.sha256()
+
+    def on_event(self, ev) -> None:
+        self._h.update(f"{ev.index}|{ev.time!r}|{ev.kind}|{ev.pid}".encode())
+
+    def hexdigest(self) -> str:
+        return self._h.hexdigest()
+
+
+@dataclass(slots=True)
+class BigRunResult:
+    """Deterministic merge of one sharded open-loop run.
+
+    ``order_hash`` is SHA-256 over the per-shard order witnesses in shard
+    order — the identity of the whole logical run. It depends on
+    ``(protocol, seed, n_ops, rate, shards)`` but **not** on ``workers``:
+    executing the same shard set serially or across a pool yields the
+    same digest (asserted by ``benchmarks/bench_simcore.py`` and
+    ``tests/test_big_run.py``).
+
+    ``stats`` sums the deterministic per-shard counters
+    (``events_processed``, ``timer_wheel_hits``, ``freelist_reuses``,
+    ``deliveries``) and adds the one legitimately nondeterministic
+    aggregate, ``events_per_sec`` (total events over total worker wall
+    time) — throughput reporting, never an identity field.
+    """
+
+    protocol: str
+    seed: int
+    n_ops: int
+    shards: int
+    workers: int
+    ok: bool
+    violations: list[str]
+    order_hash: str
+    shard_hashes: tuple[str, ...]
+    stats: dict[str, Any] = field(default_factory=dict)
+
+
+def _run_big_shard(
+    task: tuple[int, int, tuple, float, bool, str],
+) -> dict[str, Any]:
+    """Picklable worker: simulate one contiguous shard of the big workload.
+
+    Each shard is an independent SRB system (fresh processes, shard-derived
+    sub-seed) whose sender broadcasts the shard's ops at their original
+    absolute arrival times — open-loop arrivals carry no cross-op causal
+    edges on the client side, so cutting the timeline cuts nothing the
+    safety checkers care about. Crashes/loss are deliberately absent:
+    the big-run harness measures throughput and order-determinism, the
+    seeded chaos grid above owns fault coverage.
+    """
+    seed, index, arrivals, drain, caching, scheduler = task
+    set_caching(caching)
+    reset_crypto_caches()
+    scheduler_factory = None
+    if scheduler == "reference":
+        from ..sim._reference import HeapOnlyScheduler
+
+        scheduler_factory = HeapOnlyScheduler
+    shard_seed = int.from_bytes(
+        hashlib.sha256(f"bigrun|{seed}|{index}".encode()).digest()[:8], "big"
+    )
+    hasher = _OrderHasher()
+    sim, procs, _scheme = build_mp_srb_system(
+        n=4,
+        t=1,
+        sender=0,
+        seed=shard_seed,
+        reliable=dict(DEFAULT_CHANNEL),
+        observers=(hasher,),
+        scheduler_factory=scheduler_factory,
+    )
+    checker = SRBStreamChecker(
+        0, tuple(range(4)), expect_complete=True, fail_fast=False
+    )
+    sim.attach_observer(checker)
+    for t_arrive, op in arrivals:
+        sim.at(t_arrive, lambda op=op: procs[0].broadcast(op), label="big-op")
+    span_end = arrivals[-1][0] if arrivals else 0.0
+    run_stats = sim.run(until=span_end + drain)
+    report = checker.finish()
+    return {
+        "index": index,
+        "ops": len(arrivals),
+        "order_hash": hasher.hexdigest(),
+        "violations": [f"shard {index}: {v}" for v in report.all_violations()],
+        "events_processed": run_stats.events_processed,
+        "timer_wheel_hits": run_stats.timer_wheel_hits,
+        "freelist_reuses": run_stats.freelist_reuses,
+        "deliveries": len(report.deliveries),
+        "wall_seconds": (
+            run_stats.events_processed / run_stats.events_per_sec
+            if run_stats.events_per_sec
+            else 0.0
+        ),
+    }
+
+
+def one_big_run(
+    seed: int = 0,
+    n_ops: int = 200,
+    rate: float = 2.0,
+    shards: int = 4,
+    workers: Optional[int] = None,
+    drain: float = 120.0,
+    kind: str = "uniform-kv",
+    scheduler: str = "production",
+) -> BigRunResult:
+    """Split one huge open-loop SRB workload across workers; merge deterministically.
+
+    The complement of the seeded :func:`chaos_sweep` grid: instead of many
+    small independent runs, ONE logical run — ``n_ops`` broadcast ops
+    arriving open-loop at ``rate`` ops per time unit — cut into
+    ``shards`` contiguous timeline slices that execute as independent
+    simulations (serially, or fanned over a ``ProcessPoolExecutor`` when
+    ``workers > 1``). The merge is deterministic: shard results are
+    recombined in shard order regardless of completion order, counters are
+    summed, and the combined ``order_hash`` chains the per-shard dispatch
+    order witnesses — so the digest is a pure function of the workload
+    parameters and ``shards``, never of ``workers`` or pool scheduling.
+
+    ``shards`` is part of the run's identity (shard boundaries reset
+    protocol state); ``workers`` only sets execution parallelism. To
+    compare a serial and a parallel execution of the *same* run, hold
+    ``shards`` fixed and vary ``workers``.
+
+    ``scheduler`` selects the event-loop implementation: ``"production"``
+    (default) or ``"reference"`` — the retained pre-refactor heap-only
+    loop from :mod:`repro.sim._reference`. The dispatch order, and hence
+    ``order_hash``, must be identical under either (the benchmark records
+    exactly this cross-implementation check); only throughput differs.
+    """
+    if shards < 1:
+        raise ConfigurationError(f"shards must be >= 1, got {shards}")
+    if scheduler not in ("production", "reference"):
+        raise ConfigurationError(
+            f"scheduler must be 'production' or 'reference', got {scheduler!r}"
+        )
+    from ..workloads.generator import open_loop_arrivals, shard_arrivals
+
+    arrivals = open_loop_arrivals(n_ops, seed=seed, rate=rate, kind=kind)
+    shard_list = shard_arrivals(arrivals, shards)
+    tasks = [
+        (seed, s.index, s.arrivals, drain, caching_enabled(), scheduler)
+        for s in shard_list
+    ]
+    if workers is None or workers <= 1 or len(tasks) <= 1:
+        effective_workers = 1
+        records = [_run_big_shard(t) for t in tasks]
+    else:
+        from concurrent.futures import ProcessPoolExecutor
+
+        effective_workers = workers
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(_run_big_shard, t) for t in tasks]
+            records = [f.result() for f in futures]  # submission order
+    records.sort(key=lambda r: r["index"])  # merge key: shard order
+    shard_hashes = tuple(r["order_hash"] for r in records)
+    combined = hashlib.sha256("|".join(shard_hashes).encode()).hexdigest()
+    violations = [v for r in records for v in r["violations"]]
+    total_events = sum(r["events_processed"] for r in records)
+    total_wall = sum(r["wall_seconds"] for r in records)
+    return BigRunResult(
+        protocol="srb-uni",
+        seed=seed,
+        n_ops=n_ops,
+        shards=shards,
+        workers=effective_workers,
+        ok=not violations,
+        violations=violations,
+        order_hash=combined,
+        shard_hashes=shard_hashes,
+        stats={
+            "events_processed": total_events,
+            "timer_wheel_hits": sum(r["timer_wheel_hits"] for r in records),
+            "freelist_reuses": sum(r["freelist_reuses"] for r in records),
+            "deliveries": sum(r["deliveries"] for r in records),
+            "events_per_sec": (
+                total_events / total_wall if total_wall > 0 else 0.0
+            ),
+        },
+    )
 
 
 def _run_mc_task(task: tuple[str, Optional[int], tuple[int, ...], bool]):

@@ -254,56 +254,134 @@ class TraceStore:
     cover the evicted prefix. Observers always see every event regardless
     of retention — streaming checkers are the intended consumer for runs
     too long to hold in full.
+
+    Storage is *columnar*: five parallel lists (index, time, kind, pid,
+    fields) instead of one :class:`TraceEvent` object per record. The
+    frozen-dataclass construction cost — the single largest slice of
+    ``record`` on million-event runs — is deferred to the first reader
+    that actually needs an event object; a store nobody iterates (pure
+    counters, or observer-only runs with retention=1) never pays it at
+    all. The per-kind/per-pid indexes hold *logical positions* (ints)
+    into the columns, so they are immune to the amortized front-eviction
+    that keeps bounded stores O(retention): evicted rows are first marked
+    dead at the front of the columns and physically deleted only once
+    the dead prefix reaches half the column length — O(1) amortized per
+    eviction, same as the old deque ``popleft``. The external API
+    (``record``/``events``/iteration/JSONL/observers) is unchanged and
+    still trades in :class:`TraceEvent` values, materialized on demand.
     """
+
+    #: dead column prefixes shorter than this ride for free (and below
+    #: half the column length a compaction would not be amortized-O(1))
+    _EVICT_COMPACT_MIN = 64
 
     def __init__(self, retention: int | None = None) -> None:
         if retention is not None and retention < 1:
             raise ConfigurationError(f"retention must be >= 1, got {retention}")
         self.retention = retention
-        self._events: deque[TraceEvent] = deque()
-        self._by_kind: dict[str, deque[TraceEvent]] = {}
-        self._by_pid: dict[ProcessId, deque[TraceEvent]] = {}
+        # parallel columns; row i describes one recorded event
+        self._c_index: list[int] = []
+        self._c_time: list[Time] = []
+        self._c_kind: list[str] = []
+        self._c_pid: list[ProcessId] = []
+        self._c_fields: list[dict[str, Any]] = []
+        self._offset = 0  # logical position of physical row 0
+        self._dead = 0  # evicted rows not yet physically deleted (front)
+        self._by_kind: dict[str, deque[int]] = {}
+        self._by_pid: dict[ProcessId, deque[int]] = {}
         self._observers: list[TraceObserver] = []
         self._next_index = 0
         self._evicted = 0
         self._evicted_by_kind: Counter[str] = Counter()
         self._evicted_by_pid: Counter[ProcessId] = Counter()
 
+    # -- columnar plumbing -------------------------------------------------
+
+    def _materialize(self, phys: int) -> TraceEvent:
+        """Build the TraceEvent for physical row ``phys``."""
+        return TraceEvent(
+            index=self._c_index[phys],
+            time=self._c_time[phys],
+            kind=self._c_kind[phys],
+            pid=self._c_pid[phys],
+            fields=self._c_fields[phys],
+        )
+
+    def _live_rows(self) -> range:
+        """Physical row numbers of the retained events, in trace order."""
+        return range(self._dead, len(self._c_time))
+
     # -- recording -------------------------------------------------------
 
     def record(self, time: Time, kind: str, pid: ProcessId, **fields: Any) -> None:
-        ev = TraceEvent(
-            index=self._next_index, time=time, kind=kind, pid=pid, fields=fields
-        )
+        pos = self._offset + len(self._c_time)
+        self._c_index.append(self._next_index)
         self._next_index += 1
-        self._append(ev)
-        for obs in self._observers:
-            obs.on_event(ev)
+        self._c_time.append(time)
+        self._c_kind.append(kind)
+        self._c_pid.append(pid)
+        self._c_fields.append(fields)
+        kind_dq = self._by_kind.get(kind)
+        if kind_dq is None:
+            kind_dq = self._by_kind[kind] = deque()
+        kind_dq.append(pos)
+        pid_dq = self._by_pid.get(pid)
+        if pid_dq is None:
+            pid_dq = self._by_pid[pid] = deque()
+        pid_dq.append(pos)
+        if self._observers:
+            ev = TraceEvent(
+                index=self._c_index[-1], time=time, kind=kind, pid=pid,
+                fields=fields,
+            )
+            for obs in self._observers:
+                obs.on_event(ev)
+        if self.retention is not None and len(self) > self.retention:
+            self._evict_oldest()
 
     def _append(self, ev: TraceEvent) -> None:
-        self._events.append(ev)
-        kind_dq = self._by_kind.get(ev.kind)
-        if kind_dq is None:
-            kind_dq = self._by_kind[ev.kind] = deque()
-        kind_dq.append(ev)
-        pid_dq = self._by_pid.get(ev.pid)
-        if pid_dq is None:
-            pid_dq = self._by_pid[ev.pid] = deque()
-        pid_dq.append(ev)
-        if self.retention is not None and len(self._events) > self.retention:
+        """Append an already-built event (JSONL import path; keeps ``ev``'s
+        own index, which need not be contiguous)."""
+        pos = self._offset + len(self._c_time)
+        self._c_index.append(ev.index)
+        self._c_time.append(ev.time)
+        self._c_kind.append(ev.kind)
+        self._c_pid.append(ev.pid)
+        self._c_fields.append(ev.fields)
+        self._by_kind.setdefault(ev.kind, deque()).append(pos)
+        self._by_pid.setdefault(ev.pid, deque()).append(pos)
+        if self.retention is not None and len(self) > self.retention:
             self._evict_oldest()
 
     def _evict_oldest(self) -> None:
-        old = self._events.popleft()
+        phys = self._dead
+        old = self._materialize(phys) if self._observers else None
+        kind = self._c_kind[phys]
+        pid = self._c_pid[phys]
+        self._c_fields[phys] = None  # type: ignore[call-overload] — drop refs now
+        self._dead += 1
         # The globally oldest retained event is necessarily at the front of
         # its own kind and pid index deques (indexes are in trace order).
-        self._by_kind[old.kind].popleft()
-        self._by_pid[old.pid].popleft()
+        self._by_kind[kind].popleft()
+        self._by_pid[pid].popleft()
         self._evicted += 1
-        self._evicted_by_kind[old.kind] += 1
-        self._evicted_by_pid[old.pid] += 1
-        for obs in self._observers:
-            obs.on_evict(old)
+        self._evicted_by_kind[kind] += 1
+        self._evicted_by_pid[pid] += 1
+        if (
+            self._dead >= self._EVICT_COMPACT_MIN
+            and self._dead * 2 >= len(self._c_time)
+        ):
+            n = self._dead
+            del self._c_index[:n]
+            del self._c_time[:n]
+            del self._c_kind[:n]
+            del self._c_pid[:n]
+            del self._c_fields[:n]
+            self._offset += n
+            self._dead = 0
+        if old is not None:
+            for obs in self._observers:
+                obs.on_evict(old)
 
     # -- observer bus -----------------------------------------------------
 
@@ -325,7 +403,7 @@ class TraceStore:
         Offline streaming: run an online checker over a finished or
         imported trace without re-executing the simulation.
         """
-        for ev in self._events:
+        for ev in self:
             for obs in observers:
                 obs.on_event(ev)
 
@@ -333,10 +411,11 @@ class TraceStore:
 
     def __len__(self) -> int:
         """Number of *retained* events (equals total recorded unless bounded)."""
-        return len(self._events)
+        return len(self._c_time) - self._dead
 
     def __iter__(self) -> Iterator[TraceEvent]:
-        return iter(self._events)
+        for phys in self._live_rows():
+            yield self._materialize(phys)
 
     @property
     def total_recorded(self) -> int:
@@ -356,26 +435,29 @@ class TraceStore:
         """All retained events matching the given filters, in trace order.
 
         Index-backed: filtering by ``kind`` and/or ``pid`` walks only the
-        smaller matching index, not the whole trace.
+        smaller matching index, not the whole trace — and the secondary
+        filter of a combined query reads one column, never a full event.
         """
+        off = self._offset
         if kind is not None and pid is not None:
             by_kind = self._by_kind.get(kind, ())
             by_pid = self._by_pid.get(pid, ())
             if len(by_kind) <= len(by_pid):
-                candidates: Iterable[TraceEvent] = (
-                    ev for ev in by_kind if ev.pid == pid
-                )
+                pid_col = self._c_pid
+                rows = (p - off for p in by_kind if pid_col[p - off] == pid)
             else:
-                candidates = (ev for ev in by_pid if ev.kind == kind)
+                kind_col = self._c_kind
+                rows = (p - off for p in by_pid if kind_col[p - off] == kind)
         elif kind is not None:
-            candidates = self._by_kind.get(kind, ())
+            rows = (p - off for p in self._by_kind.get(kind, ()))
         elif pid is not None:
-            candidates = self._by_pid.get(pid, ())
+            rows = (p - off for p in self._by_pid.get(pid, ()))
         else:
-            candidates = self._events
+            rows = iter(self._live_rows())
+        mat = self._materialize
         if predicate is None:
-            return list(candidates)
-        return [ev for ev in candidates if predicate(ev)]
+            return [mat(phys) for phys in rows]
+        return [ev for ev in map(mat, rows) if predicate(ev)]
 
     # -- summaries (survive eviction) --------------------------------------
 
@@ -438,10 +520,17 @@ class TraceStore:
         view covers the retained window only (evicted events are gone);
         indistinguishability comparisons should use unbounded stores.
         """
+        off = self._offset
+        kind_col = self._c_kind
+        fields_col = self._c_fields
+        # view_key without materializing: (kind, sorted field items)
         return tuple(
-            ev.view_key()
-            for ev in self._by_pid.get(pid, ())
-            if ev.kind in _LOCAL_VIEW_KINDS
+            (
+                kind_col[p - off],
+                tuple(sorted(fields_col[p - off].items(), key=lambda kv: kv[0])),
+            )
+            for p in self._by_pid.get(pid, ())
+            if kind_col[p - off] in _LOCAL_VIEW_KINDS
         )
 
     def views_equal(self, other: "TraceStore", pids: Iterable[ProcessId]) -> bool:
@@ -458,21 +547,21 @@ class TraceStore:
 
     def to_jsonl(self) -> str:
         """Serialize the retained events, one JSON object per line."""
-        return "\n".join(_encode_event(ev) for ev in self._events)
+        return "\n".join(_encode_event(ev) for ev in self)
 
     def export_jsonl(self, path_or_file: str | TextIO) -> int:
         """Write the retained events as JSONL; returns the event count."""
         text = self.to_jsonl()
         if hasattr(path_or_file, "write"):
             path_or_file.write(text)
-            if self._events:
+            if len(self):
                 path_or_file.write("\n")
         else:
             with open(path_or_file, "w", encoding="utf-8") as fh:
                 fh.write(text)
-                if self._events:
+                if len(self):
                     fh.write("\n")
-        return len(self._events)
+        return len(self)
 
     @classmethod
     def from_jsonl(
@@ -524,14 +613,14 @@ class TraceStore:
         """Human-readable rendering of the trace (for failing-test output)."""
         lines = []
         shown = 0
-        for ev in self._events:
+        for ev in self:
             if limit is not None and shown >= limit:
                 break
             fields = " ".join(f"{k}={v!r}" for k, v in ev.fields.items())
             lines.append(f"[{ev.time:10.4f}] p{ev.pid:<3} {ev.kind:<14} {fields}")
             shown += 1
-        if limit is not None and len(self._events) > limit:
-            lines.append(f"… {len(self._events) - limit} more events")
+        if limit is not None and len(self) > limit:
+            lines.append(f"… {len(self) - limit} more events")
         return "\n".join(lines)
 
 

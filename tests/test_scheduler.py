@@ -133,7 +133,7 @@ class TestCancellation:
             s.cancel(ev)
             s.cancel(ev)
         assert s.pending == 1
-        assert s._cancelled_in_heap == 0
+        assert s._dead_in_heap == 0
         s.run()
         assert [l for _, l in log][-1] == "live"
 
@@ -272,7 +272,8 @@ class TestPendingUnderRestartStorms:
     timers wholesale and must keep it consistent with the heap."""
 
     def _recount(self, sim):
-        return sum(1 for ev in sim.scheduler._heap if not ev.cancelled)
+        # iter_pending spans both storage tiers (heap + timer wheel)
+        return sum(1 for _ in sim.scheduler.iter_pending())
 
     def test_counter_matches_heap_after_repeated_crash_restart(self):
         from repro.sim import Process, ReliableAsynchronous, Simulation
@@ -328,5 +329,5 @@ class TestPendingUnderRestartStorms:
         # pid 0's slow timer was re-armed by its 3rd incarnation only; the
         # three dead incarnations' copies are cancelled, not pending
         assert sim.scheduler.pending == self._recount(sim) == 2
-        live = [ev for ev in sim.scheduler._heap if not ev.cancelled]
+        live = list(sim.scheduler.iter_pending())
         assert sorted(ev.payload.pid for ev in live) == [0, 1]
