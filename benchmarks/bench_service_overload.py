@@ -1,0 +1,271 @@
+"""Serving-layer overload curves: offered load vs goodput / p50 / p99.
+
+Drives the admission-controlled ingress (:mod:`repro.service`) with a
+closed-loop tenant fleet at offered loads from well under saturation to
+~8x past it, in both arms of the robustness experiment:
+
+- **protected** — bounded queue, token bucket, fair share, CoDel,
+  brownout at the ingress; budgets, jittered escalating backoff, and
+  honored backpressure at the tenants;
+- **unprotected** — unbounded queue, no policies, fixed 5s timeouts,
+  unbounded retries.
+
+Offered load is swept by fleet size at a fixed 1s think time, so the
+nominal demand is ``n_tenants / think_time`` against a pump service rate
+of ``1 / proc_time`` (~2.9/s). *Goodput* counts only completions within
+the SLA window — answering everything with rejections scores zero, which
+is what rules out the degenerate "protect by refusing service" strategy.
+
+The acceptance bars encode the graceful-degradation claim:
+
+- at ~2x saturation the protected arm's goodput stays within 20% of its
+  peak across the whole sweep, with p99 completion latency inside the
+  SLA window;
+- at the deepest overload the unprotected arm collapses (goodput a small
+  fraction of protected, p99 a large multiple) — sustained demand past
+  the pump rate plus fixed-timeout retransmission is the same metastable
+  mechanism the soak harness's planted storm triggers;
+- every cell is a pure function of the seed: one cell is re-measured and
+  must reproduce bit-identically.
+
+Writes ``BENCH_service.json`` at the repo root (override with ``--out``).
+
+Runs two ways::
+
+    python -m pytest benchmarks/bench_service_overload.py --benchmark-only
+    python benchmarks/bench_service_overload.py --quick   # CI smoke
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Optional, Sequence
+
+from repro.analysis import format_table
+from repro.faults.chaos import DEFAULT_CHANNEL
+from repro.service.soak import (
+    build_service_system,
+    protected_profile,
+    unprotected_profile,
+)
+from repro.sim.trace import CUSTOM, TraceObserver
+
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+FULL_GRID = dict(tenants=(1, 2, 4, 6, 12, 24))
+QUICK_GRID = dict(tenants=(2, 6, 24))
+
+HORIZON = 300.0
+THINK = 1.0
+SLA = 15.0
+SEED = 0
+
+#: acceptance bars, shared by full and quick grids (the quick grid keeps
+#: the 2x-saturation and deepest-overload cells, so the claim under test
+#: is identical)
+BARS = dict(
+    goodput_vs_peak=0.8,     # protected goodput at 2x saturation / peak
+    collapse_ratio=4.0,      # protected / unprotected goodput, deepest cell
+    p99_blowup=2.0,          # unprotected / protected p99, deepest cell
+)
+
+
+class _ServiceMetrics(TraceObserver):
+    """Streaming collector for the per-cell metrics."""
+
+    def __init__(self) -> None:
+        self.sent = 0
+        self.latencies: list[float] = []
+        self.rejected = 0
+        self.abandoned = 0
+
+    def on_event(self, ev) -> None:
+        if ev.kind != CUSTOM:
+            return
+        tag = ev.field("event")
+        if tag == "svc_sent":
+            self.sent += 1
+        elif tag == "svc_done":
+            self.latencies.append(ev.field("latency"))
+        elif tag == "svc_reject":
+            self.rejected += 1
+        elif tag == "svc_failed":
+            self.abandoned += 1
+
+
+def _percentile(xs: Sequence[float], q: float) -> Optional[float]:
+    if not xs:
+        return None
+    ordered = sorted(xs)
+    return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+
+def measure_cell(n_tenants: int, protected: bool,
+                 seed: int = SEED) -> dict[str, Any]:
+    """One (offered load, arm) cell; pure function of the arguments."""
+    make = protected_profile if protected else unprotected_profile
+    profile = make(think_time=THINK, start_spread=2.0)
+    metrics = _ServiceMetrics()
+    sim, _replicas, ingress, _tenants = build_service_system(
+        profile=profile,
+        n_tenants=n_tenants,
+        # enough ops that no tenant exhausts its stream inside the horizon
+        ops_per_tenant=int(HORIZON / THINK) + 100,
+        seed=seed,
+        reliable=dict(DEFAULT_CHANNEL),
+        trace_retention=50_000,
+        observers=[metrics],
+    )
+    sim.run(until=HORIZON)
+    lat = metrics.latencies
+    within_sla = sum(1 for l in lat if l <= SLA)
+    return {
+        "n_tenants": n_tenants,
+        "arm": profile.name,
+        "offered_nominal": n_tenants / THINK,
+        "sent": metrics.sent,
+        "completed": len(lat),
+        "goodput": within_sla / HORIZON,
+        "throughput": len(lat) / HORIZON,
+        "p50": _percentile(lat, 0.50),
+        "p99": _percentile(lat, 0.99),
+        "rejected": metrics.rejected,
+        "abandoned": metrics.abandoned,
+    }
+
+
+def run_service_overload(quick: bool = False,
+                         out: Optional[Path] = DEFAULT_OUT) -> dict[str, Any]:
+    grid = QUICK_GRID if quick else FULL_GRID
+    saturation = 1.0 / protected_profile().proc_time
+    curves: dict[str, list[dict[str, Any]]] = {"protected": [],
+                                               "unprotected": []}
+    for n in grid["tenants"]:
+        curves["protected"].append(measure_cell(n, protected=True))
+        curves["unprotected"].append(measure_cell(n, protected=False))
+
+    # the cell nearest 2x saturation, and the deepest-overload cell
+    two_x = min(
+        curves["protected"],
+        key=lambda c: abs(c["offered_nominal"] - 2.0 * saturation),
+    )
+    deepest_p = curves["protected"][-1]
+    deepest_u = curves["unprotected"][-1]
+    peak = max(c["goodput"] for c in curves["protected"])
+
+    # determinism witness: re-measure one cell, must reproduce bit-exactly
+    replay = measure_cell(grid["tenants"][-1], protected=True)
+    assert replay == deepest_p, (
+        "service overload cell is not a pure function of the seed"
+    )
+
+    results = {
+        "quick": quick,
+        "seed": SEED,
+        "horizon": HORIZON,
+        "think_time": THINK,
+        "sla": SLA,
+        "saturation_rate": saturation,
+        "curves": curves,
+        "bars": BARS,
+        "headline": {
+            "two_x_cell": two_x,
+            "peak_goodput": peak,
+            "goodput_vs_peak": two_x["goodput"] / peak if peak else 0.0,
+            "deepest_protected": deepest_p,
+            "deepest_unprotected": deepest_u,
+            "collapse_ratio": (
+                deepest_p["goodput"] / deepest_u["goodput"]
+                if deepest_u["goodput"] else float("inf")
+            ),
+        },
+        "determinism": {"cell_replayed": replay["n_tenants"],
+                        "identical": True},
+    }
+    if out is not None:
+        Path(out).write_text(json.dumps(results, indent=2) + "\n")
+
+    assert two_x["goodput"] >= BARS["goodput_vs_peak"] * peak, (
+        f"protected goodput at 2x saturation ({two_x['goodput']:.2f}/s) "
+        f"fell below {BARS['goodput_vs_peak']:.0%} of peak ({peak:.2f}/s)"
+    )
+    assert two_x["p99"] is not None and two_x["p99"] <= SLA, (
+        f"protected p99 at 2x saturation ({two_x['p99']}) outside the "
+        f"{SLA}s SLA window"
+    )
+    assert (
+        deepest_p["goodput"]
+        >= BARS["collapse_ratio"] * deepest_u["goodput"]
+    ), (
+        f"unprotected arm did not collapse at {deepest_u['offered_nominal']}"
+        f"/s offered: {deepest_u['goodput']:.2f}/s vs protected "
+        f"{deepest_p['goodput']:.2f}/s"
+    )
+    assert (
+        deepest_u["p99"] is not None
+        and deepest_u["p99"] >= BARS["p99_blowup"] * deepest_p["p99"]
+    ), (
+        f"unprotected p99 ({deepest_u['p99']}) did not blow up vs "
+        f"protected ({deepest_p['p99']})"
+    )
+    return results
+
+
+def render(results: dict[str, Any]) -> str:
+    rows = []
+    for prot_cell, unprot_cell in zip(results["curves"]["protected"],
+                                      results["curves"]["unprotected"]):
+        for cell in (prot_cell, unprot_cell):
+            rows.append([
+                f"{cell['offered_nominal']:.0f}/s",
+                cell["arm"],
+                f"{cell['goodput']:.2f}/s",
+                f"{cell['p50']:.1f}" if cell["p50"] is not None else "-",
+                f"{cell['p99']:.1f}" if cell["p99"] is not None else "-",
+                str(cell["rejected"]),
+                str(cell["abandoned"]),
+            ])
+    h = results["headline"]
+    table = format_table(
+        ["offered", "arm", "goodput", "p50 s", "p99 s", "rejected",
+         "abandoned"],
+        rows,
+        title=f"R8: offered load vs goodput/latency, pump rate "
+              f"{results['saturation_rate']:.1f}/s, SLA {results['sla']:g}s "
+              f"(seed-deterministic, one cell replayed bit-identically)",
+    )
+    return (
+        table
+        + f"\n\nheadline: protected goodput at 2x saturation = "
+          f"{h['two_x_cell']['goodput']:.2f}/s "
+          f"({h['goodput_vs_peak']:.0%} of peak); deepest overload "
+          f"protected {h['deepest_protected']['goodput']:.2f}/s vs "
+          f"unprotected {h['deepest_unprotected']['goodput']:.2f}/s "
+          f"({h['collapse_ratio']:.1f}x)"
+    )
+
+
+def test_service_overload(once, quick):
+    from _bench_util import report
+
+    results = once(run_service_overload, quick)
+    report(render(results))
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="shrunken offered-load grid (CI)")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                        help="where to write the JSON report")
+    args = parser.parse_args(argv)
+    results = run_service_overload(quick=args.quick, out=args.out)
+    print(render(results))
+    print(f"\nwrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Any, Optional, Sequence
 
 from ..crypto.signatures import SignatureScheme, Signer
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, RetriesExhausted
 from ..sim.process import Process
 from ..types import ProcessId, Time
 from .minbft import REPLY, REQUEST, request_domain
@@ -24,6 +24,16 @@ class BFTClient(Process):
     ``ops`` is the workload (tuples the app understands). Completion data
     accumulates in ``latencies`` / ``results`` and in ``custom`` trace
     events (``request_sent`` / ``request_done``) for the analysis layer.
+
+    ``retry_budget`` (a :class:`~repro.faults.timeouts.RetryBudget`
+    instance or zero-arg factory) bounds retransmissions: when the budget
+    refuses a retry, the client abandons the request with a typed
+    :class:`~repro.errors.RetriesExhausted` (collected in ``failures``,
+    surfaced as a ``request_failed`` trace event) and moves on, instead of
+    feeding a retry storm. ``None`` keeps the legacy unbounded behavior.
+    ``backoff_jitter > 0`` wraps the timeout policy in seed-deterministic
+    multiplicative jitter so a fleet of clients doesn't retransmit in
+    lockstep.
     """
 
     RETRY_TAG = "client-retry"
@@ -36,10 +46,16 @@ class BFTClient(Process):
         retry_timeout: float = 150.0,
         think_time: float = 0.0,
         timeout_policy: Any = None,
+        retry_budget: Any = None,
+        backoff_jitter: float = 0.0,
     ) -> None:
         super().__init__()
         if reply_quorum < 1:
             raise ConfigurationError(f"reply quorum must be >= 1, got {reply_quorum}")
+        if backoff_jitter < 0:
+            raise ConfigurationError(
+                f"backoff_jitter must be >= 0, got {backoff_jitter}"
+            )
         self.replicas = tuple(replicas)
         self.reply_quorum = reply_quorum
         self.ops = list(ops)
@@ -51,16 +67,22 @@ class BFTClient(Process):
         elif callable(timeout_policy) and not hasattr(timeout_policy, "current"):
             timeout_policy = timeout_policy()
         self.timeout_policy = timeout_policy
+        if callable(retry_budget) and not hasattr(retry_budget, "try_spend"):
+            retry_budget = retry_budget()
+        self.retry_budget = retry_budget
+        self.backoff_jitter = backoff_jitter
         self.think_time = think_time
         self.signer: Optional[Signer] = None  # injected by the harness
         self.scheme: Optional[SignatureScheme] = None
         self._next_op = 0
         self._current_req_id: Optional[int] = None
         self._sent_at: Time = 0.0
+        self._attempts = 0
         self._replies: dict[ProcessId, Any] = {}
         self._retry_timer: Optional[int] = None
         self.latencies: list[float] = []
         self.results: list[Any] = []
+        self.failures: list[RetriesExhausted] = []
         self.retransmissions = 0
 
     @property
@@ -68,6 +90,14 @@ class BFTClient(Process):
         return self._next_op >= len(self.ops) and self._current_req_id is None
 
     def on_start(self) -> None:
+        if self.backoff_jitter > 0:
+            from ..faults.timeouts import JitteredPolicy, derive_jitter_rng
+
+            self.timeout_policy = JitteredPolicy(
+                self.timeout_policy,
+                derive_jitter_rng(self.ctx.seed, "client", self.pid),
+                jitter=self.backoff_jitter,
+            )
         self._submit_next()
 
     def _submit_next(self) -> None:
@@ -78,6 +108,9 @@ class BFTClient(Process):
         self._current_req_id = req_id
         self._replies = {}
         self._sent_at = self.ctx.now
+        self._attempts = 1
+        if self.retry_budget is not None:
+            self.retry_budget.note_send()
         self._send_request()
         self.ctx.record("custom", event="request_sent", req_id=req_id)
         self._retry_timer = self.ctx.set_timer(
@@ -98,13 +131,35 @@ class BFTClient(Process):
             return
         if tag != self.RETRY_TAG or self._current_req_id is None:
             return
+        if self.retry_budget is not None and not self.retry_budget.try_spend():
+            self._abandon_current()
+            return
         self.retransmissions += 1
+        self._attempts += 1
         # unproductive expiry: back off before retransmitting
         self.timeout_policy.escalate()
         self._send_request()
         self._retry_timer = self.ctx.set_timer(
             self.timeout_policy.current(), self.RETRY_TAG
         )
+
+    def _abandon_current(self) -> None:
+        """Give up on the in-flight request: typed failure, move on."""
+        req_id = self._current_req_id
+        assert req_id is not None
+        failure = RetriesExhausted(req_id, self._attempts)
+        self.failures.append(failure)
+        self.ctx.record(
+            "custom", event="request_failed", req_id=req_id,
+            reason="retries_exhausted", attempts=self._attempts,
+        )
+        self._current_req_id = None
+        self._retry_timer = None
+        self._next_op += 1
+        if self.think_time > 0:
+            self.ctx.set_timer(self.think_time, "think")
+        else:
+            self._submit_next()
 
     def on_message(self, src: ProcessId, msg: Any) -> None:
         if not (isinstance(msg, tuple) and len(msg) == 5 and msg[0] == REPLY):

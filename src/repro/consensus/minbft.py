@@ -216,7 +216,14 @@ class MinBFTReplica(Process):
     def _usig_broadcast(self, message: tuple) -> None:
         ui = self.usig.create_ui(message)
         self.sent_log.append((message, ui))
-        self.ctx.broadcast((USIG_WRAP, message, ui), include_self=True)
+        # consensus traffic stays inside the replica group (pids 0..n-1 by
+        # the harness layout everywhere): clients, ingresses, and tenants
+        # never consume USIG messages, and in a served deployment they can
+        # outnumber replicas 10:1 — a full broadcast would amplify every
+        # PREPARE/COMMIT (and every view-change re-proposal) by that factor
+        wrapped = (USIG_WRAP, message, ui)
+        for dst in range(self.n):
+            self.ctx.send(dst, wrapped)
 
     # -- receive dispatch -----------------------------------------------------------
 
@@ -433,6 +440,7 @@ class MinBFTReplica(Process):
         while self.exec_next in self._certified:
             seq = self.exec_next
             proposal = self._certified[seq]
+            slot_applied = False
             for request in proposal_requests(proposal):
                 _, client, req_id, op, _sig = request
                 key = request_key(request)
@@ -455,6 +463,14 @@ class MinBFTReplica(Process):
                 )
                 self.ctx.send(client, (REPLY, self.pid, req_id, result, self.view))
                 self.on_execute(seq, request, result)
+                slot_applied = True
+            if not slot_applied:
+                # every request in this slot was a duplicate already applied
+                # from an earlier slot (retry storms get stale resubmits
+                # batched before the dedup caches catch up); the slot is
+                # ordered but a no-op — record it so stream auditors can
+                # tell a benign hole from a lost slot
+                self.ctx.record("custom", event="execute_noop", seq=seq)
             self.exec_next = seq + 1
             if (
                 self.checkpoint_interval
@@ -544,7 +560,9 @@ class MinBFTReplica(Process):
     def _request_resync(self) -> None:
         nonce = self.ctx.incarnation
         sig = self.signer.sign(resync_domain(self.pid, nonce))
-        self.ctx.broadcast((RESYNC, self.pid, nonce, sig), include_self=False)
+        for dst in range(self.n):
+            if dst != self.pid:
+                self.ctx.send(dst, (RESYNC, self.pid, nonce, sig))
 
     def _on_resync(self, msg: tuple) -> None:
         _, claimed, nonce, sig = msg
@@ -679,9 +697,8 @@ class MinBFTReplica(Process):
             return
         self._rvc_sent.add(new_view)
         sig = self.signer.sign(rvc_domain(self.pid, new_view))
-        self.ctx.broadcast(
-            (REQ_VIEW_CHANGE, self.pid, new_view, sig), include_self=True
-        )
+        for dst in range(self.n):
+            self.ctx.send(dst, (REQ_VIEW_CHANGE, self.pid, new_view, sig))
 
     def _on_req_view_change(self, src: ProcessId, msg: tuple) -> None:
         _, claimed, new_view, sig = msg

@@ -309,6 +309,11 @@ class PBFTReplica(Process):
                     req_id=req_id, op=op, result=result,
                 )
                 self.ctx.send(client, (REPLY, self.pid, req_id, result, self.view))
+            else:
+                # duplicate of an already-applied request ordered into its
+                # own slot: a no-op, recorded so stream auditors can tell a
+                # benign hole from a lost slot
+                self.ctx.record("custom", event="execute_noop", seq=seq)
             self.exec_next = seq + 1
             if self.checkpoint_interval and seq % self.checkpoint_interval == 0:
                 self._emit_checkpoint(seq)

@@ -55,6 +55,10 @@ class ReplicationReport:
     transfers: dict[ProcessId, set[int]] = field(default_factory=dict)
     """Per replica: stable seqs it fast-forwarded to via checkpoint transfer
     (gaps up to those seqs are legitimate, not order violations)."""
+    noops: dict[ProcessId, set[int]] = field(default_factory=dict)
+    """Per replica: slots ordered but applied as no-ops (every request in
+    the slot was a duplicate of an earlier execution). Benign holes in the
+    execution stream — but replicas must *agree* a slot is a no-op."""
 
     @property
     def ok(self) -> bool:
@@ -103,6 +107,7 @@ class ReplicationStreamChecker(TraceObserver):
         self.executions: list[Execution] = []
         self.clients_done: dict[ProcessId, int] = {}
         self.transfers: dict[ProcessId, set[int]] = {}
+        self.noops: dict[ProcessId, set[int]] = {}
         self.by_slot: dict[int, dict[ProcessId, list[Execution]]] = {}
         self._seen_requests: dict[ProcessId, set[tuple]] = {}
         self.online_violations: list[tuple[int, str]] = []
@@ -136,6 +141,9 @@ class ReplicationStreamChecker(TraceObserver):
         elif tag == "state_transfer" and ev.pid in self._correct_set:
             self.events_consumed += 1
             self.transfers.setdefault(ev.pid, set()).add(ev.field("stable_seq"))
+        elif tag == "execute_noop" and ev.pid in self._correct_set:
+            self.events_consumed += 1
+            self.noops.setdefault(ev.pid, set()).add(ev.field("seq"))
 
     def _check_online(
         self,
@@ -195,6 +203,7 @@ class ReplicationStreamChecker(TraceObserver):
             self.executions,
             self.clients_done,
             self.transfers,
+            self.noops,
             self.by_slot,
             expected_ops,
         )
@@ -373,6 +382,7 @@ def _audit(
     executions: list[Execution],
     clients_done: dict[ProcessId, int],
     transfers: dict[ProcessId, set[int]],
+    noops: dict[ProcessId, set[int]],
     by_slot: dict[int, dict[ProcessId, list[Execution]]],
     expected_ops: dict[ProcessId, int] | None,
 ) -> ReplicationReport:
@@ -380,6 +390,7 @@ def _audit(
     report.executions = list(executions)
     report.clients_done = dict(clients_done)
     report.transfers = {p: set(s) for p, s in transfers.items()}
+    report.noops = {p: set(s) for p, s in noops.items()}
 
     # order safety + result determinism, slot by slot. A slot may carry a
     # *batch* of requests; every replica must execute the same ordered batch
@@ -395,12 +406,23 @@ def _audit(
                 f"slot {seq} diverges across replicas: "
                 f"{sorted(str(s)[:80] for s in distinct)}"
             )
+        # dedup determinism: the decision that a slot is a pure duplicate
+        # depends only on the (identical) execution prefix, so a slot
+        # applied on one correct replica but no-opped on another means
+        # their prefixes disagreed
+        nooped = [r for r in correct if seq in report.noops.get(r, set())]
+        if nooped and execs:
+            report.violations.append(
+                f"slot {seq} applied on replicas {sorted(execs)} but "
+                f"no-opped on {nooped}"
+            )
 
     # per-replica: contiguous slots (gaps only across checkpoint transfers),
     # no duplicate requests
     for r in correct:
         log = report.log_of(r)
-        seqs = sorted({e.seq for e in log})  # batches repeat a seq; dedupe
+        # batches repeat a seq (dedupe); no-op slots fill their hole
+        seqs = sorted({e.seq for e in log} | report.noops.get(r, set()))
         covered = report.transfers.get(r, set())
         prev = 0
         for s in seqs:

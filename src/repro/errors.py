@@ -71,6 +71,39 @@ class ProtocolViolationError(ReproError):
     """
 
 
+class RequestRejected(ReproError):
+    """The serving layer refused a request with a typed, actionable answer.
+
+    This is the *graceful-degradation* outcome: instead of queueing without
+    bound (and converting overload into a liveness violation), the ingress
+    answers immediately with a machine-readable reason and an advisory
+    ``retry_after`` that backpressure-aware clients honor.
+    """
+
+    def __init__(self, req_id: int, reason: str, retry_after: float = 0.0) -> None:
+        self.req_id = req_id
+        self.reason = reason
+        self.retry_after = retry_after
+        super().__init__(
+            f"request {req_id} rejected ({reason}), retry_after={retry_after}"
+        )
+
+
+class RetriesExhausted(ReproError):
+    """A client gave up on a request after its retry budget ran dry.
+
+    Surfaced instead of retrying forever: unbounded client retries are the
+    amplification loop that turns a transient outage into a metastable one.
+    """
+
+    def __init__(self, req_id: int, attempts: int) -> None:
+        self.req_id = req_id
+        self.attempts = attempts
+        super().__init__(
+            f"request {req_id} abandoned after {attempts} attempts"
+        )
+
+
 class PropertyViolation(ReproError):
     """A trace checker found a violation of a specified property.
 

@@ -43,8 +43,11 @@ from .detector import AccrualFailureDetector, HeartbeatProcess, RecoverySupervis
 from .timeouts import (
     AdaptiveTimeout,
     FixedTimeout,
+    JitteredPolicy,
+    RetryBudget,
     RttEstimator,
     TimeoutPolicy,
+    derive_jitter_rng,
     make_policy_factory,
 )
 
@@ -60,9 +63,11 @@ __all__ = [
     "FixedTimeout",
     "GSTAdversary",
     "HeartbeatProcess",
+    "JitteredPolicy",
     "LossyAsynchronous",
     "PartitionBurst",
     "RecoverySupervisor",
+    "RetryBudget",
     "ReliableChannel",
     "ReliableProcess",
     "RttEstimator",
@@ -70,6 +75,7 @@ __all__ = [
     "TimeoutPolicy",
     "assert_all_ok",
     "chaos_sweep",
+    "derive_jitter_rng",
     "format_failures",
     "make_policy_factory",
     "make_schedule",

@@ -65,7 +65,7 @@ from typing import Any, Callable, Optional
 from ..errors import ConfigurationError
 from ..sim.process import Context, Process
 from ..types import ProcessId, Time
-from .timeouts import TimeoutPolicy
+from .timeouts import TimeoutPolicy, derive_jitter_rng
 
 RC_DATA = "__rc_data__"
 RC_ACK = "__rc_ack__"
@@ -120,7 +120,8 @@ class ReliableChannel:
     """Per-process retransmission endpoint (see module docstring).
 
     One channel serves one process; it uses the process's context for
-    sending, timers, and its deterministic RNG stream (jitter). Stats:
+    sending and timers, and a dedicated seed-derived RNG stream for
+    retransmission jitter (independent of ``ctx.rng``). Stats:
     ``sent`` (distinct payloads), ``retransmissions``, ``acked``,
     ``delivered`` (fresh frames handed to the host), ``duplicates_suppressed``,
     ``gave_up``.
@@ -162,6 +163,15 @@ class ReliableChannel:
             timeout_policy = timeout_policy()
         self.timeout_policy: Optional[TimeoutPolicy] = timeout_policy
         self.max_window = max_window
+        # Dedicated seed-derived jitter stream, independent of ctx.rng:
+        # many channels backing off in lockstep re-collide forever without
+        # jitter, and drawing it from the protocol stream would let retry
+        # timing perturb protocol randomness (and vice versa). Keying by
+        # (seed, pid, incarnation) keeps sweeps bit-identical and
+        # ``one_big_run`` serial ≡ pooled.
+        self._jitter_rng = derive_jitter_rng(
+            ctx.seed, "rc", ctx.pid, ctx.incarnation
+        )
         self._next_id = 0
         self._pending: dict[int, _Pending] = {}
         self._streams: dict[tuple[ProcessId, int], _DedupWindow] = {}
@@ -208,7 +218,7 @@ class ReliableChannel:
             self._base_for_attempt() * (self.backoff ** entry.attempt),
             self.max_timeout,
         )
-        timeout *= 1.0 + self.jitter * self.ctx.rng.random()
+        timeout *= 1.0 + self.jitter * self._jitter_rng.random()
         entry.timer_id = self.ctx.set_timer(timeout, (RETX_TAG, msg_id))
 
     # -- receiving ----------------------------------------------------------------
@@ -325,6 +335,10 @@ class _ReliableContext:
     @property
     def rng(self):
         return self._real.rng
+
+    @property
+    def seed(self) -> int:
+        return self._real.seed
 
     def set_timer(self, delay: float, tag: Any):
         return self._real.set_timer(delay, tag)

@@ -601,6 +601,14 @@ def _apply_crashes(sim, schedule: FaultSchedule, restart_factory) -> None:
 # Sweeps
 # ---------------------------------------------------------------------------
 
+def _run_service_task(schedule: FaultSchedule, **kwargs: Any) -> ChaosResult:
+    # lazy: repro.service builds on repro.faults, so the import must not
+    # run at this module's load time
+    from ..service.soak import run_service_chaos
+
+    return run_service_chaos(schedule, **kwargs)
+
+
 PROTOCOLS: dict[str, Callable[..., ChaosResult]] = {
     "srb-uni": run_srb_chaos,
     "srb-uni-broken": lambda schedule, **kw: run_srb_chaos(
@@ -610,15 +618,23 @@ PROTOCOLS: dict[str, Callable[..., ChaosResult]] = {
     "minbft-stalling": lambda schedule, **kw: run_minbft_chaos(
         schedule, stalling=True, **kw
     ),
+    "service": _run_service_task,
+    "service-storm": lambda schedule, **kw: _run_service_task(
+        schedule, storm=True, **kw
+    ),
 }
 
 _CRASHABLE = {
     # SRB: pid 0 is the protected sender; MinBFT: replicas 0..2f are fair
-    # game (clients live above and are protected).
+    # game (clients live above and are protected). The serving layer
+    # crashes replicas only (ingress and tenants are protected); the storm
+    # fixture runs crash-free — its only fault is the planted burst.
     "srb-uni": lambda: range(1, 4),
     "srb-uni-broken": lambda: range(1, 4),
     "minbft": lambda: range(0, 3),
     "minbft-stalling": lambda: range(0, 3),
+    "service": lambda: range(0, 3),
+    "service-storm": lambda: [],
 }
 
 

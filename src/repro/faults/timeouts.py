@@ -31,17 +31,144 @@ Two implementations of the same :class:`TimeoutPolicy` protocol:
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Protocol, runtime_checkable
+import hashlib
+import random
+from typing import Any, Callable, Optional, Protocol, runtime_checkable
 
 from ..errors import ConfigurationError
 
 __all__ = [
     "AdaptiveTimeout",
     "FixedTimeout",
+    "JitteredPolicy",
+    "RetryBudget",
     "RttEstimator",
     "TimeoutPolicy",
+    "derive_jitter_rng",
     "make_policy_factory",
 ]
+
+
+def derive_jitter_rng(seed: int, *labels: Any) -> random.Random:
+    """A dedicated RNG stream for retry/retransmit jitter.
+
+    Derived from the run seed (plus caller labels — typically pid and
+    incarnation) with a cryptographic hash, the same construction the
+    simulator uses for per-process streams. Two properties matter:
+
+    - *seed-determinism*: jitter draws are a pure function of
+      ``(seed, labels)``, so sweeps replay bit-identically and
+      ``one_big_run`` serial ≡ pooled still holds;
+    - *independence*: the stream is consumed only by the jitter site, so
+      protocol-level RNG use (``ctx.rng``) can change without shifting
+      retry timing — and vice versa.
+    """
+    material = "|".join(str(x) for x in ("jitter", seed, *labels)).encode()
+    digest = hashlib.sha256(material).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))
+
+
+class RetryBudget:
+    """Token-bucket retry budget: retries can never amplify offered load.
+
+    The client-side complement of server-side admission control (the
+    Finagle/"retry budget" construction): every *original* send deposits
+    ``ratio`` tokens, every retry withdraws one. Whatever the failure
+    pattern, retries are bounded by ``ratio`` × originals plus the
+    ``min_reserve`` float, so a fleet of budgeted clients can multiply
+    offered load by at most ``1 + ratio`` — the knob that turns a
+    metastable retry storm into a damped transient.
+
+    Deterministic and cheap: one float. ``try_spend()`` is the gate a
+    retry must pass; a refusal is the moment to surface a typed
+    :class:`~repro.errors.RetriesExhausted` instead of retransmitting.
+    """
+
+    __slots__ = ("ratio", "min_reserve", "max_tokens", "_tokens",
+                 "sends_noted", "retries_granted", "retries_denied")
+
+    def __init__(
+        self,
+        ratio: float = 0.1,
+        min_reserve: float = 3.0,
+        max_tokens: float = 100.0,
+    ) -> None:
+        if ratio < 0:
+            raise ConfigurationError(f"ratio must be >= 0, got {ratio}")
+        if min_reserve < 0:
+            raise ConfigurationError(
+                f"min_reserve must be >= 0, got {min_reserve}"
+            )
+        if max_tokens < min_reserve:
+            raise ConfigurationError(
+                f"max_tokens must be >= min_reserve, got {max_tokens}"
+            )
+        self.ratio = ratio
+        self.min_reserve = min_reserve
+        self.max_tokens = max_tokens
+        self._tokens = float(min_reserve)
+        self.sends_noted = 0
+        self.retries_granted = 0
+        self.retries_denied = 0
+
+    @property
+    def tokens(self) -> float:
+        return self._tokens
+
+    def note_send(self) -> None:
+        """Credit the budget for one original (non-retry) send."""
+        self.sends_noted += 1
+        self._tokens = min(self._tokens + self.ratio, self.max_tokens)
+
+    def try_spend(self) -> bool:
+        """Withdraw one retry token; False when the budget is exhausted."""
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            self.retries_granted += 1
+            return True
+        self.retries_denied += 1
+        return False
+
+
+class JitteredPolicy:
+    """Multiplicative seed-deterministic jitter over any :class:`TimeoutPolicy`.
+
+    ``current()`` scales the inner policy's duration by a fresh uniform
+    draw in ``[1, 1 + jitter]`` from a dedicated RNG (see
+    :func:`derive_jitter_rng`). Exponential backoff without jitter keeps a
+    synchronized client fleet synchronized — every process re-fires on the
+    same schedule, re-colliding forever; the jitter draw is what spreads
+    the retry wave. Everything else passes through to the inner policy.
+    """
+
+    __slots__ = ("inner", "jitter", "rng")
+
+    def __init__(
+        self,
+        inner: "TimeoutPolicy",
+        rng: random.Random,
+        jitter: float = 0.5,
+    ) -> None:
+        if jitter < 0:
+            raise ConfigurationError(f"jitter must be >= 0, got {jitter}")
+        self.inner = inner
+        self.jitter = jitter
+        self.rng = rng
+
+    def current(self) -> float:
+        return self.inner.current() * (1.0 + self.jitter * self.rng.random())
+
+    def escalate(self) -> float:
+        return self.inner.escalate()
+
+    def note_progress(self) -> None:
+        self.inner.note_progress()
+
+    def observe(self, sample: float) -> None:
+        self.inner.observe(sample)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"JitteredPolicy(jitter={self.jitter}, inner={self.inner!r})"
 
 
 class RttEstimator:

@@ -1,0 +1,271 @@
+"""Admission control: the policies that decide what a saturated ingress sheds.
+
+An overloaded service has exactly one good option: answer *something* to
+*everyone*, fast — and the only way to afford that is to refuse real work.
+This module packages the three standard refusal policies as small
+deterministic objects the :class:`~repro.service.ingress.IngressProcess`
+composes, plus the bounded queue they guard:
+
+- :class:`TokenBucket` — a global rate limiter: sustained admission at
+  ``rate`` with bursts up to ``burst``, refilled continuously from virtual
+  time (no timers, no RNG — a pure function of the admission timestamps);
+- :class:`FairShare` — per-tenant isolation: no tenant may hold more than
+  ``per_tenant`` requests in the service (queued + dispatched) at once, so
+  one greedy or retry-storming tenant cannot evict everyone else;
+- :class:`QueueDeadline` — CoDel-style sojourn control at *dequeue* time:
+  when even the queue head has waited longer than ``target`` persistently
+  (for an ``interval``), the queue is standing rather than bursty and the
+  stale head is shed — with the classic ``interval / sqrt(drops)`` control
+  law tightening while the condition persists;
+- :class:`BoundedAdmissionQueue` — the FIFO itself, with a hard ``maxlen``
+  (``None`` disables the bound — the "unprotected" configuration the soak
+  harness convicts).
+
+Every rejection carries one of the :data:`REASONS` strings; the ingress
+turns them into typed ``SVC_REJECT`` answers with a ``retry_after`` hint,
+which is what makes shedding *graceful*: clients get an actionable answer
+in bounded time instead of silence from a growing queue.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Any, Optional
+
+from ..errors import ConfigurationError
+from ..types import Time
+
+__all__ = [
+    "AdmissionDecision",
+    "BoundedAdmissionQueue",
+    "FairShare",
+    "QueueDeadline",
+    "QueuedRequest",
+    "REASONS",
+    "TokenBucket",
+]
+
+REASONS = (
+    "queue_full",
+    "rate_limited",
+    "fair_share",
+    "deadline",
+    "brownout_write",
+    "overload",
+)
+"""The closed set of rejection reasons a ``SVC_REJECT`` may carry."""
+
+
+class AdmissionDecision:
+    """Outcome of one admission check: admitted, or shed with a reason."""
+
+    __slots__ = ("admitted", "reason")
+
+    def __init__(self, admitted: bool, reason: Optional[str] = None) -> None:
+        if not admitted and reason not in REASONS:
+            raise ConfigurationError(f"unknown rejection reason {reason!r}")
+        self.admitted = admitted
+        self.reason = reason
+
+    def __bool__(self) -> bool:
+        return self.admitted
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            "AdmissionDecision(admitted)" if self.admitted
+            else f"AdmissionDecision(shed: {self.reason})"
+        )
+
+
+_ADMIT = AdmissionDecision(True)
+
+
+class TokenBucket:
+    """Continuous-refill token bucket over virtual time.
+
+    ``rate`` tokens accrue per time unit up to ``burst``; each admission
+    spends one. Deterministic by construction: the token level is a pure
+    function of the admission history and the (virtual) clock, so sweeps
+    replay bit-identically. ``retry_after()`` estimates when a token will
+    next be available — the backpressure hint shed clients receive.
+    """
+
+    __slots__ = ("rate", "burst", "_tokens", "_last", "admitted", "shed")
+
+    def __init__(self, rate: float, burst: float) -> None:
+        if rate <= 0:
+            raise ConfigurationError(f"rate must be > 0, got {rate}")
+        if burst < 1:
+            raise ConfigurationError(f"burst must be >= 1, got {burst}")
+        self.rate = rate
+        self.burst = burst
+        self._tokens = float(burst)
+        self._last: Time = 0.0
+        self.admitted = 0
+        self.shed = 0
+
+    def _refill(self, now: Time) -> None:
+        if now > self._last:
+            self._tokens = min(self.burst, self._tokens + (now - self._last) * self.rate)
+            self._last = now
+
+    @property
+    def tokens(self) -> float:
+        return self._tokens
+
+    def try_admit(self, now: Time) -> bool:
+        self._refill(now)
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            self.admitted += 1
+            return True
+        self.shed += 1
+        return False
+
+    def retry_after(self, now: Time) -> float:
+        """Time until one token accrues (0 when one is available now)."""
+        self._refill(now)
+        if self._tokens >= 1.0:
+            return 0.0
+        return (1.0 - self._tokens) / self.rate
+
+
+class FairShare:
+    """Per-tenant outstanding-work cap (queued + dispatched).
+
+    Per-tenant counters move on explicit :meth:`acquire` / :meth:`release`
+    calls from the ingress; :meth:`try_admit` sheds a tenant already at its
+    cap. Isolation, not fairness-scheduling: a well-behaved tenant's share
+    of the service can never be consumed by a storming one.
+    """
+
+    __slots__ = ("per_tenant", "_held", "shed")
+
+    def __init__(self, per_tenant: int) -> None:
+        if per_tenant < 1:
+            raise ConfigurationError(
+                f"per_tenant must be >= 1, got {per_tenant}"
+            )
+        self.per_tenant = per_tenant
+        self._held: dict[Any, int] = {}
+        self.shed = 0
+
+    def held(self, tenant: Any) -> int:
+        return self._held.get(tenant, 0)
+
+    def try_admit(self, tenant: Any) -> bool:
+        if self._held.get(tenant, 0) >= self.per_tenant:
+            self.shed += 1
+            return False
+        return True
+
+    def acquire(self, tenant: Any) -> None:
+        self._held[tenant] = self._held.get(tenant, 0) + 1
+
+    def release(self, tenant: Any) -> None:
+        held = self._held.get(tenant, 0)
+        if held <= 1:
+            self._held.pop(tenant, None)
+        else:
+            self._held[tenant] = held - 1
+
+
+class QueueDeadline:
+    """CoDel-style standing-queue detection at dequeue time.
+
+    :meth:`should_drop` is consulted with each dequeued request's sojourn
+    time. A sojourn above ``target`` starts (or continues) an
+    above-target episode; once the episode has lasted ``interval``, the
+    request is shed and the next drop point tightens to
+    ``interval / sqrt(drop_count)`` — Controlled Delay's control law,
+    which distinguishes a *standing* queue (bad: latency with no
+    throughput benefit) from a transient burst (fine: absorbed within one
+    interval). A single below-target sojourn ends the episode.
+    """
+
+    __slots__ = ("target", "interval", "_first_above", "_next_drop",
+                 "_drop_count", "shed")
+
+    def __init__(self, target: float, interval: float) -> None:
+        if target <= 0 or interval <= 0:
+            raise ConfigurationError(
+                f"target/interval must be > 0, got {target}/{interval}"
+            )
+        self.target = target
+        self.interval = interval
+        self._first_above: Optional[Time] = None
+        self._next_drop: Optional[Time] = None
+        self._drop_count = 0
+        self.shed = 0
+
+    def should_drop(self, now: Time, sojourn: float) -> bool:
+        if sojourn <= self.target:
+            self._first_above = None
+            self._next_drop = None
+            self._drop_count = 0
+            return False
+        if self._first_above is None:
+            self._first_above = now
+            self._next_drop = now + self.interval
+            return False
+        if now < self._next_drop:
+            return False
+        self._drop_count += 1
+        self.shed += 1
+        self._next_drop = now + self.interval / math.sqrt(self._drop_count)
+        return True
+
+
+class QueuedRequest:
+    """One admitted request parked in the ingress queue."""
+
+    __slots__ = ("tenant", "req_id", "op", "sig", "enqueued_at")
+
+    def __init__(self, tenant: int, req_id: int, op: tuple, sig: Any,
+                 enqueued_at: Time) -> None:
+        self.tenant = tenant
+        self.req_id = req_id
+        self.op = op
+        self.sig = sig
+        self.enqueued_at = enqueued_at
+
+
+class BoundedAdmissionQueue:
+    """FIFO admission queue with an optional hard bound.
+
+    ``maxlen=None`` removes the bound — the unprotected configuration
+    whose collapse the soak harness demonstrates. ``depth_peak`` tracks
+    the high-watermark for the exported service stats.
+    """
+
+    __slots__ = ("maxlen", "_q", "depth_peak", "enqueued", "shed")
+
+    def __init__(self, maxlen: Optional[int]) -> None:
+        if maxlen is not None and maxlen < 1:
+            raise ConfigurationError(f"maxlen must be >= 1, got {maxlen}")
+        self.maxlen = maxlen
+        self._q: deque[QueuedRequest] = deque()
+        self.depth_peak = 0
+        self.enqueued = 0
+        self.shed = 0
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+    def try_push(self, item: QueuedRequest) -> bool:
+        if self.maxlen is not None and len(self._q) >= self.maxlen:
+            self.shed += 1
+            return False
+        self._q.append(item)
+        self.enqueued += 1
+        if len(self._q) > self.depth_peak:
+            self.depth_peak = len(self._q)
+        return True
+
+    def pop(self) -> Optional[QueuedRequest]:
+        return self._q.popleft() if self._q else None
+
+    def head_sojourn(self, now: Time) -> float:
+        """Waiting time of the oldest queued request (0 when empty)."""
+        return now - self._q[0].enqueued_at if self._q else 0.0

@@ -1,0 +1,183 @@
+"""Brownout / circuit-breaker control: degrade before collapsing.
+
+A saturated replicated service has a narrow good region between "admit
+everything" (unbounded queues, metastable retry storms) and "reject
+everything" (self-inflicted outage). :class:`BrownoutController` walks a
+three-state ladder through that region:
+
+- ``NORMAL`` — full service;
+- ``BROWNOUT`` — writes are shed with typed rejections, reads still
+  serve: the replicated bank keeps answering ``balance``/``get`` while
+  mutations wait out the overload (the classic brownout trade — shed the
+  expensive dimension, keep the cheap one);
+- ``OPEN`` — the circuit breaker: everything is shed with a
+  ``retry_after`` hint while the backlog drains.
+
+Saturation is detected from two *independent* signals, combined because
+each alone has a blind spot:
+
+- **queue depth** (EWMA-smoothed) — sensitive to arrival overload, blind
+  to a stalled backend (a wedged consensus group with an empty queue);
+- **phi-accrual silence** on the completion stream
+  (:class:`~repro.faults.detector.AccrualFailureDetector` fed with one
+  heartbeat per completed request) — sensitive to backend stall, blind to
+  a fast-draining-but-flooded queue.
+
+Escalation takes either signal; recovery (hysteresis) requires *both*
+calm for ``cooldown`` consecutive evaluations, so the controller cannot
+flap at the threshold. All inputs are virtual-time deterministic; the
+controller holds no RNG.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import ConfigurationError
+from ..faults.detector import AccrualFailureDetector
+from ..types import Time
+
+__all__ = ["BrownoutController", "NORMAL", "BROWNOUT", "OPEN", "MODE_NAMES"]
+
+NORMAL = 0
+BROWNOUT = 1
+OPEN = 2
+MODE_NAMES = {NORMAL: "normal", BROWNOUT: "brownout", OPEN: "open"}
+
+_COMPLETIONS = 0  # the single pseudo-peer the detector scores
+
+
+class BrownoutController:
+    """Saturation ladder over queue-depth EWMA + completion-silence phi.
+
+    The ingress calls :meth:`note_completion` per finished request,
+    :meth:`observe` per admission-time evaluation (every inbound request
+    pays one cheap EWMA update), and gates writes/everything on
+    :attr:`mode`. ``depth_high`` sets the BROWNOUT threshold on the
+    smoothed queue depth; ``open_factor * depth_high`` sets OPEN;
+    recovery needs the smoothed depth under ``depth_low`` *and* phi under
+    ``phi_high / 2`` for ``cooldown`` consecutive observations.
+    """
+
+    __slots__ = (
+        "depth_high", "depth_low", "open_factor", "phi_high", "cooldown",
+        "alpha", "detector", "mode", "ewma_depth", "_calm_streak",
+        "brownout_entries", "open_entries", "recoveries", "_last_eval",
+    )
+
+    def __init__(
+        self,
+        depth_high: float,
+        depth_low: Optional[float] = None,
+        open_factor: float = 2.0,
+        phi_high: float = 4.0,
+        cooldown: int = 8,
+        alpha: float = 0.2,
+        detector: Optional[AccrualFailureDetector] = None,
+    ) -> None:
+        if depth_high <= 0:
+            raise ConfigurationError(f"depth_high must be > 0, got {depth_high}")
+        depth_low = depth_low if depth_low is not None else depth_high / 4.0
+        if not 0 < depth_low < depth_high:
+            raise ConfigurationError(
+                f"depth_low must be in (0, depth_high), got {depth_low}"
+            )
+        if open_factor <= 1.0:
+            raise ConfigurationError(
+                f"open_factor must be > 1, got {open_factor}"
+            )
+        if phi_high <= 0:
+            raise ConfigurationError(f"phi_high must be > 0, got {phi_high}")
+        if cooldown < 1:
+            raise ConfigurationError(f"cooldown must be >= 1, got {cooldown}")
+        if not 0 < alpha <= 1:
+            raise ConfigurationError(f"alpha must be in (0, 1], got {alpha}")
+        self.depth_high = depth_high
+        self.depth_low = depth_low
+        self.open_factor = open_factor
+        self.phi_high = phi_high
+        self.cooldown = cooldown
+        self.alpha = alpha
+        self.detector = detector if detector is not None else AccrualFailureDetector(
+            threshold=phi_high
+        )
+        self.mode = NORMAL
+        self.ewma_depth = 0.0
+        self._calm_streak = 0
+        self.brownout_entries = 0
+        self.open_entries = 0
+        self.recoveries = 0
+        self._last_eval: Time = 0.0
+
+    # -- inputs ------------------------------------------------------------
+
+    def note_completion(self, now: Time) -> None:
+        """One finished request — a heartbeat on the completion stream."""
+        self.detector.heartbeat(_COMPLETIONS, now)
+
+    def phi(self, now: Time) -> float:
+        return self.detector.phi(_COMPLETIONS, now)
+
+    # -- evaluation --------------------------------------------------------
+
+    def observe(self, now: Time, queue_depth: int, busy: bool = True) -> int:
+        """Fold one queue-depth sample in and (re)evaluate; returns mode.
+
+        ``busy`` says whether the backend currently has work outstanding.
+        Completion silence only indicts a *busy* backend — an idle one is
+        silent because it is idle, and shedding-induced silence must not
+        latch the controller in brownout (the shed writes stop the
+        completion heartbeat, which would otherwise hold phi high and
+        keep the writes shed forever).
+        """
+        self.ewma_depth += self.alpha * (queue_depth - self.ewma_depth)
+        self._last_eval = now
+        phi = self.phi(now) if busy else 0.0
+        hot = self.ewma_depth > self.depth_high or phi > self.phi_high
+        critical = self.ewma_depth > self.depth_high * self.open_factor
+        if critical and self.mode != OPEN:
+            self.mode = OPEN
+            self.open_entries += 1
+            self._calm_streak = 0
+            return self.mode
+        if hot:
+            self._calm_streak = 0
+            if self.mode == NORMAL:
+                self.mode = BROWNOUT
+                self.brownout_entries += 1
+            return self.mode
+        # calm sample: recovery only after a full cooldown streak
+        if self.mode != NORMAL:
+            calm = (
+                self.ewma_depth < self.depth_low
+                and phi < self.phi_high / 2.0
+            )
+            if calm:
+                self._calm_streak += 1
+                if self._calm_streak >= self.cooldown:
+                    # step down one rung at a time: OPEN drains through
+                    # BROWNOUT rather than slamming straight to full service
+                    self.mode -= 1
+                    self.recoveries += 1
+                    self._calm_streak = 0
+            else:
+                self._calm_streak = 0
+        return self.mode
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def mode_name(self) -> str:
+        return MODE_NAMES[self.mode]
+
+    def sheds_writes(self) -> bool:
+        return self.mode >= BROWNOUT
+
+    def sheds_all(self) -> bool:
+        return self.mode >= OPEN
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"BrownoutController(mode={self.mode_name}, "
+            f"ewma_depth={self.ewma_depth:.1f})"
+        )

@@ -1,0 +1,545 @@
+"""The service front-end: a simulated ingress fronting the replica group.
+
+:class:`IngressProcess` is the trust and overload boundary between
+multi-tenant clients and the MinBFT-replicated state machine. Tenants
+submit ``SVC_REQ`` messages; the ingress *admits or sheds* them (see
+:mod:`repro.service.admission`), queues admitted work in a bounded FIFO,
+and dispatches up to ``max_inflight`` requests into consensus by
+forwarding the tenant-signed ``REQUEST`` to every replica. Replicas
+verify the tenant's own signature and reply directly to the tenant (the
+ingress never holds authority to impersonate anyone); a courtesy
+``SVC_DONE`` ack from the tenant releases the dispatch slot, with a lease
+timeout as the lost-ack fallback.
+
+**The input pump is the modeled bottleneck.** Real ingresses spend CPU
+parsing, authenticating, and routing every inbound byte *before* they can
+tell a duplicate from fresh work; in a simulator where message handling
+is free, overload would be unobservable. The pump restores that cost:
+inbound ``SVC_REQ`` frames land in an inbox and are processed strictly
+one per ``proc_time`` of virtual time, so the ingress's service rate is
+``1/proc_time`` and — critically — **duplicate retransmissions consume
+real capacity** even though dedup discards them afterwards. That single
+modeling choice is what makes retry storms metastable here exactly as in
+production: a burst outage leaves every tenant retransmitting, the dup
+arrival rate exceeds the pump rate, and the inbox grows without bound
+while goodput pins to zero — unless admission control, retry budgets,
+and backpressure (the protected configuration) bring arrivals back under
+``1/proc_time``.
+
+:class:`TenantClient` is the matching workload driver: a closed-loop
+client that signs its own ops, retries on a timeout policy (optionally
+jittered and bounded by a :class:`~repro.faults.timeouts.RetryBudget`),
+honors typed ``SVC_REJECT`` backpressure by pausing for the advertised
+``retry_after``, and emits the ``svc_sent`` / ``svc_done`` /
+``svc_failed`` trace events the streaming service auditors key on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Optional, Sequence
+
+from ..crypto.signatures import Signer
+from ..consensus.minbft import REPLY, REQUEST, request_domain
+from ..errors import ConfigurationError, RetriesExhausted
+from ..sim.process import Process
+from ..types import ProcessId, Time
+from .admission import (
+    BoundedAdmissionQueue,
+    FairShare,
+    QueueDeadline,
+    QueuedRequest,
+    TokenBucket,
+)
+from .degrade import BrownoutController
+
+SVC_REQ = "__svc_req__"
+SVC_REJECT = "__svc_reject__"
+SVC_DONE = "__svc_done__"
+
+DEFAULT_READ_OPS = frozenset({"get", "balance"})
+"""Op heads servable in brownout (read-only) mode, per the stock apps."""
+
+
+class IngressProcess(Process):
+    """Admission-controlled ingress between tenants and the replica group.
+
+    Every policy is optional (``None`` disables it); with all of them off
+    and ``queue_limit=None`` this is the *unprotected* configuration —
+    an unbounded FIFO in front of consensus, the design the soak harness
+    convicts. ``proc_time`` is the per-inbound-message pump cost (the
+    service rate is its inverse); ``max_inflight`` bounds concurrent
+    consensus dispatches; ``lease_timeout`` frees a dispatch slot whose
+    completion ack never arrived.
+    """
+
+    PUMP_TAG = "svc-pump"
+    LEASE_TAG = "svc-lease"
+
+    def __init__(
+        self,
+        replicas: Sequence[ProcessId],
+        proc_time: float = 0.25,
+        reject_time: Optional[float] = None,
+        max_inflight: int = 16,
+        lease_timeout: float = 120.0,
+        queue_limit: Optional[int] = None,
+        bucket: Optional[TokenBucket] = None,
+        fair: Optional[FairShare] = None,
+        codel: Optional[QueueDeadline] = None,
+        brownout: Optional[BrownoutController] = None,
+        read_ops: frozenset[str] = DEFAULT_READ_OPS,
+    ) -> None:
+        super().__init__()
+        if proc_time <= 0:
+            raise ConfigurationError(f"proc_time must be > 0, got {proc_time}")
+        if max_inflight < 1:
+            raise ConfigurationError(
+                f"max_inflight must be >= 1, got {max_inflight}"
+            )
+        if lease_timeout <= 0:
+            raise ConfigurationError(
+                f"lease_timeout must be > 0, got {lease_timeout}"
+            )
+        if reject_time is not None and reject_time <= 0:
+            raise ConfigurationError(
+                f"reject_time must be > 0, got {reject_time}"
+            )
+        self.replicas = tuple(replicas)
+        self.proc_time = proc_time
+        # saying no is a counter check, not a dispatch: a typed rejection
+        # re-arms the pump after a fraction of the full service cost, so a
+        # protected ingress can reject faster than tenants can ask (dup
+        # *recognition* stays at full cost — parse/auth happen before the
+        # dedup table is consulted, which is what makes retry storms real)
+        self.reject_time = (
+            reject_time if reject_time is not None else proc_time / 8.0
+        )
+        self.max_inflight = max_inflight
+        self.lease_timeout = lease_timeout
+        self.queue = BoundedAdmissionQueue(queue_limit)
+        self.bucket = bucket
+        self.fair = fair
+        self.codel = codel
+        self.brownout = brownout
+        self.read_ops = read_ops
+        self._inbox: deque[tuple[ProcessId, int, tuple, Any]] = deque()
+        self._pump_busy = False
+        # requests currently owned by the service: queued or dispatched
+        self._in_service: set[tuple[ProcessId, int]] = set()
+        self._inflight: dict[tuple[ProcessId, int], Optional[int]] = {}
+        self._completed_wm: dict[ProcessId, int] = {}
+        # counters (all numeric: they aggregate across ingresses and feed
+        # RunStats.service / ChaosResult.stats["service"] verbatim)
+        self.pumped = 0
+        self.admitted = 0
+        self.dispatched = 0
+        self.completed = 0
+        self.dup_discarded = 0
+        self.lease_expired = 0
+        self.rejects: dict[str, int] = {}
+        self.inbox_peak = 0
+
+    # -- inbound -----------------------------------------------------------
+
+    def on_message(self, src: ProcessId, msg: Any) -> None:
+        if not (isinstance(msg, tuple) and msg):
+            return
+        if msg[0] == SVC_REQ and len(msg) == 5:
+            _, tenant, req_id, op, sig = msg
+            if not (isinstance(tenant, int) and isinstance(req_id, int)):
+                return
+            self._inbox.append((tenant, req_id, op, sig))
+            if len(self._inbox) > self.inbox_peak:
+                self.inbox_peak = len(self._inbox)
+            if not self._pump_busy:
+                self._pump_busy = True
+                self.ctx.set_timer(self.proc_time, self.PUMP_TAG)
+        elif msg[0] == SVC_DONE and len(msg) == 4:
+            _, tenant, req_id, _latency = msg
+            if isinstance(tenant, int) and isinstance(req_id, int):
+                self._on_done(tenant, req_id)
+
+    # -- pump: one inbound request per proc_time ---------------------------
+
+    def on_timer(self, tag: Any) -> None:
+        if tag == self.PUMP_TAG:
+            self._pump_one()
+            return
+        if isinstance(tag, tuple) and len(tag) == 3 and tag[0] == self.LEASE_TAG:
+            self._on_lease_expiry(tag[1], tag[2])
+
+    def _pump_one(self) -> None:
+        if not self._inbox:
+            self._pump_busy = False
+            return
+        tenant, req_id, op, sig = self._inbox.popleft()
+        self.pumped += 1
+        rejected = self._admit_or_shed(tenant, req_id, op, sig)
+        if self._inbox:
+            self.ctx.set_timer(
+                self.reject_time if rejected else self.proc_time,
+                self.PUMP_TAG,
+            )
+        else:
+            self._pump_busy = False
+
+    # -- admission pipeline ------------------------------------------------
+
+    def _admit_or_shed(self, tenant: ProcessId, req_id: int, op: tuple,
+                       sig: Any) -> bool:
+        """Run the admission pipeline; True iff it ended in a typed reject."""
+        now = self.ctx.now
+        if self.brownout is not None:
+            self.brownout.observe(
+                now, len(self.queue), busy=bool(self._inflight)
+            )
+        key = (tenant, req_id)
+        if req_id <= self._completed_wm.get(tenant, 0) or key in self._in_service:
+            self.dup_discarded += 1
+            return False
+        if self.brownout is not None and self.brownout.sheds_all():
+            self._reject(tenant, req_id, "overload")
+            return True
+        is_read = bool(op) and isinstance(op, tuple) and op[0] in self.read_ops
+        if (
+            self.brownout is not None
+            and self.brownout.sheds_writes()
+            and not is_read
+        ):
+            self._reject(tenant, req_id, "brownout_write")
+            return True
+        if self.fair is not None and not self.fair.try_admit(tenant):
+            self._reject(tenant, req_id, "fair_share")
+            return True
+        if self.bucket is not None and not self.bucket.try_admit(now):
+            self._reject(
+                tenant, req_id, "rate_limited",
+                retry_after=self.bucket.retry_after(now),
+            )
+            return True
+        if not self.queue.try_push(QueuedRequest(tenant, req_id, op, sig, now)):
+            self._reject(tenant, req_id, "queue_full")
+            return True
+        if self.fair is not None:
+            self.fair.acquire(tenant)
+        self._in_service.add(key)
+        self.admitted += 1
+        self._dispatch_ready()
+        return False
+
+    def _reject(self, tenant: ProcessId, req_id: int, reason: str,
+                retry_after: Optional[float] = None) -> None:
+        if retry_after is None:
+            # back off for roughly the current backlog's drain time
+            backlog = len(self._inbox) + len(self.queue)
+            retry_after = max(1.0, backlog * self.proc_time)
+        self.rejects[reason] = self.rejects.get(reason, 0) + 1
+        self.ctx.record(
+            "custom", event="svc_reject", tenant=tenant, req_id=req_id,
+            reason=reason,
+        )
+        self.ctx.send(tenant, (SVC_REJECT, req_id, reason, retry_after))
+
+    # -- dispatch into consensus -------------------------------------------
+
+    def _dispatch_ready(self) -> None:
+        now = self.ctx.now
+        while len(self._inflight) < self.max_inflight:
+            item = self.queue.pop()
+            if item is None:
+                return
+            key = (item.tenant, item.req_id)
+            sojourn = now - item.enqueued_at
+            if self.codel is not None and self.codel.should_drop(now, sojourn):
+                self._in_service.discard(key)
+                if self.fair is not None:
+                    self.fair.release(item.tenant)
+                self._reject(item.tenant, item.req_id, "deadline")
+                continue
+            timer = self.ctx.set_timer(
+                self.lease_timeout, (self.LEASE_TAG, item.tenant, item.req_id)
+            )
+            self._inflight[key] = timer
+            self.dispatched += 1
+            request = (REQUEST, item.tenant, item.req_id, item.op, item.sig)
+            for r in self.replicas:
+                self.ctx.send(r, request)
+
+    def _on_done(self, tenant: ProcessId, req_id: int) -> None:
+        wm = self._completed_wm.get(tenant, 0)
+        if req_id > wm:
+            self._completed_wm[tenant] = req_id
+        key = (tenant, req_id)
+        timer = self._inflight.pop(key, None)
+        if key not in self._in_service:
+            return  # lease already expired (or duplicate ack)
+        self._in_service.discard(key)
+        if timer is not None:
+            self.ctx.cancel_timer(timer)
+        if self.fair is not None:
+            self.fair.release(tenant)
+        self.completed += 1
+        if self.brownout is not None:
+            self.brownout.note_completion(self.ctx.now)
+        self._dispatch_ready()
+
+    def _on_lease_expiry(self, tenant: ProcessId, req_id: int) -> None:
+        key = (tenant, req_id)
+        if self._inflight.pop(key, None) is None:
+            return  # completed meanwhile
+        self._in_service.discard(key)
+        if self.fair is not None:
+            self.fair.release(tenant)
+        self.lease_expired += 1
+        self._dispatch_ready()
+
+    # -- exported counters -------------------------------------------------
+
+    def service_stats(self) -> dict[str, float]:
+        """Numeric overload counters (see ``RunStats.service``)."""
+        stats: dict[str, float] = {
+            "pumped": self.pumped,
+            "admitted": self.admitted,
+            "dispatched": self.dispatched,
+            "completed": self.completed,
+            "dup_discarded": self.dup_discarded,
+            "lease_expired": self.lease_expired,
+            "queue_depth_peak": self.queue.depth_peak,
+            "queue_len_final": len(self.queue),
+            "inbox_peak": self.inbox_peak,
+            "inbox_len_final": len(self._inbox),
+            "shed_total": sum(self.rejects.values()),
+        }
+        for reason, count in self.rejects.items():
+            stats[f"shed_{reason}"] = count
+        if self.brownout is not None:
+            stats["brownout_entries"] = self.brownout.brownout_entries
+            stats["open_entries"] = self.brownout.open_entries
+            stats["recoveries"] = self.brownout.recoveries
+            stats["final_mode"] = self.brownout.mode
+        return stats
+
+
+class TenantClient(Process):
+    """Closed-loop tenant driving ops through the ingress.
+
+    One outstanding request at a time (which also keeps the replicas'
+    per-client reply cache coherent): sign, send ``SVC_REQ`` to the
+    ingress, wait for ``reply_quorum`` matching replica ``REPLY``\\ s,
+    ack with ``SVC_DONE``, think, repeat. Retransmission runs on
+    ``timeout_policy`` — optionally wrapped in seed-deterministic jitter
+    (``backoff_jitter``) and bounded by ``retry_budget`` (exhaustion is a
+    terminal, typed ``svc_failed`` outcome). With
+    ``honor_backpressure=True`` a typed ``SVC_REJECT`` pauses the tenant
+    for the advertised ``retry_after`` (plus jitter) instead of feeding
+    the retry storm; ``False`` models the legacy client that ignores
+    backpressure entirely.
+    """
+
+    RETRY_TAG = "svc-retry"
+    RESUBMIT_TAG = "svc-resubmit"
+
+    def __init__(
+        self,
+        ingress: ProcessId,
+        replicas: Sequence[ProcessId],
+        reply_quorum: int,
+        ops: Sequence[tuple],
+        timeout_policy: Any = None,
+        retry_timeout: float = 30.0,
+        retry_budget: Any = None,
+        backoff_jitter: float = 0.0,
+        think_time: float = 0.0,
+        honor_backpressure: bool = True,
+        start_spread: float = 0.0,
+    ) -> None:
+        super().__init__()
+        if reply_quorum < 1:
+            raise ConfigurationError(
+                f"reply quorum must be >= 1, got {reply_quorum}"
+            )
+        self.ingress = ingress
+        self.replicas = tuple(replicas)
+        self.reply_quorum = reply_quorum
+        self.ops = list(ops)
+        if timeout_policy is None:
+            from ..faults.timeouts import FixedTimeout
+
+            timeout_policy = FixedTimeout(retry_timeout)
+        elif callable(timeout_policy) and not hasattr(timeout_policy, "current"):
+            timeout_policy = timeout_policy()
+        self.timeout_policy = timeout_policy
+        if callable(retry_budget) and not hasattr(retry_budget, "try_spend"):
+            retry_budget = retry_budget()
+        self.retry_budget = retry_budget
+        self.backoff_jitter = backoff_jitter
+        self.think_time = think_time
+        self.honor_backpressure = honor_backpressure
+        self.start_spread = start_spread
+        self.signer: Optional[Signer] = None  # injected by the harness
+        self._rng: Any = None
+        self._next_op = 0
+        self._terminal_wm = 0  # highest req_id that reached a terminal outcome
+        self._current_req_id: Optional[int] = None
+        self._sent_at: Time = 0.0
+        self._attempts = 0
+        self._replies: dict[ProcessId, Any] = {}
+        self._retry_timer: Optional[int] = None
+        self.latencies: list[float] = []
+        self.results: list[Any] = []
+        self.failures: list[RetriesExhausted] = []
+        self.rejections = 0
+        self.retransmissions = 0
+
+    @property
+    def done(self) -> bool:
+        return self._next_op >= len(self.ops) and self._current_req_id is None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def on_start(self) -> None:
+        from ..faults.timeouts import JitteredPolicy, derive_jitter_rng
+
+        self._rng = derive_jitter_rng(self.ctx.seed, "tenant", self.pid)
+        if self.backoff_jitter > 0:
+            self.timeout_policy = JitteredPolicy(
+                self.timeout_policy, self._rng, jitter=self.backoff_jitter
+            )
+        if self.start_spread > 0:
+            # de-synchronize the fleet's first wave of submissions
+            self.ctx.set_timer(
+                self._rng.random() * self.start_spread, "think"
+            )
+        else:
+            self._submit_next()
+
+    # -- submission / retransmission ---------------------------------------
+
+    def _submit_next(self) -> None:
+        if self._next_op >= len(self.ops):
+            self.ctx.record("custom", event="tenant_done", ops=len(self.results))
+            return
+        req_id = self._next_op + 1
+        self._current_req_id = req_id
+        self._replies = {}
+        self._sent_at = self.ctx.now
+        self._attempts = 1
+        if self.retry_budget is not None:
+            self.retry_budget.note_send()
+        self._send_request()
+        self.ctx.record("custom", event="svc_sent", req_id=req_id)
+        self._arm_retry()
+
+    def _send_request(self) -> None:
+        assert self.signer is not None
+        req_id = self._current_req_id
+        op = self.ops[self._next_op]
+        sig = self.signer.sign(request_domain(self.pid, req_id, op))
+        self.ctx.send(self.ingress, (SVC_REQ, self.pid, req_id, op, sig))
+
+    def _arm_retry(self) -> None:
+        self._retry_timer = self.ctx.set_timer(
+            self.timeout_policy.current(), self.RETRY_TAG
+        )
+
+    def _cancel_retry(self) -> None:
+        if self._retry_timer is not None:
+            self.ctx.cancel_timer(self._retry_timer)
+            self._retry_timer = None
+
+    def on_timer(self, tag: Any) -> None:
+        if tag == "think":
+            self._submit_next()
+            return
+        if tag == self.RESUBMIT_TAG:
+            if self._current_req_id is not None:
+                self._send_request()
+                self._arm_retry()
+            return
+        if tag != self.RETRY_TAG or self._current_req_id is None:
+            return
+        if self.retry_budget is not None and not self.retry_budget.try_spend():
+            self._abandon_current()
+            return
+        self.retransmissions += 1
+        self._attempts += 1
+        self.timeout_policy.escalate()
+        self._send_request()
+        self._arm_retry()
+
+    def _abandon_current(self) -> None:
+        req_id = self._current_req_id
+        assert req_id is not None
+        failure = RetriesExhausted(req_id, self._attempts)
+        self.failures.append(failure)
+        self.ctx.record(
+            "custom", event="svc_failed", req_id=req_id,
+            reason="retries_exhausted", attempts=self._attempts,
+        )
+        self._retry_timer = None
+        self._terminal_wm = max(self._terminal_wm, req_id)
+        self._current_req_id = None
+        self._next_op += 1
+        self._after_terminal()
+
+    def _after_terminal(self) -> None:
+        if self.think_time > 0:
+            self.ctx.set_timer(self.think_time, "think")
+        else:
+            self._submit_next()
+
+    # -- completions and backpressure --------------------------------------
+
+    def on_message(self, src: ProcessId, msg: Any) -> None:
+        if not (isinstance(msg, tuple) and msg):
+            return
+        if msg[0] == REPLY and len(msg) == 5:
+            self._on_reply(src, msg)
+        elif msg[0] == SVC_REJECT and len(msg) == 4:
+            self._on_reject(msg)
+
+    def _on_reply(self, src: ProcessId, msg: tuple) -> None:
+        _, _replica, req_id, result, _view = msg
+        if src not in self.replicas:
+            return
+        if req_id != self._current_req_id:
+            # a reply for a request this tenant already resolved (completed
+            # earlier, or abandoned on budget exhaustion while it was still
+            # queued at the ingress): ack it anyway, so the ingress frees
+            # the dispatch slot now instead of waiting out the lease
+            if isinstance(req_id, int) and 0 < req_id <= self._terminal_wm:
+                self.ctx.send(self.ingress, (SVC_DONE, self.pid, req_id, 0.0))
+            return
+        self._replies[src] = result
+        matching = sum(1 for v in self._replies.values() if v == result)
+        if matching < self.reply_quorum:
+            return
+        latency = self.ctx.now - self._sent_at
+        self.latencies.append(latency)
+        self.results.append(result)
+        self.timeout_policy.observe(latency)
+        self.timeout_policy.note_progress()
+        self.ctx.record(
+            "custom", event="svc_done", req_id=req_id, latency=latency,
+        )
+        self.ctx.send(self.ingress, (SVC_DONE, self.pid, req_id, latency))
+        self._cancel_retry()
+        self._terminal_wm = max(self._terminal_wm, req_id)
+        self._current_req_id = None
+        self._next_op += 1
+        self._after_terminal()
+
+    def _on_reject(self, msg: tuple) -> None:
+        _, req_id, _reason, retry_after = msg
+        if req_id != self._current_req_id:
+            return
+        self.rejections += 1
+        if not self.honor_backpressure:
+            return  # legacy client: keeps hammering on its retry timer
+        # honor the hint: pause (with jitter, so the shed herd does not
+        # return in lockstep) and resubmit the same request
+        self._cancel_retry()
+        delay = max(float(retry_after), 0.1)
+        delay *= 1.0 + 0.5 * self._rng.random()
+        self.ctx.set_timer(delay, self.RESUBMIT_TAG)

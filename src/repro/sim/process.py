@@ -64,6 +64,16 @@ class Context:
         return self._sim.n
 
     @property
+    def seed(self) -> int:
+        """The run seed — for deriving auxiliary deterministic RNG streams.
+
+        Prefer ``ctx.rng`` for protocol randomness; use the seed only to
+        derive *independent* streams (e.g. retransmit jitter) whose draws
+        must not perturb, or be perturbed by, protocol-level RNG use.
+        """
+        return self._sim.seed
+
+    @property
     def now(self) -> Time:
         return self._sim.now
 

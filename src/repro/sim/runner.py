@@ -430,6 +430,7 @@ class Simulation:
                 f"simulation exceeded the default event cap ({limit}); "
                 "likely a livelock — pass max_events explicitly to override"
             )
+        stats.service = self.collect_service_stats()
         return stats
 
     def run_to_quiescence(self, max_events: int | None = None) -> RunStats:
@@ -441,7 +442,30 @@ class Simulation:
             raise SimulationError(
                 f"no quiescence after {stats.events_processed} events"
             )
+        stats.service = self.collect_service_stats()
         return stats
+
+    def collect_service_stats(self) -> Optional[dict]:
+        """Sum serving-layer counters over hosted processes (duck-typed).
+
+        Any process (or :class:`~repro.faults.channel.ReliableProcess`
+        inner) exposing a ``service_stats() -> dict[str, number]`` method
+        contributes; numeric values are summed key-wise. Returns ``None``
+        when no hosted process exports service counters, so non-service
+        runs pay nothing and their :class:`RunStats` are unchanged.
+        """
+        total: Optional[dict] = None
+        for proc in self._processes:
+            inner = getattr(proc, "inner", proc)
+            stats_fn = getattr(inner, "service_stats", None)
+            if stats_fn is None:
+                continue
+            if total is None:
+                total = {}
+            for key, value in stats_fn().items():
+                if isinstance(value, (int, float)):
+                    total[key] = total.get(key, 0) + value
+        return total
 
     # -- dispatch -----------------------------------------------------------------
     #

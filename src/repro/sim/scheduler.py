@@ -78,6 +78,12 @@ class RunStats:
     events_per_sec: float = 0.0
     """Dispatch throughput of this segment (wall-clock derived — the one
     nondeterministic field; determinism comparisons must exclude it)."""
+    service: Optional[dict] = None
+    """Aggregated serving-layer counters (queue depth peaks, admitted /
+    shed / degraded-mode tallies), summed by the runner over every hosted
+    process exposing ``service_stats()``. ``None`` when no process does.
+    Counter values are pure functions of the seed, so the dict belongs in
+    the deterministic fields."""
 
     def deterministic_fields(self) -> tuple:
         """Everything but the wall-clock throughput, for bit-identity checks."""
@@ -87,6 +93,7 @@ class RunStats:
             self.exhausted,
             self.timer_wheel_hits,
             self.freelist_reuses,
+            self.service,
         )
 
 

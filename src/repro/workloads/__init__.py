@@ -1,11 +1,27 @@
-"""Workload generators for the consensus benches."""
+"""Workload generators for the consensus benches and the serving layer."""
 
-from .generator import WorkloadSpec, generate_workload, uniform_kv, skewed_kv, bank_transfers
+from .generator import (
+    ArrivalShard,
+    WorkloadSpec,
+    bank_transfers,
+    generate_workload,
+    open_loop_arrivals,
+    shard_arrivals,
+    skewed_kv,
+    tenant_ops,
+    tenant_workloads,
+    uniform_kv,
+)
 
 __all__ = [
+    "ArrivalShard",
     "WorkloadSpec",
     "bank_transfers",
     "generate_workload",
+    "open_loop_arrivals",
+    "shard_arrivals",
     "skewed_kv",
+    "tenant_ops",
+    "tenant_workloads",
     "uniform_kv",
 ]

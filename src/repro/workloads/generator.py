@@ -150,6 +150,87 @@ def open_loop_arrivals(
     return arrivals
 
 
+# ---------------------------------------------------------------------------
+# Closed-loop tenant workloads (for the serving layer)
+# ---------------------------------------------------------------------------
+
+
+def _tenant_rng(seed: int, tenant_index: int) -> random.Random:
+    # per-tenant stream, independent of every other tenant and of the
+    # open-loop arrival stream above
+    import hashlib
+
+    digest = hashlib.sha256(f"tenant|{seed}|{tenant_index}".encode()).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))
+
+
+def tenant_ops(
+    tenant_index: int,
+    n_ops: int,
+    seed: int = 0,
+    kind: str = "bank",
+    read_ratio: float = 0.3,
+) -> list[tuple]:
+    """One tenant's closed-loop op stream: private keyspace, mixed reads.
+
+    Closed-loop is the *pacing* model the serving layer's
+    :class:`~repro.service.ingress.TenantClient` implements — the next op
+    is issued only after the previous one reached a terminal outcome
+    (completed, rejected-and-retried, or abandoned), so offered load
+    reacts to backpressure instead of accumulating like an open-loop
+    stream. This generator supplies the op *content* for that client:
+    each tenant works a private account/key (no cross-tenant write
+    conflicts, so shedding one tenant never corrupts another's view) with
+    ``read_ratio`` of ops being reads — the dimension a brownout keeps
+    serving. Pure function of ``(seed, tenant_index)``.
+    """
+    if not 0 <= read_ratio <= 1:
+        raise ConfigurationError(
+            f"read_ratio must be in [0, 1], got {read_ratio}"
+        )
+    if kind not in ("bank", "kv"):
+        raise ConfigurationError(
+            f"tenant workload kind must be 'bank' or 'kv', got {kind!r}"
+        )
+    rng = _tenant_rng(seed, tenant_index)
+    ops: list[tuple] = []
+    if kind == "bank":
+        acct = f"tenant{tenant_index}"
+        ops.append(("open", acct))
+        while len(ops) < n_ops:
+            if rng.random() < read_ratio:
+                ops.append(("balance", acct))
+            else:
+                ops.append(("deposit", acct, rng.randrange(1, 20)))
+    else:
+        key = f"tenant{tenant_index}"
+        i = 0
+        while len(ops) < n_ops:
+            if rng.random() < read_ratio:
+                ops.append(("get", key))
+            else:
+                ops.append(("put", key, f"v{tenant_index}-{i}"))
+                i += 1
+    return ops[:n_ops]
+
+
+def tenant_workloads(
+    n_tenants: int,
+    ops_per_tenant: int,
+    seed: int = 0,
+    kind: str = "bank",
+    read_ratio: float = 0.3,
+) -> list[list[tuple]]:
+    """Per-tenant op lists for a closed-loop fleet (see :func:`tenant_ops`)."""
+    if n_tenants < 1:
+        raise ConfigurationError(f"n_tenants must be >= 1, got {n_tenants}")
+    return [
+        tenant_ops(i, ops_per_tenant, seed=seed, kind=kind,
+                   read_ratio=read_ratio)
+        for i in range(n_tenants)
+    ]
+
+
 def shard_arrivals(
     arrivals: list[tuple[float, tuple]], n_shards: int
 ) -> list[ArrivalShard]:

@@ -1,0 +1,230 @@
+"""Unit tests for the admission-control policies and the brownout ladder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service.admission import (
+    AdmissionDecision,
+    BoundedAdmissionQueue,
+    FairShare,
+    QueueDeadline,
+    QueuedRequest,
+    REASONS,
+    TokenBucket,
+)
+from repro.service.degrade import (
+    BROWNOUT,
+    BrownoutController,
+    NORMAL,
+    OPEN,
+)
+
+
+class TestTokenBucket:
+    def test_burst_then_rate_limit(self):
+        b = TokenBucket(rate=1.0, burst=3.0)
+        assert all(b.try_admit(0.0) for _ in range(3))
+        assert not b.try_admit(0.0)  # burst exhausted
+        assert b.try_admit(1.0)  # one token accrued
+        assert not b.try_admit(1.0)
+
+    def test_refill_caps_at_burst(self):
+        b = TokenBucket(rate=10.0, burst=2.0)
+        assert b.try_admit(0.0)
+        # a long quiet period cannot bank more than `burst` tokens
+        assert all(b.try_admit(100.0) for _ in range(2))
+        assert not b.try_admit(100.0)
+
+    def test_retry_after_estimates_next_token(self):
+        b = TokenBucket(rate=2.0, burst=1.0)
+        assert b.try_admit(0.0)
+        assert b.retry_after(0.0) == pytest.approx(0.5)
+        assert b.retry_after(0.25) == pytest.approx(0.25)
+        assert b.retry_after(10.0) == 0.0
+
+    def test_deterministic_counters(self):
+        b = TokenBucket(rate=1.0, burst=2.0)
+        for t in (0.0, 0.0, 0.0, 5.0):
+            b.try_admit(t)
+        assert (b.admitted, b.shed) == (3, 1)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TokenBucket(rate=0.0, burst=1.0)
+        with pytest.raises(ConfigurationError):
+            TokenBucket(rate=1.0, burst=0.5)
+
+
+class TestFairShare:
+    def test_caps_one_tenant_without_touching_others(self):
+        fair = FairShare(per_tenant=2)
+        assert fair.try_admit("a")
+        fair.acquire("a")
+        assert fair.try_admit("a")
+        fair.acquire("a")
+        assert not fair.try_admit("a")  # at cap
+        assert fair.try_admit("b")  # isolation: b unaffected
+        assert fair.shed == 1
+
+    def test_release_restores_capacity(self):
+        fair = FairShare(per_tenant=1)
+        fair.acquire("a")
+        assert not fair.try_admit("a")
+        fair.release("a")
+        assert fair.try_admit("a")
+        assert fair.held("a") == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FairShare(per_tenant=0)
+
+
+class TestQueueDeadline:
+    def test_transient_burst_not_dropped(self):
+        codel = QueueDeadline(target=1.0, interval=4.0)
+        # above target, but the episode has not lasted an interval yet
+        assert not codel.should_drop(0.0, sojourn=2.0)
+        assert not codel.should_drop(3.0, sojourn=2.0)
+        # a single below-target sojourn ends the episode
+        assert not codel.should_drop(3.5, sojourn=0.5)
+        assert not codel.should_drop(4.5, sojourn=2.0)  # fresh episode
+
+    def test_standing_queue_dropped_with_tightening_law(self):
+        codel = QueueDeadline(target=1.0, interval=4.0)
+        assert not codel.should_drop(0.0, sojourn=2.0)  # arms the episode
+        assert codel.should_drop(4.0, sojourn=2.0)  # interval elapsed
+        # after the first drop the next point is interval/sqrt(1) away ...
+        assert not codel.should_drop(7.9, sojourn=2.0)
+        assert codel.should_drop(8.0, sojourn=2.0)
+        # ... and then tightens to interval/sqrt(2)
+        assert not codel.should_drop(8.1, sojourn=2.0)
+        assert codel.should_drop(8.0 + 4.0 / 2**0.5 + 0.01, sojourn=2.0)
+        assert codel.shed == 3
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            QueueDeadline(target=0.0, interval=1.0)
+
+
+class TestBoundedAdmissionQueue:
+    def _req(self, req_id, t=0.0):
+        return QueuedRequest("t", req_id, ("op",), None, t)
+
+    def test_bound_enforced_fifo_preserved(self):
+        q = BoundedAdmissionQueue(maxlen=2)
+        assert q.try_push(self._req(1))
+        assert q.try_push(self._req(2))
+        assert not q.try_push(self._req(3))
+        assert q.pop().req_id == 1
+        assert q.try_push(self._req(3))
+        assert [q.pop().req_id for _ in range(2)] == [2, 3]
+        assert (q.depth_peak, q.enqueued, q.shed) == (2, 3, 1)
+
+    def test_unbounded_mode(self):
+        q = BoundedAdmissionQueue(maxlen=None)
+        for i in range(100):
+            assert q.try_push(self._req(i))
+        assert len(q) == 100 and q.shed == 0
+
+    def test_head_sojourn(self):
+        q = BoundedAdmissionQueue(maxlen=None)
+        assert q.head_sojourn(5.0) == 0.0
+        q.try_push(self._req(1, t=2.0))
+        assert q.head_sojourn(5.0) == pytest.approx(3.0)
+
+
+class TestAdmissionDecision:
+    def test_truthiness_and_reason_validation(self):
+        assert AdmissionDecision(True)
+        assert not AdmissionDecision(False, "queue_full")
+        with pytest.raises(ConfigurationError):
+            AdmissionDecision(False, "because")
+        assert "queue_full" in REASONS
+
+
+class TestBrownoutController:
+    def test_depth_overload_walks_the_ladder(self):
+        c = BrownoutController(depth_high=10.0, alpha=1.0, cooldown=2)
+        assert c.observe(0.0, 5) == NORMAL
+        assert c.observe(1.0, 15) == BROWNOUT
+        assert c.sheds_writes() and not c.sheds_all()
+        assert c.observe(2.0, 25) == OPEN  # past depth_high * open_factor
+        assert c.sheds_all()
+
+    def test_recovery_needs_a_full_calm_streak_and_steps_one_rung(self):
+        c = BrownoutController(depth_high=10.0, depth_low=2.0, alpha=1.0,
+                               cooldown=3)
+        c.observe(0.0, 25)
+        assert c.mode == OPEN
+        # two calm samples: not enough
+        assert c.observe(1.0, 0) == OPEN
+        assert c.observe(2.0, 0) == OPEN
+        # third completes the streak: one rung down, not straight to NORMAL
+        assert c.observe(3.0, 0) == BROWNOUT
+        for t in (4.0, 5.0):
+            c.observe(t, 0)
+        assert c.observe(6.0, 0) == NORMAL
+        assert c.recoveries == 2
+
+    def test_hot_sample_resets_the_streak(self):
+        c = BrownoutController(depth_high=10.0, depth_low=2.0, alpha=1.0,
+                               cooldown=2)
+        c.observe(0.0, 15)
+        assert c.mode == BROWNOUT
+        c.observe(1.0, 0)
+        c.observe(2.0, 15)  # hot again: streak dies
+        c.observe(3.0, 0)
+        assert c.mode == BROWNOUT  # still needs a fresh full streak
+        c.observe(4.0, 0)
+        assert c.mode == NORMAL
+
+    def test_completion_silence_trips_phi_signal(self):
+        c = BrownoutController(depth_high=1000.0, phi_high=2.0, alpha=1.0)
+        # a steady completion heartbeat, then silence
+        for t in range(10):
+            c.note_completion(float(t))
+        assert c.observe(10.0, 0) == NORMAL
+        # long silence relative to the 1s cadence: phi exceeds the bar
+        # even though the queue is empty (the stalled-backend blind spot
+        # depth alone cannot see)
+        assert c.observe(60.0, 0) == BROWNOUT
+
+    def test_idle_backend_silence_is_not_a_stall(self):
+        c = BrownoutController(depth_high=1000.0, phi_high=2.0, alpha=1.0)
+        for t in range(10):
+            c.note_completion(float(t))
+        # same silence as the phi test above, but nothing outstanding:
+        # an idle backend is silent because it is idle
+        assert c.observe(60.0, 0, busy=False) == NORMAL
+
+    def test_shedding_induced_silence_cannot_latch_brownout(self):
+        c = BrownoutController(depth_high=1000.0, phi_high=2.0, alpha=1.0,
+                               cooldown=2)
+        for t in range(10):
+            c.note_completion(float(t))
+        assert c.observe(60.0, 0, busy=True) == BROWNOUT  # stalled while busy
+        # the shed writes stopped the completion heartbeat; once the
+        # backend has drained, that silence is self-inflicted and must
+        # not keep the controller hot
+        c.observe(61.0, 0, busy=False)
+        assert c.observe(62.0, 0, busy=False) == NORMAL
+
+    def test_counters_and_mode_name(self):
+        c = BrownoutController(depth_high=10.0, alpha=1.0, cooldown=1,
+                               depth_low=2.0)
+        c.observe(0.0, 15)
+        c.observe(1.0, 0)
+        assert (c.brownout_entries, c.recoveries) == (1, 1)
+        assert c.mode_name == "normal"
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BrownoutController(depth_high=0.0)
+        with pytest.raises(ConfigurationError):
+            BrownoutController(depth_high=10.0, depth_low=20.0)
+        with pytest.raises(ConfigurationError):
+            BrownoutController(depth_high=10.0, open_factor=1.0)
+        with pytest.raises(ConfigurationError):
+            BrownoutController(depth_high=10.0, cooldown=0)

@@ -1,0 +1,254 @@
+"""Tests for the overload soak harness: the planted metastable retry
+storm, the answer-contract auditor, and the two experiment arms."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError, PropertyViolation
+from repro.faults.chaos import chaos_sweep, make_schedule, run_chaos
+from repro.service.soak import (
+    PlantedBurstGST,
+    ServiceLivenessAuditor,
+    protected_profile,
+    storm_adversary,
+    unprotected_profile,
+)
+from repro.sim.trace import TraceEvent
+
+QUICK_SEEDS = (0, 1)
+
+
+# ---------------------------------------------------------------------------
+# The planted trigger
+# ---------------------------------------------------------------------------
+
+
+class TestPlantedBurstGST:
+    def _quiet(self, gst, **kw):
+        return PlantedBurstGST(
+            n=8, gst=gst, drop_probability=0.0, dup_probability=0.0,
+            straggler_probability=0.0, n_bursts=0, n_partitions=0, **kw,
+        )
+
+    def test_burst_placed_relative_to_gst(self):
+        adv = self._quiet(100.0, burst_len=28.0, burst_gap=2.0)
+        assert adv.planted.start == pytest.approx(70.0)
+        assert adv.planted.end == pytest.approx(98.0)
+        assert adv.planted.drop == 1.0
+        assert adv.planted in adv.bursts
+
+    def test_burst_clamped_at_time_zero(self):
+        adv = self._quiet(10.0, burst_len=28.0, burst_gap=2.0)
+        assert adv.planted.start == 0.0
+        assert adv.planted.end == pytest.approx(8.0)
+
+    def test_burst_survives_bind(self):
+        # windows regenerate at bind(); a burst appended after construction
+        # would be erased — the planted one must persist
+        adv = self._quiet(100.0)
+        adv.bind(random.Random(7))
+        assert adv.planted in adv.bursts
+
+    def test_storm_adversary_is_quiet_except_the_trigger(self):
+        adv = storm_adversary(36, gst=120.0, delta=1.0)
+        adv.bind(random.Random(3))
+        assert adv.bursts == (adv.planted,)
+        assert adv.partitions == ()
+        assert adv.drop_probability == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            self._quiet(100.0, burst_len=0.0)
+        with pytest.raises(ConfigurationError):
+            self._quiet(100.0, burst_gap=-1.0)
+        with pytest.raises(ConfigurationError):
+            # gst - gap leaves an empty window
+            self._quiet(2.0, burst_len=5.0, burst_gap=2.0)
+
+
+# ---------------------------------------------------------------------------
+# Answer-contract auditor
+# ---------------------------------------------------------------------------
+
+
+def _ev(index, time, pid, **fields):
+    return TraceEvent(index=index, time=time, kind="custom", pid=pid,
+                      fields=fields)
+
+
+class TestServiceLivenessAuditor:
+    def _auditor(self, **kw):
+        kw.setdefault("gst", 10.0)
+        kw.setdefault("bound", 50.0)
+        kw.setdefault("tenants", [5, 6])
+        kw.setdefault("ingress", 4)
+        return ServiceLivenessAuditor(**kw)
+
+    def test_completion_satisfies(self):
+        aud = self._auditor()
+        aud.on_event(_ev(0, 0.0, 5, event="svc_sent", req_id=1))
+        aud.on_event(_ev(1, 30.0, 5, event="svc_done", req_id=1))
+        report = aud.finish(end_time=600.0)
+        assert report.ok
+        assert (report.obligations_armed, report.obligations_satisfied) == (1, 1)
+
+    def test_typed_rejection_is_an_answer(self):
+        # graceful degradation: a reject recorded AT THE INGRESS discharges
+        # the tenant's obligation
+        aud = self._auditor()
+        aud.on_event(_ev(0, 20.0, 6, event="svc_sent", req_id=3))
+        aud.on_event(_ev(1, 21.0, 4, event="svc_reject", tenant=6, req_id=3,
+                         reason="queue_full"))
+        assert aud.finish(end_time=600.0).ok
+        assert aud.satisfied == 1
+
+    def test_budgeted_abandonment_is_an_answer(self):
+        aud = self._auditor()
+        aud.on_event(_ev(0, 20.0, 5, event="svc_sent", req_id=2))
+        aud.on_event(_ev(1, 40.0, 5, event="svc_failed", req_id=2))
+        assert aud.finish(end_time=600.0).ok
+
+    def test_limbo_past_the_bound_is_convicted(self):
+        # sent pre-GST: deadline is gst + bound, and expiry is detected as
+        # the clock passes it mid-stream
+        aud = self._auditor()
+        aud.on_event(_ev(0, 0.0, 5, event="svc_sent", req_id=1))
+        aud.on_event(_ev(1, 61.0, 6, event="svc_sent", req_id=9))
+        assert len(aud.online_violations) == 1
+        report = aud.finish(end_time=600.0)
+        assert not report.ok
+        assert "tenant 5" in report.violations[0]
+
+    def test_fail_fast_raises_at_expiry(self):
+        aud = self._auditor(fail_fast=True)
+        aud.on_event(_ev(0, 0.0, 5, event="svc_sent", req_id=1))
+        with pytest.raises(PropertyViolation):
+            aud.on_event(_ev(1, 61.0, 6, event="svc_sent", req_id=9))
+
+    def test_run_ending_before_deadline_is_unresolved_not_violated(self):
+        aud = self._auditor()
+        aud.on_event(_ev(0, 55.0, 5, event="svc_sent", req_id=1))
+        report = aud.finish(end_time=60.0)  # deadline is 105
+        assert report.ok
+        assert len(report.unresolved) == 1
+
+    def test_foreign_pids_ignored(self):
+        aud = self._auditor()
+        aud.on_event(_ev(0, 0.0, 99, event="svc_sent", req_id=1))
+        aud.on_event(_ev(1, 1.0, 5, event="svc_reject", tenant=5, req_id=1))
+        assert (aud.armed, aud.satisfied) == (0, 0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            self._auditor(bound=0.0)
+
+
+# ---------------------------------------------------------------------------
+# Profiles
+# ---------------------------------------------------------------------------
+
+
+class TestProfiles:
+    def test_protected_enables_every_policy(self):
+        ingress = protected_profile().make_ingress(range(3))
+        assert ingress.queue.maxlen is not None
+        assert ingress.bucket is not None
+        assert ingress.fair is not None
+        assert ingress.codel is not None
+        assert ingress.brownout is not None
+
+    def test_unprotected_disables_every_policy(self):
+        ingress = unprotected_profile().make_ingress(range(3))
+        assert ingress.queue.maxlen is None
+        assert ingress.bucket is None
+        assert ingress.fair is None
+        assert ingress.codel is None
+        assert ingress.brownout is None
+
+    def test_tenant_policy_factories_yield_fresh_instances(self):
+        kwargs = protected_profile().tenant_kwargs()
+        assert kwargs["timeout_policy"]() is not kwargs["timeout_policy"]()
+        assert kwargs["retry_budget"]() is not kwargs["retry_budget"]()
+        assert kwargs["honor_backpressure"]
+
+    def test_unprotected_tenants_have_no_budget(self):
+        kwargs = unprotected_profile().tenant_kwargs()
+        assert "retry_budget" not in kwargs
+        assert not kwargs["honor_backpressure"]
+
+    def test_overrides(self):
+        assert protected_profile(queue_limit=7).queue_limit == 7
+        assert unprotected_profile().name == "unprotected"
+
+
+# ---------------------------------------------------------------------------
+# The storm fixture: both arms, every quick seed
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def storm_results():
+    return {
+        (seed, prot): run_chaos("service-storm", seed=seed, protected=prot)
+        for seed in QUICK_SEEDS
+        for prot in (True, False)
+    }
+
+
+class TestStormFixture:
+    def test_protected_arm_recovers_on_every_quick_seed(self, storm_results):
+        for seed in QUICK_SEEDS:
+            r = storm_results[(seed, True)]
+            assert r.ok, (seed, r.violations, r.liveness_violations)
+            assert r.protocol == "service-storm"
+            assert "arm=protected" in r.schedule
+
+    def test_unprotected_arm_convicted_on_every_quick_seed(self, storm_results):
+        for seed in QUICK_SEEDS:
+            r = storm_results[(seed, False)]
+            assert not r.ok, seed
+            # the collapse is a LIVENESS failure; consensus safety holds
+            # even mid-storm
+            assert r.liveness_violations, seed
+            assert not r.violations, (seed, r.violations)
+            assert "reached no terminal outcome" in r.liveness_violations[0]
+
+    def test_collapse_halves_goodput(self, storm_results):
+        for seed in QUICK_SEEDS:
+            done_p = storm_results[(seed, True)].stats["service"]["completed"]
+            done_u = storm_results[(seed, False)].stats["service"]["completed"]
+            assert done_p > 1.8 * done_u, (seed, done_p, done_u)
+
+    def test_service_stats_exported(self, storm_results):
+        svc = storm_results[(QUICK_SEEDS[0], True)].stats["service"]
+        for key in ("completed", "admitted", "dispatched"):
+            assert key in svc
+
+    def test_bit_identical_replay(self, storm_results):
+        again = run_chaos("service-storm", seed=QUICK_SEEDS[0], protected=True)
+        first = storm_results[(QUICK_SEEDS[0], True)]
+        assert again.ok == first.ok
+        assert again.stats == first.stats
+        assert again.schedule == first.schedule
+
+
+# ---------------------------------------------------------------------------
+# Generic composed chaos against the protected service
+# ---------------------------------------------------------------------------
+
+
+class TestGenericServiceChaos:
+    def test_composed_faults_do_not_break_the_answer_contract(self):
+        for seed in (3, 4):
+            r = run_chaos("service", seed=seed)
+            assert r.ok, (seed, r.violations, r.liveness_violations)
+            assert r.protocol == "service"
+
+    def test_sweep_serial_parallel_bit_identity(self):
+        serial = chaos_sweep(["service"], seeds=range(2))
+        parallel = chaos_sweep(["service"], seeds=range(2), workers=2)
+        assert [r.stats for r in serial] == [r.stats for r in parallel]
+        assert [r.ok for r in serial] == [r.ok for r in parallel]

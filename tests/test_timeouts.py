@@ -8,8 +8,11 @@ from repro.errors import ConfigurationError
 from repro.faults.timeouts import (
     AdaptiveTimeout,
     FixedTimeout,
+    JitteredPolicy,
+    RetryBudget,
     RttEstimator,
     TimeoutPolicy,
+    derive_jitter_rng,
     make_policy_factory,
 )
 
@@ -134,3 +137,92 @@ class TestPolicyFactory:
     def test_unknown_kind_rejected(self):
         with pytest.raises(ConfigurationError):
             make_policy_factory("magic", base=1.0)
+
+
+class TestRetryBudget:
+    def test_reserve_spends_then_exhausts(self):
+        budget = RetryBudget(ratio=0.0, min_reserve=2.0)
+        assert budget.try_spend()
+        assert budget.try_spend()
+        assert not budget.try_spend()
+        assert (budget.retries_granted, budget.retries_denied) == (2, 1)
+
+    def test_sends_deposit_ratio_tokens(self):
+        budget = RetryBudget(ratio=0.1, min_reserve=0.0)
+        assert not budget.try_spend()  # empty reserve
+        for _ in range(11):  # 11, not 10: 10 * 0.1 sums to just under 1.0
+            budget.note_send()
+        assert budget.tokens == pytest.approx(1.1)
+        assert budget.try_spend()
+        assert not budget.try_spend()
+
+    def test_amplification_bounded_by_ratio(self):
+        # whatever the failure pattern, retries <= ratio * sends + reserve
+        budget = RetryBudget(ratio=0.1, min_reserve=3.0)
+        sends = 200
+        retries = 0
+        for _ in range(sends):
+            budget.note_send()
+            while budget.try_spend():  # adversarial: retry whenever allowed
+                retries += 1
+        assert retries <= 0.1 * sends + 3.0
+
+    def test_tokens_capped_at_max(self):
+        budget = RetryBudget(ratio=1.0, min_reserve=0.0, max_tokens=5.0)
+        for _ in range(50):
+            budget.note_send()
+        assert budget.tokens == 5.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryBudget(ratio=-0.1)
+        with pytest.raises(ConfigurationError):
+            RetryBudget(min_reserve=-1.0)
+        with pytest.raises(ConfigurationError):
+            RetryBudget(min_reserve=5.0, max_tokens=4.0)
+
+
+class TestJitteredPolicy:
+    def test_jitter_stays_in_multiplicative_band(self):
+        policy = JitteredPolicy(
+            FixedTimeout(10.0), derive_jitter_rng(0, "t"), jitter=0.5
+        )
+        for _ in range(100):
+            assert 10.0 <= policy.current() <= 15.0
+
+    def test_seed_deterministic_draws(self):
+        draws = [
+            [
+                JitteredPolicy(
+                    FixedTimeout(10.0), derive_jitter_rng(7, "pid", 3)
+                ).current()
+                for _ in range(5)
+            ]
+            for _ in range(2)
+        ]
+        assert draws[0] == draws[1]
+
+    def test_escalation_passes_through_to_inner(self):
+        inner = FixedTimeout(1.0, backoff=2.0, max_timeout=100.0)
+        policy = JitteredPolicy(inner, derive_jitter_rng(0), jitter=0.0)
+        policy.escalate()
+        assert policy.current() == pytest.approx(2.0)
+        policy.note_progress()
+        assert policy.current() == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            JitteredPolicy(FixedTimeout(1.0), derive_jitter_rng(0), jitter=-1.0)
+
+
+class TestDeriveJitterRng:
+    def test_same_material_same_stream(self):
+        a = derive_jitter_rng(42, "pid", 5)
+        b = derive_jitter_rng(42, "pid", 5)
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_labels_and_seed_separate_streams(self):
+        base = derive_jitter_rng(42, "pid", 5).random()
+        assert derive_jitter_rng(43, "pid", 5).random() != base
+        assert derive_jitter_rng(42, "pid", 6).random() != base
+        assert derive_jitter_rng(42, "tenant", 5).random() != base
