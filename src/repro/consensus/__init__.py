@@ -14,7 +14,9 @@ round. Components:
 """
 
 from .apps import APP_FACTORIES, BankApp, CounterApp, KVStoreApp, StateMachine, make_app
+from .batching import AdaptiveBatchPolicy, FixedBatchPolicy, make_batch_policy
 from .client import BFTClient
+from .dedup import ClientDedup
 from .enclave_usig import EnclaveUI, EnclaveUSIG, EnclaveUSIGVerifier, usig_program
 from .harness import build_minbft_system, build_pbft_system, default_workload
 from .minbft import MinBFTReplica
@@ -33,9 +35,12 @@ from .viewchange import LogEntry, SlotCandidate, compute_reproposals, verify_log
 
 __all__ = [
     "APP_FACTORIES",
+    "AdaptiveBatchPolicy",
     "BFTClient",
     "BankApp",
+    "ClientDedup",
     "CounterApp",
+    "FixedBatchPolicy",
     "EnclaveUI",
     "EnclaveUSIG",
     "EnclaveUSIGVerifier",
@@ -61,6 +66,7 @@ __all__ = [
     "compute_reproposals",
     "default_workload",
     "make_app",
+    "make_batch_policy",
     "usig_program",
     "verify_log",
 ]

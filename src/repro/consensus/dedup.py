@@ -1,0 +1,155 @@
+"""Bounded per-client request deduplication for replicated state machines.
+
+The classic BFT client cache — "remember the latest ``(req_id, reply)``
+per client" — silently assumes one outstanding request per client: it
+treats any ``req_id`` at or below the latest executed one as already
+answered. A *multi-outstanding* client (the pipelined load harness keeps
+N requests in flight) breaks that assumption: request 6 can be ordered
+and executed before request 5 is even proposed, and a latest-only cache
+would then swallow request 5 as a "retransmission of an answered
+request" — a liveness bug, not a safety one, but a fatal one for an
+open-loop workload.
+
+The naive fix — an ever-growing ``set`` of executed ``(client, req_id)``
+keys — is what the replicas shipped until now, and it makes replica
+memory O(total requests), which 10^5–10^6-request sweeps cannot afford.
+
+:class:`ClientDedup` is the bounded middle ground, per client:
+
+- a **watermark** ``w``: every ``req_id <= w`` is known-executed;
+- an **out-of-order window**: the set of executed ``req_id > w``. When
+  execution fills the gap the watermark advances and the set drains, so
+  under in-order execution (any closed-loop client) the set is empty and
+  memory is O(1) per client. A client with N outstanding requests can
+  keep at most ~N entries here.
+- a **bounded reply cache** of the most recent ``reply_window`` results,
+  for answering retransmissions of already-executed requests. Older
+  replies are evicted; a retransmission of an evicted request is dropped
+  (its client got a quorum of replies ``reply_window`` executions ago).
+
+A permanently abandoned request (client gave its retries up) would pin
+the watermark forever, so the out-of-order window is itself capped at
+``gap_limit``: beyond it the watermark force-advances over the oldest
+gap. The force-advance marks the gap's ``req_id`` executed without an
+execution — safe (at worst a very late straggler request is dropped,
+never double-applied) and deterministic (a pure function of the executed
+history, so all correct replicas force-advance identically).
+
+Everything here is part of the checkpoint state: :meth:`snapshot` /
+:meth:`restore` round-trip the full structure deterministically so
+state-transfer blobs hash identically across replicas at the same
+execution point.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+from ..errors import ConfigurationError
+from ..types import ProcessId
+
+MISSING = object()
+"""Sentinel for "executed, but the reply was evicted"."""
+
+
+class ClientDedup:
+    """Bounded executed-request memory + reply cache, keyed by client."""
+
+    __slots__ = ("reply_window", "gap_limit", "_watermark", "_above", "_replies")
+
+    def __init__(self, reply_window: int = 8, gap_limit: int = 64) -> None:
+        if reply_window < 1:
+            raise ConfigurationError(
+                f"reply_window must be >= 1, got {reply_window}"
+            )
+        if gap_limit < 1:
+            raise ConfigurationError(f"gap_limit must be >= 1, got {gap_limit}")
+        self.reply_window = reply_window
+        self.gap_limit = gap_limit
+        self._watermark: dict[ProcessId, int] = {}
+        self._above: dict[ProcessId, set[int]] = {}
+        # insertion-ordered (execution-ordered) req_id -> result, bounded
+        self._replies: dict[ProcessId, dict[int, Any]] = {}
+
+    # -- queries -----------------------------------------------------------
+
+    def executed(self, client: ProcessId, req_id: int) -> bool:
+        """Whether ``(client, req_id)`` was executed (or force-advanced over)."""
+        if req_id <= self._watermark.get(client, 0):
+            return True
+        return req_id in self._above.get(client, ())
+
+    def reply(self, client: ProcessId, req_id: int) -> Any:
+        """The cached result for an executed request, or :data:`MISSING`."""
+        return self._replies.get(client, {}).get(req_id, MISSING)
+
+    def latest(self, client: ProcessId) -> Optional[tuple[int, Any]]:
+        """Most recently executed ``(req_id, result)`` for ``client``."""
+        replies = self._replies.get(client)
+        if not replies:
+            return None
+        req_id = next(reversed(replies))
+        return req_id, replies[req_id]
+
+    def size(self) -> int:
+        """Total entries held — the quantity the soak tests bound."""
+        return (
+            len(self._watermark)
+            + sum(len(s) for s in self._above.values())
+            + sum(len(r) for r in self._replies.values())
+        )
+
+    def clients(self) -> Iterator[ProcessId]:
+        return iter(self._watermark)
+
+    # -- updates -----------------------------------------------------------
+
+    def record(self, client: ProcessId, req_id: int, result: Any) -> None:
+        """Mark ``(client, req_id)`` executed with ``result``."""
+        above = self._above.setdefault(client, set())
+        above.add(req_id)
+        w = self._watermark.setdefault(client, 0)
+        while w + 1 in above:
+            w += 1
+            above.discard(w)
+        # an abandoned request must not pin the window open forever:
+        # force-advance over the oldest gap once the window overflows
+        while len(above) > self.gap_limit:
+            w = min(above)
+            above.discard(w)
+        self._watermark[client] = w
+        replies = self._replies.setdefault(client, {})
+        replies[req_id] = result
+        while len(replies) > self.reply_window:
+            replies.pop(next(iter(replies)))
+
+    # -- checkpoint transfer ----------------------------------------------
+
+    def snapshot(self) -> tuple:
+        """Canonical, hashable image of the full structure.
+
+        Reply insertion order (= execution order) is part of the image:
+        it drives eviction, so restoring replicas must inherit it for
+        later snapshots to stay bit-identical across the group.
+        """
+        return tuple(
+            (
+                client,
+                self._watermark[client],
+                tuple(sorted(self._above.get(client, ()))),
+                tuple(self._replies.get(client, {}).items()),
+            )
+            for client in sorted(self._watermark)
+        )
+
+    def restore(self, snapshot: tuple) -> None:
+        """Install a :meth:`snapshot` image, replacing all current state."""
+        self._watermark = {}
+        self._above = {}
+        self._replies = {}
+        for client, watermark, above, replies in snapshot:
+            self._watermark[client] = watermark
+            if above:
+                self._above[client] = set(above)
+            if replies:
+                self._replies[client] = dict(replies)

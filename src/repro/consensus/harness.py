@@ -48,12 +48,23 @@ def build_minbft_system(
     trace_retention: Optional[int] = None,
     observers: Sequence[Any] = (),
     timeout_policy: Optional[Callable[[], Any]] = None,
+    replica_options: Optional[dict] = None,
+    client_options: Optional[dict] = None,
+    client_arrivals: Optional[Sequence[Sequence[tuple]]] = None,
 ) -> tuple[Simulation, list[MinBFTReplica], list[BFTClient]]:
     """A ready-to-run MinBFT deployment: n = 2f+1 replicas + clients.
 
     ``replica_factory(pid, **kwargs)`` substitutes custom (e.g. Byzantine)
     replicas for chosen pids; it receives the same keyword arguments as
     :class:`~repro.consensus.minbft.MinBFTReplica`.
+
+    ``replica_options`` forwards extra keyword arguments to every replica
+    (``checkpoint_interval``, ``window_size``, ``batching``,
+    ``batch_policy``, ...); ``client_options`` does the same for every
+    client (``max_outstanding``, ``retry_budget``, ...).
+    ``client_arrivals`` gives each client an open-loop arrival stream
+    (one ``[(t, op), ...]`` list per client, overriding ``workloads``) —
+    see :class:`~repro.consensus.client.BFTClient`.
 
     ``timeout_policy`` is a zero-argument factory (see
     :func:`~repro.faults.timeouts.make_policy_factory`); each replica and
@@ -91,6 +102,7 @@ def build_minbft_system(
             app=make_app(app),
             req_timeout=req_timeout,
             timeout_policy=timeout_policy,
+            **(replica_options or {}),
         )
         if replica_factory is not None:
             replicas.append(replica_factory(pid, **kwargs))
@@ -99,17 +111,22 @@ def build_minbft_system(
 
     clients: list[BFTClient] = []
     for c in range(n_clients):
-        ops = (
-            list(workloads[c])
-            if workloads is not None
-            else default_workload(c, ops_per_client, app)
-        )
+        if client_arrivals is not None:
+            ops: Sequence[tuple] = ()
+        elif workloads is not None:
+            ops = list(workloads[c])
+        else:
+            ops = default_workload(c, ops_per_client, app)
         client = BFTClient(
             replicas=range(n),
             reply_quorum=f + 1,
             ops=ops,
             retry_timeout=retry_timeout,
             timeout_policy=timeout_policy,
+            arrivals=(
+                client_arrivals[c] if client_arrivals is not None else None
+            ),
+            **(client_options or {}),
         )
         client.scheme = scheme
         client.signer = scheme.signer(n + c)
@@ -141,11 +158,15 @@ def build_pbft_system(
     trace_retention: Optional[int] = None,
     observers: Sequence[Any] = (),
     timeout_policy: Optional[Callable[[], Any]] = None,
+    replica_options: Optional[dict] = None,
+    client_options: Optional[dict] = None,
+    client_arrivals: Optional[Sequence[Sequence[tuple]]] = None,
 ) -> tuple[Simulation, list[PBFTReplica], list[BFTClient]]:
     """A ready-to-run PBFT deployment: n = 3f+1 replicas + clients.
 
-    ``timeout_policy`` is a zero-argument factory; see
-    :func:`build_minbft_system`.
+    ``timeout_policy`` is a zero-argument factory and ``replica_options``
+    / ``client_options`` / ``client_arrivals`` forward pipeline and
+    open-loop settings; see :func:`build_minbft_system`.
     """
     if f < 1:
         raise ConfigurationError(f"f must be >= 1, got {f}")
@@ -162,6 +183,7 @@ def build_pbft_system(
             app=make_app(app),
             req_timeout=req_timeout,
             timeout_policy=timeout_policy,
+            **(replica_options or {}),
         )
         if replica_factory is not None:
             replicas.append(replica_factory(pid, **kwargs))
@@ -170,17 +192,22 @@ def build_pbft_system(
 
     clients: list[BFTClient] = []
     for c in range(n_clients):
-        ops = (
-            list(workloads[c])
-            if workloads is not None
-            else default_workload(c, ops_per_client, app)
-        )
+        if client_arrivals is not None:
+            ops: Sequence[tuple] = ()
+        elif workloads is not None:
+            ops = list(workloads[c])
+        else:
+            ops = default_workload(c, ops_per_client, app)
         client = BFTClient(
             replicas=range(n),
             reply_quorum=f + 1,
             ops=ops,
             retry_timeout=retry_timeout,
             timeout_policy=timeout_policy,
+            arrivals=(
+                client_arrivals[c] if client_arrivals is not None else None
+            ),
+            **(client_options or {}),
         )
         client.scheme = scheme
         client.signer = scheme.signer(n + c)

@@ -45,6 +45,8 @@ from ..errors import ConfigurationError, SignatureError
 from ..sim.process import Process
 from ..types import ProcessId, SeqNum
 from .apps import StateMachine
+from .batching import PipelinedProposer
+from .dedup import MISSING, ClientDedup
 from .usig import UI, UIOrderEnforcer, USIG, USIGVerifier, ui_like
 from .viewchange import (
     LogEntry,
@@ -94,16 +96,23 @@ def request_domain(client: ProcessId, req_id: int, op: Any) -> tuple:
     return ("MINBFT-REQ", client, req_id, op)
 
 
-class MinBFTReplica(Process):
+class MinBFTReplica(PipelinedProposer, Process):
     """One MinBFT replica.
 
     Parameters: ``n`` replicas tolerate ``f = (n-1)//2`` Byzantine; the
     replica ids are ``0..n-1`` and clients live at higher pids. ``usig``
     is this replica's trusted component, ``verifier``/``scheme`` are the
     public verification roots shared by everyone.
+
+    ``window_size`` bounds the primary's in-flight slots (0 = unbounded,
+    the legacy behaviour); ``batch_policy`` selects the batch-sizing
+    policy (``None``/"fixed" = the legacy fixed ``batch_delay`` timer,
+    "adaptive" = EWMA pipeline-matching). See
+    :mod:`repro.consensus.batching`.
     """
 
     VC_TIMER = "minbft-vc"
+    BATCH_TAG = "minbft-batch"
     REQ_TIMEOUT = 60.0
 
     def __init__(
@@ -118,7 +127,11 @@ class MinBFTReplica(Process):
         checkpoint_interval: int = 0,
         batching: bool = False,
         batch_delay: float = 0.2,
+        batch_policy: Any = None,
+        window_size: int = 0,
         timeout_policy: Any = None,
+        reply_window: int = 8,
+        gap_limit: int = 64,
     ) -> None:
         super().__init__()
         if n < 3 or n % 2 == 0:
@@ -152,16 +165,14 @@ class MinBFTReplica(Process):
         # vote key -> set of replicas
         self._votes: dict[tuple, set[ProcessId]] = {}
         self._certified: dict[SeqNum, Any] = {}
-        self._executed_keys: set[tuple] = set()
         self._proposed_keys: set[tuple] = set()
-        self._client_cache: dict[ProcessId, tuple[int, Any]] = {}
+        # bounded executed-request memory + reply cache (replaces the old
+        # unbounded _executed_keys set and latest-only _client_cache, which
+        # a multi-outstanding client would race past)
+        self._dedup = ClientDedup(reply_window=reply_window, gap_limit=gap_limit)
         self._pending: dict[tuple, Any] = {}  # request_key -> request
         self._expected_reproposals: dict[SeqNum, Any] = {}
-        # batching: a slot carries all requests that accumulated during the
-        # batch window (batch_delay of virtual time after the first arrival)
-        self.batching = batching
-        self.batch_delay = batch_delay
-        self._batch_timer: Optional[int] = None
+        self._init_pipeline(batching, batch_policy, batch_delay, window_size)
         # checkpointing / garbage collection
         self.checkpoint_interval = checkpoint_interval
         self._ckpt_votes: dict[tuple, dict[ProcessId, tuple]] = {}
@@ -198,6 +209,7 @@ class MinBFTReplica(Process):
         # and remember which incarnation armed our timers.
         self._vc_timer = None
         self._batch_timer = None
+        self._batch_stalled = False
         self._started_incarnation = self.ctx.incarnation
         if self.ctx.incarnation > 0:
             self._request_resync()
@@ -261,16 +273,16 @@ class MinBFTReplica(Process):
             and self.scheme.verify(request_domain(client, req_id, op), sig)
         ):
             return
-        cached = self._client_cache.get(client)
-        if cached is not None and cached[0] >= req_id:
-            if cached[0] == req_id:  # retransmission of the answered request
-                self.ctx.send(client, (REPLY, self.pid, req_id, cached[1], self.view))
+        if self._dedup.executed(client, req_id):
+            result = self._dedup.reply(client, req_id)
+            if result is not MISSING:  # retransmission of an answered request
+                self.ctx.send(client, (REPLY, self.pid, req_id, result, self.view))
             return
         key = request_key(request)
-        if self._is_executed(key):
-            return
-        self._pending.setdefault(key, request)
-        self._pending_since.setdefault(key, self.ctx.now)
+        if key not in self._pending:
+            self._pending[key] = request
+            self._pending_since[key] = self.ctx.now
+            self.batch_policy.note_arrival(self.ctx.now)
         if self.is_primary:
             self._propose_pending()
         if self._vc_timer is None and self._pending:
@@ -278,29 +290,9 @@ class MinBFTReplica(Process):
                 self.timeout_policy.current(), self.VC_TIMER
             )
 
-    def _propose_pending(self) -> None:
-        if not self.is_primary:
-            return
-        fresh = [
-            (key, request)
-            for key, request in sorted(self._pending.items())
-            if key not in self._proposed_keys and not self._is_executed(key)
-        ]
-        if not fresh:
-            return
-        if self.batching:
-            # open (or keep) a batch window; the timer flushes it
-            if self._batch_timer is None:
-                self._batch_timer = self.ctx.set_timer(
-                    self.batch_delay, "minbft-batch"
-                )
-            return
-        else:
-            for key, request in fresh:
-                seq = self.next_seq
-                self.next_seq += 1
-                self._proposed_keys.add(key)
-                self._usig_broadcast((PREPARE, self.view, seq, request))
+    def _emit_slot(self, seq: SeqNum, proposal: Any) -> None:
+        """PipelinedProposer hook: one assigned slot onto the wire."""
+        self._usig_broadcast((PREPARE, self.view, seq, proposal))
 
     # -- USIG-ordered processing -----------------------------------------------------------
 
@@ -421,7 +413,11 @@ class MinBFTReplica(Process):
         key = (view, seq, prepare_ui.counter, content_hash(request))
         voters = self._votes.setdefault(key, set())
         voters.add(replica)
-        if len(voters) >= self.f + 1 and seq not in self._certified:
+        if (
+            len(voters) >= self.f + 1
+            and seq >= self.exec_next  # executed slots leave _certified
+            and seq not in self._certified
+        ):
             self._certified[seq] = request
             self._execute_ready()
 
@@ -429,32 +425,33 @@ class MinBFTReplica(Process):
 
     def _is_executed(self, key: tuple) -> bool:
         """Whether (client, req_id) was executed — directly or via a
-        checkpoint fast-forward (the client cache survives transfer)."""
-        if key in self._executed_keys:
-            return True
-        cached = self._client_cache.get(key[0])
-        return cached is not None and cached[0] >= key[1]
+        checkpoint fast-forward (the dedup structure survives transfer)."""
+        return self._dedup.executed(key[0], key[1])
 
     def _execute_ready(self) -> None:
         executed_any = False
+        exec_start = self.exec_next
         while self.exec_next in self._certified:
             seq = self.exec_next
             proposal = self._certified[seq]
+            requests = proposal_requests(proposal)
             slot_applied = False
-            for request in proposal_requests(proposal):
+            for request in requests:
                 _, client, req_id, op, _sig = request
                 key = request_key(request)
                 if self._is_executed(key):
                     continue
                 result = self.app.apply(op)
-                self._executed_keys.add(key)
-                self._client_cache[client] = (req_id, result)
+                self._dedup.record(client, req_id, result)
                 self._pending.pop(key, None)
                 since = self._pending_since.pop(key, None)
                 if since is not None:
                     # arrival-to-execution latency is the "round trip" the
-                    # view-change timer actually waits on
-                    self.timeout_policy.observe(self.ctx.now - since)
+                    # view-change timer actually waits on — and the horizon
+                    # the adaptive batch policy sizes its cap against
+                    latency = self.ctx.now - since
+                    self.timeout_policy.observe(latency)
+                    self.batch_policy.note_commit(latency, len(requests))
                 executed_any = True
                 self.commits_executed += 1
                 self.ctx.record(
@@ -470,8 +467,10 @@ class MinBFTReplica(Process):
                 # batched before the dedup caches catch up); the slot is
                 # ordered but a no-op — record it so stream auditors can
                 # tell a benign hole from a lost slot
+                self.noop_slots += 1
                 self.ctx.record("custom", event="execute_noop", seq=seq)
             self.exec_next = seq + 1
+            del self._certified[seq]
             if (
                 self.checkpoint_interval
                 and seq % self.checkpoint_interval == 0
@@ -482,6 +481,10 @@ class MinBFTReplica(Process):
         if not self._pending and self._vc_timer is not None:
             self.ctx.cancel_timer(self._vc_timer)
             self._vc_timer = None
+        if self.exec_next != exec_start:
+            # execution progress moved the window base: stalled proposals
+            # (and stalled batch flushes) may proceed now
+            self._pipeline_resume()
 
     # -- checkpointing / log garbage collection ------------------------------------------
 
@@ -490,7 +493,7 @@ class MinBFTReplica(Process):
         return (
             "CKPT-STATE",
             self.app.snapshot(),
-            tuple(sorted(self._client_cache.items())),
+            self._dedup.snapshot(),
             self.exec_next,
         )
 
@@ -532,13 +535,54 @@ class MinBFTReplica(Process):
         self._log_base = my_counter
         # older checkpoint bookkeeping can go too
         self._ckpt_states = {s: b for s, b in self._ckpt_states.items() if s >= seq}
+        # per-slot protocol state at or below the stable checkpoint is
+        # settled: f+1 replicas attest to the executed prefix, so the
+        # accepted-prepare / vote / certificate maps for those slots can
+        # never be consulted again. Pruning here (plus _certified draining
+        # at execution) is what bounds replica memory by
+        # checkpoint_interval + window instead of O(total requests).
+        self._accepted = {s: v for s, v in self._accepted.items() if s > seq}
+        self._votes = {k: v for k, v in self._votes.items() if k[1] > seq}
+        self._certified = {
+            s: r for s, r in self._certified.items() if s >= self.exec_next
+        }
+        self._ckpt_votes = {
+            k: v for k, v in self._ckpt_votes.items() if k[0] > seq
+        }
+        self._expected_reproposals = {
+            s: r for s, r in self._expected_reproposals.items() if s > seq
+        }
+        self._proposed_keys = {
+            k for k in self._proposed_keys if not self._is_executed(k)
+        }
         self.ctx.record(
             "custom", event="checkpoint_stable", seq=seq,
             log_base=my_counter,
         )
+        # a stabilized checkpoint moves the window's low watermark
+        self._pipeline_resume()
 
     def on_execute(self, seq: SeqNum, request: Any, result: Any) -> None:
         """Hook: called once per locally executed slot (adapters override)."""
+
+    def slot_state_size(self) -> int:
+        """Total per-slot/per-request entries this replica holds.
+
+        The 10^5-request soak asserts this stays bounded by the checkpoint
+        interval + window (+ per-client O(1) dedup state), not by total
+        requests served.
+        """
+        return (
+            len(self._accepted)
+            + sum(len(v) for v in self._votes.values())
+            + len(self._certified)
+            + len(self._proposed_keys)
+            + len(self._ckpt_states)
+            + len(self._ckpt_votes)
+            + len(self._pending)
+            + len(self.sent_log)
+            + self._dedup.size()
+        )
 
     # -- crash-recovery resync ---------------------------------------------------------------
     #
@@ -651,32 +695,14 @@ class MinBFTReplica(Process):
 
     # -- view change -------------------------------------------------------------------------
 
-    def _flush_batch(self) -> None:
-        self._batch_timer = None
-        if not self.is_primary:
-            return
-        fresh = [
-            (key, request)
-            for key, request in sorted(self._pending.items())
-            if key not in self._proposed_keys and not self._is_executed(key)
-        ]
-        if not fresh:
-            return
-        seq = self.next_seq
-        self.next_seq += 1
-        for key, _request in fresh:
-            self._proposed_keys.add(key)
-        batch = ("BATCH", *(request for _key, request in fresh))
-        self._usig_broadcast((PREPARE, self.view, seq, batch))
-
     def on_timer(self, tag: Any) -> None:
         if (
             self._started_incarnation is not None
             and self.ctx.incarnation != self._started_incarnation
         ):
             return  # a previous incarnation armed this timer
-        if tag == "minbft-batch":
-            self._flush_batch()
+        if tag == self.BATCH_TAG:
+            self._on_batch_timer()
             return
         if tag != self.VC_TIMER:
             return
@@ -863,9 +889,9 @@ class MinBFTReplica(Process):
         """Install a certified checkpoint state we fell behind of."""
         if blob is None or stable_seq < self.exec_next:
             return
-        _tag, snapshot, cache_items, exec_next = blob
+        _tag, snapshot, dedup_image, exec_next = blob
         self.app.restore(snapshot)
-        self._client_cache = dict(cache_items)
+        self._dedup.restore(dedup_image)
         self.exec_next = exec_next
         self._certified = {
             s: r for s, r in self._certified.items() if s >= exec_next
@@ -881,6 +907,7 @@ class MinBFTReplica(Process):
             exec_next=exec_next,
         )
         self._execute_ready()
+        self._pipeline_resume()  # the transfer itself moved the window base
 
     def _adopt_view(self, new_view: int, reproposals: dict[SeqNum, Any],
                     stable_seq: SeqNum = 0, stable_blob: Any = None) -> None:
@@ -906,6 +933,7 @@ class MinBFTReplica(Process):
             # the new one with a stale timer
             self.ctx.cancel_timer(self._batch_timer)
             self._batch_timer = None
+        self._batch_stalled = False
         if self._pending:
             self._vc_timer = self.ctx.set_timer(
                 self.timeout_policy.current(), self.VC_TIMER

@@ -13,6 +13,16 @@ checkpoint, chosen by highest view), and classic checkpointing: 2f+1
 matching CHECKPOINT messages form a stable certificate that garbage-
 collects per-slot state and, piggybacked on VIEW-CHANGE, fast-forwards
 replicas that fell behind the low watermark.
+
+State transfer is proactive, not view-change-only: a replica that holds
+a 2f+1 checkpoint certificate for a sequence number at or above its own
+execution frontier is provably behind and fetches the certified blob
+directly from the voters (GET-STATE/STATE). The blob needs no signature
+of its own — it must hash to the digest the certificate already pins.
+Without this path a replica wedged behind an execution hole (e.g. one
+that missed a slot across a view change) can only catch up via the next
+NEW-VIEW, and if its peers are idle that view change never completes:
+its view-change timer re-arms forever against a non-empty pending set.
 """
 
 from __future__ import annotations
@@ -25,7 +35,15 @@ from ..errors import ConfigurationError
 from ..sim.process import Process
 from ..types import ProcessId, SeqNum
 from .apps import StateMachine
-from .minbft import REPLY, REQUEST, request_domain
+from .batching import PipelinedProposer
+from .dedup import MISSING, ClientDedup
+from .minbft import (
+    REPLY,
+    REQUEST,
+    proposal_requests,
+    request_domain,
+    request_key,
+)
 
 PRE_PREPARE = "PBFT-PRE-PREPARE"
 PREPARE = "PBFT-PREPARE"
@@ -33,6 +51,21 @@ COMMIT = "PBFT-COMMIT"
 VIEW_CHANGE = "PBFT-VIEW-CHANGE"
 NEW_VIEW = "PBFT-NEW-VIEW"
 CHECKPOINT = "PBFT-CHECKPOINT"
+GET_STATE = "PBFT-GET-STATE"
+STATE = "PBFT-STATE"
+
+#: NEW-VIEW gap filler (Castro & Liskov §4.4): a sequence number between
+#: the stable checkpoint and the highest prepared slot that no VIEW-CHANGE
+#: in the bundle carries a prepared certificate for cannot have committed
+#: anywhere (committed => prepared at 2f+1 => at least one of any 2f+1
+#: VIEW-CHANGEs shows it), so the new primary re-proposes a null request
+#: there and in-order execution steps over the hole as a no-op.
+NULL_REQUEST = ("PBFT-NULL",)
+
+
+def _proposal_reqs(proposal: Any) -> list:
+    """Client requests inside a slot proposal; the null filler has none."""
+    return [] if proposal == NULL_REQUEST else proposal_requests(proposal)
 
 
 def pp_domain(view: int, seq: SeqNum, digest: bytes) -> tuple:
@@ -55,10 +88,21 @@ def ckpt_domain(seq: SeqNum, digest: bytes, replica: ProcessId) -> tuple:
     return ("PBFT-CKPT", seq, digest, replica)
 
 
-class PBFTReplica(Process):
-    """One PBFT replica (n = 3f+1, f = (n-1)//3)."""
+def gs_domain(seq: SeqNum, digest: bytes, replica: ProcessId) -> tuple:
+    return ("PBFT-GS", seq, digest, replica)
+
+
+class PBFTReplica(PipelinedProposer, Process):
+    """One PBFT replica (n = 3f+1, f = (n-1)//3).
+
+    ``window_size``/``batching``/``batch_policy`` drive the shared
+    pipelined proposal engine (:mod:`repro.consensus.batching`): slots may
+    carry ``("BATCH", *requests)`` proposals exactly as in MinBFT, with
+    the PRE-PREPARE signed over the whole batch digest.
+    """
 
     VC_TIMER = "pbft-vc"
+    BATCH_TAG = "pbft-batch"
 
     def __init__(
         self,
@@ -68,7 +112,13 @@ class PBFTReplica(Process):
         app: StateMachine,
         req_timeout: float = 60.0,
         checkpoint_interval: int = 0,
+        batching: bool = False,
+        batch_delay: float = 0.2,
+        batch_policy: Any = None,
+        window_size: int = 0,
         timeout_policy: Any = None,
+        reply_window: int = 8,
+        gap_limit: int = 64,
     ) -> None:
         super().__init__()
         if n < 4 or (n - 1) % 3 != 0:
@@ -100,11 +150,13 @@ class PBFTReplica(Process):
         self._prepared_certs: dict[SeqNum, tuple] = {}  # best cert per slot
         self._commit_sent: set[tuple] = set()
         self._certified: dict[SeqNum, Any] = {}
-        self._requests: dict[bytes, Any] = {}  # digest -> request
-        self._executed_keys: set[tuple] = set()
+        self._requests: dict[bytes, Any] = {}  # digest -> slot proposal
         self._proposed_keys: set[tuple] = set()
-        self._client_cache: dict[ProcessId, tuple[int, Any]] = {}
+        # bounded executed-request memory + reply cache (replaces the old
+        # unbounded _executed_keys set and latest-only _client_cache)
+        self._dedup = ClientDedup(reply_window=reply_window, gap_limit=gap_limit)
         self._pending: dict[tuple, Any] = {}
+        self._init_pipeline(batching, batch_policy, batch_delay, window_size)
         # request arrival times feed the adaptive timeout's RTT estimator
         self._pending_since: dict[tuple, float] = {}
         self._vcs: dict[int, dict[ProcessId, Any]] = {}
@@ -118,9 +170,14 @@ class PBFTReplica(Process):
         self.stable_seq: SeqNum = 0
         self._stable_cert: tuple = ()
         self._stable_blob: Any = None
+        # proactive state transfer: highest seq we already asked for, so a
+        # growing vote set doesn't re-send per vote (retries go through the
+        # view-change timer, which forces past this guard)
+        self._state_requested: SeqNum = 0
         self.log_entries_gced = 0
         self.commits_executed = 0
         self.view_changes_completed = 0
+        self.state_transfers = 0
 
     # -- helpers -----------------------------------------------------------------
 
@@ -144,6 +201,23 @@ class PBFTReplica(Process):
             and self.scheme.verify(request_domain(client, req_id, op), sig)
         )
 
+    def _valid_proposal(self, proposal: Any) -> bool:
+        """One valid request, a non-empty BATCH of them with no duplicate
+        request keys (same slot-proposal shape as MinBFT), or the
+        NEW-VIEW null filler."""
+        if proposal == NULL_REQUEST:
+            return True
+        requests = proposal_requests(proposal)
+        if not requests:
+            return False
+        if not all(self._valid_request(r) for r in requests):
+            return False
+        keys = [request_key(r) for r in requests]
+        return len(keys) == len(set(keys))
+
+    def _is_executed(self, key: tuple) -> bool:
+        return self._dedup.executed(key[0], key[1])
+
     # -- dispatch -------------------------------------------------------------------
 
     def on_message(self, src: ProcessId, msg: Any) -> None:
@@ -160,6 +234,10 @@ class PBFTReplica(Process):
             self._on_commit(src, msg)
         elif kind == CHECKPOINT and len(msg) == 5:
             self._on_checkpoint(src, msg)
+        elif kind == GET_STATE and len(msg) == 5:
+            self._on_get_state(src, msg)
+        elif kind == STATE and len(msg) == 3:
+            self._on_state(src, msg)
         elif kind == VIEW_CHANGE and len(msg) == 8:
             self._on_view_change(src, msg)
         elif kind == NEW_VIEW and len(msg) == 5:
@@ -171,16 +249,16 @@ class PBFTReplica(Process):
         if not self._valid_request(request):
             return
         _, client, req_id, op, _sig = request
-        cached = self._client_cache.get(client)
-        if cached is not None and cached[0] >= req_id:
-            if cached[0] == req_id:
-                self.ctx.send(client, (REPLY, self.pid, req_id, cached[1], self.view))
+        if self._dedup.executed(client, req_id):
+            result = self._dedup.reply(client, req_id)
+            if result is not MISSING:
+                self.ctx.send(client, (REPLY, self.pid, req_id, result, self.view))
             return
         key = (client, req_id)
-        if key in self._executed_keys:
-            return
-        self._pending.setdefault(key, request)
-        self._pending_since.setdefault(key, self.ctx.now)
+        if key not in self._pending:
+            self._pending[key] = request
+            self._pending_since[key] = self.ctx.now
+            self.batch_policy.note_arrival(self.ctx.now)
         if self.is_primary:
             self._propose_pending()
         if self._vc_timer is None and self._pending:
@@ -188,20 +266,13 @@ class PBFTReplica(Process):
                 self.timeout_policy.current(), self.VC_TIMER
             )
 
-    def _propose_pending(self) -> None:
-        if not self.is_primary:
-            return
-        for key, request in sorted(self._pending.items()):
-            if key in self._proposed_keys or key in self._executed_keys:
-                continue
-            seq = self.next_seq
-            self.next_seq += 1
-            self._proposed_keys.add(key)
-            digest = content_hash(request)
-            sig = self.signer.sign(pp_domain(self.view, seq, digest))
-            self.ctx.broadcast(
-                (PRE_PREPARE, self.view, seq, request, sig), include_self=True
-            )
+    def _emit_slot(self, seq: SeqNum, proposal: Any) -> None:
+        """PipelinedProposer hook: one assigned slot onto the wire."""
+        digest = content_hash(proposal)
+        sig = self.signer.sign(pp_domain(self.view, seq, digest))
+        self.ctx.broadcast(
+            (PRE_PREPARE, self.view, seq, proposal, sig), include_self=True
+        )
 
     # -- three phases -------------------------------------------------------------------
 
@@ -215,7 +286,7 @@ class PBFTReplica(Process):
             return
         if src != self.primary_of(view):
             return
-        if not self._valid_request(request):
+        if not self._valid_proposal(request):
             return
         digest = content_hash(request)
         if not (
@@ -229,7 +300,8 @@ class PBFTReplica(Process):
             return  # equivocating primary: first pre-prepare wins locally
         self._accepted_pp[seq] = (view, digest, request)
         self._requests[digest] = request
-        self._proposed_keys.add((request[1], request[2]))
+        for req in _proposal_reqs(request):
+            self._proposed_keys.add(request_key(req))
         my_sig = self.signer.sign(prep_domain(view, seq, digest, self.pid))
         self.ctx.broadcast(
             (PREPARE, view, seq, digest, self.pid, my_sig), include_self=True
@@ -280,7 +352,11 @@ class PBFTReplica(Process):
         key = (view, seq, digest)
         commits = self._commits.setdefault(key, set())
         commits.add(src)
-        if len(commits) >= 2 * self.f + 1 and seq not in self._certified:
+        if (
+            len(commits) >= 2 * self.f + 1
+            and seq >= self.exec_next  # executed slots leave _certified
+            and seq not in self._certified
+        ):
             request = self._requests.get(digest)
             accepted = self._accepted_pp.get(seq)
             if request is None or accepted is None or accepted[1] != digest:
@@ -289,19 +365,25 @@ class PBFTReplica(Process):
             self._execute_ready()
 
     def _execute_ready(self) -> None:
+        exec_start = self.exec_next
         while self.exec_next in self._certified:
             seq = self.exec_next
-            request = self._certified[seq]
-            _, client, req_id, op, _sig = request
-            key = (client, req_id)
-            if key not in self._executed_keys:
+            proposal = self._certified[seq]
+            requests = _proposal_reqs(proposal)
+            slot_applied = False
+            for request in requests:
+                _, client, req_id, op, _sig = request
+                key = (client, req_id)
+                if self._is_executed(key):
+                    continue
                 result = self.app.apply(op)
-                self._executed_keys.add(key)
-                self._client_cache[client] = (req_id, result)
+                self._dedup.record(client, req_id, result)
                 self._pending.pop(key, None)
                 since = self._pending_since.pop(key, None)
                 if since is not None:
-                    self.timeout_policy.observe(self.ctx.now - since)
+                    latency = self.ctx.now - since
+                    self.timeout_policy.observe(latency)
+                    self.batch_policy.note_commit(latency, len(requests))
                 self.timeout_policy.note_progress()
                 self.commits_executed += 1
                 self.ctx.record(
@@ -309,17 +391,24 @@ class PBFTReplica(Process):
                     req_id=req_id, op=op, result=result,
                 )
                 self.ctx.send(client, (REPLY, self.pid, req_id, result, self.view))
-            else:
-                # duplicate of an already-applied request ordered into its
+                slot_applied = True
+            if not slot_applied:
+                # duplicates of already-applied requests ordered into their
                 # own slot: a no-op, recorded so stream auditors can tell a
                 # benign hole from a lost slot
+                self.noop_slots += 1
                 self.ctx.record("custom", event="execute_noop", seq=seq)
             self.exec_next = seq + 1
+            del self._certified[seq]
             if self.checkpoint_interval and seq % self.checkpoint_interval == 0:
                 self._emit_checkpoint(seq)
         if not self._pending and self._vc_timer is not None:
             self.ctx.cancel_timer(self._vc_timer)
             self._vc_timer = None
+        if self.exec_next != exec_start:
+            # execution progress moved the window base: stalled proposals
+            # (and stalled batch flushes) may proceed now
+            self._pipeline_resume()
 
     # -- checkpointing / garbage collection ------------------------------------------------
 
@@ -327,7 +416,7 @@ class PBFTReplica(Process):
         return (
             "PBFT-CKPT-STATE",
             self.app.snapshot(),
-            tuple(sorted(self._client_cache.items())),
+            self._dedup.snapshot(),
             self.exec_next,
         )
 
@@ -354,12 +443,14 @@ class PBFTReplica(Process):
             return
         votes = self._ckpt_votes.setdefault((seq, digest), {})
         votes.setdefault(src, sig)
-        if (
-            len(votes) >= 2 * self.f + 1
-            and seq > self.stable_seq
-            and self.pid in votes  # our own vote pins the blob we ship
-        ):
+        if len(votes) < 2 * self.f + 1 or seq <= self.stable_seq:
+            return
+        if self.pid in votes:  # our own vote pins the blob we ship
             self._stabilize(seq, digest, votes)
+        elif seq >= self.exec_next:
+            # a quorum certified a checkpoint we have not even executed:
+            # we are provably behind, fetch the certified state directly
+            self._request_state(seq, digest, votes)
 
     def _stabilize(self, seq: SeqNum, digest: bytes,
                    votes: dict[ProcessId, Signature]) -> None:
@@ -392,7 +483,129 @@ class PBFTReplica(Process):
             len(self._prepared_certs) + len(self._accepted_pp)
         )
         self._ckpt_blobs = {s: b for s, b in self._ckpt_blobs.items() if s >= seq}
+        # drop everything below the low watermark that the prunes above
+        # didn't already reach: commit-sent markers, checkpoint votes, the
+        # digest->proposal store (keep only digests still referenced by a
+        # live accepted pre-prepare or prepared certificate), and request
+        # keys settled by the checkpoint. This is what bounds replica
+        # memory by checkpoint_interval + window, not O(total requests).
+        self._commit_sent = {k for k in self._commit_sent if k[1] > seq}
+        self._ckpt_votes = {
+            k: v for k, v in self._ckpt_votes.items() if k[0] > seq
+        }
+        live = {a[1] for a in self._accepted_pp.values()} | {
+            c[1] for c in self._prepared_certs.values()
+        }
+        self._requests = {
+            d: r for d, r in self._requests.items() if d in live
+        }
+        self._proposed_keys = {
+            k for k in self._proposed_keys if not self._is_executed(k)
+        }
         self.ctx.record("custom", event="checkpoint_stable", seq=seq)
+        # a stabilized checkpoint moves the window's low watermark
+        self._pipeline_resume()
+
+    # -- proactive state transfer ----------------------------------------------------------
+
+    def _request_state(self, seq: SeqNum, digest: bytes,
+                       votes: dict[ProcessId, Signature],
+                       force: bool = False) -> None:
+        """Ask the checkpoint's voters for the blob behind a 2f+1-certified
+        digest at or above our execution frontier. Asked of every voter,
+        not f+1: a correct voter that stabilized a *later* checkpoint has
+        pruned this blob and stays silent, and at most f are faulty."""
+        if seq <= self._state_requested and not force:
+            return
+        self._state_requested = seq
+        sig = self.signer.sign(gs_domain(seq, digest, self.pid))
+        for r in sorted(votes):
+            if r != self.pid:
+                self.ctx.send(r, (GET_STATE, seq, digest, self.pid, sig))
+
+    def _on_get_state(self, src: ProcessId, msg: tuple) -> None:
+        _, seq, digest, replica, sig = msg
+        if replica != src or not isinstance(seq, int) or not isinstance(digest, bytes):
+            return
+        if not (
+            isinstance(sig, Signature)
+            and sig.signer == src
+            and self.scheme.verify(gs_domain(seq, digest, src), sig)
+        ):
+            return
+        blob = self._ckpt_blobs.get(seq)
+        if blob is not None and content_hash(blob) == digest:
+            self.ctx.send(src, (STATE, seq, blob))
+
+    def _on_state(self, src: ProcessId, msg: tuple) -> None:
+        """Install a fetched checkpoint blob. The sender is untrusted: the
+        blob is accepted only if it hashes to a digest we hold a local
+        2f+1 certificate for, exactly the check NEW-VIEW fast-forward
+        applies to blobs piggybacked on VIEW-CHANGE messages."""
+        _, seq, blob = msg
+        if not isinstance(seq, int) or seq < self.exec_next:
+            return  # already caught up past this checkpoint
+        try:
+            digest = content_hash(blob)
+        except Exception:
+            return
+        votes = self._ckpt_votes.get((seq, digest))
+        if votes is None or len(votes) < 2 * self.f + 1:
+            return  # no local certificate pins this blob
+        if not (
+            isinstance(blob, tuple) and len(blob) == 4
+            and blob[0] == "PBFT-CKPT-STATE" and isinstance(blob[3], int)
+        ):
+            return
+        _tag, snapshot, dedup_image, exec_next = blob
+        if exec_next <= self.exec_next:
+            return
+        self.app.restore(snapshot)
+        self._dedup.restore(dedup_image)
+        self.exec_next = exec_next
+        self.next_seq = max(self.next_seq, exec_next)
+        self._certified = {
+            s: r for s, r in self._certified.items() if s >= exec_next
+        }
+        self._pending = {
+            k: r for k, r in self._pending.items()
+            if not self._is_executed(k)
+        }
+        self._pending_since = {
+            k: t for k, t in self._pending_since.items()
+            if k in self._pending
+        }
+        self.state_transfers += 1
+        self.ctx.record(
+            "custom", event="state_transfer", stable_seq=seq,
+            exec_next=exec_next,
+        )
+        # adopt the checkpoint as our own: after the restore our state blob
+        # reproduces the certified digest bit-for-bit, so re-announcing it
+        # adds our vote to the certificate and stabilization (log GC, the
+        # window's low watermark) follows the normal _on_checkpoint path
+        self._emit_checkpoint(seq)
+        self._execute_ready()
+        self._pipeline_resume()
+
+    def _retry_state_fetch(self) -> bool:
+        """Re-send the best outstanding state request (view-change timer
+        path: covers a GET-STATE/STATE exchange lost to network faults
+        after the certificate already formed, when no further checkpoint
+        traffic will re-trigger the fetch)."""
+        best = None
+        for (seq, digest), votes in self._ckpt_votes.items():
+            if (
+                len(votes) >= 2 * self.f + 1
+                and seq >= self.exec_next
+                and self.pid not in votes
+                and (best is None or seq > best[0])
+            ):
+                best = (seq, digest, votes)
+        if best is None:
+            return False
+        self._request_state(*best, force=True)
+        return True
 
     @staticmethod
     def _validate_ckpt_cert(scheme, cert: Any, f: int):
@@ -425,11 +638,18 @@ class PBFTReplica(Process):
     # -- view change ----------------------------------------------------------------------
 
     def on_timer(self, tag: Any) -> None:
+        if tag == self.BATCH_TAG:
+            self._on_batch_timer()
+            return
         if tag != self.VC_TIMER:
             return
         self._vc_timer = None
         if not self._pending and self.in_view_change is None:
             return
+        # a pending set stuck behind a certified-but-unfetched checkpoint
+        # is a catch-up problem, not a primary problem: re-send the fetch
+        # alongside the view change in case the first exchange was lost
+        self._retry_state_fetch()
         # unproductive expiry: back the timeout off before re-arming
         self.timeout_policy.escalate()
         target = (self.in_view_change or self.view) + 1
@@ -546,7 +766,15 @@ class PBFTReplica(Process):
                 cur = best.get(seq)
                 if cur is None or view > cur[1]:
                     best[seq] = (seq, view, digest, request)
-        return tuple(best[s] for s in sorted(best))
+        # fill sequence gaps with null requests so execution can step over
+        # slots no VIEW-CHANGE proved prepared (see NULL_REQUEST above);
+        # without the fill a hole below committed slots wedges the exec
+        # frontier and every subsequent view change churns in place
+        max_slot = max(best, default=best_stable)
+        return tuple(
+            best.get(s, (s, 0, content_hash(NULL_REQUEST), NULL_REQUEST))
+            for s in range(best_stable + 1, max_slot + 1)
+        )
 
     def _on_new_view(self, src: ProcessId, msg: tuple) -> None:
         _, new_view, vcs, reproposals, sig = msg
@@ -593,17 +821,16 @@ class PBFTReplica(Process):
         self.in_view_change = None
         self.view_changes_completed += 1
         if best_stable >= self.exec_next and best_blob is not None:
-            _tag, snapshot, cache_items, exec_next = best_blob
+            _tag, snapshot, dedup_image, exec_next = best_blob
             self.app.restore(snapshot)
-            self._client_cache = dict(cache_items)
+            self._dedup.restore(dedup_image)
             self.exec_next = exec_next
             self._certified = {
                 s: r for s, r in self._certified.items() if s >= exec_next
             }
             self._pending = {
                 k: r for k, r in self._pending.items()
-                if k not in self._executed_keys
-                and not (self._client_cache.get(k[0], (0,))[0] >= k[1])
+                if not self._is_executed(k)
             }
             self._pending_since = {
                 k: t for k, t in self._pending_since.items()
@@ -619,6 +846,12 @@ class PBFTReplica(Process):
         }
         self._proposed_keys = set()
         self._commit_sent = set()
+        if self._batch_timer is not None:
+            # a batch window opened under the old view must not flush into
+            # the new one with a stale timer
+            self.ctx.cancel_timer(self._batch_timer)
+            self._batch_timer = None
+        self._batch_stalled = False
         self.ctx.record("custom", event="view_adopted", view=new_view)
         max_slot = max((item[0] for item in reproposals), default=best_stable)
         self.next_seq = max(max_slot + 1, self.exec_next)
@@ -632,11 +865,30 @@ class PBFTReplica(Process):
             )
         if self.primary_of(new_view) == self.pid:
             for seq, _view, digest, request in reproposals:
-                if self._valid_request(request):
+                if self._valid_proposal(request):
                     d = content_hash(request)
                     s = self.signer.sign(pp_domain(new_view, seq, d))
-                    self._proposed_keys.add((request[1], request[2]))
+                    for req in _proposal_reqs(request):
+                        self._proposed_keys.add(request_key(req))
                     self.ctx.broadcast(
                         (PRE_PREPARE, new_view, seq, request, s), include_self=True
                     )
             self._propose_pending()
+
+    def slot_state_size(self) -> int:
+        """Total per-slot/per-request entries this replica holds (the soak
+        tests assert this stays bounded by checkpoint interval + window)."""
+        return (
+            len(self._accepted_pp)
+            + sum(len(v) for v in self._prepares.values())
+            + sum(len(v) for v in self._commits.values())
+            + len(self._prepared_certs)
+            + len(self._commit_sent)
+            + len(self._certified)
+            + len(self._requests)
+            + len(self._proposed_keys)
+            + len(self._ckpt_blobs)
+            + len(self._ckpt_votes)
+            + len(self._pending)
+            + self._dedup.size()
+        )

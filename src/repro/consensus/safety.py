@@ -281,6 +281,13 @@ class ReplicationLivenessChecker(TraceObserver):
         elif tag == "request_done" and ev.pid in self.clients:
             if self.monitor.satisfy(("req", ev.pid, ev.field("req_id"))):
                 self.satisfied += 1
+        elif tag == "request_failed" and ev.pid in self.clients:
+            # a typed abandonment (retry budget exhausted) discharges the
+            # obligation: the client made a deliberate, recorded decision
+            # to stop waiting, same stance as the service-layer auditor —
+            # a *silent* non-completion is still convicted
+            if self.monitor.satisfy(("req", ev.pid, ev.field("req_id"))):
+                self.satisfied += 1
         elif tag == "view_change_start" and ev.pid in self.replicas:
             target = ev.field("new_view")
             if target > self._vc_pending.get(ev.pid, 0):

@@ -436,6 +436,7 @@ def run_minbft_chaos(
     streaming: bool = True,
     timeouts: str = "fixed",
     stalling: bool = False,
+    pipelined: bool = False,
     liveness_bound: float = 300.0,
 ) -> ChaosResult:
     """MinBFT replication under one fault schedule.
@@ -454,6 +455,14 @@ def run_minbft_chaos(
     as a trace observer: a duplicate execution or a diverging slot prefix
     aborts the run at the violating event (``abort_index`` carries its
     trace index). ``streaming=False`` keeps the pre-refactor batch audit.
+
+    With ``pipelined=True`` the cluster runs the full pipeline stack —
+    bounded in-flight window (16), adaptive batching, checkpoint interval
+    8, clients with 4 outstanding requests each — and restarted replicas
+    reboot with the *same* pipeline configuration (a recovered replica
+    that silently fell back to unbatched slots would desynchronize batch
+    digests from its peers). Every run's ``stats["consensus"]`` carries
+    the fleet-summed pipeline counters.
     """
     if timeouts not in ("fixed", "adaptive"):
         raise ConfigurationError(
@@ -474,6 +483,17 @@ def run_minbft_chaos(
         else None
     )
     replica_cls = StallingPrimary if stalling else MinBFTReplica
+    replica_options = (
+        dict(
+            checkpoint_interval=8,
+            window_size=16,
+            batching=True,
+            batch_policy="adaptive",
+        )
+        if pipelined
+        else None
+    )
+    client_options = dict(max_outstanding=4) if pipelined else None
     sim, replicas, clients = build_minbft_system(
         f=f,
         n_clients=n_clients,
@@ -488,12 +508,15 @@ def run_minbft_chaos(
         if stalling
         else None,
         timeout_policy=policy_factory,
+        replica_options=replica_options,
+        client_options=client_options,
     )
     _apply_crashes(
         sim, schedule,
         restart_factory=lambda pid: _minbft_restart_factory(
             replicas, pid, app, channel_kwargs,
             cls=replica_cls, timeout_policy=policy_factory,
+            replica_options=replica_options,
         ),
     )
 
@@ -526,11 +549,16 @@ def run_minbft_chaos(
             "view_changes": max(
                 (r.view_changes_completed for r in replicas), default=0
             ),
+            "consensus": sim.collect_consensus_stats(),
             "crypto": crypto_stats().as_dict(),
             "simcore": _simcore_stats(sim),
         }
 
-    protocol = "minbft-stalling" if stalling else "minbft"
+    protocol = (
+        "minbft-stalling"
+        if stalling
+        else ("minbft-pipelined" if pipelined else "minbft")
+    )
     described = schedule.describe() + "\n" + adversary.describe()
     try:
         sim.run(until=schedule.horizon)
@@ -571,7 +599,7 @@ def run_minbft_chaos(
 
 def _minbft_restart_factory(
     replicas, pid, app_name, channel_kwargs,
-    cls=MinBFTReplica, timeout_policy=None,
+    cls=MinBFTReplica, timeout_policy=None, replica_options=None,
 ):
     old = replicas[pid]
     fresh = cls(
@@ -583,6 +611,7 @@ def _minbft_restart_factory(
         app=make_app(app_name),  # the application state was volatile
         req_timeout=old.req_timeout,
         timeout_policy=timeout_policy,
+        **(replica_options or {}),
     )
     replicas[pid] = fresh
     return ReliableProcess(fresh, **channel_kwargs)
@@ -618,6 +647,9 @@ PROTOCOLS: dict[str, Callable[..., ChaosResult]] = {
     "minbft-stalling": lambda schedule, **kw: run_minbft_chaos(
         schedule, stalling=True, **kw
     ),
+    "minbft-pipelined": lambda schedule, **kw: run_minbft_chaos(
+        schedule, pipelined=True, **kw
+    ),
     "service": _run_service_task,
     "service-storm": lambda schedule, **kw: _run_service_task(
         schedule, storm=True, **kw
@@ -633,6 +665,7 @@ _CRASHABLE = {
     "srb-uni-broken": lambda: range(1, 4),
     "minbft": lambda: range(0, 3),
     "minbft-stalling": lambda: range(0, 3),
+    "minbft-pipelined": lambda: range(0, 3),
     "service": lambda: range(0, 3),
     "service-storm": lambda: [],
 }

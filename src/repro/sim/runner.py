@@ -430,6 +430,7 @@ class Simulation:
                 f"simulation exceeded the default event cap ({limit}); "
                 "likely a livelock — pass max_events explicitly to override"
             )
+        stats.consensus = self.collect_consensus_stats()
         stats.service = self.collect_service_stats()
         return stats
 
@@ -442,8 +443,36 @@ class Simulation:
             raise SimulationError(
                 f"no quiescence after {stats.events_processed} events"
             )
+        stats.consensus = self.collect_consensus_stats()
         stats.service = self.collect_service_stats()
         return stats
+
+    def collect_consensus_stats(self) -> Optional[dict]:
+        """Merge replication-pipeline counters over hosted processes.
+
+        Any process (or :class:`~repro.faults.channel.ReliableProcess`
+        inner) exposing ``consensus_stats() -> dict`` contributes; numeric
+        values are summed key-wise and nested dicts (the batch-size
+        histogram) are merged key-wise. Returns ``None`` when no hosted
+        process exports pipeline counters, so non-consensus runs pay
+        nothing and their :class:`RunStats` are unchanged.
+        """
+        total: Optional[dict] = None
+        for proc in self._processes:
+            inner = getattr(proc, "inner", proc)
+            stats_fn = getattr(inner, "consensus_stats", None)
+            if stats_fn is None:
+                continue
+            if total is None:
+                total = {}
+            for key, value in stats_fn().items():
+                if isinstance(value, dict):
+                    bucket = total.setdefault(key, {})
+                    for k, v in value.items():
+                        bucket[k] = bucket.get(k, 0) + v
+                elif isinstance(value, (int, float)):
+                    total[key] = total.get(key, 0) + value
+        return total
 
     def collect_service_stats(self) -> Optional[dict]:
         """Sum serving-layer counters over hosted processes (duck-typed).

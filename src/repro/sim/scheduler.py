@@ -78,6 +78,11 @@ class RunStats:
     events_per_sec: float = 0.0
     """Dispatch throughput of this segment (wall-clock derived — the one
     nondeterministic field; determinism comparisons must exclude it)."""
+    consensus: Optional[dict] = None
+    """Aggregated replication-pipeline counters (batches flushed, proposal
+    stalls, window occupancy, noop slots, batch-size histogram), merged by
+    the runner over every hosted process exposing ``consensus_stats()``.
+    ``None`` when no process does. Deterministic for a fixed seed."""
     service: Optional[dict] = None
     """Aggregated serving-layer counters (queue depth peaks, admitted /
     shed / degraded-mode tallies), summed by the runner over every hosted
@@ -93,6 +98,7 @@ class RunStats:
             self.exhausted,
             self.timer_wheel_hits,
             self.freelist_reuses,
+            self.consensus,
             self.service,
         )
 

@@ -1,5 +1,6 @@
 """Workload generators for the consensus benches and the serving layer."""
 
+from .load import LoadResult, OrderHasher, run_pipeline_load, split_arrivals
 from .generator import (
     ArrivalShard,
     WorkloadSpec,
@@ -15,12 +16,16 @@ from .generator import (
 
 __all__ = [
     "ArrivalShard",
+    "LoadResult",
+    "OrderHasher",
     "WorkloadSpec",
     "bank_transfers",
     "generate_workload",
     "open_loop_arrivals",
+    "run_pipeline_load",
     "shard_arrivals",
     "skewed_kv",
+    "split_arrivals",
     "tenant_ops",
     "tenant_workloads",
     "uniform_kv",

@@ -144,3 +144,39 @@ class TestStateTransfer:
         assert transfers
         digests = {reps[p].app.digest() for p in (1, 2, victim)}
         assert len(digests) == 1
+
+    def test_certified_checkpoint_triggers_proactive_fetch(self):
+        """A replica that misses the three-phase traffic entirely catches
+        up through GET-STATE/STATE the moment it assembles a 2f+1
+        checkpoint certificate ahead of its execution frontier — no view
+        change involved. Without the proactive path this replica wedges:
+        its peers are idle once the workload drains, so the view change
+        its timer keeps calling for can never complete."""
+        from repro.consensus.pbft import CHECKPOINT, STATE
+        from repro.sim import ScriptedAdversary
+        from repro.sim.adversary import WITHHELD, LinkRule
+
+        victim = 3
+
+        def ckpt_only(src, dst, msg, now):
+            if isinstance(msg, tuple) and msg and msg[0] in (CHECKPOINT, STATE):
+                return 0.05
+            return WITHHELD
+
+        adv = ScriptedAdversary(base_delay=0.05)
+        adv.add_rule(LinkRule(range(4), [victim], ckpt_only))
+
+        sim, reps, clients = build_pbft_system(
+            f=1, n_clients=1, ops_per_client=8, seed=7,
+            adversary=adv, replica_factory=with_checkpoints(2),
+        )
+        sim.run(until=5000.0)
+        n = len(reps)
+        check_replication(sim.trace, [0, 1, 2], expected_ops={n: 8}).assert_ok()
+        assert all(r.view == 0 for r in reps)  # nobody changed view
+        v = reps[victim]
+        assert v.state_transfers >= 1
+        assert v.exec_next == reps[0].exec_next
+        assert v.stable_seq == reps[0].stable_seq
+        assert not v._pending  # transferred state settles pending requests
+        assert len({r.app.digest() for r in reps}) == 1
