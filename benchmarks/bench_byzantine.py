@@ -1,0 +1,234 @@
+"""R10 — Byzantine campaign: attack matrix, conviction forensics, audit cost.
+
+Three arms:
+
+1. **Attack matrix** — every protocol-aware attack in
+   :data:`repro.faults.attacks.ATTACKS` against its target stack at the
+   minimal replication factor, over seeded fault-free schedules. With
+   intact trusted hardware every cell must come back safe, live, and
+   conviction-free, and every cell must actually land its strikes (a
+   green cell that never attacked proves nothing).
+2. **Compromised-hardware soak** — the cloned-trinket/extracted-key
+   TraitorReplica splits MinBFT at n = 2f+1, per seed: the benchmark
+   measures *detection latency* (sim time from the hardware equivocation
+   being minted to the accountability checker convicting the culprit),
+   *conviction rate* (every seed must convict exactly the culprit with a
+   proof that replays against the public verifier), and whether the
+   surviving rump group finished the workload clean.
+3. **Audit overhead** — the same clean MinBFT run with and without the
+   streaming :class:`~repro.consensus.forensics.AccountabilityChecker`
+   attached: wall-clock ratio and UIs audited. The checker rides the
+   trace stream, so its cost must stay a small constant factor.
+
+Writes ``BENCH_byzantine.json`` at the repo root (override with ``--out``).
+
+Runs two ways::
+
+    python -m pytest benchmarks/bench_byzantine.py --benchmark-only
+    python benchmarks/bench_byzantine.py --quick   # CI smoke
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Optional, Sequence
+
+from repro.analysis import format_table
+from repro.consensus.forensics import AccountabilityChecker, verify_proof
+from repro.consensus.harness import build_minbft_system
+from repro.crypto import reset_crypto_caches
+from repro.faults.attacks import ATTACKS
+from repro.faults.chaos import run_attack, run_compromised_minbft_soak
+
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_byzantine.json"
+
+FULL = dict(matrix_seeds=3, soak_seeds=5, overhead_ops=40)
+QUICK = dict(matrix_seeds=1, soak_seeds=2, overhead_ops=12)
+
+#: acceptance bars (shared by full and quick grids)
+BARS = dict(
+    conviction_rate=1.0,      # every compromised seed convicts the culprit
+    proof_replay_rate=1.0,    # every proof verifies against a fresh verifier
+    false_convictions=0,      # intact hardware: nobody to convict
+    audit_overhead_max=2.0,   # streaming audit <= 2x wall clock
+)
+
+
+def run_matrix(seeds: int) -> list[dict[str, Any]]:
+    rows = []
+    for name in sorted(ATTACKS):
+        spec = ATTACKS[name]
+        cells = [run_attack(name, seed=s) for s in range(seeds)]
+        convictions = sum(
+            len(c.stats["byzantine"].get("forensics", {}).get("convicted", []))
+            for c in cells
+        )
+        rows.append({
+            "attack": name,
+            "protocol": spec.protocol,
+            "runs": len(cells),
+            "ok": sum(c.ok for c in cells),
+            "strikes": sum(c.stats["byzantine"]["strikes"] for c in cells),
+            "convictions": convictions,
+        })
+    return rows
+
+
+def run_soak_arm(seeds: int) -> list[dict[str, Any]]:
+    rows = []
+    for seed in range(seeds):
+        s = run_compromised_minbft_soak(seed=seed)
+        proof = s["proof"]
+        rows.append({
+            "seed": seed,
+            "violated": bool(s["online_violations"]),
+            "convicted": s["convicted"],
+            "detection_latency": s["detected_at"].get(0),
+            "proof_replays": bool(proof) and verify_proof(
+                proof, s["verifier"]
+            ),
+            "recovered": s["report"].ok,
+            "uis_checked": s["forensics"]["uis_checked"],
+        })
+    return rows
+
+
+def _timed_clean_run(ops: int, audit: bool) -> dict[str, Any]:
+    reset_crypto_caches()
+    sim, replicas, clients = build_minbft_system(
+        f=1, n_clients=2, ops_per_client=ops, seed=0
+    )
+    checker = None
+    if audit:
+        checker = AccountabilityChecker(replicas[1].verifier)
+        sim.attach_observer(checker)
+    t0 = time.perf_counter()
+    sim.run(until=3000.0)
+    wall = time.perf_counter() - t0
+    executed = replicas[0].commits_executed
+    assert executed >= ops * len(clients), "clean run did not finish"
+    if checker is not None:
+        assert not checker.convicted, "false conviction on a clean run"
+    return {
+        "wall": wall,
+        "executed": executed,
+        "uis_checked": checker.stats()["uis_checked"] if checker else 0,
+    }
+
+
+def run_overhead_arm(ops: int) -> dict[str, Any]:
+    _timed_clean_run(ops, audit=False)  # warm caches/JIT-ish effects
+    bare = _timed_clean_run(ops, audit=False)
+    audited = _timed_clean_run(ops, audit=True)
+    return {
+        "ops": ops,
+        "bare_wall": bare["wall"],
+        "audited_wall": audited["wall"],
+        "overhead": audited["wall"] / bare["wall"],
+        "uis_checked": audited["uis_checked"],
+    }
+
+
+def run_byzantine_bench(
+    quick: bool = False, out: Optional[Path] = DEFAULT_OUT
+) -> dict[str, Any]:
+    grid = QUICK if quick else FULL
+    matrix = run_matrix(grid["matrix_seeds"])
+    soak = run_soak_arm(grid["soak_seeds"])
+    overhead = run_overhead_arm(grid["overhead_ops"])
+
+    latencies = [r["detection_latency"] for r in soak]
+    results = {
+        "quick": quick,
+        "bars": BARS,
+        "matrix": matrix,
+        "soak": soak,
+        "overhead": overhead,
+        "headline": {
+            "attack_cells": sum(r["runs"] for r in matrix),
+            "cells_ok": sum(r["ok"] for r in matrix),
+            "false_convictions": sum(r["convictions"] for r in matrix),
+            "conviction_rate": (
+                sum(r["convicted"] == [0] for r in soak) / len(soak)
+            ),
+            "proof_replay_rate": (
+                sum(r["proof_replays"] for r in soak) / len(soak)
+            ),
+            "recovery_rate": sum(r["recovered"] for r in soak) / len(soak),
+            "detection_latency_mean": sum(latencies) / len(latencies),
+            "detection_latency_max": max(latencies),
+            "audit_overhead": overhead["overhead"],
+        },
+    }
+
+    h = results["headline"]
+    assert h["cells_ok"] == h["attack_cells"], (
+        f"attack matrix not clean: {h['cells_ok']}/{h['attack_cells']}"
+    )
+    assert all(r["strikes"] > 0 for r in matrix), "a vacuous attack cell"
+    assert h["false_convictions"] == BARS["false_convictions"]
+    assert h["conviction_rate"] >= BARS["conviction_rate"]
+    assert h["proof_replay_rate"] >= BARS["proof_replay_rate"]
+    assert h["recovery_rate"] == 1.0, "a rump group failed to recover"
+    assert h["audit_overhead"] <= BARS["audit_overhead_max"], (
+        f"streaming audit cost {h['audit_overhead']:.2f}x, "
+        f"bar {BARS['audit_overhead_max']:.1f}x"
+    )
+
+    if out is not None:
+        out.write_text(json.dumps(results, indent=2, sort_keys=False))
+    return results
+
+
+def render(results: dict[str, Any]) -> str:
+    rows = [
+        [r["attack"], r["protocol"], r["runs"],
+         f"{r['ok']}/{r['runs']}", r["strikes"], r["convictions"]]
+        for r in results["matrix"]
+    ]
+    table = format_table(
+        ["attack", "protocol", "runs", "ok", "strikes", "convictions"],
+        rows,
+        title="R10: attack matrix under intact trusted hardware "
+              "(every cell safe + live + conviction-free)",
+    )
+    h = results["headline"]
+    o = results["overhead"]
+    return (
+        table
+        + f"\n\ncompromised-hardware soak ({len(results['soak'])} seeds): "
+          f"conviction rate {h['conviction_rate']:.0%}, proof replay "
+          f"{h['proof_replay_rate']:.0%}, recovery {h['recovery_rate']:.0%}, "
+          f"detection latency mean {h['detection_latency_mean']:.2f}s / "
+          f"max {h['detection_latency_max']:.2f}s (sim time)"
+        + f"\naudit overhead: {o['overhead']:.2f}x wall clock "
+          f"({o['uis_checked']} UIs audited, bar "
+          f"{results['bars']['audit_overhead_max']:.1f}x)"
+    )
+
+
+def test_byzantine_bench(once, quick):
+    from _bench_util import report
+
+    results = once(run_byzantine_bench, quick)
+    report(render(results))
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="shrunken seed grid (CI)")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                        help="where to write the JSON report")
+    args = parser.parse_args(argv)
+    results = run_byzantine_bench(quick=args.quick, out=args.out)
+    print(render(results))
+    print(f"\nwrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -18,6 +18,12 @@ from .batching import AdaptiveBatchPolicy, FixedBatchPolicy, make_batch_policy
 from .client import BFTClient
 from .dedup import ClientDedup
 from .enclave_usig import EnclaveUI, EnclaveUSIG, EnclaveUSIGVerifier, usig_program
+from .forensics import (
+    AccountabilityChecker,
+    ProofOfMisbehavior,
+    install_accountability,
+    verify_proof,
+)
 from .harness import build_minbft_system, build_pbft_system, default_workload
 from .minbft import MinBFTReplica
 from .pbft import PBFTReplica
@@ -35,6 +41,7 @@ from .viewchange import LogEntry, SlotCandidate, compute_reproposals, verify_log
 
 __all__ = [
     "APP_FACTORIES",
+    "AccountabilityChecker",
     "AdaptiveBatchPolicy",
     "BFTClient",
     "BankApp",
@@ -50,6 +57,7 @@ __all__ = [
     "LogEntry",
     "MinBFTReplica",
     "PBFTReplica",
+    "ProofOfMisbehavior",
     "ReplicationLivenessChecker",
     "ReplicationReport",
     "ReplicationStreamChecker",
@@ -65,8 +73,10 @@ __all__ = [
     "check_replication_liveness",
     "compute_reproposals",
     "default_workload",
+    "install_accountability",
     "make_app",
     "make_batch_policy",
     "usig_program",
+    "verify_proof",
     "verify_log",
 ]

@@ -329,5 +329,9 @@ class PipelinedProposer:
             # PBFT's proactive checkpoint fetch; MinBFT catches up via
             # VIEW-CHANGE blobs instead and reports 0
             "state_transfers": getattr(self, "state_transfers", 0),
+            # typed rejects of malformed/Byzantine input (babble hardening)
+            # and of convicted-replica input (forensic quarantine)
+            "malformed_rejects": getattr(self, "malformed_rejects", 0),
+            "convicted_rejects": getattr(self, "convicted_rejects", 0),
             "batch_size_hist": dict(self.batch_size_hist),
         }

@@ -43,6 +43,7 @@ def build_minbft_system(
     req_timeout: float = 60.0,
     retry_timeout: float = 150.0,
     replica_factory: Optional[Callable[..., Process]] = None,
+    replica_wrapper: Optional[Callable[[int, Process], Process]] = None,
     workloads: Optional[Sequence[Sequence[tuple]]] = None,
     reliable: bool | dict = False,
     trace_retention: Optional[int] = None,
@@ -57,6 +58,13 @@ def build_minbft_system(
     ``replica_factory(pid, **kwargs)`` substitutes custom (e.g. Byzantine)
     replicas for chosen pids; it receives the same keyword arguments as
     :class:`~repro.consensus.minbft.MinBFTReplica`.
+
+    ``replica_wrapper(pid, replica)`` wraps chosen replicas *after*
+    construction — the attack library's
+    :class:`~repro.faults.attacks.AttackerProcess` goes here (return the
+    replica unchanged for the rest). Applied inside any ``reliable``
+    hosting layer, so filters see protocol messages, not retransmission
+    frames. The returned list always holds the inner replicas.
 
     ``replica_options`` forwards extra keyword arguments to every replica
     (``checkpoint_interval``, ``window_size``, ``batching``,
@@ -132,7 +140,12 @@ def build_minbft_system(
         client.signer = scheme.signer(n + c)
         clients.append(client)
 
-    hosted: list[Process] = [*replicas, *clients]
+    hosted_replicas: list[Process] = list(replicas)
+    if replica_wrapper is not None:
+        hosted_replicas = [
+            replica_wrapper(pid, r) for pid, r in enumerate(replicas)
+        ]
+    hosted: list[Process] = [*hosted_replicas, *clients]
     if reliable:
         from ..faults.channel import wrap_reliable  # lazy: faults builds on sim
 
@@ -154,7 +167,9 @@ def build_pbft_system(
     req_timeout: float = 60.0,
     retry_timeout: float = 150.0,
     replica_factory: Optional[Callable[..., Process]] = None,
+    replica_wrapper: Optional[Callable[[int, Process], Process]] = None,
     workloads: Optional[Sequence[Sequence[tuple]]] = None,
+    reliable: bool | dict = False,
     trace_retention: Optional[int] = None,
     observers: Sequence[Any] = (),
     timeout_policy: Optional[Callable[[], Any]] = None,
@@ -165,8 +180,9 @@ def build_pbft_system(
     """A ready-to-run PBFT deployment: n = 3f+1 replicas + clients.
 
     ``timeout_policy`` is a zero-argument factory and ``replica_options``
-    / ``client_options`` / ``client_arrivals`` forward pipeline and
-    open-loop settings; see :func:`build_minbft_system`.
+    / ``client_options`` / ``client_arrivals`` / ``replica_wrapper`` /
+    ``reliable`` forward pipeline, open-loop, attack-wrapping, and
+    retransmission settings; see :func:`build_minbft_system`.
     """
     if f < 1:
         raise ConfigurationError(f"f must be >= 1, got {f}")
@@ -213,7 +229,18 @@ def build_pbft_system(
         client.signer = scheme.signer(n + c)
         clients.append(client)
 
+    hosted_replicas: list[Process] = list(replicas)
+    if replica_wrapper is not None:
+        hosted_replicas = [
+            replica_wrapper(pid, r) for pid, r in enumerate(replicas)
+        ]
+    hosted: list[Process] = [*hosted_replicas, *clients]
+    if reliable:
+        from ..faults.channel import wrap_reliable  # lazy: faults builds on sim
+
+        kwargs = reliable if isinstance(reliable, dict) else {}
+        hosted = wrap_reliable(hosted, **kwargs)
     adversary = adversary if adversary is not None else ReliableAsynchronous(0.01, 0.5)
-    sim = Simulation([*replicas, *clients], adversary, seed=seed,
+    sim = Simulation(hosted, adversary, seed=seed,
                      trace_retention=trace_retention, observers=observers)
     return sim, replicas, clients

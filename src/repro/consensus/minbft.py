@@ -193,11 +193,19 @@ class MinBFTReplica(PipelinedProposer, Process):
         self._latest_new_view: Optional[tuple] = None
         self._resynced: set[ProcessId] = set()
         self._started_incarnation: Optional[int] = None
+        # forensics: replicas proven Byzantine (see consensus/forensics);
+        # their messages and votes are refused from conviction on
+        self._convicted: set[ProcessId] = set()
+        # pre-execution state: the rollback anchor when no checkpoint has
+        # stabilized yet (conviction may void every unattested slot)
+        self._genesis_state = self._state_blob()
         # stats for benches
         self.commits_executed = 0
         self.view_changes_completed = 0
         self.log_entries_gced = 0
         self.resyncs_answered = 0
+        self.malformed_rejects = 0
+        self.convicted_rejects = 0
 
     # -- lifecycle --------------------------------------------------------------
 
@@ -239,27 +247,45 @@ class MinBFTReplica(PipelinedProposer, Process):
 
     # -- receive dispatch -----------------------------------------------------------
 
+    _KNOWN_KINDS = frozenset(
+        (USIG_WRAP, REQUEST, REQ_VIEW_CHANGE, RESYNC, RESYNC_INFO)
+    )
+
     def on_message(self, src: ProcessId, msg: Any) -> None:
         if not (isinstance(msg, tuple) and msg and isinstance(msg[0], str)):
+            self.malformed_rejects += 1
             return
         kind = msg[0]
         if kind == USIG_WRAP and len(msg) == 3:
             _, message, ui = msg
             if not ui_like(ui):
+                self.malformed_rejects += 1
                 return
             if not self.verifier.verify_ui(ui, message, ui.replica):
+                self.malformed_rejects += 1
                 return
             if not (0 <= ui.replica < self.n):
+                self.malformed_rejects += 1
+                return
+            if ui.replica in self._convicted:
+                self.convicted_rejects += 1
                 return
             self._enforcer.submit(ui.replica, ui.counter, (message, ui))
         elif kind == REQUEST and len(msg) == 5:
             self._on_request(msg)
         elif kind == REQ_VIEW_CHANGE and len(msg) == 4:
+            if src in self._convicted:
+                self.convicted_rejects += 1
+                return
             self._on_req_view_change(src, msg)
         elif kind == RESYNC and len(msg) == 4:
             self._on_resync(msg)
         elif kind == RESYNC_INFO and len(msg) == 7:
             self._on_resync_info(msg)
+        else:
+            # unknown kind, or a known kind with the wrong arity: typed
+            # reject (Byzantine babble must never throw a replica)
+            self.malformed_rejects += 1
 
     # -- client requests ---------------------------------------------------------------
 
@@ -311,6 +337,9 @@ class MinBFTReplica(PipelinedProposer, Process):
             self._on_view_change(replica, ui, message)
         elif kind == NEW_VIEW and len(message) == 3:
             self._on_new_view(replica, ui, message)
+        else:
+            # USIG-signed babble: sequenced, authentic, still garbage
+            self.malformed_rejects += 1
 
     def _valid_request(self, request: Any) -> bool:
         if not (isinstance(request, tuple) and len(request) == 5
@@ -410,6 +439,11 @@ class MinBFTReplica(PipelinedProposer, Process):
 
     def _vote(self, replica: ProcessId, view: int, seq: SeqNum,
               request: Any, prepare_ui: UI) -> None:
+        if replica in self._convicted:
+            # a proven-Byzantine replica's vote (including the embedded
+            # primary vote a COMMIT re-asserts) certifies nothing
+            self.convicted_rejects += 1
+            return
         key = (view, seq, prepare_ui.counter, content_hash(request))
         voters = self._votes.setdefault(key, set())
         voters.add(replica)
@@ -647,13 +681,17 @@ class MinBFTReplica(PipelinedProposer, Process):
             return
         if not isinstance(counter, int) or counter < 0:
             return
+        try:
+            # attacker-controlled nv/stable may be unserializable garbage;
+            # a typed reject, never an exception escaping the handler
+            digest = content_hash((counter, nv, stable))
+        except Exception:
+            self.malformed_rejects += 1
+            return
         if not (
             isinstance(sig, Signature)
             and sig.signer == peer
-            and self.scheme.verify(
-                resync_info_domain(peer, nonce, content_hash((counter, nv, stable))),
-                sig,
-            )
+            and self.scheme.verify(resync_info_domain(peer, nonce, digest), sig)
         ):
             return
         self._resynced.add(peer)
@@ -908,6 +946,64 @@ class MinBFTReplica(PipelinedProposer, Process):
         )
         self._execute_ready()
         self._pipeline_resume()  # the transfer itself moved the window base
+
+    # -- forensic conviction / graceful degradation ------------------------------------
+
+    def convict(self, culprit: ProcessId) -> None:
+        """Quarantine a replica proven Byzantine (a transferable UI-conflict
+        proof — see :mod:`repro.consensus.forensics`) and degrade gracefully.
+
+        A compromised trusted counter voids MinBFT's core premise, so every
+        slot not yet covered by a stable checkpoint is suspect: the culprit
+        may have split the group with per-destination UIs and any f+1
+        certificate it contributed to can disagree across survivors. The
+        recovery is therefore: refuse all further input from the culprit
+        (messages, votes, view-change requests), purge its held stream,
+        roll state back to the last attested blob (stable checkpoint, or
+        the pre-execution genesis state), and force a view change to the
+        next view led by an unconvicted replica — the surviving f+1 re-form
+        a live group and re-certify the voided slots consistently.
+        """
+        if culprit == self.pid or culprit in self._convicted:
+            return
+        self._convicted.add(culprit)
+        self._enforcer.purge(culprit)
+        self._rollback_to_attested()
+        self.ctx.record("custom", event="convict", culprit=culprit)
+        target = (self.in_view_change or self.view) + 1
+        while self.primary_of(target) in self._convicted:
+            target += 1
+        self._send_req_view_change(target)
+        if self._vc_timer is not None:
+            self.ctx.cancel_timer(self._vc_timer)
+        self._vc_timer = self.ctx.set_timer(
+            self.timeout_policy.current(), self.VC_TIMER
+        )
+
+    def _rollback_to_attested(self) -> None:
+        """Rewind execution to the newest state a quorum attested to."""
+        if self.stable_seq > 0 and self._stable_state is not None:
+            blob = self._stable_state
+            base_seq = self.stable_seq
+        else:
+            blob = self._genesis_state
+            base_seq = 0
+        _tag, snapshot, dedup_image, exec_next = blob
+        rolled_from = self.exec_next
+        self.app.restore(snapshot)
+        self._dedup.restore(dedup_image)
+        self.exec_next = exec_next
+        self._certified = {}
+        self._votes = {}
+        self._accepted = {s: v for s, v in self._accepted.items() if s <= base_seq}
+        self._proposed_keys = {
+            k for k in self._proposed_keys if self._is_executed(k)
+        }
+        if rolled_from != exec_next:
+            self.ctx.record(
+                "custom", event="rollback", to_seq=exec_next - 1,
+                rolled_from=rolled_from - 1,
+            )
 
     def _adopt_view(self, new_view: int, reproposals: dict[SeqNum, Any],
                     stable_seq: SeqNum = 0, stable_blob: Any = None) -> None:

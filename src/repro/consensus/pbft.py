@@ -178,6 +178,11 @@ class PBFTReplica(PipelinedProposer, Process):
         self.commits_executed = 0
         self.view_changes_completed = 0
         self.state_transfers = 0
+        # babble hardening / forensic quarantine (reported via
+        # consensus_stats); convictions come from the accountability layer
+        self.malformed_rejects = 0
+        self.convicted_rejects = 0
+        self._convicted: set[ProcessId] = set()
 
     # -- helpers -----------------------------------------------------------------
 
@@ -222,6 +227,10 @@ class PBFTReplica(PipelinedProposer, Process):
 
     def on_message(self, src: ProcessId, msg: Any) -> None:
         if not (isinstance(msg, tuple) and msg and isinstance(msg[0], str)):
+            self.malformed_rejects += 1
+            return
+        if src in self._convicted:
+            self.convicted_rejects += 1
             return
         kind = msg[0]
         if kind == REQUEST and len(msg) == 5:
@@ -242,6 +251,9 @@ class PBFTReplica(PipelinedProposer, Process):
             self._on_view_change(src, msg)
         elif kind == NEW_VIEW and len(msg) == 5:
             self._on_new_view(src, msg)
+        else:
+            # unknown kind or wrong arity: signed-or-not babble
+            self.malformed_rejects += 1
 
     # -- client requests -----------------------------------------------------------
 
@@ -309,6 +321,11 @@ class PBFTReplica(PipelinedProposer, Process):
 
     def _on_prepare(self, src: ProcessId, msg: tuple) -> None:
         _, view, seq, digest, replica, sig = msg
+        if not isinstance(digest, bytes):
+            # an unhashable "digest" (a Byzantine peer can sign anything)
+            # must not reach the vote-set keys
+            self.malformed_rejects += 1
+            return
         if replica != src or view != self.view or self.in_view_change is not None:
             return
         if src == self.primary_of(view):
@@ -341,6 +358,9 @@ class PBFTReplica(PipelinedProposer, Process):
 
     def _on_commit(self, src: ProcessId, msg: tuple) -> None:
         _, view, seq, digest, replica, sig = msg
+        if not isinstance(digest, bytes):
+            self.malformed_rejects += 1
+            return
         if replica != src or view != self.view or self.in_view_change is not None:
             return
         if not (
@@ -709,10 +729,16 @@ class PBFTReplica(PipelinedProposer, Process):
         if replica != src or not isinstance(new_view, int) or new_view <= self.view:
             return
         body = (stable_seq, cert, blob, prepared)
+        try:
+            domain = vc_domain(new_view, body, src)
+        except Exception:
+            # unserializable body: nothing could have been signed over it
+            self.malformed_rejects += 1
+            return
         if not (
             isinstance(sig, Signature)
             and sig.signer == src
-            and self.scheme.verify(vc_domain(new_view, body, src), sig)
+            and self.scheme.verify(domain, sig)
         ):
             return
         if not self._validate_vc_body(stable_seq, cert, blob, prepared):
@@ -782,11 +808,16 @@ class PBFTReplica(PipelinedProposer, Process):
             return
         if src != self.primary_of(new_view):
             return
+        try:
+            vcs_digest = content_hash(vcs)
+        except Exception:
+            self.malformed_rejects += 1
+            return
         if not (
             isinstance(sig, Signature)
             and sig.signer == src
             and self.scheme.verify(
-                ("PBFT-NV", new_view, content_hash(vcs), src), sig
+                ("PBFT-NV", new_view, vcs_digest, src), sig
             )
         ):
             return
@@ -874,6 +905,27 @@ class PBFTReplica(PipelinedProposer, Process):
                         (PRE_PREPARE, new_view, seq, request, s), include_self=True
                     )
             self._propose_pending()
+
+    # -- forensic quarantine ----------------------------------------------------------------
+
+    def convict(self, culprit: ProcessId) -> None:
+        """Stop accepting input from a convicted replica.
+
+        With n = 3f+1 the quorum intersection already tolerates the
+        culprit's worst behaviour, so unlike MinBFT — whose f+1 quorums
+        lean on the very hardware a conviction discredits and which must
+        therefore roll back — a PBFT conviction only silences the source,
+        and moves the view along if the culprit happens to be primary.
+        """
+        if culprit == self.pid or culprit in self._convicted:
+            return
+        self._convicted.add(culprit)
+        self.ctx.record("custom", event="convict", culprit=culprit)
+        if self.primary_of(self.view) == culprit and self.in_view_change is None:
+            target = self.view + 1
+            while self.primary_of(target) in self._convicted:
+                target += 1
+            self._send_view_change(target)
 
     def slot_state_size(self) -> int:
         """Total per-slot/per-request entries this replica holds (the soak

@@ -133,8 +133,11 @@ class ReplicationStreamChecker(TraceObserver):
             slot = self.by_slot.setdefault(e.seq, {})
             mine = slot.setdefault(e.replica, [])
             mine.append(e)
-            if self.fail_fast:
-                self._check_online(ev, e, slot, mine)
+            # always record online findings; fail_fast only controls whether
+            # the first one aborts the run (the compromised-hardware soak
+            # needs the divergence *recorded* while the run continues into
+            # conviction and recovery)
+            self._check_online(ev, e, slot, mine)
         elif tag == "client_done":
             self.events_consumed += 1
             self.clients_done[ev.pid] = ev.field("ops")
@@ -144,6 +147,37 @@ class ReplicationStreamChecker(TraceObserver):
         elif tag == "execute_noop" and ev.pid in self._correct_set:
             self.events_consumed += 1
             self.noops.setdefault(ev.pid, set()).add(ev.field("seq"))
+        elif tag == "rollback" and ev.pid in self._correct_set:
+            self.events_consumed += 1
+            self._rollback(ev.pid, ev.field("to_seq"))
+
+    def _rollback(self, replica: ProcessId, to_seq: int) -> None:
+        """Forget ``replica``'s executions above ``to_seq``.
+
+        A forensic conviction rolls survivors back to their last attested
+        state (:mod:`repro.consensus.forensics`): slots above the rollback
+        point are re-executed once the group re-forms, and auditing the
+        discarded attempts against the recovered history would misread the
+        re-executions as duplicates/divergence. Violations already flagged
+        online stay flagged — pre-conviction divergence is the planted
+        evidence, not noise.
+        """
+        kept: list[Execution] = []
+        seen = self._seen_requests.get(replica, set())
+        for e in self.executions:
+            if e.replica == replica and e.seq > to_seq:
+                slot = self.by_slot.get(e.seq)
+                if slot is not None:
+                    slot.pop(replica, None)
+                    if not slot:
+                        del self.by_slot[e.seq]
+                seen.discard((e.client, e.req_id))
+            else:
+                kept.append(e)
+        self.executions = kept
+        noops = self.noops.get(replica)
+        if noops:
+            self.noops[replica] = {s for s in noops if s <= to_seq}
 
     def _check_online(
         self,

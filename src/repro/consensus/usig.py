@@ -204,3 +204,17 @@ class UIOrderEnforcer:
             for c in [c for c in held if c <= counter]:
                 del held[c]
         self._release_from(replica, counter + 1)
+
+    def purge(self, replica: ProcessId) -> int:
+        """Drop everything held from ``replica`` and stop expecting more.
+
+        Forensic quarantine support: once a replica is *convicted* of
+        equivocation (see :mod:`repro.consensus.forensics`), messages it
+        already queued must not be released later — a held per-destination
+        fork is exactly the payload a compromised counter smuggles in.
+        Returns the number of discarded messages. The stream can still
+        resume (a future ``submit`` re-opens it at the current cursor), so
+        callers pair this with their own convicted-sender refusal.
+        """
+        held = self._held.pop(replica, None)
+        return len(held) if held else 0

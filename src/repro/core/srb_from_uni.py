@@ -264,6 +264,11 @@ class SRBFromUnidirectional(RoundProcess):
         self._forwarded: set[SeqNum] = set()
         self._copy_round_done: set[SeqNum] = set()
         self._l1_round_done: set[SeqNum] = set()
+        # babble hardening: structurally invalid round payloads vs.
+        # well-formed artifacts whose proofs fail validation — both
+        # rejected, counted separately for the chaos harness
+        self.malformed_rejects = 0
+        self.proof_rejects = 0
 
     # -- public API -------------------------------------------------------------
 
@@ -287,14 +292,17 @@ class SRBFromUnidirectional(RoundProcess):
 
     def on_round_message(self, label: Label, src: ProcessId, payload: Any) -> None:
         if not (isinstance(payload, tuple) and payload and isinstance(payload[0], str)):
+            self.malformed_rejects += 1
             return
         kind = payload[0]
         if kind == "VAL" and len(payload) == 4:
             _, k, m, sig_s = payload
-            self._note_val(k, m, sig_s)
+            if not self._note_val(k, m, sig_s):
+                self.proof_rejects += 1
         elif kind == "COPY" and len(payload) == 5:
             _, k, m, sig_s, sig_copier = payload
             if not self._note_val(k, m, sig_s):
+                self.proof_rejects += 1
                 return
             if (
                 isinstance(sig_copier, Signature)
@@ -303,9 +311,12 @@ class SRBFromUnidirectional(RoundProcess):
                 adopted = self._vals.get(k)
                 if adopted is not None and adopted[0] == m:
                     self._copies.setdefault(k, {})[sig_copier.signer] = sig_copier
+            else:
+                self.proof_rejects += 1
         elif kind == "L1" and len(payload) == 6:
             _, k, m, sig_s, copies, sig_builder = payload
             if not self._note_val(k, m, sig_s):
+                self.proof_rejects += 1
                 return
             adopted = self._vals.get(k)
             if adopted is None or adopted[0] != m:
@@ -319,11 +330,18 @@ class SRBFromUnidirectional(RoundProcess):
             )
             if builder is not None:
                 self._l1s.setdefault(k, {})[builder] = (builder, copies, sig_builder)
+            else:
+                self.proof_rejects += 1
         elif kind == "L2" and len(payload) == 5:
             checked = validate_l2(self.scheme, self.sender, payload, self.t)
             if checked is not None:
                 k, _m = checked
                 self._l2s.setdefault(k, payload)
+            else:
+                self.proof_rejects += 1
+        else:
+            # unknown kind or wrong arity: Byzantine babble
+            self.malformed_rejects += 1
         self._maybe_deliver()
         self._advance()
 
@@ -432,6 +450,18 @@ class SRBFromUnidirectional(RoundProcess):
             self.on_deliver(self.sender, k, m)
             self.next_seq = k + 1
             self.state = WAIT_SENDER
+
+    # -- counters ---------------------------------------------------------------
+
+    def consensus_stats(self) -> dict[str, Any]:
+        """Counters for chaos-harness aggregation (numeric values are
+        summed key-wise across processes)."""
+        return {
+            "delivered": self.next_seq - 1,
+            "conflicts_detected": len(self._conflict),
+            "malformed_rejects": self.malformed_rejects,
+            "proof_rejects": self.proof_rejects,
+        }
 
 
 # ---------------------------------------------------------------------------

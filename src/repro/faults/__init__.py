@@ -16,6 +16,15 @@ Five layers, composable with every protocol in the library:
   that exercise the durable-hardware/volatile-host split.
 """
 
+from .attacks import (
+    ATTACKS,
+    Attack,
+    AttackSpec,
+    AttackerProcess,
+    TraitorReplica,
+    attacks_for,
+    get_attack,
+)
 from .adversaries import (
     BurstWindow,
     ChaosAdversary,
@@ -36,8 +45,12 @@ from .chaos import (
     make_schedule,
     replay,
     run_chaos,
+    run_attack,
+    run_compromised_minbft_soak,
     run_minbft_chaos,
+    run_pbft_chaos,
     run_srb_chaos,
+    attack_sweep,
 )
 from .detector import AccrualFailureDetector, HeartbeatProcess, RecoverySupervisor
 from .timeouts import (
@@ -52,8 +65,12 @@ from .timeouts import (
 )
 
 __all__ = [
+    "ATTACKS",
     "AccrualFailureDetector",
     "AdaptiveTimeout",
+    "Attack",
+    "AttackSpec",
+    "AttackerProcess",
     "BurstWindow",
     "ChaosAdversary",
     "ChaosResult",
@@ -73,15 +90,22 @@ __all__ = [
     "RttEstimator",
     "StallingPrimary",
     "TimeoutPolicy",
+    "TraitorReplica",
     "assert_all_ok",
+    "attack_sweep",
+    "attacks_for",
     "chaos_sweep",
     "derive_jitter_rng",
     "format_failures",
+    "get_attack",
     "make_policy_factory",
     "make_schedule",
     "replay",
+    "run_attack",
     "run_chaos",
+    "run_compromised_minbft_soak",
     "run_minbft_chaos",
+    "run_pbft_chaos",
     "run_srb_chaos",
     "wrap_reliable",
 ]

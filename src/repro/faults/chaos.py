@@ -23,6 +23,7 @@ produces real safety violations, which is how we test that the harness
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import random
 import re
@@ -31,8 +32,10 @@ from typing import Any, Callable, Iterable, Optional, Sequence
 
 from ..consensus.apps import make_app
 from ..crypto.serialize import caching_enabled, crypto_stats, reset_crypto_caches, set_caching
-from ..consensus.harness import build_minbft_system
+from ..consensus.forensics import AccountabilityChecker, install_accountability, verify_proof
+from ..consensus.harness import build_minbft_system, build_pbft_system
 from ..consensus.minbft import MinBFTReplica
+from ..consensus.pbft import PBFTReplica
 from ..consensus.safety import (
     ReplicationLivenessChecker,
     ReplicationStreamChecker,
@@ -45,6 +48,7 @@ from ..errors import ConfigurationError, PropertyViolation
 from ..sim.trace import TraceObserver
 from ..types import ProcessId, Time
 from .adversaries import ChaosAdversary, GSTAdversary
+from .attacks import ATTACKS, AttackerProcess, TraitorReplica, get_attack
 from .channel import ReliableProcess
 from .timeouts import make_policy_factory
 
@@ -303,6 +307,7 @@ def run_srb_chaos(
     broken: bool = False,
     reliable: bool = True,
     streaming: bool = True,
+    attack: Optional[str] = None,
     liveness_bound: float = 200.0,
     value_bytes: int = 0,
 ) -> ChaosResult:
@@ -323,14 +328,36 @@ def run_srb_chaos(
     its trace index in ``abort_index``. ``streaming=False`` keeps the
     pre-refactor batch audit; verdicts are identical, only *when* the run
     stops differs.
+
+    ``attack`` names an SRB entry of :data:`repro.faults.attacks.ATTACKS`:
+    the spec's attacker pid is wrapped in an
+    :class:`~repro.faults.attacks.AttackerProcess`, declared Byzantine,
+    and excluded from the correct set; completion is only asserted when
+    the spec expects it (an equivocating *sender* legitimately stalls
+    everyone — safely).
     """
+    spec = attack_obj = None
+    attacker: Optional[ProcessId] = None
+    expect_complete = True
+    if attack is not None:
+        spec = get_attack(attack)
+        if spec.protocol != "srb":
+            raise ConfigurationError(
+                f"attack {attack!r} targets {spec.protocol}, not srb"
+            )
+        attack_obj = spec.make()
+        attacker = spec.attacker
+        expect_complete = spec.expect_complete
     reset_crypto_caches()
     adversary = schedule.make_adversary(n)
     channel_kwargs = dict(DEFAULT_CHANNEL)
 
     def factory(pid, transport, scheme, signer):
         cls = EagerBrokenSRB if broken else SRBFromUnidirectional
-        return cls(transport, 0, t, scheme, signer)
+        proc = cls(transport, 0, t, scheme, signer)
+        if attack_obj is not None and pid == attacker:
+            proc = AttackerProcess(proc, attack_obj)
+        return proc
 
     sim, procs, scheme = build_mp_srb_system(
         n=n,
@@ -341,6 +368,8 @@ def run_srb_chaos(
         reliable=channel_kwargs if reliable else False,
         process_factory=factory,
     )
+    if attacker is not None:
+        sim.declare_byzantine(attacker)
     pad = "x" * value_bytes
     for i in range(n_messages):
         sim.at(1.0 + 0.8 * i,
@@ -353,24 +382,32 @@ def run_srb_chaos(
         ),
     )
 
+    correct = tuple(
+        p for p in schedule.fault_free_pids(n) if p != attacker
+    )
     checker: Optional[SRBStreamChecker] = None
     if streaming:
         # Crashes are scripted, so the whole-run correct set is known now.
         checker = SRBStreamChecker(
-            0, schedule.fault_free_pids(n), expect_complete=True, fail_fast=True
+            0, correct, expect_complete=expect_complete, fail_fast=True
         )
         sim.attach_observer(checker)
     # the liveness auditor streams alongside but never aborts the run: a
-    # missed deadline is permanent, so collecting every miss costs nothing
-    live = SRBLivenessChecker(
-        gst=schedule.gst,
-        bound=liveness_bound,
-        fault_free=schedule.fault_free_pids(n),
-    )
-    sim.attach_observer(live)
+    # missed deadline is permanent, so collecting every miss costs nothing.
+    # An attack cell that legitimately never completes (equivocating
+    # sender: everyone conflict-poisons and safely delivers nothing) is
+    # exempt — no delivery is owed, so no obligation can be armed.
+    live: Optional[SRBLivenessChecker] = None
+    if expect_complete:
+        live = SRBLivenessChecker(
+            gst=schedule.gst,
+            bound=liveness_bound,
+            fault_free=correct,
+        )
+        sim.attach_observer(live)
 
     def stats(deliveries: int) -> dict[str, Any]:
-        return {
+        d = {
             "deliveries": deliveries,
             "messages_sent": sim.network.messages_sent,
             "dropped": adversary.messages_dropped,
@@ -381,8 +418,18 @@ def run_srb_chaos(
             "crypto": crypto_stats().as_dict(),
             "simcore": _simcore_stats(sim),
         }
+        d["consensus"] = sim.collect_consensus_stats()
+        if attack_obj is not None:
+            d["byzantine"] = {
+                "attack": attack,
+                "attacker": attacker,
+                **attack_obj.stats(),
+            }
+        return d
 
     protocol = "srb-uni-broken" if broken else "srb-uni"
+    if attack is not None:
+        protocol = f"srb-uni+{attack}"
     described = schedule.describe() + "\n" + adversary.describe()
     try:
         sim.run(until=schedule.horizon)
@@ -401,18 +448,19 @@ def run_srb_chaos(
     if streaming:
         report = checker.finish()
     else:
-        report = check_srb(sim.trace, 0, sim.fault_free_pids,
-                           expect_complete=True)
+        fault_free = tuple(p for p in sim.fault_free_pids if p != attacker)
+        report = check_srb(sim.trace, 0, fault_free,
+                           expect_complete=expect_complete)
     violations = report.all_violations()
-    live_report = live.finish(end_time=schedule.horizon)
+    live_report = live.finish(end_time=schedule.horizon) if live else None
     return ChaosResult(
         protocol=protocol,
         seed=schedule.seed,
-        ok=not violations and live_report.ok,
+        ok=not violations and (live_report is None or live_report.ok),
         violations=violations,
         schedule=described,
         stats=stats(len(report.deliveries)),
-        liveness_violations=live_report.violations,
+        liveness_violations=live_report.violations if live_report else [],
     )
 
 
@@ -437,6 +485,7 @@ def run_minbft_chaos(
     timeouts: str = "fixed",
     stalling: bool = False,
     pipelined: bool = False,
+    attack: Optional[str] = None,
     liveness_bound: float = 300.0,
 ) -> ChaosResult:
     """MinBFT replication under one fault schedule.
@@ -463,11 +512,32 @@ def run_minbft_chaos(
     that silently fell back to unbatched slots would desynchronize batch
     digests from its peers). Every run's ``stats["consensus"]`` carries
     the fleet-summed pipeline counters.
+
+    ``attack`` names a MinBFT entry of
+    :data:`repro.faults.attacks.ATTACKS`: the spec's attacker pid is
+    wrapped in an :class:`~repro.faults.attacks.AttackerProcess` (and
+    re-wrapped on restart, attack state intact), declared Byzantine, and
+    excluded from the correct/fault-free sets. An
+    :class:`~repro.consensus.forensics.AccountabilityChecker` rides along
+    in audit-only mode: with *intact* hardware every attack in the library
+    must stay conviction-free — the hardware cannot bind one counter to
+    two messages, so there is no evidence to find — and the sweep asserts
+    exactly that alongside the ordinary safety checkers.
     """
     if timeouts not in ("fixed", "adaptive"):
         raise ConfigurationError(
             f"timeouts must be 'fixed' or 'adaptive', got {timeouts!r}"
         )
+    spec = attack_obj = None
+    attacker: Optional[ProcessId] = None
+    if attack is not None:
+        spec = get_attack(attack)
+        if spec.protocol != "minbft":
+            raise ConfigurationError(
+                f"attack {attack!r} targets {spec.protocol}, not minbft"
+            )
+        attack_obj = spec.make()
+        attacker = spec.attacker
     reset_crypto_caches()
     n = 2 * f + 1
     adversary = schedule.make_adversary(n + n_clients)
@@ -493,6 +563,14 @@ def run_minbft_chaos(
         if pipelined
         else None
     )
+    if spec is not None and spec.protocol_kwargs:
+        replica_options = {**(replica_options or {}), **spec.protocol_kwargs}
+    wrapper = None
+    if attack_obj is not None:
+        def wrapper(pid, replica):
+            if pid == attacker:
+                return AttackerProcess(replica, attack_obj)
+            return replica
     client_options = dict(max_outstanding=4) if pipelined else None
     sim, replicas, clients = build_minbft_system(
         f=f,
@@ -507,22 +585,30 @@ def run_minbft_chaos(
         replica_factory=(lambda pid, **kw: StallingPrimary(**kw))
         if stalling
         else None,
+        replica_wrapper=wrapper,
         timeout_policy=policy_factory,
         replica_options=replica_options,
         client_options=client_options,
     )
+    if attacker is not None:
+        sim.declare_byzantine(attacker)
     _apply_crashes(
         sim, schedule,
         restart_factory=lambda pid: _minbft_restart_factory(
             replicas, pid, app, channel_kwargs,
             cls=replica_cls, timeout_policy=policy_factory,
-            replica_options=replica_options,
+            replica_options=replica_options, wrapper=wrapper,
         ),
     )
 
+    forensics: Optional[AccountabilityChecker] = None
+    if attack is not None:
+        # audit-only: intact hardware must leave nothing to convict
+        forensics = AccountabilityChecker(replicas[0].verifier)
+        sim.attach_observer(forensics)
     checker: Optional[ReplicationStreamChecker] = None
     correct_replicas = [p for p in schedule.fault_free_pids(n + n_clients)
-                        if p < n]
+                        if p < n and p != attacker]
     if streaming:
         checker = ReplicationStreamChecker(correct_replicas, fail_fast=True)
         sim.attach_observer(checker)
@@ -539,7 +625,7 @@ def run_minbft_chaos(
     sim.attach_observer(live)
 
     def stats(executions: int) -> dict[str, Any]:
-        return {
+        d = {
             "executions": executions,
             "messages_sent": sim.network.messages_sent,
             "dropped": adversary.messages_dropped,
@@ -553,12 +639,196 @@ def run_minbft_chaos(
             "crypto": crypto_stats().as_dict(),
             "simcore": _simcore_stats(sim),
         }
+        if attack_obj is not None:
+            d["byzantine"] = {
+                "attack": attack,
+                "attacker": attacker,
+                **attack_obj.stats(),
+                "forensics": forensics.stats() if forensics else {},
+            }
+        return d
 
     protocol = (
         "minbft-stalling"
         if stalling
         else ("minbft-pipelined" if pipelined else "minbft")
     )
+    if attack is not None:
+        protocol = f"minbft+{attack}"
+    described = schedule.describe() + "\n" + adversary.describe()
+    try:
+        sim.run(until=schedule.horizon)
+    except PropertyViolation:
+        abort_index, _ = checker.online_violations[0]
+        return ChaosResult(
+            protocol=protocol,
+            seed=schedule.seed,
+            ok=False,
+            violations=[f"event #{i}: {m}"
+                        for i, m in checker.online_violations],
+            schedule=described,
+            stats=stats(len(checker.executions)),
+            abort_index=abort_index,
+        )
+    expected_ops = {n + c: len(clients[c].ops) for c in range(n_clients)}
+    if streaming:
+        report = checker.finish(expected_ops=expected_ops)
+    else:
+        report = check_replication(
+            sim.trace,
+            correct_replicas,
+            clients=range(n, n + n_clients),
+            expected_ops=expected_ops,
+        )
+    violations = report.violations + report.liveness_violations
+    if forensics is not None and forensics.convicted:
+        # intact hardware produced no double-bound counter; a conviction
+        # here is either a checker bug or a genuinely unsafe attack
+        violations = violations + [
+            f"accountability convicted replica {r} under intact hardware: "
+            f"{forensics.convicted[r]!r}"
+            for r in sorted(forensics.convicted)
+        ]
+    live_report = live.finish(end_time=schedule.horizon)
+    return ChaosResult(
+        protocol=protocol,
+        seed=schedule.seed,
+        ok=not violations and live_report.ok,
+        violations=violations,
+        schedule=described,
+        stats=stats(len(report.executions)),
+        liveness_violations=live_report.violations,
+    )
+
+
+def _minbft_restart_factory(
+    replicas, pid, app_name, channel_kwargs,
+    cls=MinBFTReplica, timeout_policy=None, replica_options=None,
+    wrapper=None,
+):
+    old = replicas[pid]
+    fresh = cls(
+        n=old.n,
+        usig=old.usig,  # the trusted hardware survives the reboot
+        verifier=old.verifier,
+        scheme=old.scheme,
+        signer=old.signer,
+        app=make_app(app_name),  # the application state was volatile
+        req_timeout=old.req_timeout,
+        timeout_policy=timeout_policy,
+        **(replica_options or {}),
+    )
+    replicas[pid] = fresh
+    # an attacked replica reboots *still attacked*: the wrapper carries the
+    # attack object (strike state and all) onto the fresh incarnation
+    hosted = fresh if wrapper is None else wrapper(pid, fresh)
+    return ReliableProcess(hosted, **channel_kwargs)
+
+
+def run_pbft_chaos(
+    schedule: FaultSchedule,
+    f: int = 1,
+    n_clients: int = 2,
+    ops_per_client: int = 3,
+    app: str = "counter",
+    streaming: bool = True,
+    attack: Optional[str] = None,
+    liveness_bound: float = 300.0,
+) -> ChaosResult:
+    """PBFT replication (n = 3f+1, the hardware-free baseline) under one
+    fault schedule — primarily the Byzantine-attack axis of the sweep.
+
+    Same shape as :func:`run_minbft_chaos`: ``attack`` names a PBFT entry
+    of :data:`repro.faults.attacks.ATTACKS`, the attacker is wrapped,
+    declared Byzantine, and excluded from the correct sets, and the
+    standard replication safety/liveness checkers must stay green — at
+    n = 3f+1 one Byzantine replica is inside the fault budget, so any
+    violation is a protocol bug, not an expected outcome.
+    """
+    spec = attack_obj = None
+    attacker: Optional[ProcessId] = None
+    replica_options = None
+    if attack is not None:
+        spec = get_attack(attack)
+        if spec.protocol != "pbft":
+            raise ConfigurationError(
+                f"attack {attack!r} targets {spec.protocol}, not pbft"
+            )
+        attack_obj = spec.make()
+        attacker = spec.attacker
+        if spec.protocol_kwargs:
+            replica_options = dict(spec.protocol_kwargs)
+    reset_crypto_caches()
+    n = 3 * f + 1
+    adversary = schedule.make_adversary(n + n_clients)
+    channel_kwargs = dict(DEFAULT_CHANNEL)
+    wrapper = None
+    if attack_obj is not None:
+        def wrapper(pid, replica):
+            if pid == attacker:
+                return AttackerProcess(replica, attack_obj)
+            return replica
+    sim, replicas, clients = build_pbft_system(
+        f=f,
+        n_clients=n_clients,
+        ops_per_client=ops_per_client,
+        app=app,
+        seed=schedule.seed,
+        adversary=adversary,
+        req_timeout=25.0,
+        retry_timeout=40.0,
+        reliable=channel_kwargs,
+        replica_wrapper=wrapper,
+        replica_options=replica_options,
+    )
+    if attacker is not None:
+        sim.declare_byzantine(attacker)
+    _apply_crashes(
+        sim, schedule,
+        restart_factory=lambda pid: _pbft_restart_factory(
+            replicas, pid, app, channel_kwargs,
+            replica_options=replica_options, wrapper=wrapper,
+        ),
+    )
+
+    checker: Optional[ReplicationStreamChecker] = None
+    correct_replicas = [p for p in schedule.fault_free_pids(n + n_clients)
+                        if p < n and p != attacker]
+    if streaming:
+        checker = ReplicationStreamChecker(correct_replicas, fail_fast=True)
+        sim.attach_observer(checker)
+    live = ReplicationLivenessChecker(
+        gst=schedule.gst,
+        request_bound=liveness_bound,
+        fault_free_replicas=correct_replicas,
+        fault_free_clients=range(n, n + n_clients),
+        f=f,
+    )
+    sim.attach_observer(live)
+
+    def stats(executions: int) -> dict[str, Any]:
+        d = {
+            "executions": executions,
+            "messages_sent": sim.network.messages_sent,
+            "dropped": adversary.messages_dropped,
+            "duplicates": adversary.duplicates_injected,
+            "restarts": len(sim.restarted_pids),
+            "view_changes": max(
+                (r.view_changes_completed for r in replicas), default=0
+            ),
+            "consensus": sim.collect_consensus_stats(),
+            "crypto": crypto_stats().as_dict(),
+            "simcore": _simcore_stats(sim),
+        }
+        if attack_obj is not None:
+            d["byzantine"] = {
+                "attack": attack,
+                "attacker": attacker,
+                **attack_obj.stats(),
+            }
+        return d
+
+    protocol = "pbft" if attack is None else f"pbft+{attack}"
     described = schedule.describe() + "\n" + adversary.describe()
     try:
         sim.run(until=schedule.horizon)
@@ -597,24 +867,22 @@ def run_minbft_chaos(
     )
 
 
-def _minbft_restart_factory(
+def _pbft_restart_factory(
     replicas, pid, app_name, channel_kwargs,
-    cls=MinBFTReplica, timeout_policy=None, replica_options=None,
+    replica_options=None, wrapper=None,
 ):
     old = replicas[pid]
-    fresh = cls(
+    fresh = PBFTReplica(
         n=old.n,
-        usig=old.usig,  # the trusted hardware survives the reboot
-        verifier=old.verifier,
         scheme=old.scheme,
         signer=old.signer,
-        app=make_app(app_name),  # the application state was volatile
+        app=make_app(app_name),  # everything was volatile: no trusted part
         req_timeout=old.req_timeout,
-        timeout_policy=timeout_policy,
         **(replica_options or {}),
     )
     replicas[pid] = fresh
-    return ReliableProcess(fresh, **channel_kwargs)
+    hosted = fresh if wrapper is None else wrapper(pid, fresh)
+    return ReliableProcess(hosted, **channel_kwargs)
 
 
 def _apply_crashes(sim, schedule: FaultSchedule, restart_factory) -> None:
@@ -650,6 +918,7 @@ PROTOCOLS: dict[str, Callable[..., ChaosResult]] = {
     "minbft-pipelined": lambda schedule, **kw: run_minbft_chaos(
         schedule, pipelined=True, **kw
     ),
+    "pbft": run_pbft_chaos,
     "service": _run_service_task,
     "service-storm": lambda schedule, **kw: _run_service_task(
         schedule, storm=True, **kw
@@ -666,6 +935,9 @@ _CRASHABLE = {
     "minbft": lambda: range(0, 3),
     "minbft-stalling": lambda: range(0, 3),
     "minbft-pipelined": lambda: range(0, 3),
+    # PBFT rides the attack axis; its baseline cells run crash-free so a
+    # red cell always means the attacker, never a coincident crash.
+    "pbft": lambda: [],
     "service": lambda: range(0, 3),
     "service-storm": lambda: [],
 }
@@ -785,6 +1057,162 @@ def chaos_sweep(
     with ProcessPoolExecutor(max_workers=workers) as pool:
         futures = [pool.submit(_run_chaos_task, task) for task in tasks]
         return [f.result() for f in futures]
+
+
+# ---------------------------------------------------------------------------
+# Byzantine attack campaign
+# ---------------------------------------------------------------------------
+
+_ATTACK_RUNNERS: dict[str, Callable[..., ChaosResult]] = {
+    "minbft": run_minbft_chaos,
+    "pbft": run_pbft_chaos,
+    "srb": run_srb_chaos,
+}
+
+
+def run_attack(
+    name: str, seed: int, horizon: Time = 600.0, **kwargs: Any
+) -> ChaosResult:
+    """Run one attack cell: the named attack against its target protocol.
+
+    ``name`` indexes :data:`repro.faults.attacks.ATTACKS`; the spec picks
+    the protocol runner, the attacker pid, and which pids may *also* crash
+    (most cells run crash-free so a red cell indicts the attacker, not a
+    coincident crash — ``vc-withhold`` deliberately crashes the primary to
+    force the view change it then sabotages). With intact hardware every
+    cell must come back ``ok``: safety and liveness hold at n = 2f+1
+    (MinBFT) / n = 3f+1 (PBFT) / n >= 2t+1 (SRB), and the MinBFT cells
+    additionally assert the audit-only accountability checker convicted
+    nobody.
+    """
+    spec = get_attack(name)
+    schedule = make_schedule(
+        seed, crashable=list(spec.crashable), horizon=horizon
+    )
+    if spec.crash_script:
+        schedule = dataclasses.replace(
+            schedule,
+            crashes=tuple(
+                CrashEvent(pid=p, at=at, restart_at=r)
+                for p, at, r in spec.crash_script
+            ),
+        )
+    return _ATTACK_RUNNERS[spec.protocol](
+        schedule, attack=name, **{**spec.runner_kwargs, **kwargs}
+    )
+
+
+def _run_attack_task(task: tuple[str, int, Time, bool, dict]) -> ChaosResult:
+    """Picklable worker-side entry point (see :func:`_run_chaos_task`)."""
+    name, seed, horizon, caching, kwargs = task
+    set_caching(caching)
+    return run_attack(name, seed, horizon=horizon, **kwargs)
+
+
+def attack_sweep(
+    attacks: Optional[Iterable[str]] = None,
+    seeds: Iterable[int] = range(5),
+    horizon: Time = 600.0,
+    workers: Optional[int] = None,
+    **kwargs: Any,
+) -> list[ChaosResult]:
+    """The attack × seed grid; the Byzantine axis of the chaos sweep.
+
+    ``attacks=None`` runs the whole registry. Same determinism contract
+    as :func:`chaos_sweep`: every cell is a pure function of
+    ``(attack, seed)`` and parallel results are bit-identical to serial.
+    """
+    names = list(attacks) if attacks is not None else sorted(ATTACKS)
+    tasks = [
+        (name, seed, horizon, caching_enabled(), kwargs)
+        for name in names
+        for seed in seeds
+    ]
+    if workers is None or workers <= 1 or len(tasks) <= 1:
+        return [_run_attack_task(task) for task in tasks]
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [pool.submit(_run_attack_task, task) for task in tasks]
+        return [f.result() for f in futures]
+
+
+def run_compromised_minbft_soak(
+    seed: int = 0,
+    horizon: Time = 600.0,
+    conviction_delay: float = 5.0,
+) -> dict[str, Any]:
+    """The full compromised-hardware arc in ONE run: violate, convict, heal.
+
+    Replica 0 — the view-0 primary — is a
+    :class:`~repro.faults.attacks.TraitorReplica`: its USIG signing key is
+    extracted, so it equivocates *through* the trusted hardware, binding
+    two different PREPAREs to one counter value. At n = 2f+1 that splits
+    the group — the honest replicas certify divergent histories with f+1
+    votes each (the traitor's UI counts in both), the exact safety
+    collapse the paper's classification predicts once the hardware
+    assumption fails. The run then must heal itself:
+
+    1. the streaming safety checker records the divergence (red);
+    2. the :class:`~repro.consensus.forensics.AccountabilityChecker`
+       harvests both UIs off the wire and convicts replica 0 with a
+       self-contained, independently verifiable proof-of-misbehavior;
+    3. ``conviction_delay`` later the culprit is quarantined and the
+       survivors ``convict()``: purge its UIs, roll back to their last
+       attested state (genesis here — checkpoints are off, and a stable
+       checkpoint co-signed by the culprit could attest divergent
+       states), and re-form the view without it;
+    4. clients retry and finish against the 2-replica rump group (green).
+
+    Returns the evidence bundle: the proof (replayable via
+    :func:`repro.consensus.forensics.verify_proof` against the returned
+    verifier), conviction times, the recorded divergence, and the final
+    clean audit report.
+    """
+    reset_crypto_caches()
+    f = 1
+    n = 2 * f + 1
+    n_clients = 2
+
+    def factory(pid: int, **kw: Any):
+        # traitor at pid 0: equivocation rides the primary's proposal
+        # path, so the compromised replica must lead view 0
+        if pid == 0:
+            return TraitorReplica(victims=(2,), **kw)
+        return MinBFTReplica(**kw)
+
+    sim, replicas, clients = build_minbft_system(
+        f=f,
+        n_clients=n_clients,
+        ops_per_client=3,
+        app="counter",
+        seed=seed,
+        req_timeout=25.0,
+        retry_timeout=40.0,
+        replica_factory=factory,
+    )
+    checker = ReplicationStreamChecker([1, 2], fail_fast=False)
+    sim.attach_observer(checker)
+    forensics = install_accountability(
+        sim,
+        replicas,
+        verifier=replicas[1].verifier,
+        recover=True,
+        delay=conviction_delay,
+    )
+    sim.run(until=horizon)
+    expected_ops = {n + c: len(clients[c].ops) for c in range(n_clients)}
+    report = checker.finish(expected_ops=expected_ops)
+    return {
+        "convicted": sorted(forensics.convicted),
+        "proof": forensics.convicted.get(0),
+        "verifier": replicas[1].verifier,
+        "detected_at": dict(forensics.detected_at),
+        "hw_equivocations": replicas[0].hw_equivocations,
+        "online_violations": list(checker.online_violations),
+        "report": report,
+        "forensics": forensics.stats(),
+    }
 
 
 # ---------------------------------------------------------------------------

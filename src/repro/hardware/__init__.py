@@ -28,6 +28,12 @@ whose secret state cannot be extracted, plus a public authority/verifier.
 from .a2m import A2MAuthority, A2MDevice, A2MStatement, END, LOOKUP
 from .a2m_from_trinc import EndProof, LookupProof, TrincA2MChecker, TrincBackedA2M
 from .acl import AccessControlList, EVERYONE, Policy
+from .compromise import (
+    ClonedTrinket,
+    KeyExtractedUSIG,
+    compromise_trinket,
+    extract_usig_key,
+)
 from .enclave import Enclave, EnclaveAuthority, EnclaveOutput, EnclaveProgram
 from .peats import PEATS, WILDCARD, matches, remove_only_own, single_inserter_per_slot
 from .registers import (
@@ -45,6 +51,7 @@ __all__ = [
     "A2MStatement",
     "AccessControlList",
     "AppendOnlyRegister",
+    "ClonedTrinket",
     "Attestation",
     "END",
     "EVERYONE",
@@ -53,6 +60,7 @@ __all__ = [
     "EnclaveOutput",
     "EnclaveProgram",
     "EndProof",
+    "KeyExtractedUSIG",
     "LOOKUP",
     "LookupProof",
     "PEATS",
@@ -68,6 +76,8 @@ __all__ = [
     "UNSET",
     "WILDCARD",
     "append_log_array",
+    "compromise_trinket",
+    "extract_usig_key",
     "matches",
     "remove_only_own",
     "single_inserter_per_slot",

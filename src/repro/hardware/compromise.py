@@ -1,0 +1,166 @@
+"""Compromised trusted hardware: the negative half of the classification.
+
+The paper's taxonomy rests on one capability — non-equivocation: a trusted
+counter binds each sequence number to at most one message, which is what
+lets MinBFT/SRB run at n = 2f+1 instead of 3f+1. This module models the
+failure of that assumption, in the two ways real deployments fail:
+
+- :class:`ClonedTrinket` — a *forkable, rollbackable* TrInc. Models a
+  virtualized/snapshotted device (VM fork, SGX rollback, un-fused
+  monotonic counter): the host can duplicate the device state or rewind
+  its counter, after which two valid attestations for the same
+  ``(trinket, counter)`` can bind different messages.
+- :class:`KeyExtractedUSIG` — the stronger break: the device *key* leaks
+  (side channel, firmware bug), so the host mints attestations for any
+  counter value directly, with no device at all.
+
+Both produce artifacts that pass every public verifier
+(:meth:`~repro.hardware.trinc.TrincAuthority.check`,
+:meth:`~repro.consensus.usig.USIGVerifier.verify_ui`) — that is the point:
+the *protocol* cannot tell, and safety at n = 2f+1 genuinely falls. What
+remains is accountability: two conflicting attestations at one counter
+value are a self-contained, independently verifiable proof of misbehavior
+(see :mod:`repro.consensus.forensics`), because an uncompromised device
+can never emit them.
+
+Everything here is for fault injection and negative tests; nothing in the
+correct-path stack imports it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..crypto.serialize import content_hash
+from ..errors import ConfigurationError
+from ..types import ProcessId, SeqNum
+from .trinc import Attestation, Trinket, TrincAuthority
+
+
+class ClonedTrinket(Trinket):
+    """A trinket whose host can fork and rewind it — TrInc without the T.
+
+    Behaves exactly like :class:`~repro.hardware.trinc.Trinket` (same keys,
+    same attestations, passes ``TrincAuthority.check``) but adds the two
+    operations a real device's fuse-backed counter exists to prevent:
+
+    - :meth:`fork` — duplicate the device state; each clone advances its
+      counter independently, so clone A and clone B can both attest
+      counter ``c`` with different messages.
+    - :meth:`rollback` — rewind the counter to a past value, re-opening
+      sequence numbers the device already bound.
+    """
+
+    __slots__ = ("forks", "rollbacks")
+
+    def __init__(self, authority: TrincAuthority, pid: ProcessId) -> None:
+        super().__init__(authority, pid)
+        self.forks = 0
+        self.rollbacks = 0
+
+    @classmethod
+    def from_trinket(cls, victim: Trinket) -> "ClonedTrinket":
+        """Compromise an issued trinket: snapshot its state into a clone.
+
+        The genuine device is untouched (and still held by the authority's
+        once-only issue bookkeeping); the clone is a perfect impostor that
+        starts from the same counter state.
+        """
+        clone = cls(victim._authority, victim._pid)
+        clone._last = dict(victim._last)
+        return clone
+
+    def fork(self) -> "ClonedTrinket":
+        """Duplicate the device; the copy diverges independently."""
+        self.forks += 1
+        twin = ClonedTrinket(self._authority, self._pid)
+        twin._last = dict(self._last)
+        return twin
+
+    def rollback(self, to_seq: SeqNum, counter_id: int = 0) -> None:
+        """Rewind ``counter_id`` to ``to_seq``; lower values become attestable
+        again (``to_seq = 0`` resets the counter entirely)."""
+        if not isinstance(to_seq, int) or to_seq < 0:
+            raise ConfigurationError(f"rollback target must be >= 0, got {to_seq!r}")
+        self.rollbacks += 1
+        if to_seq == 0:
+            self._last.pop(counter_id, None)
+        else:
+            self._last[counter_id] = to_seq
+
+
+def compromise_trinket(victim: Trinket) -> ClonedTrinket:
+    """Convenience spelling of :meth:`ClonedTrinket.from_trinket`."""
+    return ClonedTrinket.from_trinket(victim)
+
+
+class KeyExtractedUSIG:
+    """A USIG whose device key leaked: mints valid UIs at *any* counter.
+
+    Duck-types :class:`~repro.consensus.usig.USIG` (``create_ui``,
+    ``counter``, ``replica``) so a replica can be constructed with it
+    unmodified, and adds :meth:`create_ui_at` — the equivocation
+    primitive: two UIs at the same counter value binding different
+    messages, both of which pass ``verify_ui`` because they carry genuine
+    HMACs under the extracted key.
+    """
+
+    def __init__(
+        self,
+        authority: TrincAuthority,
+        replica: ProcessId,
+        start: SeqNum = 0,
+    ) -> None:
+        self._authority = authority
+        self._replica = replica
+        self._next: SeqNum = start + 1
+        self.created = 0
+        self.forged = 0
+
+    @classmethod
+    def from_usig(cls, usig: Any) -> "KeyExtractedUSIG":
+        """Extract the key from a live USIG (side-channel the simulation
+        grants the adversary); continues from its current counter."""
+        trinket = usig._trinket
+        return cls(trinket._authority, trinket.pid, start=trinket.last_seq())
+
+    @property
+    def replica(self) -> ProcessId:
+        return self._replica
+
+    @property
+    def counter(self) -> SeqNum:
+        return self._next - 1
+
+    def _mint(self, message: Any, c: SeqNum):
+        from ..consensus.usig import UI  # lazy: consensus sits above hardware
+
+        h = content_hash(message)
+        tag = self._authority._tag(self._replica, 0, c - 1, c, h)
+        att = Attestation(
+            trinket_id=self._replica, counter_id=0, prev=c - 1, seq=c,
+            message=h, tag=tag,
+        )
+        return UI(replica=self._replica, counter=c, attestation=att)
+
+    def create_ui(self, message: Any):
+        """Honest-looking path: consecutive counters, like the real USIG."""
+        c = self._next
+        self._next += 1
+        self.created += 1
+        return self._mint(message, c)
+
+    def create_ui_at(self, message: Any, counter: SeqNum):
+        """The break: bind ``message`` to an arbitrary counter value without
+        advancing anything — a second call with the same ``counter`` and a
+        different message is exactly the equivocation trusted hardware
+        exists to prevent."""
+        if not isinstance(counter, int) or counter < 1:
+            raise ConfigurationError(f"counter must be >= 1, got {counter!r}")
+        self.forged += 1
+        return self._mint(message, counter)
+
+
+def extract_usig_key(usig: Any) -> KeyExtractedUSIG:
+    """Convenience spelling of :meth:`KeyExtractedUSIG.from_usig`."""
+    return KeyExtractedUSIG.from_usig(usig)

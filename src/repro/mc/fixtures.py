@@ -37,7 +37,7 @@ from ..core.srb import SRBStreamChecker
 from ..core.srb_oracle import SRBOracle, SRBSenderHandle
 from ..errors import ConfigurationError
 from ..sim.adversary import LockStepSynchronous
-from ..sim.process import Process
+from ..sim.process import Process, ProcessId
 from ..sim.runner import Simulation
 from ..types import ProcessId
 
@@ -207,6 +207,143 @@ def eager_srb_factory() -> tuple[Simulation, SRBStreamChecker]:
     return sim, checker
 
 
+def _isolate_victim(clients: list, victim: ProcessId = 2) -> None:
+    """Partition the victim replica from everyone but the primary.
+
+    Clients stop addressing it and replica 1's sends to it are dropped
+    (see the ``replica_wrapper`` at each call site), so the victim hears
+    only the (possibly Byzantine) primary — and its own broadcasts. This
+    is the adversary's strongest cut at n = 2f+1: the fork's minority
+    side is exactly {primary, victim}, and every message the victim acts
+    on is attacker-chosen. It also collapses the exploration's choice
+    pool to the handful of deliveries that actually decide the outcome —
+    bounded DPOR can only ever backtrack into transitions it has executed,
+    so drowning the pool in no-op deliveries hides the interesting
+    interleavings past any feasible depth.
+    """
+    for client in clients:
+        client.replicas = tuple(
+            pid for pid in client.replicas if pid != victim
+        )
+
+
+def equivocating_minbft_factory() -> tuple:
+    """MinBFT f=1 under a PREPARE-equivocating primary with *intact* USIG.
+
+    The attack forks the primary's stream: the victim receives only the
+    alternative PREPARE, everyone else receives both. The victim is
+    additionally partitioned from replica 1 (see :func:`_isolate_victim`),
+    so the primary's stream is *all it has* — the hardest configuration
+    for the hardware to defend. What the exploration certifies: the alt
+    PREPARE burns the counter *after* the real one, so the victim's USIG
+    order enforcer holds it behind a permanent gap — no interleaving of
+    the victim's deliveries produces divergence or duplicate execution,
+    and — the accountability half — no conviction: two UIs at *distinct*
+    counters are not evidence.
+
+    window_size=1 queues later requests *unproposed*, so the attack's
+    alternative PREPARE carries a fresh request — the strongest fork.
+    Unbounded pipelining proposes every request on arrival, leaving only
+    stale (already-ordered) alternatives that dedup into noops.
+    """
+    from ..consensus.forensics import AccountabilityChecker
+    from ..consensus.harness import build_minbft_system
+    from ..consensus.safety import ReplicationStreamChecker
+    from ..faults.attacks import AttackerProcess, PrepareEquivocation
+    from ..sim.byzantine import ByzantineWrapper, drop_to
+
+    attack = PrepareEquivocation()
+
+    def wrapper(pid: int, r: Any) -> Any:
+        if pid == 0:
+            return AttackerProcess(r, attack)
+        if pid == 1:
+            return ByzantineWrapper(r, drop_to(2))  # the 1->2 link is cut
+        return r
+
+    sim, replicas, clients = build_minbft_system(
+        f=1, n_clients=3, ops_per_client=1, app="counter", seed=0,
+        adversary=LockStepSynchronous(1.0),
+        replica_wrapper=wrapper,
+        reliable=False,
+        replica_options=dict(window_size=1),
+    )
+    _isolate_victim(clients)
+    sim.declare_byzantine(0)
+    checker = ReplicationStreamChecker([1, 2], fail_fast=True)
+    sim.attach_observer(checker)
+    forensics = AccountabilityChecker(replicas[1].verifier)
+    sim.attach_observer(forensics)
+    return sim, checker, forensics
+
+
+def check_equivocation_contained(state: Any) -> Optional[str]:
+    """Quiescent-leaf check for ``minbft-equivocation``.
+
+    Safety violations abort mid-schedule via the fail-fast stream checker;
+    this closes the two holes that check cannot see: a false conviction
+    (intact hardware must leave no evidence) and a vacuous pass where the
+    attack wedged a client instead of being absorbed.
+    """
+    _sim, checker, forensics = state
+    if forensics.convicted:
+        return (
+            "accountability convicted "
+            f"{sorted(forensics.convicted)} under intact hardware"
+        )
+    if len(checker.clients_done) < 3:
+        return (
+            "a client never finished in a quiescent schedule: "
+            f"done={checker.clients_done}"
+        )
+    return None
+
+
+def cloned_trinket_factory() -> tuple:
+    """MinBFT f=1 whose primary's USIG key is extracted (cloned trinket).
+
+    The :class:`~repro.faults.attacks.TraitorReplica` binds two different
+    PREPAREs to one counter value — the exact capability the trusted
+    hardware exists to remove. Same partition and window as
+    ``minbft-equivocation`` (see :func:`_isolate_victim`): the *only*
+    difference between the two cells is whether the hardware is intact.
+    With a cloned trinket the alt PREPARE reuses the real one's counter,
+    so the victim's order enforcer passes it straight through; the victim
+    certifies the alt with {traitor, itself} = f+1 votes while replica 1
+    certifies the real proposal with {traitor, itself} — the traitor's
+    counter-signed vote counts in both halves, the split the paper's
+    classification predicts when the hardware assumption fails. The
+    exploration shows delivery orders where replicated state diverges
+    (flagged by the fail-fast stream checker): safety at n = 2f+1 is gone.
+    """
+    from ..consensus.harness import build_minbft_system
+    from ..consensus.minbft import MinBFTReplica
+    from ..consensus.safety import ReplicationStreamChecker
+    from ..faults.attacks import TraitorReplica
+    from ..sim.byzantine import ByzantineWrapper, drop_to
+
+    def factory(pid: int, **kw: Any):
+        if pid == 0:
+            return TraitorReplica(victims=(2,), **kw)
+        return MinBFTReplica(**kw)
+
+    sim, _replicas, clients = build_minbft_system(
+        f=1, n_clients=3, ops_per_client=1, app="counter", seed=0,
+        adversary=LockStepSynchronous(1.0),
+        replica_factory=factory,
+        replica_wrapper=(
+            lambda pid, r: ByzantineWrapper(r, drop_to(2)) if pid == 1 else r
+        ),
+        reliable=False,
+        replica_options=dict(window_size=1),
+    )
+    _isolate_victim(clients)
+    sim.declare_byzantine(0)
+    checker = ReplicationStreamChecker([1, 2], fail_fast=True)
+    sim.attach_observer(checker)
+    return sim, checker
+
+
 def stalling_minbft_factory() -> Simulation:
     """StallingPrimary MinBFT, f=1, one client, one request."""
     from ..consensus.harness import build_minbft_system
@@ -275,6 +412,32 @@ SYSTEMS: dict[str, MCSystem] = {
             description=(
                 "StallingPrimary liveness bug; bound: timers suppressed, "
                 "quiescent leaves audited for executions"
+            ),
+        ),
+        MCSystem(
+            name="minbft-equivocation",
+            factory=equivocating_minbft_factory,
+            check=check_equivocation_contained,
+            options=dict(choice_targets=(2,), fire_timers=False),
+            expect_violation=False,
+            description=(
+                "PREPARE equivocation with intact USIG, victim partitioned "
+                "to the primary; exhaustive over the victim's delivery "
+                "orders (~2.5k complete schedules) — every one must stay "
+                "safe and conviction-free"
+            ),
+        ),
+        MCSystem(
+            name="minbft-cloned-trinket",
+            factory=cloned_trinket_factory,
+            check=None,
+            options=dict(choice_targets=(2,), fire_timers=False),
+            expect_violation=True,
+            description=(
+                "key-extracted USIG equivocation (compromised hardware), "
+                "same partition as minbft-equivocation; exhaustive over "
+                "the victim's delivery orders — safety at n=2f+1 "
+                "collapses on every complete schedule"
             ),
         ),
         MCSystem(

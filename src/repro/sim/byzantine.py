@@ -61,7 +61,11 @@ class BabblerProcess(Process):
 # ---------------------------------------------------------------------------
 
 MessageFilter = Callable[[ProcessId, ProcessId, Any], Optional[Any]]
-"""``(src, dst, msg) -> msg' | None``; ``None`` drops the message."""
+"""``(src, dst, msg) -> out``: ``None`` drops the message, a message is
+sent in its place, and a **list of** ``(dst, msg)`` **pairs** replaces the
+send with arbitrarily many (re-routed, duplicated, injected) sends — the
+general shape active attacks need for replay and multi-destination
+equivocation."""
 
 
 class _InterceptingContext:
@@ -96,6 +100,14 @@ class _InterceptingContext:
         return self._real.alive
 
     @property
+    def incarnation(self) -> int:
+        return self._real.incarnation
+
+    @property
+    def seed(self) -> int:
+        return self._real.seed
+
+    @property
     def rng(self):
         return self._real.rng
 
@@ -118,7 +130,12 @@ class _InterceptingContext:
 
     def send(self, dst: ProcessId, msg: Any) -> None:
         out = self._filter(self._real.pid, dst, msg)
-        if out is not None:
+        if out is None:
+            return
+        if isinstance(out, list):
+            for d, m in out:
+                self._real.send(d, m)
+        else:
             self._real.send(dst, out)
 
     def broadcast(self, msg: Any, include_self: bool = True) -> None:
@@ -129,16 +146,40 @@ class _InterceptingContext:
 
 
 class ByzantineWrapper(Process):
-    """Run ``inner`` (an unmodified protocol process) under a message filter."""
+    """Run ``inner`` (an unmodified protocol process) under a message filter.
+
+    The wrapper's context slot is a property: *whatever* context is
+    installed — the simulation's own at attach, a
+    :class:`~repro.faults.channel._ReliableContext` when a
+    :class:`~repro.faults.channel.ReliableProcess` hosts the wrapper, or a
+    fresh context from ``sim.restart`` — is re-wrapped in the intercepting
+    context before the inner process sees it. That keeps the attack in
+    force across restarts and under any host-side interposition, with the
+    filter applied *before* reliable-channel framing (the attack mutates
+    protocol messages, not retransmission frames).
+    """
 
     def __init__(self, inner: Process, message_filter: MessageFilter) -> None:
         super().__init__()
         self.inner = inner
         self._message_filter = message_filter
 
-    def _attach(self, ctx: Context) -> None:
-        super()._attach(ctx)
-        self.inner._ctx = _InterceptingContext(ctx, self._message_filter)  # type: ignore[assignment]
+    @property
+    def _ctx(self) -> Optional[Context]:
+        return self.__dict__.get("_real_ctx")
+
+    @_ctx.setter
+    def _ctx(self, ctx: Optional[Context]) -> None:
+        self.__dict__["_real_ctx"] = ctx
+        # Process.__init__ assigns self._ctx = None before ``inner`` exists
+        inner = self.__dict__.get("inner")
+        if inner is not None and ctx is not None:
+            inner._ctx = _InterceptingContext(ctx, self._message_filter)
+
+    def remake(self) -> "ByzantineWrapper":
+        """Restart support: the replacement comes back *wrapped*, with the
+        same (stateful) filter, around the inner process's own remake."""
+        return type(self)(self.inner.remake(), self._message_filter)
 
     def on_start(self) -> None:
         self.inner.on_start()

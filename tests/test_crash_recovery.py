@@ -252,3 +252,55 @@ class TestSharedMemorySRBRecovery:
             if ev.time >= 12.0
         ]
         assert post_restart == [(1, "m0"), (2, "m1"), (3, "m2")]
+
+
+class Chatter(Process):
+    """Sends ("hi", i) to every peer at times 1, 2, ..., count."""
+
+    def __init__(self, count):
+        super().__init__()
+        self.count = count
+
+    def on_start(self):
+        self.ctx.set_timer(1.0, 1)
+
+    def on_timer(self, i):
+        for dst in range(self.ctx.n):
+            if dst != self.ctx.pid:
+                self.ctx.send(dst, ("hi", i))
+        if i < self.count:
+            self.ctx.set_timer(1.0, i + 1)
+
+    def remake(self):
+        return Chatter(self.count)
+
+
+class TestByzantineWrapperRestart:
+    def test_filter_survives_restart(self):
+        """Regression: ``sim.restart`` installs a fresh Context on the
+        replacement process. The wrapper's context slot is a property that
+        re-wraps whatever is installed, and ``remake()`` returns the
+        replacement *wrapped*; before that fix, a restarted Byzantine
+        process silently reverted to correct behavior mid-campaign."""
+        from repro.sim.byzantine import ByzantineWrapper, drop_to
+
+        procs = [
+            ByzantineWrapper(Chatter(8), drop_to(1)),
+            Recv(),
+            Recv(),
+        ]
+        sim = Simulation(procs, ReliableAsynchronous(0.01, 0.02), seed=3)
+        sim.crash_at(0, 3.5)
+        sim.restart_at(0, 4.5)
+        sim.run(until=60.0)
+
+        reborn = sim.processes[0]
+        assert isinstance(reborn, ByzantineWrapper)
+        assert reborn is not procs[0]
+        # the victim hears nothing from either incarnation
+        assert procs[1].received == []
+        # the non-victim hears both incarnations: the wrapper is not a
+        # total silencer, and the restart did not mute the inner process
+        times = [t for t, _ in procs[2].received]
+        assert any(t < 3.5 for t in times), "pre-crash sends missing"
+        assert any(t > 4.5 for t in times), "post-restart sends missing"

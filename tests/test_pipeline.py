@@ -343,6 +343,30 @@ class TestPipelinedChaos:
         assert all("consensus" in r.stats for r in results)
 
 
+class TestAttacksUnderPipeline:
+    """The attack campaign composed with the full pipeline stack.
+
+    Batched proposals widen the attack surface — an equivocated slot now
+    carries a whole batch, and replayed UIs race a 16-deep window — but
+    with intact hardware the outcome must not change: safe, live, and
+    conviction-free.
+    """
+
+    @pytest.mark.parametrize(
+        "attack", ["equivocate-prepare", "ui-replay", "selective-delivery"]
+    )
+    def test_attack_cell_green_when_pipelined(self, attack):
+        from repro.faults.chaos import run_attack
+
+        r = run_attack(attack, seed=0, pipelined=True, ops_per_client=6)
+        byz = r.stats["byzantine"]
+        assert r.ok, r.violations + r.liveness_violations
+        assert byz["strikes"] > 0, f"{attack} never fired under pipelining"
+        assert byz["forensics"]["convicted"] == []
+        # the pipeline genuinely ran: batches flushed, not 1-op slots only
+        assert r.stats["consensus"]["batches_flushed"] > 0
+
+
 # ---------------------------------------------------------------------------
 # Soak
 # ---------------------------------------------------------------------------
